@@ -1,0 +1,56 @@
+"""ABL-1b: ablation of the shift predictor (stage iii design choice).
+
+"We say that a shift is sudden if it cannot be predicted using the previous
+correlation values."  Which predictor supplies that expectation is a design
+choice; the benchmark compares the implemented ones on the same workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import HOUR, live_config
+from repro.core.engine import EnBlogue
+from repro.datasets.synthetic import correlation_shift_stream
+from repro.evaluation.harness import run_experiment
+from repro.evaluation.reporting import format_table
+from repro.timeseries.predictors import available_predictors
+
+
+@pytest.fixture(scope="module")
+def shift_workload():
+    return correlation_shift_stream(num_events=4, num_steps=72, shift_start=40, seed=23)
+
+
+def test_ablation_predictors(benchmark, shift_workload):
+    corpus, schedule = shift_workload
+
+    def run_all():
+        results = {}
+        for predictor in available_predictors():
+            engine = EnBlogue(live_config(
+                predictor=predictor, min_pair_support=2, min_history=3,
+                predictor_window=5, name=predictor))
+            results[predictor] = run_experiment(engine, corpus, schedule,
+                                                name=predictor, k=10)
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for predictor, result in results.items():
+        summary = result.summary()
+        rows.append({
+            "predictor": predictor,
+            "recall@10": summary["recall"],
+            "precision@10": summary["precision"],
+            "mean latency (h)": (round(summary["mean_latency"] / HOUR, 1)
+                                 if summary["mean_latency"] is not None else None),
+        })
+    print()
+    print(format_table(rows, title="ABL-1b — shift predictor ablation"))
+
+    assert set(results) == set(available_predictors())
+    # The smoothing predictors used by the presets detect the shifts.
+    assert results["moving_average"].recall >= 0.75
+    assert results["ewma"].recall >= 0.75

@@ -1,0 +1,99 @@
+"""FIG-1: regenerate Figure 1 — the correlation-shift illustration.
+
+The paper's Figure 1 plots, over time, the document counts of a popular tag
+t1 and a rare tag t2 together with the size of their intersection: the
+popular tag peaks without moving the intersection, and later the
+intersection grows dramatically although the individual frequencies do not
+explain it.  This benchmark replays the synthetic two-tag scenario through
+the enBlogue engine and prints the three series (plus the engine's
+correlation and shift score), asserting the qualitative shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import HOUR, live_config
+from repro.core.engine import EnBlogue
+from repro.core.types import TagPair
+from repro.datasets.synthetic import figure1_stream
+from repro.evaluation.reporting import format_series
+
+POPULAR = "politics"
+RARE = "volcano"
+NUM_STEPS = 60
+SHIFT_START = 30
+PEAKS = (15, 40)
+
+
+def replay_figure1():
+    corpus, schedule = figure1_stream(
+        popular_tag=POPULAR, rare_tag=RARE, num_steps=NUM_STEPS,
+        shift_start=SHIFT_START, shift_length=12, popularity_peaks=PEAKS,
+    )
+    engine = EnBlogue(live_config(
+        window_horizon=6 * HOUR, min_pair_support=1, min_history=2,
+        predictor="moving_average", predictor_window=3, name="figure1",
+    ))
+    engine.process_many(corpus)
+    engine.evaluate_now()
+    return corpus, schedule, engine
+
+
+def per_step_counts(corpus, tag_filter):
+    counts = []
+    for step in range(NUM_STEPS):
+        window = corpus.between(step * HOUR, (step + 1) * HOUR - 1)
+        counts.append(float(len(tag_filter(window))))
+    return counts
+
+
+def test_figure1_correlation_shift(benchmark):
+    corpus, schedule, engine = benchmark.pedantic(
+        replay_figure1, rounds=1, iterations=1)
+
+    popular_series = per_step_counts(corpus, lambda c: c.with_tag(POPULAR))
+    rare_series = per_step_counts(corpus, lambda c: c.with_tag(RARE))
+    intersection = per_step_counts(corpus, lambda c: c.with_tags(POPULAR, RARE))
+    correlation = engine.correlation_history(POPULAR, RARE)
+
+    print()
+    print(format_series(
+        {
+            f"t1={POPULAR}": popular_series,
+            f"t2={RARE}": rare_series,
+            "intersection": intersection,
+        },
+        x_values=list(range(NUM_STEPS)),
+        title="Figure 1 — number of documents per time step",
+        precision=0,
+    ))
+    print()
+    print(format_series(
+        {"correlation(t1,t2)": list(correlation.values)},
+        x_values=[round(t / HOUR, 1) for t in correlation.timestamps],
+        title="Correlation of (t1, t2) as tracked by enBlogue (x = hours)",
+    ))
+    score = engine.topic_score(POPULAR, RARE)
+    print(f"\nfinal shift score of ({POPULAR}, {RARE}): {score:.4f}")
+
+    # -- shape assertions ----------------------------------------------------
+    # The popular tag peaks (at the scripted steps) without the intersection moving.
+    for peak in PEAKS:
+        assert popular_series[peak] > 1.5 * popular_series[peak - 5]
+    # ...and at the first peak (before the shift) the intersection stays flat.
+    assert intersection[PEAKS[0]] <= 2
+    # The intersection grows dramatically after the shift.
+    assert max(intersection[SHIFT_START:SHIFT_START + 12]) >= 6
+    assert max(intersection[:SHIFT_START]) <= 2
+    # The tracked correlation rises accordingly and the pair ends up ranked #1.
+    before = [v for t, v in correlation if t < SHIFT_START * HOUR]
+    after = [v for t, v in correlation if t >= (SHIFT_START + 3) * HOUR]
+    assert max(after) > 3 * max(before)
+    pair = TagPair(POPULAR, RARE)
+    best_position = min(
+        (r.position_of(pair) for r in engine.ranking_history()
+         if r.position_of(pair) is not None),
+        default=None,
+    )
+    assert best_position == 0

@@ -1,0 +1,87 @@
+"""SC-1: Show case 1 — revisiting historic events on the NYT-style archive.
+
+The demo replays the annotated New York Times archive and shows how
+enBlogue ranks emergent topics within pre-selected categories (US
+elections, hurricanes, sport events) and for user-chosen time ranges.  The
+benchmark replays the synthetic archive, prints the detection table for the
+scripted historic events, the per-category rankings, and the effect of
+narrowing the time range.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import DAY, archive_config
+from repro.core.engine import EnBlogue
+from repro.core.types import TagPair
+from repro.datasets.nyt import nyt_vocabulary
+from repro.evaluation.ground_truth import GroundTruthMatcher
+from repro.evaluation.harness import run_detector
+from repro.evaluation.metrics import RankingComparison
+from repro.evaluation.reporting import format_table
+
+
+def replay_archive(corpus):
+    engine = EnBlogue(archive_config())
+    run = run_detector(engine, corpus, name="enblogue")
+    return engine, run
+
+
+def test_showcase1_historic_events(benchmark, nyt_archive):
+    corpus, schedule = nyt_archive
+    engine, run = benchmark.pedantic(replay_archive, args=(corpus,),
+                                     rounds=1, iterations=1)
+
+    matcher = GroundTruthMatcher(schedule, k=10)
+    outcomes = matcher.outcomes(run.rankings)
+
+    rows = []
+    for outcome in outcomes:
+        rows.append({
+            "event": outcome.event.name,
+            "category": outcome.event.category,
+            "pair": str(TagPair.from_tuple(outcome.event.pair)),
+            "onset (day)": round(outcome.event.start / DAY, 1),
+            "detected": "yes" if outcome.detected else "no",
+            "latency (days)": (round(outcome.latency / DAY, 1)
+                               if outcome.latency is not None else None),
+            "best rank": outcome.best_rank,
+        })
+    print()
+    print(format_table(rows, title="Show case 1 — scripted historic events"))
+    print(f"\nrecall@10 = {matcher.recall(run.rankings):.2f}, "
+          f"precision@10 during events = {matcher.precision(run.rankings):.2f}, "
+          f"documents = {run.documents}, throughput = {run.throughput:.0f} docs/s")
+
+    # Per-category view: the demo pre-selects categories like hurricanes.
+    vocabulary = nyt_vocabulary()
+    final = run.final_ranking()
+    category_rows = []
+    for category in ("us elections", "hurricanes", "sports"):
+        tags = set(vocabulary.tags(category))
+        matching = [t for t in final if set(t.pair.as_tuple()) & tags]
+        category_rows.append({
+            "category": category,
+            "topics in final top-10": len(matching),
+            "best": str(matching[0].pair) if matching else None,
+        })
+    print()
+    print(format_table(category_rows, title="Final ranking sliced by category"))
+
+    # Time-range view: users can specify their own time ranges.
+    start, end = corpus.time_range()
+    midpoint = (start + end) / 2
+    first_half = EnBlogue(archive_config(name="first-half"))
+    first_half.process_many(corpus.between(start, midpoint))
+    second_half = EnBlogue(archive_config(name="second-half"))
+    second_half.process_many(corpus.between(midpoint + 1, end))
+    comparison = RankingComparison.compare(
+        first_half.evaluate_now(), second_half.evaluate_now(), k=10)
+    print(f"\ntop-10 overlap between first and second archive half: "
+          f"{comparison.overlap:.2f}")
+
+    # -- shape assertions -------------------------------------------------------
+    assert matcher.recall(run.rankings) >= 0.6
+    assert any(outcome.detected and outcome.latency <= 7 * DAY for outcome in outcomes)
+    assert comparison.overlap < 1.0

@@ -1,0 +1,115 @@
+"""PERF-1: engine throughput, operator sharing and sketch-based counting.
+
+Section 4.1 claims a push-based architecture where "overlapping parts, like
+data sources, sketching operators, entity tagging, and statistics operators
+are shared for efficiency" across parallel query plans.  The benchmark
+measures
+
+* raw detection throughput (documents/second through the full pipeline),
+* the cost of running N parallel query plans with and without sharing the
+  expensive upstream operators (entity tagging + statistics), and
+* exact windowed counting versus the Count-Min sketch synopsis.
+
+Absolute numbers are not comparable to the paper's Java system; the claim
+being reproduced is the *relative* benefit of sharing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import HOUR, live_config
+from repro.core.engine import EnBlogue
+from repro.datasets.twitter import TweetStreamGenerator
+from repro.entity.tagger import EntityTaggingOperator
+from repro.evaluation.reporting import format_table
+from repro.sketches.countmin import WindowedCountMinSketch
+from repro.streams.operators import StatisticsOperator, TagNormalizerOperator
+from repro.streams.plan import PlanExecutor, QueryPlan
+from repro.streams.sources import DocumentStreamSource
+from repro.windows.aggregates import TagFrequencyWindow
+
+
+@pytest.fixture(scope="module")
+def small_tweets():
+    corpus, _ = TweetStreamGenerator(hours=24, tweets_per_hour=50, seed=43).generate()
+    return corpus
+
+
+def test_single_plan_throughput(benchmark, small_tweets):
+    """Documents/second through normalizer -> entity tagging -> enBlogue."""
+
+    def replay():
+        engine = EnBlogue(live_config(name="throughput"))
+        executor = PlanExecutor()
+        source = DocumentStreamSource(small_tweets, source_name="twitter")
+        executor.register(QueryPlan(
+            "single", source,
+            [TagNormalizerOperator(), EntityTaggingOperator()],
+            engine.as_sink()))
+        executor.run()
+        return engine
+
+    engine = benchmark(replay)
+    assert engine.documents_processed == len(small_tweets)
+
+
+@pytest.mark.parametrize("plans", [1, 2, 4])
+@pytest.mark.parametrize("shared", [True, False], ids=["shared", "unshared"])
+def test_parallel_plans_with_and_without_sharing(benchmark, small_tweets, plans, shared):
+    """N parameter settings over one stream: shared vs. private upstream operators."""
+
+    def replay():
+        executor = PlanExecutor()
+        source = DocumentStreamSource(small_tweets, source_name="twitter")
+        engines = []
+        if shared:
+            upstream = [
+                executor.shared_operator("normalize", TagNormalizerOperator),
+                executor.shared_operator("stats", StatisticsOperator),
+                executor.shared_operator("entities", EntityTaggingOperator),
+            ]
+        for index in range(plans):
+            engine = EnBlogue(live_config(
+                name=f"plan-{index}", top_k=10,
+                predictor="ewma" if index % 2 == 0 else "moving_average"))
+            engines.append(engine)
+            operators = upstream if shared else [
+                TagNormalizerOperator(), StatisticsOperator(), EntityTaggingOperator(),
+            ]
+            executor.register(QueryPlan(f"plan-{index}", source, operators,
+                                        engine.as_sink()))
+        executor.run()
+        return engines
+
+    engines = benchmark.pedantic(replay, rounds=2, iterations=1)
+    assert all(engine.documents_processed == len(small_tweets) for engine in engines)
+
+
+def test_exact_vs_sketch_counting(benchmark, small_tweets):
+    """Windowed tag counting: exact TagFrequencyWindow vs. Count-Min panes."""
+
+    def count_with_both():
+        exact = TagFrequencyWindow(24 * HOUR)
+        sketch = WindowedCountMinSketch(horizon=24 * HOUR, panes=8, width=512, depth=4)
+        for document in small_tweets:
+            exact.add_document(document.timestamp, document.tags)
+            for tag in document.tags:
+                sketch.add(document.timestamp, tag)
+        return exact, sketch
+
+    exact, sketch = benchmark.pedantic(count_with_both, rounds=1, iterations=1)
+
+    rows = []
+    overestimates = []
+    for tag, true_count in exact.top_tags(10):
+        estimate = sketch.estimate(tag)
+        overestimates.append(estimate - true_count)
+        rows.append({"tag": tag, "exact": true_count, "count-min": estimate,
+                     "overestimate": estimate - true_count})
+    print()
+    print(format_table(rows, title="PERF-1 — exact vs. Count-Min windowed counts "
+                                   "(top-10 tags, last 24h)"))
+    # The sketch never undercounts and stays close on the heavy hitters.
+    assert all(delta >= 0 for delta in overestimates)
+    assert max(overestimates) <= 0.2 * max(count for _, count in exact.top_tags(1))

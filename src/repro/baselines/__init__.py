@@ -1,0 +1,17 @@
+"""Baseline trend detectors that enBlogue is contrasted against.
+
+The related-work discussion singles out TwitterMonitor (Mathioudakis &
+Koudas, SIGMOD 2010), which "discovers topic trends in tweets by detecting
+bursts of tags or tag groups", and stresses that "unlike looking solely for
+bursty tags, we detect shifts in tag correlations as they dynamically
+arise".  The comparison benchmark needs working implementations of both the
+burst-based detector and a plain popularity ranking, so they live here.
+"""
+
+from repro.baselines.popularity import PopularityBaseline
+from repro.baselines.twitter_monitor import TwitterMonitorBaseline
+
+__all__ = [
+    "PopularityBaseline",
+    "TwitterMonitorBaseline",
+]

@@ -1,0 +1,89 @@
+"""Hot-tags baseline: rank pairs of currently popular tags.
+
+The weakest reasonable comparator: it has no notion of change at all and
+simply reports the most frequent co-occurring tag pairs of the current
+window.  The paper's point — "spotting such trends is very different from
+identifying popular topics" — shows up as this baseline ranking perennial
+category pairs instead of emergent ones.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Deque, Iterable, List, Optional, Tuple
+
+from repro.core.types import EmergentTopic, Ranking, TagPair
+
+
+class PopularityBaseline:
+    """Rank tag pairs by windowed co-occurrence count."""
+
+    def __init__(self, window_horizon: float, top_k: int = 10,
+                 evaluation_interval: Optional[float] = None):
+        if window_horizon <= 0:
+            raise ValueError("window_horizon must be positive")
+        if top_k <= 0:
+            raise ValueError("top_k must be positive")
+        self.window_horizon = float(window_horizon)
+        self.top_k = int(top_k)
+        self.evaluation_interval = float(evaluation_interval or window_horizon / 4)
+        self._events: Deque[Tuple[float, Tuple[TagPair, ...]]] = deque()
+        self._counts: Counter = Counter()
+        self._rankings: List[Ranking] = []
+        self._next_evaluation: Optional[float] = None
+
+    def process(self, document) -> Optional[Ranking]:
+        """Ingest one document; may emit a ranking on evaluation boundaries."""
+        timestamp = float(getattr(document, "timestamp"))
+        tags = sorted({str(t).lower() for t in getattr(document, "tags", ()) or ()})
+        if self._next_evaluation is None:
+            self._next_evaluation = timestamp + self.evaluation_interval
+        ranking: Optional[Ranking] = None
+        while timestamp >= self._next_evaluation:
+            ranking = self._evaluate(self._next_evaluation)
+            self._next_evaluation += self.evaluation_interval
+        pairs = tuple(
+            TagPair(tags[i], tags[j])
+            for i in range(len(tags))
+            for j in range(i + 1, len(tags))
+        )
+        self._events.append((timestamp, pairs))
+        for pair in pairs:
+            self._counts[pair] += 1
+        self._evict(timestamp)
+        return ranking
+
+    def process_many(self, documents: Iterable) -> List[Ranking]:
+        produced = []
+        for document in documents:
+            ranking = self.process(document)
+            if ranking is not None:
+                produced.append(ranking)
+        return produced
+
+    def current_ranking(self) -> Optional[Ranking]:
+        return self._rankings[-1] if self._rankings else None
+
+    def ranking_history(self) -> List[Ranking]:
+        return list(self._rankings)
+
+    def _evaluate(self, timestamp: float) -> Ranking:
+        ranked = sorted(
+            self._counts.items(), key=lambda item: (-item[1], item[0])
+        )[: self.top_k]
+        topics = [
+            EmergentTopic(pair=pair, score=float(count), timestamp=timestamp)
+            for pair, count in ranked
+        ]
+        ranking = Ranking(timestamp=timestamp, topics=topics, label="popularity")
+        self._rankings.append(ranking)
+        return ranking
+
+    def _evict(self, now: float) -> None:
+        cutoff = now - self.window_horizon
+        while self._events and self._events[0][0] <= cutoff:
+            _, pairs = self._events.popleft()
+            for pair in pairs:
+                self._counts[pair] -= 1
+                if self._counts[pair] <= 0:
+                    del self._counts[pair]

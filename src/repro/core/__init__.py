@@ -1,0 +1,68 @@
+"""EnBlogue's core: the three-stage emergent-topic detection pipeline.
+
+Stage (i) selects *seed tags* (popular or volatile tags) that trigger the
+rest of the computation; stage (ii) tracks the *correlations* of candidate
+tag pairs (pairs containing at least one seed); stage (iii) detects
+*shifts* — sudden, unpredictable increases in a pair's correlation — and
+ranks the pairs by a decayed maximum of their prediction errors.  The
+:class:`~repro.core.engine.EnBlogue` façade wires the stages together and
+is the main entry point of the library.
+"""
+
+from repro.core.types import EmergentTopic, Ranking, TagPair
+from repro.core.config import EnBlogueConfig
+from repro.core.correlation import (
+    CorrelationMeasure,
+    CosineCorrelation,
+    JaccardCorrelation,
+    KlDivergenceCorrelation,
+    OverlapCorrelation,
+    PmiCorrelation,
+    PairCounts,
+    available_measures,
+    make_measure,
+)
+from repro.core.seeds import (
+    HybridSeedSelector,
+    PopularitySeedSelector,
+    SeedSelector,
+    VolatilitySeedSelector,
+    make_seed_selector,
+)
+from repro.core.tracker import CorrelationTracker, PairObservation
+from repro.core.shift import ShiftDetector, ShiftScore
+from repro.core.ranking import RankingBuilder
+from repro.core.personalization import PersonalizationEngine, UserProfile
+from repro.core.explorer import ArchiveExplorer, RangeShift
+from repro.core.engine import EnBlogue
+
+__all__ = [
+    "TagPair",
+    "EmergentTopic",
+    "Ranking",
+    "EnBlogueConfig",
+    "CorrelationMeasure",
+    "JaccardCorrelation",
+    "OverlapCorrelation",
+    "CosineCorrelation",
+    "PmiCorrelation",
+    "KlDivergenceCorrelation",
+    "PairCounts",
+    "available_measures",
+    "make_measure",
+    "SeedSelector",
+    "PopularitySeedSelector",
+    "VolatilitySeedSelector",
+    "HybridSeedSelector",
+    "make_seed_selector",
+    "CorrelationTracker",
+    "PairObservation",
+    "ShiftDetector",
+    "ShiftScore",
+    "RankingBuilder",
+    "PersonalizationEngine",
+    "UserProfile",
+    "ArchiveExplorer",
+    "RangeShift",
+    "EnBlogue",
+]

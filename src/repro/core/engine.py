@@ -1,0 +1,199 @@
+"""The EnBlogue façade: stages (i)-(iii) wired into a streaming engine.
+
+``EnBlogue.process`` ingests one tagged document at a time (either a
+:class:`~repro.streams.item.StreamItem` or anything exposing ``timestamp``,
+``tags`` and optionally ``entities``/``text``).  Whenever stream time crosses
+an evaluation boundary the engine re-selects seed tags, samples the
+correlations of all candidate pairs, scores their shifts and publishes a new
+top-k ranking; registered ranking listeners (e.g. the portal's push
+dispatcher) and user profiles see the update immediately, without polling.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.core.config import EnBlogueConfig
+from repro.core.correlation import make_measure
+from repro.core.personalization import PersonalizationEngine, UserProfile
+from repro.core.ranking import RankingBuilder
+from repro.core.seeds import make_seed_selector
+from repro.core.shift import ShiftDetector, ShiftScore
+from repro.core.tracker import CorrelationTracker
+from repro.core.types import Ranking, TagPair
+from repro.entity.tagger import EntityTagger
+from repro.streams.item import StreamItem
+from repro.streams.operators import FunctionSink
+from repro.timeseries.predictors import make_predictor
+from repro.windows.decay import ExponentialDecay
+from repro.windows.timeseries import TimeSeries
+
+RankingListener = Callable[[Ranking], None]
+
+
+class EnBlogue:
+    """Emergent topic detection over a Web 2.0 document stream."""
+
+    def __init__(
+        self,
+        config: Optional[EnBlogueConfig] = None,
+        entity_tagger: Optional[EntityTagger] = None,
+    ):
+        self.config = config or EnBlogueConfig()
+        measure = make_measure(self.config.correlation_measure)
+        self.tracker = CorrelationTracker(
+            window_horizon=self.config.window_horizon,
+            measure=measure,
+            min_pair_support=self.config.min_pair_support,
+            history_length=self.config.history_length,
+            use_entities=self.config.use_entities,
+            track_usage=(self.config.correlation_measure == "kl"),
+        )
+        self.seed_selector = make_seed_selector(
+            self.config.seed_criterion,
+            num_seeds=self.config.num_seeds,
+            min_count=self.config.min_seed_count,
+        )
+        predictor_kwargs = {}
+        if self.config.predictor == "moving_average":
+            predictor_kwargs["window"] = self.config.predictor_window
+        self.detector = ShiftDetector(
+            predictor=make_predictor(self.config.predictor, **predictor_kwargs),
+            decay=ExponentialDecay(self.config.decay_half_life),
+            min_history=self.config.min_history,
+        )
+        self.ranking_builder = RankingBuilder(top_k=self.config.top_k)
+        self.personalization = PersonalizationEngine()
+        self.entity_tagger = entity_tagger
+
+        self._rankings: List[Ranking] = []
+        self._listeners: List[RankingListener] = []
+        self._current_seeds: List[str] = []
+        self._next_evaluation: Optional[float] = None
+        self._documents_processed = 0
+
+    # -- ingestion ------------------------------------------------------------
+
+    @property
+    def documents_processed(self) -> int:
+        return self._documents_processed
+
+    @property
+    def current_seeds(self) -> List[str]:
+        """Seed tags chosen at the most recent evaluation."""
+        return list(self._current_seeds)
+
+    def process(self, document) -> Optional[Ranking]:
+        """Ingest one document; returns a new ranking if one was produced.
+
+        ``document`` may be a :class:`StreamItem`, a dataset
+        :class:`~repro.datasets.documents.Document`, or any object with
+        ``timestamp`` and ``tags`` attributes (``entities`` and ``text`` are
+        optional).  When an entity tagger was supplied and the document has
+        text but no entities, entities are extracted on the fly.
+        """
+        timestamp = float(getattr(document, "timestamp"))
+        tags = [str(tag).lower() for tag in getattr(document, "tags", ()) or ()]
+        entities = list(getattr(document, "entities", ()) or ())
+        text = str(getattr(document, "text", "") or "")
+        if not entities and text and self.entity_tagger is not None:
+            entities = self.entity_tagger.tag(text)
+
+        if self._next_evaluation is None:
+            self._next_evaluation = timestamp + self.config.evaluation_interval
+
+        ranking: Optional[Ranking] = None
+        # Catch up on evaluation boundaries crossed by a jump in stream time
+        # (replayed archives can have quiet stretches spanning many periods).
+        while timestamp >= self._next_evaluation:
+            ranking = self._evaluate(self._next_evaluation)
+            self._next_evaluation += self.config.evaluation_interval
+
+        self.tracker.observe(timestamp, tags, entities)
+        self._documents_processed += 1
+        return ranking
+
+    def process_many(self, documents: Iterable) -> List[Ranking]:
+        """Ingest a whole corpus or stream; returns every ranking produced."""
+        produced: List[Ranking] = []
+        for document in documents:
+            ranking = self.process(document)
+            if ranking is not None:
+                produced.append(ranking)
+        return produced
+
+    def evaluate_now(self, timestamp: Optional[float] = None) -> Ranking:
+        """Force an evaluation at ``timestamp`` (default: latest stream time)."""
+        if timestamp is None:
+            timestamp = self.tracker.latest_timestamp
+        if timestamp is None:
+            raise ValueError("no documents processed yet")
+        return self._evaluate(timestamp)
+
+    # -- results -----------------------------------------------------------------
+
+    def current_ranking(self) -> Optional[Ranking]:
+        """The most recently published ranking (None before the first one)."""
+        if not self._rankings:
+            return None
+        return self._rankings[-1]
+
+    def ranking_history(self) -> List[Ranking]:
+        return list(self._rankings)
+
+    def ranking_for_user(self, user_id: str,
+                         top_k: Optional[int] = None) -> Optional[Ranking]:
+        """The current ranking personalized for ``user_id``."""
+        current = self.current_ranking()
+        if current is None:
+            return None
+        return self.personalization.personalize(current, user_id, top_k=top_k)
+
+    def correlation_history(self, tag_a: str, tag_b: str) -> TimeSeries:
+        """Correlation history of a pair (for plots such as Figure 1)."""
+        return self.tracker.history(TagPair(tag_a.lower(), tag_b.lower()))
+
+    def topic_score(self, tag_a: str, tag_b: str,
+                    timestamp: Optional[float] = None) -> float:
+        """Current decayed score of a pair."""
+        if timestamp is None:
+            timestamp = self.tracker.latest_timestamp or 0.0
+        return self.detector.score_at(TagPair(tag_a.lower(), tag_b.lower()), timestamp)
+
+    # -- integration ------------------------------------------------------------------
+
+    def register_user(self, profile: UserProfile) -> UserProfile:
+        """Register a personalization profile (show case 3)."""
+        return self.personalization.register(profile)
+
+    def add_ranking_listener(self, listener: RankingListener) -> None:
+        """Call ``listener`` with every new ranking (push-based updates)."""
+        self._listeners.append(listener)
+
+    def as_sink(self, name: Optional[str] = None) -> FunctionSink:
+        """A stream sink feeding this engine, for use in operator DAGs."""
+        return FunctionSink(self.process, name=name or f"enblogue[{self.config.name}]")
+
+    # -- internals -----------------------------------------------------------------------
+
+    def _evaluate(self, timestamp: float) -> Ranking:
+        window = self.tracker.tag_window
+        self._current_seeds = self.seed_selector.select(
+            window, history=self.tracker.count_history()
+        )
+        observations = self.tracker.evaluate(timestamp, self._current_seeds)
+        shift_scores: List[ShiftScore] = []
+        for observation in observations:
+            history = list(self.tracker.history(observation.pair).values)
+            # The tracker already appended the current value; the predictor
+            # must only see the values that precede it.
+            previous = history[:-1]
+            shift_scores.append(self.detector.update(observation, previous))
+        ranking = self.ranking_builder.build(
+            timestamp, shift_scores, detector=self.detector,
+            label=self.config.name,
+        )
+        self._rankings.append(ranking)
+        for listener in self._listeners:
+            listener(ranking)
+        return ranking

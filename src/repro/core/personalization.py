@@ -1,0 +1,159 @@
+"""Personalization: continuous keyword queries and topic-category profiles.
+
+"EnBlogue consists also of a personalization component that allows users to
+register continuous keyword queries or to choose pre-selected topic
+categories to influence the nature of the emergent topics presented."
+Show case 3 demonstrates that two users with different profiles see
+"completely different or just differently ordered emergent topics".
+
+A profile boosts topics whose tags match the user's keywords or belong to
+the user's chosen categories; with ``filter_only=True`` non-matching topics
+are removed entirely instead of merely demoted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.core.types import EmergentTopic, Ranking, TagPair
+
+
+@dataclass
+class UserProfile:
+    """One user's interests.
+
+    ``keywords`` are the terms of the user's continuous keyword queries
+    (matched as substrings against the tags of a topic); ``categories`` are
+    the names of pre-selected topic categories; ``category_tags`` maps each
+    category to the tags belonging to it (typically taken from the dataset's
+    :class:`~repro.datasets.vocabulary.TagVocabulary`).  ``boost`` scales
+    how strongly a match lifts a topic's score.
+    """
+
+    user_id: str
+    keywords: Tuple[str, ...] = ()
+    categories: Tuple[str, ...] = ()
+    category_tags: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    boost: float = 2.0
+    filter_only: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.user_id:
+            raise ValueError("user_id must be non-empty")
+        if self.boost < 1.0:
+            raise ValueError("boost must be at least 1.0")
+        self.keywords = tuple(keyword.lower() for keyword in self.keywords)
+        self.categories = tuple(self.categories)
+        self.category_tags = {
+            name: tuple(tag.lower() for tag in tags)
+            for name, tags in self.category_tags.items()
+        }
+
+    def update_keywords(self, keywords: Iterable[str]) -> None:
+        """Replace the continuous keyword queries ("users can change their
+        preferences at any time")."""
+        self.keywords = tuple(keyword.lower() for keyword in keywords)
+
+    def update_categories(self, categories: Iterable[str]) -> None:
+        self.categories = tuple(categories)
+
+    # -- matching ---------------------------------------------------------------
+
+    def interest_tags(self) -> Tuple[str, ...]:
+        """All tags implied by the selected categories."""
+        tags: List[str] = []
+        for category in self.categories:
+            tags.extend(self.category_tags.get(category, ()))
+        return tuple(dict.fromkeys(tags))
+
+    def matches_tag(self, tag: str) -> bool:
+        lowered = tag.lower()
+        if any(keyword in lowered for keyword in self.keywords):
+            return True
+        return lowered in self.interest_tags()
+
+    def match_strength(self, pair: TagPair) -> float:
+        """0.0 (no tag matches), 0.5 (one matches) or 1.0 (both match)."""
+        matches = sum(1 for tag in pair.as_tuple() if self.matches_tag(tag))
+        return matches / 2.0
+
+
+class PersonalizationEngine:
+    """Re-rank emergent-topic rankings according to registered profiles."""
+
+    def __init__(self) -> None:
+        self._profiles: Dict[str, UserProfile] = {}
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    def register(self, profile: UserProfile) -> UserProfile:
+        """Add or replace a user profile."""
+        self._profiles[profile.user_id] = profile
+        return profile
+
+    def unregister(self, user_id: str) -> None:
+        self._profiles.pop(user_id, None)
+
+    def profile(self, user_id: str) -> UserProfile:
+        try:
+            return self._profiles[user_id]
+        except KeyError:
+            raise KeyError(f"no profile registered for user {user_id!r}") from None
+
+    def users(self) -> List[str]:
+        return sorted(self._profiles)
+
+    # -- re-ranking -----------------------------------------------------------------
+
+    def personalize(self, ranking: Ranking, user_id: str,
+                    top_k: Optional[int] = None) -> Ranking:
+        """The ranking as seen by ``user_id``."""
+        profile = self.profile(user_id)
+        return personalize_ranking(ranking, profile, top_k=top_k)
+
+    def personalize_all(self, ranking: Ranking,
+                        top_k: Optional[int] = None) -> Dict[str, Ranking]:
+        """Personalized rankings for every registered user."""
+        return {
+            user_id: personalize_ranking(ranking, profile, top_k=top_k)
+            for user_id, profile in self._profiles.items()
+        }
+
+
+def personalize_ranking(
+    ranking: Ranking,
+    profile: UserProfile,
+    top_k: Optional[int] = None,
+) -> Ranking:
+    """Apply one profile to one ranking.
+
+    Matching topics are boosted by ``1 + (boost - 1) * match_strength``; with
+    ``filter_only`` non-matching topics are dropped.  The result keeps the
+    original timestamp and is labelled with the user id so side-by-side
+    comparisons (show case 3) stay readable.
+    """
+    personalized: List[EmergentTopic] = []
+    for topic in ranking:
+        strength = profile.match_strength(topic.pair)
+        if profile.filter_only and strength == 0.0:
+            continue
+        multiplier = 1.0 + (profile.boost - 1.0) * strength
+        personalized.append(EmergentTopic(
+            pair=topic.pair,
+            score=topic.score * multiplier,
+            correlation=topic.correlation,
+            predicted_correlation=topic.predicted_correlation,
+            prediction_error=topic.prediction_error,
+            seed_tag=topic.seed_tag,
+            timestamp=topic.timestamp,
+        ))
+    personalized.sort(key=lambda topic: (-topic.score, topic.pair))
+    if top_k is not None:
+        personalized = personalized[:top_k]
+    return Ranking(
+        timestamp=ranking.timestamp,
+        topics=personalized,
+        label=f"user:{profile.user_id}",
+    )

@@ -1,0 +1,70 @@
+"""Top-k emergent-topic rankings.
+
+"These values are used to rank tag pairs and to report the top-k most
+interesting ones, thus presenting the user with emergent topics."  The
+builder also folds in pairs that were scored at earlier evaluations but are
+not among the current observations: their decayed score can still beat a
+fresh but weak shift, which is exactly the role of the two-day half-life.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.shift import ShiftDetector, ShiftScore
+from repro.core.types import EmergentTopic, Ranking, TagPair
+
+
+class RankingBuilder:
+    """Assemble top-k rankings from shift scores and the detector state."""
+
+    def __init__(self, top_k: int = 10, min_score: float = 0.0):
+        if top_k <= 0:
+            raise ValueError("top_k must be positive")
+        if min_score < 0:
+            raise ValueError("min_score must be non-negative")
+        self.top_k = int(top_k)
+        self.min_score = float(min_score)
+
+    def build(
+        self,
+        timestamp: float,
+        shift_scores: Iterable[ShiftScore],
+        detector: Optional[ShiftDetector] = None,
+        label: str = "",
+    ) -> Ranking:
+        """Build the ranking for one evaluation.
+
+        ``shift_scores`` are the freshly scored observations; when
+        ``detector`` is given, pairs it has scored in the past but that are
+        absent from the current observations compete with their decayed
+        scores, so a strong recent topic does not vanish the moment its
+        correlation stops growing.
+        """
+        topics: Dict[TagPair, EmergentTopic] = {}
+        for shift in shift_scores:
+            if shift.score <= self.min_score:
+                continue
+            topics[shift.pair] = EmergentTopic(
+                pair=shift.pair,
+                score=shift.score,
+                correlation=shift.correlation,
+                predicted_correlation=shift.predicted,
+                prediction_error=shift.error,
+                seed_tag=shift.seed_tag,
+                timestamp=timestamp,
+            )
+        if detector is not None:
+            for pair in detector.scored_pairs():
+                if pair in topics:
+                    continue
+                score = detector.score_at(pair, timestamp)
+                if score <= self.min_score:
+                    continue
+                topics[pair] = EmergentTopic(
+                    pair=pair, score=score, timestamp=timestamp,
+                )
+        ranked = sorted(
+            topics.values(), key=lambda topic: (-topic.score, topic.pair)
+        )[: self.top_k]
+        return Ranking(timestamp=timestamp, topics=ranked, label=label)

@@ -1,0 +1,128 @@
+"""Stage (iii): shift detection and topic scoring.
+
+"We consider sudden (but significant) increases in the correlation of tag
+pairs as an indicator for an emergent topic. ...  at any point in time we
+use the previous correlation values and try to predict the current ones.
+If a predicted value is far away from the real one then the topic is
+considered to be emergent and the prediction error is used as a ranking
+criterion.  At any point in time the score of a topic is the maximum of the
+current prediction error and the prediction errors from the past, dampened
+appropriately using an exponential decline factor with a half life of
+approximately 2 days."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.tracker import PairObservation
+from repro.core.types import TagPair
+from repro.timeseries.predictors import MovingAveragePredictor, Predictor
+from repro.windows.decay import DecayedMaximum, ExponentialDecay
+
+
+@dataclass(frozen=True)
+class ShiftScore:
+    """The scored shift of one pair at one evaluation time."""
+
+    pair: TagPair
+    timestamp: float
+    correlation: float
+    predicted: float
+    error: float
+    score: float
+    seed_tag: str
+
+    def __post_init__(self) -> None:
+        if self.error < 0 or self.score < 0:
+            raise ValueError("errors and scores are non-negative")
+
+
+class ShiftDetector:
+    """Per-pair prediction errors folded into decayed-maximum scores."""
+
+    def __init__(
+        self,
+        predictor: Optional[Predictor] = None,
+        decay: Optional[ExponentialDecay] = None,
+        min_history: int = 3,
+        penalize_drops: bool = False,
+    ):
+        if min_history < 1:
+            raise ValueError("min_history must be at least 1")
+        self.predictor = predictor or MovingAveragePredictor()
+        self.decay = decay or ExponentialDecay()
+        self.min_history = int(min_history)
+        #: When True, drops in correlation also count as shifts; the paper
+        #: targets *increases*, so the default only scores positive errors.
+        self.penalize_drops = bool(penalize_drops)
+        self._scores: Dict[TagPair, DecayedMaximum] = {}
+
+    # -- scoring ------------------------------------------------------------
+
+    def prediction_error(self, history: Sequence[float], observed: float) -> float:
+        """Error between the predictor's forecast and the observation.
+
+        Histories shorter than ``min_history`` (or than the predictor's own
+        minimum) yield an error of zero: a pair that has just appeared is
+        not yet *unpredictable*, it is simply unknown.
+        """
+        usable = [float(v) for v in history]
+        if len(usable) < max(self.min_history, self.predictor.min_history):
+            return 0.0
+        predicted = self.predictor.predict(usable)
+        error = observed - predicted
+        if self.penalize_drops:
+            return abs(error)
+        return max(0.0, error)
+
+    def predict(self, history: Sequence[float]) -> float:
+        """The raw forecast for the next correlation value (0.0 if unknown)."""
+        usable = [float(v) for v in history]
+        if len(usable) < max(self.min_history, self.predictor.min_history):
+            return 0.0
+        return self.predictor.predict(usable)
+
+    def update(
+        self,
+        observation: PairObservation,
+        history: Sequence[float],
+    ) -> ShiftScore:
+        """Score one observation.
+
+        ``history`` must contain the *previous* correlation values of the
+        pair, i.e. it must not include ``observation.correlation`` itself.
+        """
+        predicted = self.predict(history)
+        error = self.prediction_error(history, observation.correlation)
+        tracker = self._scores.setdefault(
+            observation.pair, DecayedMaximum(self.decay)
+        )
+        score = tracker.update(observation.timestamp, error)
+        return ShiftScore(
+            pair=observation.pair,
+            timestamp=observation.timestamp,
+            correlation=observation.correlation,
+            predicted=predicted,
+            error=error,
+            score=score,
+            seed_tag=observation.seed_tag,
+        )
+
+    def score_at(self, pair: TagPair, timestamp: float) -> float:
+        """Current decayed score of ``pair`` (0.0 when never scored)."""
+        tracker = self._scores.get(pair)
+        if tracker is None:
+            return 0.0
+        return tracker.value_at(timestamp)
+
+    def scored_pairs(self) -> List[TagPair]:
+        return sorted(self._scores)
+
+    def reset(self, pair: Optional[TagPair] = None) -> None:
+        """Forget the score of one pair, or of every pair."""
+        if pair is None:
+            self._scores.clear()
+        else:
+            self._scores.pop(pair, None)

@@ -1,0 +1,267 @@
+"""Stage (ii): correlation tracking over candidate tag pairs.
+
+The tracker ingests the tagged document stream and maintains, within the
+configured sliding window,
+
+* per-tag document counts (feeding seed selection and the measures),
+* per-pair co-occurrence counts,
+* per-tag co-tag usage distributions (for the information-theoretic
+  measure), and
+* per-pair correlation histories sampled at every evaluation.
+
+Candidate topics are the pairs that co-occurred inside the window and
+contain at least one seed tag; only their correlations are computed, which
+is the pruning argument of stage (i).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.correlation import CorrelationMeasure, JaccardCorrelation, PairCounts
+from repro.core.types import TagPair
+from repro.windows.aggregates import TagFrequencyWindow
+from repro.windows.timeseries import TimeSeries
+
+
+@dataclass(frozen=True)
+class PairObservation:
+    """The correlation of one candidate pair at one evaluation time."""
+
+    pair: TagPair
+    timestamp: float
+    correlation: float
+    counts: PairCounts
+    seed_tag: str
+
+    def __post_init__(self) -> None:
+        if self.correlation < 0:
+            raise ValueError("correlations are non-negative")
+
+
+class CorrelationTracker:
+    """Windowed tag/pair statistics plus per-pair correlation histories."""
+
+    def __init__(
+        self,
+        window_horizon: float,
+        measure: Optional[CorrelationMeasure] = None,
+        min_pair_support: int = 2,
+        history_length: int = 24,
+        use_entities: bool = True,
+        track_usage: bool = False,
+    ):
+        if window_horizon <= 0:
+            raise ValueError("window_horizon must be positive")
+        if min_pair_support < 1:
+            raise ValueError("min_pair_support must be at least 1")
+        if history_length < 2:
+            raise ValueError("history_length must be at least 2")
+        self.window_horizon = float(window_horizon)
+        self.measure = measure or JaccardCorrelation()
+        self.min_pair_support = int(min_pair_support)
+        self.history_length = int(history_length)
+        self.use_entities = bool(use_entities)
+        self.track_usage = bool(track_usage)
+
+        self._tag_window = TagFrequencyWindow(window_horizon)
+        # Windowed pair co-occurrences: a deque of (timestamp, pairs-of-doc)
+        # plus a running counter, evicted in lockstep with the tag window.
+        self._pair_events: Deque[Tuple[float, Tuple[TagPair, ...]]] = deque()
+        self._pair_counts: Counter = Counter()
+        # Windowed co-tag usage per tag (only when the measure needs it).
+        self._usage_events: Deque[Tuple[float, Tuple[Tuple[str, Tuple[str, ...]], ...]]] = deque()
+        self._usage: Dict[str, Counter] = {}
+        # Correlation histories per pair, appended at each evaluation.
+        self._histories: Dict[TagPair, TimeSeries] = {}
+        # Windowed tag-count history per tag (for the volatility seed criterion).
+        self._count_history: Dict[str, List[int]] = {}
+        self._documents_seen = 0
+        self._latest: Optional[float] = None
+
+    # -- ingestion ------------------------------------------------------------
+
+    @property
+    def documents_seen(self) -> int:
+        return self._documents_seen
+
+    @property
+    def latest_timestamp(self) -> Optional[float]:
+        return self._latest
+
+    @property
+    def tag_window(self) -> TagFrequencyWindow:
+        return self._tag_window
+
+    def observe(self, timestamp: float, tags: Iterable[str],
+                entities: Iterable[str] = ()) -> None:
+        """Ingest one document's tag (and entity) set."""
+        if self._latest is not None and timestamp < self._latest:
+            raise ValueError(
+                f"out-of-order document: {timestamp} < {self._latest}"
+            )
+        effective: Set[str] = set(tags)
+        if self.use_entities:
+            effective |= {entity.lower() for entity in entities}
+        effective = {tag for tag in effective if tag}
+        self._tag_window.add_document(timestamp, effective)
+        ordered = sorted(effective)
+        pairs = tuple(
+            TagPair(ordered[i], ordered[j])
+            for i in range(len(ordered))
+            for j in range(i + 1, len(ordered))
+        )
+        self._pair_events.append((timestamp, pairs))
+        for pair in pairs:
+            self._pair_counts[pair] += 1
+        if self.track_usage:
+            usage_update = tuple(
+                (tag, tuple(t for t in ordered if t != tag)) for tag in ordered
+            )
+            self._usage_events.append((timestamp, usage_update))
+            for tag, cotags in usage_update:
+                counter = self._usage.setdefault(tag, Counter())
+                for cotag in cotags:
+                    counter[cotag] += 1
+        self._documents_seen += 1
+        self._latest = timestamp
+        self._evict(timestamp)
+
+    def advance_to(self, timestamp: float) -> None:
+        """Move stream time forward without ingesting a document."""
+        if self._latest is not None and timestamp < self._latest:
+            raise ValueError(
+                f"cannot advance backwards: {timestamp} < {self._latest}"
+            )
+        self._tag_window.advance_to(timestamp)
+        self._latest = timestamp
+        self._evict(timestamp)
+
+    # -- windowed statistics ---------------------------------------------------
+
+    def tag_count(self, tag: str) -> int:
+        return self._tag_window.count(tag)
+
+    def pair_count(self, pair: TagPair) -> int:
+        return self._pair_counts.get(pair, 0)
+
+    def document_count(self) -> int:
+        return self._tag_window.document_count
+
+    def candidate_pairs(self, seeds: Iterable[str]) -> List[Tuple[TagPair, str]]:
+        """Pairs with enough windowed support that contain at least one seed.
+
+        Returns ``(pair, seed_tag)`` tuples; when both tags are seeds the
+        lexicographically smaller one is reported as the trigger.
+        """
+        seed_set = set(seeds)
+        if not seed_set:
+            return []
+        candidates: List[Tuple[TagPair, str]] = []
+        for pair, count in self._pair_counts.items():
+            if count < self.min_pair_support:
+                continue
+            if pair.first in seed_set:
+                candidates.append((pair, pair.first))
+            elif pair.second in seed_set:
+                candidates.append((pair, pair.second))
+        candidates.sort(key=lambda item: item[0])
+        return candidates
+
+    def pair_counts_for(self, pair: TagPair) -> PairCounts:
+        """The windowed counts driving the correlation of ``pair``."""
+        return PairCounts(
+            count_a=self.tag_count(pair.first),
+            count_b=self.tag_count(pair.second),
+            count_both=self.pair_count(pair),
+            total_documents=self.document_count(),
+        )
+
+    def correlation(self, pair: TagPair) -> float:
+        """Current correlation of ``pair`` under the configured measure."""
+        counts = self.pair_counts_for(pair)
+        usage_a = self._usage.get(pair.first) if self.track_usage else None
+        usage_b = self._usage.get(pair.second) if self.track_usage else None
+        return max(0.0, self.measure.value(counts, usage_a, usage_b))
+
+    # -- evaluation ------------------------------------------------------------
+
+    def evaluate(self, timestamp: float, seeds: Iterable[str]) -> List[PairObservation]:
+        """Sample the correlations of all candidate pairs at ``timestamp``.
+
+        The observations are appended to the per-pair histories (bounded to
+        ``history_length`` points) and returned for the shift detector.
+        """
+        self.advance_to(timestamp)
+        self._record_count_history()
+        observations: List[PairObservation] = []
+        for pair, seed_tag in self.candidate_pairs(seeds):
+            counts = self.pair_counts_for(pair)
+            usage_a = self._usage.get(pair.first) if self.track_usage else None
+            usage_b = self._usage.get(pair.second) if self.track_usage else None
+            value = max(0.0, self.measure.value(counts, usage_a, usage_b))
+            history = self._histories.setdefault(pair, TimeSeries())
+            history.append(timestamp, value)
+            self._trim_history(pair)
+            observations.append(PairObservation(
+                pair=pair, timestamp=timestamp, correlation=value,
+                counts=counts, seed_tag=seed_tag,
+            ))
+        return observations
+
+    def history(self, pair: TagPair) -> TimeSeries:
+        """Correlation history of ``pair`` (empty series when never observed)."""
+        return self._histories.get(pair, TimeSeries())
+
+    def tracked_pairs(self) -> List[TagPair]:
+        return sorted(self._histories)
+
+    def count_history(self) -> Dict[str, List[int]]:
+        """Windowed count history per tag (for the volatility seed selector)."""
+        return {tag: list(values) for tag, values in self._count_history.items()}
+
+    # -- internals ----------------------------------------------------------------
+
+    def _record_count_history(self) -> None:
+        snapshot = self._tag_window.snapshot()
+        for tag, count in snapshot.items():
+            self._count_history.setdefault(tag, []).append(count)
+        # Tags absent from the window record an explicit zero so volatility
+        # reflects disappearance as well as growth.
+        for tag in list(self._count_history):
+            if tag not in snapshot:
+                self._count_history[tag].append(0)
+            if len(self._count_history[tag]) > self.history_length:
+                del self._count_history[tag][: -self.history_length]
+
+    def _trim_history(self, pair: TagPair) -> None:
+        history = self._histories[pair]
+        if len(history) <= self.history_length:
+            return
+        trimmed = TimeSeries()
+        for timestamp, value in list(history)[-self.history_length:]:
+            trimmed.append(timestamp, value)
+        self._histories[pair] = trimmed
+
+    def _evict(self, now: float) -> None:
+        cutoff = now - self.window_horizon
+        while self._pair_events and self._pair_events[0][0] <= cutoff:
+            _, pairs = self._pair_events.popleft()
+            for pair in pairs:
+                self._pair_counts[pair] -= 1
+                if self._pair_counts[pair] <= 0:
+                    del self._pair_counts[pair]
+        while self._usage_events and self._usage_events[0][0] <= cutoff:
+            _, usage_update = self._usage_events.popleft()
+            for tag, cotags in usage_update:
+                counter = self._usage.get(tag)
+                if counter is None:
+                    continue
+                for cotag in cotags:
+                    counter[cotag] -= 1
+                    if counter[cotag] <= 0:
+                        del counter[cotag]
+                if not counter:
+                    del self._usage[tag]

@@ -1,0 +1,148 @@
+"""Core value types: tag pairs, emergent topics and rankings."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class TagPair:
+    """An unordered pair of tags, the unit of an emergent topic.
+
+    Pairs are stored in lexicographic order so ``TagPair("b", "a")`` and
+    ``TagPair("a", "b")`` compare (and hash) equal.
+    """
+
+    first: str
+    second: str
+
+    def __post_init__(self) -> None:
+        if not self.first or not self.second:
+            raise ValueError("both tags of a pair must be non-empty")
+        if self.first == self.second:
+            raise ValueError("a pair needs two distinct tags")
+        if self.first > self.second:
+            smaller, larger = self.second, self.first
+            object.__setattr__(self, "first", smaller)
+            object.__setattr__(self, "second", larger)
+
+    @classmethod
+    def of(cls, tag_a: str, tag_b: str) -> "TagPair":
+        return cls(tag_a, tag_b)
+
+    @classmethod
+    def from_tuple(cls, pair: Tuple[str, str]) -> "TagPair":
+        return cls(pair[0], pair[1])
+
+    def as_tuple(self) -> Tuple[str, str]:
+        return (self.first, self.second)
+
+    def contains(self, tag: str) -> bool:
+        return tag in (self.first, self.second)
+
+    def other(self, tag: str) -> str:
+        """The partner of ``tag`` inside the pair."""
+        if tag == self.first:
+            return self.second
+        if tag == self.second:
+            return self.first
+        raise KeyError(f"{tag!r} is not part of this pair")
+
+    def __str__(self) -> str:
+        return f"({self.first}, {self.second})"
+
+
+@dataclass(frozen=True)
+class EmergentTopic:
+    """One entry of an emergent-topic ranking."""
+
+    pair: TagPair
+    score: float
+    correlation: float = 0.0
+    predicted_correlation: float = 0.0
+    prediction_error: float = 0.0
+    seed_tag: Optional[str] = None
+    timestamp: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.score < 0:
+            raise ValueError("topic scores are non-negative")
+
+    @property
+    def tags(self) -> Tuple[str, str]:
+        return self.pair.as_tuple()
+
+    def describe(self) -> str:
+        return (
+            f"{self.pair} score={self.score:.4f} "
+            f"corr={self.correlation:.4f} predicted={self.predicted_correlation:.4f}"
+        )
+
+
+@dataclass
+class Ranking:
+    """A top-k emergent-topic ranking produced at one point in time."""
+
+    timestamp: float
+    topics: List[EmergentTopic] = field(default_factory=list)
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        self.topics = sorted(
+            self.topics, key=lambda topic: (-topic.score, topic.pair)
+        )
+
+    def __len__(self) -> int:
+        return len(self.topics)
+
+    def __iter__(self) -> Iterator[EmergentTopic]:
+        return iter(self.topics)
+
+    def __getitem__(self, index: int) -> EmergentTopic:
+        return self.topics[index]
+
+    def top(self, k: int) -> List[EmergentTopic]:
+        if k <= 0:
+            return []
+        return self.topics[:k]
+
+    def pairs(self) -> List[TagPair]:
+        return [topic.pair for topic in self.topics]
+
+    def position_of(self, pair: TagPair) -> Optional[int]:
+        """Zero-based rank of ``pair`` or ``None`` when absent."""
+        for index, topic in enumerate(self.topics):
+            if topic.pair == pair:
+                return index
+        return None
+
+    def contains_pair(self, pair: TagPair) -> bool:
+        return self.position_of(pair) is not None
+
+    def scores(self) -> Dict[TagPair, float]:
+        return {topic.pair: topic.score for topic in self.topics}
+
+    def describe(self, k: Optional[int] = None) -> str:
+        """Multi-line, human-readable rendering (used by examples/benches)."""
+        selected = self.topics if k is None else self.top(k)
+        lines = [f"ranking at t={self.timestamp:.0f}" + (f" [{self.label}]" if self.label else "")]
+        for position, topic in enumerate(selected, start=1):
+            lines.append(f"  {position:2d}. {topic.describe()}")
+        if not selected:
+            lines.append("  (empty)")
+        return "\n".join(lines)
+
+
+def overlap_at_k(first: Ranking, second: Ranking, k: int) -> float:
+    """Fraction of shared pairs among the top-k of two rankings."""
+    if k <= 0:
+        return 0.0
+    top_first = {topic.pair for topic in first.top(k)}
+    top_second = {topic.pair for topic in second.top(k)}
+    if not top_first and not top_second:
+        return 1.0
+    denominator = max(len(top_first), len(top_second))
+    if denominator == 0:
+        return 1.0
+    return len(top_first & top_second) / denominator

@@ -1,0 +1,40 @@
+"""Dataset generators and replay wrappers.
+
+The demo uses three kinds of data the reproduction cannot ship: the New York
+Times annotated archive (1.8 million articles, 1987-2007), live Twitter, and
+a set of RSS feeds.  The generators in this package produce synthetic
+streams with the same shape — timestamped documents carrying tag sets
+(categories, descriptors, hashtags, feed categories) plus free text for the
+entity tagger — and, crucially, *scripted emergent events* with known onset
+times and tag pairs, which gives the benchmarks ground truth the original
+demo judged only by eye.
+"""
+
+from repro.datasets.documents import Document, Corpus
+from repro.datasets.vocabulary import TagVocabulary, ZipfSampler
+from repro.datasets.events import EmergentEvent, EventSchedule
+from repro.datasets.synthetic import (
+    SyntheticStreamGenerator,
+    correlation_shift_stream,
+    figure1_stream,
+)
+from repro.datasets.nyt import NytArchiveGenerator, default_historic_events
+from repro.datasets.twitter import TweetStreamGenerator, sigmod_athens_event
+from repro.datasets.rss import RssFeedGenerator
+
+__all__ = [
+    "Document",
+    "Corpus",
+    "TagVocabulary",
+    "ZipfSampler",
+    "EmergentEvent",
+    "EventSchedule",
+    "SyntheticStreamGenerator",
+    "figure1_stream",
+    "correlation_shift_stream",
+    "NytArchiveGenerator",
+    "default_historic_events",
+    "TweetStreamGenerator",
+    "sigmod_athens_event",
+    "RssFeedGenerator",
+]

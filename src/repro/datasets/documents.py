@@ -1,0 +1,85 @@
+"""Document and corpus containers shared by all dataset generators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Document:
+    """One synthetic document: the unit that flows into the stream engine."""
+
+    timestamp: float
+    doc_id: str
+    tags: FrozenSet[str] = frozenset()
+    text: str = ""
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.timestamp < 0:
+            raise ValueError("timestamp must be non-negative")
+        if not self.doc_id:
+            raise ValueError("doc_id must be non-empty")
+        object.__setattr__(self, "tags", frozenset(self.tags))
+
+    def has_tags(self, *tags: str) -> bool:
+        """True when the document carries every one of ``tags``."""
+        return all(tag in self.tags for tag in tags)
+
+
+class Corpus:
+    """A time-ordered collection of documents with simple query helpers."""
+
+    def __init__(self, documents: Optional[Iterable[Document]] = None):
+        self._documents: List[Document] = []
+        if documents is not None:
+            for document in documents:
+                self.add(document)
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __iter__(self) -> Iterator[Document]:
+        return iter(self._documents)
+
+    def __getitem__(self, index: int) -> Document:
+        return self._documents[index]
+
+    def add(self, document: Document) -> None:
+        if self._documents and document.timestamp < self._documents[-1].timestamp:
+            raise ValueError(
+                "documents must be added in non-decreasing timestamp order"
+            )
+        self._documents.append(document)
+
+    def extend(self, documents: Iterable[Document]) -> None:
+        for document in documents:
+            self.add(document)
+
+    def between(self, start: float, end: float) -> "Corpus":
+        """Documents with ``start <= timestamp <= end``."""
+        if end < start:
+            raise ValueError("end must not precede start")
+        return Corpus(
+            document for document in self._documents
+            if start <= document.timestamp <= end
+        )
+
+    def with_tag(self, tag: str) -> "Corpus":
+        return Corpus(d for d in self._documents if tag in d.tags)
+
+    def with_tags(self, *tags: str) -> "Corpus":
+        return Corpus(d for d in self._documents if d.has_tags(*tags))
+
+    def tags(self) -> List[str]:
+        """All distinct tags appearing in the corpus, sorted."""
+        distinct = set()
+        for document in self._documents:
+            distinct.update(document.tags)
+        return sorted(distinct)
+
+    def time_range(self) -> Tuple[float, float]:
+        if not self._documents:
+            raise ValueError("empty corpus has no time range")
+        return self._documents[0].timestamp, self._documents[-1].timestamp

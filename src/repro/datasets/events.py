@@ -1,0 +1,129 @@
+"""Scripted emergent events and their ground truth.
+
+An emergent topic, in enBlogue's sense, is a pair of tags whose
+co-occurrence suddenly grows.  The generators create such topics by
+injecting *events*: for the duration of an event, extra documents carrying
+the event's tag pair (and some descriptive text) are woven into the
+background stream.  Because the injection times and tag pairs are known,
+the evaluation harness can score detectors quantitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+
+def canonical_pair(tag_a: str, tag_b: str) -> Tuple[str, str]:
+    """Order-independent representation of a tag pair."""
+    if tag_a == tag_b:
+        raise ValueError("a topic pair needs two distinct tags")
+    return (tag_a, tag_b) if tag_a <= tag_b else (tag_b, tag_a)
+
+
+@dataclass(frozen=True)
+class EmergentEvent:
+    """One scripted correlation shift.
+
+    ``intensity`` is the number of extra co-tagged documents injected per
+    time step while the event is active; ``ramp`` lets the injection grow
+    linearly over the first ``ramp`` fraction of the event, which produces
+    the gradual-but-sudden shape of Figure 1 rather than a step function.
+    """
+
+    name: str
+    tags: Tuple[str, str]
+    start: float
+    duration: float
+    intensity: float = 4.0
+    ramp: float = 0.25
+    category: str = ""
+    description: str = ""
+    extra_tags: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("event name must be non-empty")
+        if len(self.tags) != 2 or self.tags[0] == self.tags[1]:
+            raise ValueError("an event needs exactly two distinct tags")
+        if self.start < 0:
+            raise ValueError("event start must be non-negative")
+        if self.duration <= 0:
+            raise ValueError("event duration must be positive")
+        if self.intensity <= 0:
+            raise ValueError("event intensity must be positive")
+        if not 0 <= self.ramp <= 1:
+            raise ValueError("ramp must lie in [0, 1]")
+        object.__setattr__(self, "tags", canonical_pair(*self.tags))
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    @property
+    def pair(self) -> Tuple[str, str]:
+        return self.tags
+
+    def active_at(self, timestamp: float) -> bool:
+        return self.start <= timestamp < self.end
+
+    def intensity_at(self, timestamp: float) -> float:
+        """Injection rate at ``timestamp`` (0 outside the event window)."""
+        if not self.active_at(timestamp):
+            return 0.0
+        if self.ramp == 0:
+            return self.intensity
+        ramp_end = self.start + self.ramp * self.duration
+        if timestamp >= ramp_end:
+            return self.intensity
+        progress = (timestamp - self.start) / (ramp_end - self.start)
+        return self.intensity * max(progress, 0.05)
+
+
+class EventSchedule:
+    """The ground truth: every event injected into a generated stream."""
+
+    def __init__(self, events: Optional[Iterable[EmergentEvent]] = None):
+        self._events: List[EmergentEvent] = []
+        if events:
+            for event in events:
+                self.add(event)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[EmergentEvent]:
+        return iter(self._events)
+
+    def add(self, event: EmergentEvent) -> None:
+        if any(existing.name == event.name for existing in self._events):
+            raise ValueError(f"duplicate event name {event.name!r}")
+        self._events.append(event)
+
+    def events(self) -> List[EmergentEvent]:
+        return list(self._events)
+
+    def active_at(self, timestamp: float) -> List[EmergentEvent]:
+        return [event for event in self._events if event.active_at(timestamp)]
+
+    def by_category(self, category: str) -> List[EmergentEvent]:
+        return [event for event in self._events if event.category == category]
+
+    def pairs(self) -> List[Tuple[str, str]]:
+        """The ground-truth emergent tag pairs, in event order."""
+        return [event.pair for event in self._events]
+
+    def pair_onsets(self) -> Dict[Tuple[str, str], float]:
+        """Earliest onset time per ground-truth pair."""
+        onsets: Dict[Tuple[str, str], float] = {}
+        for event in self._events:
+            onsets[event.pair] = min(onsets.get(event.pair, event.start), event.start)
+        return onsets
+
+    def time_range(self) -> Tuple[float, float]:
+        if not self._events:
+            raise ValueError("empty schedule has no time range")
+        return (
+            min(event.start for event in self._events),
+            max(event.end for event in self._events),
+        )

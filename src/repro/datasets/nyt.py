@@ -1,0 +1,180 @@
+"""A synthetic New York Times-style archive for show case 1.
+
+The real archive (1.8 million full-text articles, 1987-2007, each manually
+assigned to categories and annotated with descriptors) is proprietary.  The
+generator below reproduces its *shape*: articles carry one or two broad
+editorial categories plus a handful of descriptors, both used as tags, and a
+schedule of scripted historic events (elections, hurricanes, sport events —
+the categories the paper names for show case 1) creates genuine correlation
+shifts at known archive dates.
+
+Timestamps are seconds from the archive start; one "archive day" is 86400
+seconds, so benchmarks can speak in days the way the demo does.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.datasets.documents import Corpus
+from repro.datasets.events import EmergentEvent, EventSchedule
+from repro.datasets.synthetic import SyntheticStreamGenerator
+from repro.datasets.vocabulary import TagVocabulary
+
+#: Seconds per archive day.
+DAY = 86400.0
+
+
+def nyt_vocabulary() -> TagVocabulary:
+    """Categories and descriptors modelled on NYT back-office annotations."""
+    return TagVocabulary({
+        "us elections": [
+            "politics", "elections", "presidential campaign", "primaries",
+            "voting", "debates", "swing states", "congress", "white house",
+        ],
+        "hurricanes": [
+            "weather", "hurricane", "storm damage", "evacuation",
+            "flooding", "disaster relief", "gulf coast", "new orleans",
+            "louisiana", "florida",
+        ],
+        "sports": [
+            "sports", "baseball", "world series", "tennis", "olympics",
+            "super bowl", "championship", "athletes",
+        ],
+        "business": [
+            "business", "economy", "stocks", "banking", "wall street",
+            "recession", "federal reserve", "bailout", "housing market",
+        ],
+        "world news": [
+            "world", "europe", "travel", "air traffic", "volcano",
+            "iceland", "greece", "united nations",
+        ],
+        "science": [
+            "science", "research", "space", "health", "medicine",
+            "technology", "internet",
+        ],
+    })
+
+
+def default_historic_events(years: float = 2.0) -> EventSchedule:
+    """Scripted historic events spread over ``years`` archive years.
+
+    The three demo categories are all represented: a US election cycle, two
+    hurricanes making landfall, and championship sport events; a financial
+    crisis and a volcano/air-traffic disruption (the paper's running example)
+    round out the schedule.  Event times scale with the archive length so a
+    compressed archive keeps the same relative layout.
+    """
+    if years <= 0:
+        raise ValueError("years must be positive")
+    span = years * 365.0 * DAY
+
+    def at(fraction: float) -> float:
+        return fraction * span
+
+    return EventSchedule([
+        EmergentEvent(
+            name="primary-upset",
+            tags=("primaries", "swing states"),
+            start=at(0.10), duration=20 * DAY, intensity=5.0,
+            category="us elections",
+            description="an unexpected primary result reshapes the campaign",
+        ),
+        EmergentEvent(
+            name="election-night",
+            tags=("elections", "white house"),
+            start=at(0.45), duration=12 * DAY, intensity=7.0,
+            category="us elections",
+            description="election night and the transition to the white house",
+        ),
+        EmergentEvent(
+            name="hurricane-landfall",
+            tags=("hurricane", "new orleans"),
+            start=at(0.30), duration=15 * DAY, intensity=8.0,
+            category="hurricanes",
+            description="Hurricane Katrina makes landfall near New Orleans",
+            extra_tags=("evacuation",),
+        ),
+        EmergentEvent(
+            name="second-storm",
+            tags=("hurricane", "florida"),
+            start=at(0.62), duration=10 * DAY, intensity=5.0,
+            category="hurricanes",
+            description="a second hurricane threatens Florida",
+        ),
+        EmergentEvent(
+            name="world-series-upset",
+            tags=("baseball", "world series"),
+            start=at(0.55), duration=8 * DAY, intensity=6.0,
+            category="sports",
+            description="an underdog reaches the World Series",
+        ),
+        EmergentEvent(
+            name="olympic-record",
+            tags=("olympics", "athletes"),
+            start=at(0.75), duration=10 * DAY, intensity=6.0,
+            category="sports",
+            description="Olympic records fall, Michael Phelps dominates",
+        ),
+        EmergentEvent(
+            name="bank-collapse",
+            tags=("banking", "bailout"),
+            start=at(0.85), duration=14 * DAY, intensity=7.0,
+            category="business",
+            description="Lehman Brothers collapses and a bailout is debated",
+            extra_tags=("wall street",),
+        ),
+        EmergentEvent(
+            name="volcano-air-traffic",
+            tags=("volcano", "air traffic"),
+            start=at(0.92), duration=9 * DAY, intensity=7.0,
+            category="world news",
+            description=(
+                "the eruption of Eyjafjallajokull in Iceland disrupts "
+                "European air traffic"
+            ),
+            extra_tags=("iceland",),
+        ),
+    ])
+
+
+class NytArchiveGenerator:
+    """Generate a compressed NYT-style archive with scripted events."""
+
+    def __init__(
+        self,
+        years: float = 2.0,
+        articles_per_day: int = 24,
+        schedule: Optional[EventSchedule] = None,
+        seed: int = 19,
+    ):
+        if years <= 0:
+            raise ValueError("years must be positive")
+        if articles_per_day <= 0:
+            raise ValueError("articles_per_day must be positive")
+        self.years = float(years)
+        self.articles_per_day = int(articles_per_day)
+        self.schedule = schedule or default_historic_events(years)
+        self.seed = int(seed)
+
+    @property
+    def num_days(self) -> int:
+        return int(self.years * 365)
+
+    def generate(self) -> Tuple[Corpus, EventSchedule]:
+        """Build the archive corpus and return it with its ground truth."""
+        generator = SyntheticStreamGenerator(
+            vocabulary=nyt_vocabulary(),
+            schedule=self.schedule,
+            docs_per_step=self.articles_per_day,
+            tags_per_doc=(2, 5),
+            step=DAY,
+            start_time=0.0,
+            seed=self.seed,
+            doc_prefix="nyt",
+        )
+        corpus = generator.generate(self.num_days)
+        return corpus, self.schedule
+
+    def categories(self) -> List[str]:
+        return nyt_vocabulary().categories()

@@ -1,0 +1,83 @@
+"""Synthetic RSS/blog feeds for show case 2.
+
+The demo consumes "several RSS feeds from blogs and online newspapers"
+alongside Twitter.  Each synthetic feed has its own thematic slant (its own
+tag vocabulary weighting) and a lower posting rate than the tweet stream;
+the feeds are meant to be merged with the tweet stream through
+:class:`repro.streams.MergedSource`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.datasets.documents import Corpus
+from repro.datasets.events import EventSchedule
+from repro.datasets.synthetic import SyntheticStreamGenerator
+from repro.datasets.vocabulary import TagVocabulary, news_vocabulary
+
+#: Seconds per hour.
+HOUR = 3600.0
+
+#: Default feed line-up: name -> the vocabulary categories it emphasises.
+DEFAULT_FEEDS: Dict[str, Tuple[str, ...]] = {
+    "world-news-blog": ("world", "politics"),
+    "tech-review": ("technology", "business"),
+    "sports-desk": ("sports",),
+}
+
+
+class RssFeedGenerator:
+    """Generate one or more thematically slanted feeds."""
+
+    def __init__(
+        self,
+        hours: int = 72,
+        posts_per_hour: int = 6,
+        feeds: Optional[Dict[str, Tuple[str, ...]]] = None,
+        schedule: Optional[EventSchedule] = None,
+        seed: int = 31,
+    ):
+        if hours <= 0:
+            raise ValueError("hours must be positive")
+        if posts_per_hour <= 0:
+            raise ValueError("posts_per_hour must be positive")
+        self.hours = int(hours)
+        self.posts_per_hour = int(posts_per_hour)
+        self.feeds = dict(DEFAULT_FEEDS) if feeds is None else dict(feeds)
+        if not self.feeds:
+            raise ValueError("at least one feed is required")
+        self.schedule = schedule or EventSchedule()
+        self.seed = int(seed)
+
+    def _feed_vocabulary(self, categories: Tuple[str, ...]) -> TagVocabulary:
+        base = news_vocabulary()
+        vocabulary = TagVocabulary()
+        selected = categories or tuple(base.categories())
+        for category in selected:
+            vocabulary.add_category(category, base.tags(category))
+        return vocabulary
+
+    def generate_feed(self, feed_name: str) -> Corpus:
+        """Generate one feed's corpus."""
+        if feed_name not in self.feeds:
+            raise KeyError(f"unknown feed {feed_name!r}")
+        categories = self.feeds[feed_name]
+        generator = SyntheticStreamGenerator(
+            vocabulary=self._feed_vocabulary(categories),
+            schedule=self.schedule,
+            docs_per_step=self.posts_per_hour,
+            tags_per_doc=(2, 4),
+            step=HOUR,
+            start_time=0.0,
+            seed=self.seed + sum(ord(c) for c in feed_name),
+            doc_prefix=f"rss-{feed_name}",
+        )
+        return generator.generate(self.hours)
+
+    def generate_all(self) -> Dict[str, Corpus]:
+        """Generate every configured feed."""
+        return {name: self.generate_feed(name) for name in self.feeds}
+
+    def feed_names(self) -> List[str]:
+        return list(self.feeds)

@@ -1,0 +1,112 @@
+"""A synthetic Twitter-style stream for show case 2.
+
+The live Twitter wrapper of the demo is replaced by a generator producing
+short, hashtag-annotated posts at a much higher rate than the news archive,
+plus the machinery for the audience experiment of show case 2: an injected
+"SIGMOD + Athens" topic that should climb into the emergent-topic ranking
+while the demo runs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.datasets.documents import Corpus
+from repro.datasets.events import EmergentEvent, EventSchedule
+from repro.datasets.synthetic import SyntheticStreamGenerator
+from repro.datasets.vocabulary import TagVocabulary
+
+#: Seconds per hour, the natural step for a tweet stream.
+HOUR = 3600.0
+
+
+def twitter_vocabulary() -> TagVocabulary:
+    """Hashtag-style vocabulary for the synthetic tweet stream."""
+    return TagVocabulary({
+        "general": [
+            "news", "breaking", "video", "photo", "live", "today",
+            "follow", "trending",
+        ],
+        "tech": [
+            "tech", "startups", "databases", "research", "conference",
+            "sigmod", "datascience",
+        ],
+        "places": [
+            "athens", "greece", "newyork", "london", "iceland",
+            "europe", "travel",
+        ],
+        "sports": [
+            "sports", "football", "tennis", "olympics", "worldcup",
+        ],
+        "politics": [
+            "politics", "election", "debate", "vote",
+        ],
+    })
+
+
+def sigmod_athens_event(start_hour: float = 36.0, duration_hours: float = 12.0,
+                        intensity: float = 8.0) -> EmergentEvent:
+    """The audience-injected topic of show case 2.
+
+    "With the proper system configuration and the help of the present
+    twitter users we may be able to see a topic regarding SIGMOD and Athens
+    in a highly ranked position in the list of the emergent topics."
+    """
+    return EmergentEvent(
+        name="sigmod-athens",
+        tags=("sigmod", "athens"),
+        start=start_hour * HOUR,
+        duration=duration_hours * HOUR,
+        intensity=intensity,
+        category="tech",
+        description="SIGMOD attendees tweet about the conference in Athens",
+        extra_tags=("conference",),
+    )
+
+
+class TweetStreamGenerator:
+    """Generate a hashtag stream over a few days of simulated time."""
+
+    def __init__(
+        self,
+        hours: int = 72,
+        tweets_per_hour: int = 60,
+        schedule: Optional[EventSchedule] = None,
+        include_sigmod_event: bool = True,
+        seed: int = 23,
+    ):
+        if hours <= 0:
+            raise ValueError("hours must be positive")
+        if tweets_per_hour <= 0:
+            raise ValueError("tweets_per_hour must be positive")
+        self.hours = int(hours)
+        self.tweets_per_hour = int(tweets_per_hour)
+        if schedule is None:
+            events = []
+            if include_sigmod_event:
+                events.append(sigmod_athens_event())
+            events.append(EmergentEvent(
+                name="volcano-travel-chaos",
+                tags=("iceland", "travel"),
+                start=12 * HOUR, duration=18 * HOUR, intensity=6.0,
+                category="places",
+                description="ash cloud over Europe strands travellers",
+                extra_tags=("europe",),
+            ))
+            schedule = EventSchedule(events)
+        self.schedule = schedule
+        self.seed = int(seed)
+
+    def generate(self) -> Tuple[Corpus, EventSchedule]:
+        generator = SyntheticStreamGenerator(
+            vocabulary=twitter_vocabulary(),
+            schedule=self.schedule,
+            docs_per_step=self.tweets_per_hour,
+            tags_per_doc=(1, 3),
+            step=HOUR,
+            start_time=0.0,
+            seed=self.seed,
+            doc_prefix="tweet",
+        )
+        corpus = generator.generate(self.hours)
+        return corpus, self.schedule

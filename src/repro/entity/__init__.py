@@ -1,0 +1,28 @@
+"""Entity tagging substrate.
+
+The paper enriches incoming documents with named entities: the text is
+scanned with a sliding window of up to four successive terms, each window
+substring is checked against Wikipedia article titles (following redirects
+to canonical names), and an optional second filter restricts matches to
+particular entity types via an ontology lookup (YAGO).
+
+The real Wikipedia/YAGO dumps are replaced by an in-memory knowledge base
+with the same interface (titles, redirect aliases, typed entities); the
+tagger itself is a faithful implementation of the ≤4-term sliding-window
+matching described in Section 3.
+"""
+
+from repro.entity.tokenizer import tokenize, ngrams
+from repro.entity.knowledge_base import KnowledgeBase, KnowledgeBaseEntry
+from repro.entity.ontology import Ontology
+from repro.entity.tagger import EntityTagger, EntityTaggingOperator
+
+__all__ = [
+    "tokenize",
+    "ngrams",
+    "KnowledgeBase",
+    "KnowledgeBaseEntry",
+    "Ontology",
+    "EntityTagger",
+    "EntityTaggingOperator",
+]

@@ -1,0 +1,150 @@
+"""An in-memory Wikipedia-style knowledge base: titles, redirects, types.
+
+The paper looks up candidate phrases against "the title of a Wikipedia
+article", using "Wikipedia redirects ... to map different namings of a
+single entity to one unique name".  This module provides the same lookup
+surface over a compact in-memory store, plus a default knowledge base with
+the people, places and organisations used by the synthetic datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+def normalize_title(title: str) -> str:
+    """Canonical lookup form of a title: lower-case, single spaces."""
+    return " ".join(title.strip().lower().split())
+
+
+@dataclass(frozen=True)
+class KnowledgeBaseEntry:
+    """One canonical entity: its title, aliases (redirects) and types."""
+
+    title: str
+    aliases: Tuple[str, ...] = ()
+    types: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.title.strip():
+            raise ValueError("entity title must be non-empty")
+
+
+class KnowledgeBase:
+    """Title and redirect index over a set of entities."""
+
+    def __init__(self, entries: Optional[Iterable[KnowledgeBaseEntry]] = None):
+        self._entries: Dict[str, KnowledgeBaseEntry] = {}
+        self._redirects: Dict[str, str] = {}
+        if entries:
+            for entry in entries:
+                self.add(entry)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, phrase: str) -> bool:
+        return self.resolve(phrase) is not None
+
+    def add(self, entry: KnowledgeBaseEntry) -> None:
+        """Register an entity; aliases become redirects to the canonical title."""
+        key = normalize_title(entry.title)
+        if key in self._redirects:
+            raise ValueError(
+                f"title {entry.title!r} already registered as a redirect"
+            )
+        self._entries[key] = entry
+        for alias in entry.aliases:
+            alias_key = normalize_title(alias)
+            if alias_key == key:
+                continue
+            if alias_key in self._entries:
+                raise ValueError(
+                    f"alias {alias!r} collides with an existing canonical title"
+                )
+            self._redirects[alias_key] = key
+
+    def add_entity(
+        self,
+        title: str,
+        aliases: Iterable[str] = (),
+        types: Iterable[str] = (),
+    ) -> KnowledgeBaseEntry:
+        """Convenience wrapper building and adding an entry."""
+        entry = KnowledgeBaseEntry(
+            title=title, aliases=tuple(aliases), types=tuple(types)
+        )
+        self.add(entry)
+        return entry
+
+    def resolve(self, phrase: str) -> Optional[KnowledgeBaseEntry]:
+        """Resolve a phrase to its canonical entity, following redirects."""
+        key = normalize_title(phrase)
+        if key in self._entries:
+            return self._entries[key]
+        if key in self._redirects:
+            return self._entries[self._redirects[key]]
+        return None
+
+    def canonical_title(self, phrase: str) -> Optional[str]:
+        """Canonical title for ``phrase`` or ``None`` when unknown."""
+        entry = self.resolve(phrase)
+        return entry.title if entry else None
+
+    def titles(self) -> List[str]:
+        return [entry.title for entry in self._entries.values()]
+
+    def phrases(self) -> List[str]:
+        """Every lookup phrase (titles and aliases) in normalised form."""
+        return list(self._entries) + list(self._redirects)
+
+    def entries(self) -> List[KnowledgeBaseEntry]:
+        return list(self._entries.values())
+
+
+def default_knowledge_base() -> KnowledgeBase:
+    """Knowledge base covering the entities in the synthetic datasets.
+
+    Mirrors the kind of coverage the Wikipedia title index provides for the
+    demo scenarios: politicians, places, organisations and events used by
+    the NYT-style, Twitter-style and RSS-style generators.
+    """
+    kb = KnowledgeBase()
+    people = [
+        ("Barack Obama", ("obama",), ("person", "politician")),
+        ("John McCain", ("mccain",), ("person", "politician")),
+        ("Hillary Clinton", ("clinton",), ("person", "politician")),
+        ("George W. Bush", ("george bush", "bush"), ("person", "politician")),
+        ("Roger Federer", ("federer",), ("person", "athlete")),
+        ("Serena Williams", (), ("person", "athlete")),
+        ("Michael Phelps", ("phelps",), ("person", "athlete")),
+    ]
+    places = [
+        ("New Orleans", (), ("place", "city")),
+        ("Iceland", (), ("place", "country")),
+        ("Athens", (), ("place", "city")),
+        ("Greece", (), ("place", "country")),
+        ("Florida", (), ("place", "state")),
+        ("Louisiana", (), ("place", "state")),
+        ("Wall Street", (), ("place", "financial district")),
+        ("Eyjafjallajokull", ("eyjafjallajoekull", "iceland volcano"), ("place", "volcano")),
+    ]
+    organisations = [
+        ("Lehman Brothers", ("lehman",), ("organization", "bank")),
+        ("Federal Reserve", ("the fed",), ("organization", "central bank")),
+        ("SIGMOD", ("acm sigmod",), ("organization", "conference")),
+        ("Red Cross", (), ("organization", "ngo")),
+        ("FEMA", (), ("organization", "agency")),
+        ("United Nations", ("un",), ("organization", "igo")),
+    ]
+    events = [
+        ("Hurricane Katrina", ("katrina",), ("event", "hurricane")),
+        ("Hurricane Rita", ("rita",), ("event", "hurricane")),
+        ("Olympic Games", ("olympics",), ("event", "sport event")),
+        ("World Series", (), ("event", "sport event")),
+        ("Super Bowl", (), ("event", "sport event")),
+    ]
+    for title, aliases, types in people + places + organisations + events:
+        kb.add_entity(title, aliases=aliases, types=types)
+    return kb

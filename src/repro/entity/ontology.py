@@ -1,0 +1,116 @@
+"""A YAGO-style type ontology used as a second entity filter.
+
+The paper's second filter "consist[s] of lookups in an ontology (e.g.,
+YAGO), which allows us to focus on particular entity types".  Our ontology
+is a directed acyclic graph of type subsumption (``politician`` is-a
+``person``) plus a mapping from entities to their direct types; the filter
+accepts an entity when any of its types is subsumed by one of the requested
+types.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+
+class Ontology:
+    """Type hierarchy with entity-to-type assignments."""
+
+    def __init__(self) -> None:
+        self._parents: Dict[str, Set[str]] = {}
+        self._entity_types: Dict[str, Set[str]] = {}
+
+    # -- schema -----------------------------------------------------------
+
+    def add_type(self, type_name: str, parent: Optional[str] = None) -> None:
+        """Register a type, optionally as a subtype of ``parent``."""
+        if not type_name:
+            raise ValueError("type name must be non-empty")
+        self._parents.setdefault(type_name, set())
+        if parent is not None:
+            self._parents.setdefault(parent, set())
+            if self._is_ancestor(type_name, parent):
+                raise ValueError(
+                    f"adding {type_name} -> {parent} would create a cycle"
+                )
+            self._parents[type_name].add(parent)
+
+    def has_type(self, type_name: str) -> bool:
+        return type_name in self._parents
+
+    def supertypes(self, type_name: str) -> Set[str]:
+        """All ancestors of ``type_name`` (excluding itself)."""
+        result: Set[str] = set()
+        stack = list(self._parents.get(type_name, ()))
+        while stack:
+            parent = stack.pop()
+            if parent in result:
+                continue
+            result.add(parent)
+            stack.extend(self._parents.get(parent, ()))
+        return result
+
+    def is_subtype(self, type_name: str, ancestor: str) -> bool:
+        """True when ``type_name`` equals or is subsumed by ``ancestor``."""
+        return type_name == ancestor or ancestor in self.supertypes(type_name)
+
+    # -- instances ----------------------------------------------------------
+
+    def assign(self, entity: str, types: Iterable[str]) -> None:
+        """Attach direct types to an entity, creating unknown types on the fly."""
+        entity_types = self._entity_types.setdefault(entity, set())
+        for type_name in types:
+            self.add_type(type_name)
+            entity_types.add(type_name)
+
+    def types_of(self, entity: str) -> Set[str]:
+        """Direct and inherited types of ``entity``."""
+        direct = self._entity_types.get(entity, set())
+        result = set(direct)
+        for type_name in direct:
+            result |= self.supertypes(type_name)
+        return result
+
+    def entities_of_type(self, type_name: str) -> List[str]:
+        """Entities whose type set is subsumed by ``type_name``."""
+        return [
+            entity
+            for entity in self._entity_types
+            if any(self.is_subtype(t, type_name) for t in self._entity_types[entity])
+        ]
+
+    def matches(self, entity: str, allowed_types: Iterable[str]) -> bool:
+        """True when ``entity`` has a type subsumed by any allowed type."""
+        allowed = list(allowed_types)
+        if not allowed:
+            return True
+        direct = self._entity_types.get(entity)
+        if not direct:
+            return False
+        return any(
+            self.is_subtype(entity_type, allowed_type)
+            for entity_type in direct
+            for allowed_type in allowed
+        )
+
+    def _is_ancestor(self, candidate_ancestor: str, type_name: str) -> bool:
+        return candidate_ancestor == type_name or candidate_ancestor in self.supertypes(
+            type_name
+        )
+
+
+def ontology_from_knowledge_base(knowledge_base) -> Ontology:
+    """Build an ontology from the type annotations of a knowledge base.
+
+    The second entry of each knowledge-base type tuple is treated as a
+    subtype of the first (e.g. ``("person", "politician")`` registers
+    ``politician`` is-a ``person``), mirroring YAGO's subclass structure.
+    """
+    ontology = Ontology()
+    for entry in knowledge_base.entries():
+        types = list(entry.types)
+        for parent, child in zip(types, types[1:]):
+            ontology.add_type(parent)
+            ontology.add_type(child, parent=parent)
+        ontology.assign(entry.title, types)
+    return ontology

@@ -1,0 +1,44 @@
+"""Tokenisation helpers for the entity tagger and keyword matching."""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, List, Sequence, Tuple
+
+_TOKEN_PATTERN = re.compile(r"[A-Za-z0-9][A-Za-z0-9'\-]*")
+
+#: Common function words skipped when matching single-term entities.
+STOPWORDS = frozenset(
+    """a an and are as at be but by for from has have in is it its of on or
+    that the this to was were will with over after before during under about
+    into not no new says said""".split()
+)
+
+
+def tokenize(text: str, lowercase: bool = True) -> List[str]:
+    """Split ``text`` into word tokens, optionally lower-casing them."""
+    tokens = _TOKEN_PATTERN.findall(text)
+    if lowercase:
+        tokens = [token.lower() for token in tokens]
+    return tokens
+
+
+def ngrams(tokens: Sequence[str], max_length: int) -> Iterator[Tuple[int, int, str]]:
+    """Enumerate all n-grams of length 1..``max_length`` over ``tokens``.
+
+    Yields ``(start, length, phrase)`` with the longest n-grams at each start
+    position first, which lets the tagger prefer the most specific match
+    (e.g. "new york times" over "new york").
+    """
+    if max_length <= 0:
+        raise ValueError("max_length must be positive")
+    for start in range(len(tokens)):
+        longest = min(max_length, len(tokens) - start)
+        for length in range(longest, 0, -1):
+            phrase = " ".join(tokens[start:start + length])
+            yield start, length, phrase
+
+
+def is_stopword(token: str) -> bool:
+    """True for common function words (used to suppress 1-gram noise)."""
+    return token.lower() in STOPWORDS

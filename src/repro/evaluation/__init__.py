@@ -1,0 +1,42 @@
+"""Evaluation harness: metrics, ground truth matching and reporting.
+
+The demo's show cases were judged qualitatively ("each user, according to
+his knowledge, experience, and interests, can judge whether the rankings
+would be satisfactory or not").  Because our datasets inject events with
+known tag pairs and onset times, the harness can score detectors
+quantitatively: precision/recall of detected pairs against the ground
+truth, detection latency relative to event onset, and rank-correlation
+measures for comparing rankings across configurations or users.
+"""
+
+from repro.evaluation.metrics import (
+    RankingComparison,
+    average_precision,
+    detection_latency,
+    kendall_tau,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+    reciprocal_rank,
+)
+from repro.evaluation.ground_truth import DetectionOutcome, GroundTruthMatcher
+from repro.evaluation.harness import DetectorRun, ExperimentResult, run_detector
+from repro.evaluation.reporting import format_series, format_table
+
+__all__ = [
+    "precision_at_k",
+    "recall_at_k",
+    "reciprocal_rank",
+    "average_precision",
+    "ndcg_at_k",
+    "kendall_tau",
+    "detection_latency",
+    "RankingComparison",
+    "GroundTruthMatcher",
+    "DetectionOutcome",
+    "run_detector",
+    "DetectorRun",
+    "ExperimentResult",
+    "format_table",
+    "format_series",
+]

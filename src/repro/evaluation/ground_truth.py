@@ -1,0 +1,104 @@
+"""Matching detector output against the injected ground-truth events."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.types import Ranking, TagPair
+from repro.datasets.events import EmergentEvent, EventSchedule
+from repro.evaluation.metrics import detection_latency
+
+
+@dataclass(frozen=True)
+class DetectionOutcome:
+    """Whether and when one ground-truth event was detected."""
+
+    event: EmergentEvent
+    detected: bool
+    latency: Optional[float]
+    best_rank: Optional[int]
+
+    @property
+    def pair(self) -> TagPair:
+        return TagPair.from_tuple(self.event.pair)
+
+
+class GroundTruthMatcher:
+    """Score a sequence of rankings against an event schedule."""
+
+    def __init__(self, schedule: EventSchedule, k: int = 10,
+                 detection_window: Optional[float] = None):
+        """``detection_window`` limits how long after onset a detection still
+        counts (None: any time during the replay counts)."""
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self.schedule = schedule
+        self.k = int(k)
+        self.detection_window = detection_window
+
+    def outcomes(self, rankings: Sequence[Ranking]) -> List[DetectionOutcome]:
+        """One outcome per ground-truth event."""
+        results: List[DetectionOutcome] = []
+        for event in self.schedule:
+            pair = TagPair.from_tuple(event.pair)
+            latency = detection_latency(rankings, pair, event.start, k=self.k)
+            detected = latency is not None
+            if detected and self.detection_window is not None:
+                detected = latency <= self.detection_window
+            best_rank = self._best_rank(rankings, pair, event)
+            results.append(DetectionOutcome(
+                event=event,
+                detected=detected,
+                latency=latency if detected else None,
+                best_rank=best_rank,
+            ))
+        return results
+
+    def recall(self, rankings: Sequence[Ranking]) -> float:
+        """Fraction of ground-truth events detected in the top-k."""
+        outcomes = self.outcomes(rankings)
+        if not outcomes:
+            return 1.0
+        return sum(1 for outcome in outcomes if outcome.detected) / len(outcomes)
+
+    def mean_latency(self, rankings: Sequence[Ranking]) -> Optional[float]:
+        """Mean detection latency over the detected events (None if none)."""
+        latencies = [
+            outcome.latency for outcome in self.outcomes(rankings)
+            if outcome.detected and outcome.latency is not None
+        ]
+        if not latencies:
+            return None
+        return sum(latencies) / len(latencies)
+
+    def precision(self, rankings: Sequence[Ranking]) -> float:
+        """Fraction of reported top-k pairs (while events are active) that
+        correspond to some active or recent ground-truth event."""
+        truth_pairs = {TagPair.from_tuple(event.pair) for event in self.schedule}
+        reported = 0
+        correct = 0
+        for ranking in rankings:
+            active = self.schedule.active_at(ranking.timestamp)
+            if not active:
+                continue
+            for topic in ranking.top(self.k):
+                reported += 1
+                if topic.pair in truth_pairs:
+                    correct += 1
+        if reported == 0:
+            return 0.0
+        return correct / reported
+
+    def _best_rank(self, rankings: Sequence[Ranking], pair: TagPair,
+                   event: EmergentEvent) -> Optional[int]:
+        best: Optional[int] = None
+        for ranking in rankings:
+            if ranking.timestamp < event.start:
+                continue
+            position = ranking.position_of(pair)
+            if position is None:
+                continue
+            if best is None or position < best:
+                best = position
+        return best

@@ -1,0 +1,175 @@
+"""Ranking and detection metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.types import Ranking, TagPair
+
+
+def _as_pair_set(pairs: Iterable) -> Set[TagPair]:
+    result: Set[TagPair] = set()
+    for pair in pairs:
+        if isinstance(pair, TagPair):
+            result.add(pair)
+        else:
+            result.add(TagPair(pair[0], pair[1]))
+    return result
+
+
+def precision_at_k(ranking: Ranking, relevant: Iterable, k: int) -> float:
+    """Fraction of the top-k ranked pairs that are relevant."""
+    if k <= 0:
+        return 0.0
+    relevant_set = _as_pair_set(relevant)
+    top = ranking.top(k)
+    if not top:
+        return 0.0
+    hits = sum(1 for topic in top if topic.pair in relevant_set)
+    return hits / len(top)
+
+
+def recall_at_k(ranking: Ranking, relevant: Iterable, k: int) -> float:
+    """Fraction of the relevant pairs that appear in the top-k."""
+    relevant_set = _as_pair_set(relevant)
+    if not relevant_set:
+        return 1.0
+    if k <= 0:
+        return 0.0
+    top_pairs = {topic.pair for topic in ranking.top(k)}
+    hits = len(relevant_set & top_pairs)
+    return hits / len(relevant_set)
+
+
+def reciprocal_rank(ranking: Ranking, relevant: Iterable) -> float:
+    """1 / (1 + rank) of the best-ranked relevant pair, 0.0 if none appears."""
+    relevant_set = _as_pair_set(relevant)
+    for index, topic in enumerate(ranking):
+        if topic.pair in relevant_set:
+            return 1.0 / (index + 1)
+    return 0.0
+
+
+def average_precision(ranking: Ranking, relevant: Iterable,
+                      k: Optional[int] = None) -> float:
+    """Average precision of a ranking against a set of relevant pairs.
+
+    Precision is evaluated at every rank where a relevant pair appears
+    (within the optional cut-off ``k``) and averaged over the number of
+    relevant pairs, the standard AP formulation.
+    """
+    relevant_set = _as_pair_set(relevant)
+    if not relevant_set:
+        return 1.0
+    considered = ranking.top(k) if k is not None else list(ranking)
+    hits = 0
+    precision_sum = 0.0
+    for index, topic in enumerate(considered):
+        if topic.pair in relevant_set:
+            hits += 1
+            precision_sum += hits / (index + 1)
+    return precision_sum / len(relevant_set)
+
+
+def ndcg_at_k(ranking: Ranking, relevance: Dict, k: int) -> float:
+    """Normalised discounted cumulative gain at ``k``.
+
+    ``relevance`` maps pairs (``TagPair`` or 2-tuples) to non-negative
+    graded relevance values; pairs absent from the mapping have relevance 0.
+    """
+    import math
+
+    if k <= 0:
+        return 0.0
+    graded = {}
+    for pair, value in relevance.items():
+        key = pair if isinstance(pair, TagPair) else TagPair(pair[0], pair[1])
+        if value < 0:
+            raise ValueError("relevance grades must be non-negative")
+        graded[key] = float(value)
+    gains = [graded.get(topic.pair, 0.0) for topic in ranking.top(k)]
+    dcg = sum(gain / math.log2(position + 2) for position, gain in enumerate(gains))
+    ideal = sorted(graded.values(), reverse=True)[:k]
+    idcg = sum(gain / math.log2(position + 2) for position, gain in enumerate(ideal))
+    if idcg == 0.0:
+        return 1.0 if dcg == 0.0 else 0.0
+    return dcg / idcg
+
+
+def kendall_tau(first: Sequence, second: Sequence) -> float:
+    """Kendall rank correlation between two rankings of (possibly) different items.
+
+    The inputs are sequences of items (e.g. :class:`TagPair`); only items
+    appearing in *both* sequences are compared.  Returns a value in [-1, 1];
+    1.0 for identical orderings, -1.0 for reversed ones.  With fewer than two
+    common items the orderings are trivially consistent and 1.0 is returned.
+    """
+    positions_first = {item: index for index, item in enumerate(first)}
+    positions_second = {item: index for index, item in enumerate(second)}
+    common = [item for item in first if item in positions_second]
+    if len(common) < 2:
+        return 1.0
+    concordant = 0
+    discordant = 0
+    for i in range(len(common)):
+        for j in range(i + 1, len(common)):
+            a, b = common[i], common[j]
+            first_order = positions_first[a] - positions_first[b]
+            second_order = positions_second[a] - positions_second[b]
+            product = first_order * second_order
+            if product > 0:
+                concordant += 1
+            elif product < 0:
+                discordant += 1
+    total = concordant + discordant
+    if total == 0:
+        return 1.0
+    return (concordant - discordant) / total
+
+
+def detection_latency(
+    rankings: Sequence[Ranking],
+    pair,
+    onset: float,
+    k: Optional[int] = None,
+) -> Optional[float]:
+    """Stream-time delay until ``pair`` first enters the (top-k of the) ranking.
+
+    Returns ``None`` when the pair never appears at or after ``onset``.
+    Negative latencies are clamped to zero: appearing "before" the onset
+    (because the injection ramps up inside the onset step) counts as
+    immediate detection.
+    """
+    target = pair if isinstance(pair, TagPair) else TagPair(pair[0], pair[1])
+    for ranking in rankings:
+        if ranking.timestamp < onset:
+            continue
+        considered = ranking.top(k) if k is not None else list(ranking)
+        if any(topic.pair == target for topic in considered):
+            return max(0.0, ranking.timestamp - onset)
+    return None
+
+
+@dataclass(frozen=True)
+class RankingComparison:
+    """Summary of how two rankings relate (used by show case 3)."""
+
+    overlap: float
+    tau: float
+    only_in_first: Tuple[TagPair, ...]
+    only_in_second: Tuple[TagPair, ...]
+
+    @classmethod
+    def compare(cls, first: Ranking, second: Ranking, k: int = 10) -> "RankingComparison":
+        top_first = [topic.pair for topic in first.top(k)]
+        top_second = [topic.pair for topic in second.top(k)]
+        set_first, set_second = set(top_first), set(top_second)
+        union = set_first | set_second
+        overlap = len(set_first & set_second) / len(union) if union else 1.0
+        return cls(
+            overlap=overlap,
+            tau=kendall_tau(top_first, top_second),
+            only_in_first=tuple(p for p in top_first if p not in set_second),
+            only_in_second=tuple(p for p in top_second if p not in set_first),
+        )

@@ -1,0 +1,71 @@
+"""Plain-text tables and series for benchmark output.
+
+The benchmark harness prints, for every reproduced figure/show case, the
+rows or series the paper reports (or, for the demo show cases, the ranking
+the demo would display).  Keeping the formatting here means every bench
+prints consistently and the tests can assert on structure rather than
+string layout.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render dictionaries as an aligned text table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered_rows = [
+        [_format_cell(row.get(column)) for column in columns] for row in rows
+    ]
+    widths = [
+        max(len(str(column)), *(len(row[index]) for row in rendered_rows))
+        for index, column in enumerate(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(c).ljust(w) for c, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[str, Sequence[float]],
+    x_values: Optional[Sequence[float]] = None,
+    title: Optional[str] = None,
+    precision: int = 3,
+) -> str:
+    """Render one or more named series side by side (one row per x value)."""
+    names = list(series)
+    if not names:
+        return (title + "\n" if title else "") + "(no series)"
+    length = max(len(values) for values in series.values())
+    if x_values is None:
+        x_values = list(range(length))
+    rows: List[Dict[str, Any]] = []
+    for index in range(length):
+        row: Dict[str, Any] = {"x": x_values[index] if index < len(x_values) else index}
+        for name in names:
+            values = series[name]
+            row[name] = round(values[index], precision) if index < len(values) else ""
+        rows.append(row)
+    return format_table(rows, columns=["x", *names], title=title)
+
+
+def _format_cell(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

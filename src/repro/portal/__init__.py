@@ -1,0 +1,41 @@
+"""The front-end substrate: push-based ranking delivery.
+
+Section 4.2: rankings are delivered to web browsers "in a push-based manner
+(i.e., without the user having to continuously poll the server for updates
+on emergent topic rankings)" through the Ajax Push Engine (APE): the
+back-end sends topic rankings to APE, which "dispatches the messages to the
+registered clients, i.e., all Web browsers that have currently active
+sessions".
+
+The browser side is out of scope for a library reproduction, but the message
+flow is not: :class:`PushDispatcher` implements APE's channel/subscriber
+semantics in process, :class:`ClientSession` stands in for a browser
+session, and :class:`Portal` glues the enBlogue engine, the dispatcher and
+per-user personalization together.
+"""
+
+from repro.portal.push import Channel, PushDispatcher, PushMessage
+from repro.portal.sessions import ClientSession
+from repro.portal.server import Portal
+from repro.portal.serialization import (
+    ranking_from_dict,
+    ranking_from_json,
+    ranking_to_dict,
+    ranking_to_json,
+    rankings_from_json,
+    rankings_to_json,
+)
+
+__all__ = [
+    "PushMessage",
+    "Channel",
+    "PushDispatcher",
+    "ClientSession",
+    "Portal",
+    "ranking_to_dict",
+    "ranking_from_dict",
+    "ranking_to_json",
+    "ranking_from_json",
+    "rankings_to_json",
+    "rankings_from_json",
+]

@@ -1,0 +1,113 @@
+"""An APE-style publish/subscribe dispatcher.
+
+Channels carry messages; subscribers (client sessions or plain callables)
+receive every message published on the channels they joined, at publish
+time — push, not poll.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+Subscriber = Callable[["PushMessage"], None]
+
+
+@dataclass(frozen=True)
+class PushMessage:
+    """One message pushed to a channel."""
+
+    channel: str
+    payload: Any
+    sequence: int
+    timestamp: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.channel:
+            raise ValueError("channel must be non-empty")
+        if self.sequence < 0:
+            raise ValueError("sequence numbers are non-negative")
+
+
+class Channel:
+    """A named channel with its subscribers and a bounded message log."""
+
+    def __init__(self, name: str, history_limit: int = 100):
+        if not name:
+            raise ValueError("channel name must be non-empty")
+        if history_limit < 0:
+            raise ValueError("history_limit must be non-negative")
+        self.name = name
+        self.history_limit = int(history_limit)
+        self._subscribers: Dict[str, Subscriber] = {}
+        self._history: List[PushMessage] = []
+
+    @property
+    def subscriber_ids(self) -> List[str]:
+        return sorted(self._subscribers)
+
+    def subscribe(self, subscriber_id: str, callback: Subscriber) -> None:
+        self._subscribers[subscriber_id] = callback
+
+    def unsubscribe(self, subscriber_id: str) -> None:
+        self._subscribers.pop(subscriber_id, None)
+
+    def publish(self, message: PushMessage) -> int:
+        """Deliver ``message`` to every subscriber; returns delivery count."""
+        self._history.append(message)
+        if self.history_limit and len(self._history) > self.history_limit:
+            del self._history[: len(self._history) - self.history_limit]
+        delivered = 0
+        for callback in list(self._subscribers.values()):
+            callback(message)
+            delivered += 1
+        return delivered
+
+    def history(self) -> List[PushMessage]:
+        """Recent messages (new subscribers can catch up without polling)."""
+        return list(self._history)
+
+
+class PushDispatcher:
+    """Routes published payloads to channel subscribers."""
+
+    def __init__(self, history_limit: int = 100):
+        self.history_limit = int(history_limit)
+        self._channels: Dict[str, Channel] = {}
+        self._sequence = itertools.count()
+        self.messages_published = 0
+        self.deliveries = 0
+
+    def channel(self, name: str) -> Channel:
+        """Get or create a channel."""
+        if name not in self._channels:
+            self._channels[name] = Channel(name, history_limit=self.history_limit)
+        return self._channels[name]
+
+    def channels(self) -> List[str]:
+        return sorted(self._channels)
+
+    def subscribe(self, channel_name: str, subscriber_id: str,
+                  callback: Subscriber) -> Channel:
+        channel = self.channel(channel_name)
+        channel.subscribe(subscriber_id, callback)
+        return channel
+
+    def unsubscribe(self, channel_name: str, subscriber_id: str) -> None:
+        if channel_name in self._channels:
+            self._channels[channel_name].unsubscribe(subscriber_id)
+
+    def publish(self, channel_name: str, payload: Any,
+                timestamp: float = 0.0) -> PushMessage:
+        """Publish ``payload`` on a channel and push it to all subscribers."""
+        message = PushMessage(
+            channel=channel_name,
+            payload=payload,
+            sequence=next(self._sequence),
+            timestamp=timestamp,
+        )
+        delivered = self.channel(channel_name).publish(message)
+        self.messages_published += 1
+        self.deliveries += delivered
+        return message

@@ -1,0 +1,107 @@
+"""The portal: enBlogue rankings pushed to connected client sessions.
+
+The portal subscribes itself to the engine's ranking updates, publishes the
+global ranking on a public channel, and publishes per-user personalized
+rankings on per-user channels.  Client sessions connect, pick their
+channels, and from then on receive every update without polling — the same
+interaction model as the demo's APE-backed web front end (including
+"(mobile) smartphone users receiving continuous updates").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.engine import EnBlogue
+from repro.core.personalization import UserProfile
+from repro.core.types import Ranking
+from repro.portal.push import PushDispatcher
+from repro.portal.sessions import ClientSession
+
+#: Channel carrying the global (non-personalized) ranking.
+GLOBAL_CHANNEL = "emergent-topics"
+
+
+def user_channel(user_id: str) -> str:
+    """Channel name carrying one user's personalized ranking."""
+    return f"emergent-topics/{user_id}"
+
+
+class Portal:
+    """Front-end façade: sessions, subscriptions and pushed rankings."""
+
+    def __init__(self, engine: EnBlogue, dispatcher: Optional[PushDispatcher] = None):
+        self.engine = engine
+        self.dispatcher = dispatcher or PushDispatcher()
+        self._sessions: Dict[str, ClientSession] = {}
+        self.engine.add_ranking_listener(self._on_ranking)
+
+    # -- sessions ---------------------------------------------------------------
+
+    def connect(self, session_id: str, user_id: Optional[str] = None) -> ClientSession:
+        """Open a client session and subscribe it to the relevant channels.
+
+        Anonymous sessions receive the global ranking; sessions opened for a
+        registered user additionally receive that user's personalized
+        channel.
+        """
+        if session_id in self._sessions:
+            raise ValueError(f"session {session_id!r} already connected")
+        session = ClientSession(session_id)
+        self._sessions[session_id] = session
+        self.dispatcher.subscribe(GLOBAL_CHANNEL, session_id, session.deliver)
+        if user_id is not None:
+            self.dispatcher.subscribe(user_channel(user_id), session_id, session.deliver)
+        return session
+
+    def disconnect(self, session_id: str) -> None:
+        session = self._sessions.pop(session_id, None)
+        if session is None:
+            return
+        session.disconnect()
+        for channel_name in self.dispatcher.channels():
+            self.dispatcher.unsubscribe(channel_name, session_id)
+
+    def sessions(self) -> List[str]:
+        return sorted(self._sessions)
+
+    def session(self, session_id: str) -> ClientSession:
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            raise KeyError(f"no session {session_id!r}") from None
+
+    # -- users -----------------------------------------------------------------------
+
+    def register_user(self, profile: UserProfile) -> UserProfile:
+        """Register a personalization profile with the engine."""
+        return self.engine.register_user(profile)
+
+    # -- push -----------------------------------------------------------------------------
+
+    def _on_ranking(self, ranking: Ranking) -> None:
+        """Engine callback: push the new ranking to every channel."""
+        self.dispatcher.publish(GLOBAL_CHANNEL, ranking, timestamp=ranking.timestamp)
+        for user_id in self.engine.personalization.users():
+            personalized = self.engine.personalization.personalize(ranking, user_id)
+            self.dispatcher.publish(
+                user_channel(user_id), personalized, timestamp=ranking.timestamp
+            )
+
+    # -- convenience -----------------------------------------------------------------------
+
+    def current_view(self, session_id: str) -> Optional[Ranking]:
+        """What the given session currently displays (its latest ranking)."""
+        payload = self.session(session_id).latest_payload()
+        return payload if isinstance(payload, Ranking) else None
+
+    def status(self) -> Dict[str, object]:
+        """Operational counters for examples and monitoring."""
+        return {
+            "sessions": len(self._sessions),
+            "channels": len(self.dispatcher.channels()),
+            "messages_published": self.dispatcher.messages_published,
+            "deliveries": self.dispatcher.deliveries,
+            "documents_processed": self.engine.documents_processed,
+            "rankings_produced": len(self.engine.ranking_history()),
+        }

@@ -1,0 +1,53 @@
+"""Client sessions: the stand-in for connected web browsers."""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.portal.push import PushMessage
+
+
+class ClientSession:
+    """One connected client receiving pushed ranking updates.
+
+    The session records every message it receives (the "screen" of the
+    simulated browser); ``latest_payload`` is what the user currently sees.
+    A bounded inbox keeps long replays from accumulating unbounded state,
+    mirroring a browser that only renders the latest updates.
+    """
+
+    def __init__(self, session_id: str, inbox_limit: int = 500):
+        if not session_id:
+            raise ValueError("session_id must be non-empty")
+        if inbox_limit <= 0:
+            raise ValueError("inbox_limit must be positive")
+        self.session_id = session_id
+        self.inbox_limit = int(inbox_limit)
+        self._inbox: List[PushMessage] = []
+        self.connected = True
+
+    def __len__(self) -> int:
+        return len(self._inbox)
+
+    def deliver(self, message: PushMessage) -> None:
+        """Receive one pushed message (no-op after disconnect)."""
+        if not self.connected:
+            return
+        self._inbox.append(message)
+        if len(self._inbox) > self.inbox_limit:
+            del self._inbox[: len(self._inbox) - self.inbox_limit]
+
+    def messages(self, channel: Optional[str] = None) -> List[PushMessage]:
+        if channel is None:
+            return list(self._inbox)
+        return [message for message in self._inbox if message.channel == channel]
+
+    def latest_payload(self, channel: Optional[str] = None) -> Optional[Any]:
+        """Payload of the most recent message (optionally per channel)."""
+        messages = self.messages(channel)
+        if not messages:
+            return None
+        return messages[-1].payload
+
+    def disconnect(self) -> None:
+        self.connected = False

@@ -1,0 +1,21 @@
+"""Sketching operators: compact synopses of stream items.
+
+Section 4.1 of the paper describes "plug-in options for sketching operators
+that map stream items into synopses".  This package provides the classic
+synopses such a plug-in would use: a Count-Min sketch for approximate tag
+and pair counting, a Bloom filter for membership tests, a reservoir sample
+for unbiased document samples, and the shared hashing utilities.
+"""
+
+from repro.sketches.hashing import HashFamily
+from repro.sketches.countmin import CountMinSketch, WindowedCountMinSketch
+from repro.sketches.bloom import BloomFilter
+from repro.sketches.sampling import ReservoirSample
+
+__all__ = [
+    "HashFamily",
+    "CountMinSketch",
+    "WindowedCountMinSketch",
+    "BloomFilter",
+    "ReservoirSample",
+]

@@ -1,0 +1,67 @@
+"""Bloom filter for approximate membership tests.
+
+Used by the entity tagger as a cheap pre-filter in front of the knowledge
+base ("is this 4-gram possibly a Wikipedia title?") and available as a
+sketching plug-in for the stream engine.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional
+
+from repro.sketches.hashing import HashFamily
+
+
+class BloomFilter:
+    """Standard Bloom filter over string keys (no deletions)."""
+
+    def __init__(
+        self,
+        capacity: int,
+        error_rate: float = 0.01,
+        seed: int = 0,
+    ):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0 < error_rate < 1:
+            raise ValueError("error rate must lie in (0, 1)")
+        self.capacity = int(capacity)
+        self.error_rate = float(error_rate)
+        # Optimal parameters for the requested capacity / error rate.
+        self.size = max(1, math.ceil(-capacity * math.log(error_rate) / (math.log(2) ** 2)))
+        self.hash_count = max(1, round(self.size / capacity * math.log(2)))
+        self._hashes = HashFamily(self.hash_count, seed=seed)
+        self._bits = bytearray((self.size + 7) // 8)
+        self._count = 0
+
+    def __len__(self) -> int:
+        """Number of keys added (including duplicates)."""
+        return self._count
+
+    def add(self, key: str) -> None:
+        for value in self._hashes.hashes(key):
+            self._set_bit(value % self.size)
+        self._count += 1
+
+    def update(self, keys: Iterable[str]) -> None:
+        for key in keys:
+            self.add(key)
+
+    def __contains__(self, key: str) -> bool:
+        return all(
+            self._get_bit(value % self.size) for value in self._hashes.hashes(key)
+        )
+
+    def estimated_false_positive_rate(self) -> float:
+        """False-positive probability given the current fill level."""
+        if self._count == 0:
+            return 0.0
+        fill = 1.0 - math.exp(-self.hash_count * self._count / self.size)
+        return fill ** self.hash_count
+
+    def _set_bit(self, index: int) -> None:
+        self._bits[index // 8] |= 1 << (index % 8)
+
+    def _get_bit(self, index: int) -> bool:
+        return bool(self._bits[index // 8] & (1 << (index % 8)))

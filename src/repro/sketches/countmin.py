@@ -1,0 +1,141 @@
+"""Count-Min sketch and a windowed variant for stream counting.
+
+The Count-Min sketch overestimates counts but never underestimates them,
+which is the right bias for seed-tag selection: a tag reported as popular by
+the sketch may occasionally be a false positive, but no genuinely popular
+tag is missed.  The windowed variant approximates sliding-window counts by
+keeping one sketch per sub-window ("pane") and summing the live panes.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from repro.sketches.hashing import HashFamily
+
+
+class CountMinSketch:
+    """Classic Count-Min sketch over string keys."""
+
+    def __init__(
+        self,
+        width: Optional[int] = None,
+        depth: Optional[int] = None,
+        epsilon: Optional[float] = None,
+        delta: Optional[float] = None,
+        seed: int = 0,
+    ):
+        """Create a sketch either from explicit dimensions or error bounds.
+
+        ``epsilon`` bounds the overestimate (relative to the total count) and
+        ``delta`` the failure probability; they translate into ``width =
+        ceil(e / epsilon)`` and ``depth = ceil(ln(1 / delta))``.
+        """
+        if width is None or depth is None:
+            if epsilon is None or delta is None:
+                raise ValueError(
+                    "provide either (width, depth) or (epsilon, delta)"
+                )
+            if not 0 < epsilon < 1 or not 0 < delta < 1:
+                raise ValueError("epsilon and delta must lie in (0, 1)")
+            width = math.ceil(math.e / epsilon)
+            depth = math.ceil(math.log(1.0 / delta))
+        if width <= 0 or depth <= 0:
+            raise ValueError("width and depth must be positive")
+        self.width = int(width)
+        self.depth = int(depth)
+        self._hashes = HashFamily(self.depth, seed=seed)
+        self._table = [[0] * self.width for _ in range(self.depth)]
+        self._total = 0
+
+    @property
+    def total(self) -> int:
+        """Total weight added to the sketch."""
+        return self._total
+
+    def add(self, key: str, count: int = 1) -> None:
+        if count < 0:
+            raise ValueError("counts must be non-negative")
+        for row in range(self.depth):
+            column = self._hashes.hash(key, row) % self.width
+            self._table[row][column] += count
+        self._total += count
+
+    def estimate(self, key: str) -> int:
+        """Estimated count for ``key`` (never an underestimate)."""
+        return min(
+            self._table[row][self._hashes.hash(key, row) % self.width]
+            for row in range(self.depth)
+        )
+
+    def merge(self, other: "CountMinSketch") -> None:
+        """Fold ``other`` into this sketch (dimensions and seed must match)."""
+        if (self.width, self.depth) != (other.width, other.depth):
+            raise ValueError("cannot merge sketches with different dimensions")
+        if self._hashes.seed != other._hashes.seed:
+            raise ValueError("cannot merge sketches with different hash seeds")
+        for row in range(self.depth):
+            for column in range(self.width):
+                self._table[row][column] += other._table[row][column]
+        self._total += other._total
+
+
+class WindowedCountMinSketch:
+    """Sliding-window counts approximated by per-pane Count-Min sketches.
+
+    The window ``horizon`` is divided into ``panes`` equal sub-intervals.
+    Each pane has its own sketch; when time moves past a pane boundary the
+    oldest pane is discarded.  Estimates sum the live panes, so they cover a
+    period between ``horizon - horizon/panes`` and ``horizon``.
+    """
+
+    def __init__(
+        self,
+        horizon: float,
+        panes: int = 8,
+        width: int = 512,
+        depth: int = 4,
+        seed: int = 0,
+    ):
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        if panes <= 0:
+            raise ValueError("there must be at least one pane")
+        self.horizon = float(horizon)
+        self.panes = int(panes)
+        self.pane_length = self.horizon / self.panes
+        self._width = width
+        self._depth = depth
+        self._seed = seed
+        # Each live pane is (pane_index, sketch); pane_index = floor(t / pane_length).
+        self._live: Deque[Tuple[int, CountMinSketch]] = deque()
+
+    def add(self, timestamp: float, key: str, count: int = 1) -> None:
+        pane_index = self._pane_index(timestamp)
+        self._advance(pane_index)
+        if not self._live or self._live[-1][0] != pane_index:
+            sketch = CountMinSketch(
+                width=self._width, depth=self._depth, seed=self._seed
+            )
+            self._live.append((pane_index, sketch))
+        self._live[-1][1].add(key, count)
+
+    def advance_to(self, timestamp: float) -> None:
+        self._advance(self._pane_index(timestamp))
+
+    def estimate(self, key: str) -> int:
+        return sum(sketch.estimate(key) for _, sketch in self._live)
+
+    def _pane_index(self, timestamp: float) -> int:
+        if timestamp < 0:
+            raise ValueError("timestamp must be non-negative")
+        return int(timestamp // self.pane_length)
+
+    def _advance(self, pane_index: int) -> None:
+        if self._live and pane_index < self._live[-1][0]:
+            raise ValueError("timestamps must be non-decreasing")
+        oldest_allowed = pane_index - self.panes + 1
+        while self._live and self._live[0][0] < oldest_allowed:
+            self._live.popleft()

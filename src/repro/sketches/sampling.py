@@ -1,0 +1,45 @@
+"""Reservoir sampling over unbounded streams.
+
+A uniform random sample of the documents seen so far, useful as a synopsis
+operator in the stream engine and for sampling-based ablations.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generic, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class ReservoirSample(Generic[T]):
+    """Algorithm R reservoir sample of fixed capacity."""
+
+    def __init__(self, capacity: int, seed: Optional[int] = None):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        self._rng = random.Random(seed)
+        self._items: List[T] = []
+        self._seen = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def seen(self) -> int:
+        """Total number of items offered to the sampler."""
+        return self._seen
+
+    def add(self, item: T) -> None:
+        self._seen += 1
+        if len(self._items) < self.capacity:
+            self._items.append(item)
+            return
+        slot = self._rng.randint(0, self._seen - 1)
+        if slot < self.capacity:
+            self._items[slot] = item
+
+    def items(self) -> List[T]:
+        """A copy of the current sample (order is not meaningful)."""
+        return list(self._items)

@@ -1,0 +1,61 @@
+"""A bounded in-memory document store keyed by document id."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator, List, Optional
+
+from repro.streams.item import StreamItem
+
+
+class DocumentStore:
+    """Keep the most recent documents retrievable by id.
+
+    The store is bounded (``capacity``) and evicts the oldest insertions
+    first, matching what a streaming system can afford to keep around for
+    drill-down queries from the front end.
+    """
+
+    def __init__(self, capacity: int = 100_000):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        self._items: "OrderedDict[str, StreamItem]" = OrderedDict()
+        self._evicted = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self._items
+
+    def __iter__(self) -> Iterator[StreamItem]:
+        return iter(self._items.values())
+
+    @property
+    def evicted(self) -> int:
+        """Number of documents dropped due to the capacity bound."""
+        return self._evicted
+
+    def put(self, item: StreamItem) -> None:
+        """Insert or refresh a document, evicting the oldest if necessary."""
+        if item.doc_id in self._items:
+            # Refresh: move to the newest position with the updated item.
+            del self._items[item.doc_id]
+        self._items[item.doc_id] = item
+        while len(self._items) > self.capacity:
+            self._items.popitem(last=False)
+            self._evicted += 1
+
+    def get(self, doc_id: str) -> Optional[StreamItem]:
+        return self._items.get(doc_id)
+
+    def recent(self, count: int) -> List[StreamItem]:
+        """The ``count`` most recently inserted documents, newest first."""
+        if count <= 0:
+            return []
+        items = list(self._items.values())
+        return list(reversed(items[-count:]))
+
+    def clear(self) -> None:
+        self._items.clear()

@@ -1,0 +1,90 @@
+"""Inverted index from tags to the documents carrying them.
+
+Supports the "full exploration of social media given the detected tag set
+as input, for instance, in the form of a traditional keyword query" that
+the introduction promises: once enBlogue reports the pair (volcano, air
+traffic), this index answers which documents discuss both.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.streams.item import StreamItem
+
+
+class InvertedTagIndex:
+    """Tag -> set of document ids, with conjunctive queries."""
+
+    def __init__(self, use_entities: bool = True):
+        self.use_entities = bool(use_entities)
+        self._postings: Dict[str, Set[str]] = {}
+        self._documents: Dict[str, StreamItem] = {}
+
+    def __len__(self) -> int:
+        """Number of indexed documents."""
+        return len(self._documents)
+
+    def index(self, item: StreamItem) -> None:
+        """Add a document to the index (re-indexing replaces the old entry)."""
+        if item.doc_id in self._documents:
+            self.remove(item.doc_id)
+        self._documents[item.doc_id] = item
+        for tag in self._tags_of(item):
+            self._postings.setdefault(tag, set()).add(item.doc_id)
+
+    def remove(self, doc_id: str) -> None:
+        """Drop a document from the index (no-op when absent)."""
+        item = self._documents.pop(doc_id, None)
+        if item is None:
+            return
+        for tag in self._tags_of(item):
+            postings = self._postings.get(tag)
+            if postings is None:
+                continue
+            postings.discard(doc_id)
+            if not postings:
+                del self._postings[tag]
+
+    def postings(self, tag: str) -> Set[str]:
+        """Document ids carrying ``tag`` (a copy)."""
+        return set(self._postings.get(tag, set()))
+
+    def document_frequency(self, tag: str) -> int:
+        return len(self._postings.get(tag, ()))
+
+    def query(self, tags: Iterable[str]) -> List[StreamItem]:
+        """Documents carrying *all* of ``tags``, newest first."""
+        tag_list = [tag for tag in tags]
+        if not tag_list:
+            return []
+        # Intersect the smallest posting lists first.
+        tag_list.sort(key=self.document_frequency)
+        result: Optional[Set[str]] = None
+        for tag in tag_list:
+            postings = self._postings.get(tag)
+            if not postings:
+                return []
+            result = set(postings) if result is None else result & postings
+            if not result:
+                return []
+        documents = [self._documents[doc_id] for doc_id in result or ()]
+        documents.sort(key=lambda item: item.timestamp, reverse=True)
+        return documents
+
+    def cooccurrence_count(self, tag_a: str, tag_b: str) -> int:
+        """Number of documents carrying both tags."""
+        postings_a = self._postings.get(tag_a, set())
+        postings_b = self._postings.get(tag_b, set())
+        if len(postings_a) > len(postings_b):
+            postings_a, postings_b = postings_b, postings_a
+        return sum(1 for doc_id in postings_a if doc_id in postings_b)
+
+    def tags(self) -> List[str]:
+        return sorted(self._postings)
+
+    def _tags_of(self, item: StreamItem) -> Set[str]:
+        tags = set(item.tags)
+        if self.use_entities:
+            tags |= set(item.entities)
+        return tags

@@ -1,0 +1,107 @@
+"""Time-partitioned tag index for range queries over the recent past.
+
+Show case 1 lets users "specify their own time ranges and see how the
+ranking changes with different time periods"; re-evaluating a time range
+needs per-partition tag and pair counts.  The index buckets documents into
+fixed-length partitions (e.g. one per archive day) and answers count
+queries over any span of partitions.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+from repro.streams.item import StreamItem
+
+
+class TimePartitionedIndex:
+    """Per-partition tag counts, pair counts and document counts."""
+
+    def __init__(self, partition_length: float, use_entities: bool = True):
+        if partition_length <= 0:
+            raise ValueError("partition_length must be positive")
+        self.partition_length = float(partition_length)
+        self.use_entities = bool(use_entities)
+        self._tag_counts: Dict[int, Counter] = {}
+        self._pair_counts: Dict[int, Counter] = {}
+        self._doc_counts: Dict[int, int] = {}
+
+    # -- ingestion ----------------------------------------------------------
+
+    def index(self, item: StreamItem) -> None:
+        partition = self.partition_of(item.timestamp)
+        tags = sorted(set(item.tags) | (set(item.entities) if self.use_entities else set()))
+        tag_counter = self._tag_counts.setdefault(partition, Counter())
+        pair_counter = self._pair_counts.setdefault(partition, Counter())
+        for tag in tags:
+            tag_counter[tag] += 1
+        for i in range(len(tags)):
+            for j in range(i + 1, len(tags)):
+                pair_counter[(tags[i], tags[j])] += 1
+        self._doc_counts[partition] = self._doc_counts.get(partition, 0) + 1
+
+    def partition_of(self, timestamp: float) -> int:
+        if timestamp < 0:
+            raise ValueError("timestamp must be non-negative")
+        return int(math.floor(timestamp / self.partition_length))
+
+    # -- queries --------------------------------------------------------------
+
+    def partitions(self) -> List[int]:
+        return sorted(self._doc_counts)
+
+    def document_count(self, start: float, end: float) -> int:
+        return sum(
+            self._doc_counts.get(partition, 0)
+            for partition in self._partitions_in(start, end)
+        )
+
+    def tag_count(self, tag: str, start: float, end: float) -> int:
+        return sum(
+            self._tag_counts.get(partition, Counter()).get(tag, 0)
+            for partition in self._partitions_in(start, end)
+        )
+
+    def pair_count(self, tag_a: str, tag_b: str, start: float, end: float) -> int:
+        key = (tag_a, tag_b) if tag_a <= tag_b else (tag_b, tag_a)
+        return sum(
+            self._pair_counts.get(partition, Counter()).get(key, 0)
+            for partition in self._partitions_in(start, end)
+        )
+
+    def top_tags(self, start: float, end: float, k: int) -> List[Tuple[str, int]]:
+        if k <= 0:
+            return []
+        totals: Counter = Counter()
+        for partition in self._partitions_in(start, end):
+            totals.update(self._tag_counts.get(partition, Counter()))
+        ranked = sorted(totals.items(), key=lambda item: (-item[1], item[0]))
+        return ranked[:k]
+
+    def top_pairs(self, start: float, end: float, k: int) -> List[Tuple[Tuple[str, str], int]]:
+        if k <= 0:
+            return []
+        totals: Counter = Counter()
+        for partition in self._partitions_in(start, end):
+            totals.update(self._pair_counts.get(partition, Counter()))
+        ranked = sorted(totals.items(), key=lambda item: (-item[1], item[0]))
+        return ranked[:k]
+
+    def prune_before(self, timestamp: float) -> int:
+        """Drop partitions that end before ``timestamp``; returns how many."""
+        cutoff = self.partition_of(timestamp)
+        stale = [p for p in self._doc_counts if p < cutoff]
+        for partition in stale:
+            self._doc_counts.pop(partition, None)
+            self._tag_counts.pop(partition, None)
+            self._pair_counts.pop(partition, None)
+        return len(stale)
+
+    def _partitions_in(self, start: float, end: float) -> List[int]:
+        if end < start:
+            raise ValueError("end must not precede start")
+        first = self.partition_of(start)
+        last = self.partition_of(end)
+        return [p for p in self._doc_counts if first <= p <= last]

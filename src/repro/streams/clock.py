@@ -1,0 +1,81 @@
+"""Clocks driving the stream engine.
+
+The demo runs either on live data (wall-clock time) or replays archived
+datasets in "time lapse" mode, where archive time advances much faster than
+wall-clock time.  The clock abstraction lets every other component ask
+"what time is it in stream time?" without caring which mode is active.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+class Clock:
+    """Interface: the current stream time in seconds."""
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+
+class SystemClock(Clock):
+    """Wall-clock time, for live monitoring."""
+
+    def now(self) -> float:
+        return time.time()
+
+
+class SimulatedClock(Clock):
+    """A clock advanced explicitly by the replay driver."""
+
+    def __init__(self, start: float = 0.0):
+        if start < 0:
+            raise ValueError("start time must be non-negative")
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, timestamp: float) -> None:
+        if timestamp < self._now:
+            raise ValueError(
+                f"cannot move the clock backwards: {timestamp} < {self._now}"
+            )
+        self._now = float(timestamp)
+
+    def advance_by(self, delta: float) -> None:
+        if delta < 0:
+            raise ValueError("delta must be non-negative")
+        self._now += delta
+
+
+class ReplayClock(Clock):
+    """Maps wall-clock time onto archive time with a speed-up factor.
+
+    ``speedup`` of 86400 replays one archive day per wall-clock second, which
+    is the "time lapse" view of show cases 1 and 2.  For deterministic tests
+    a wall-clock function can be injected.
+    """
+
+    def __init__(
+        self,
+        archive_start: float,
+        speedup: float = 1.0,
+        wall_clock: Optional[Clock] = None,
+    ):
+        if speedup <= 0:
+            raise ValueError("speedup must be positive")
+        self.archive_start = float(archive_start)
+        self.speedup = float(speedup)
+        self._wall = wall_clock or SystemClock()
+        self._wall_start = self._wall.now()
+
+    def now(self) -> float:
+        elapsed = self._wall.now() - self._wall_start
+        return self.archive_start + elapsed * self.speedup
+
+    def wall_delay_until(self, archive_timestamp: float) -> float:
+        """Wall-clock seconds until the archive reaches ``archive_timestamp``."""
+        remaining = archive_timestamp - self.now()
+        return max(0.0, remaining / self.speedup)

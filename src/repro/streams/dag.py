@@ -1,0 +1,140 @@
+"""The operator DAG: producer-consumer edges plus operator sharing.
+
+The paper stresses that "overlapping parts, like data sources, sketching
+operators, entity tagging, and statistics operators are shared for
+efficiency" when several query plans run in parallel.  The DAG therefore
+keeps a registry of shareable operators keyed by a caller-chosen name: a
+plan that asks for an operator under an existing key is handed the existing
+instance instead of a new one, and both plans' edges fan out from it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.streams.operators import Operator, Sink
+
+
+class OperatorDAG:
+    """A directed acyclic graph of stream operators."""
+
+    def __init__(self, name: str = "dag"):
+        self.name = name
+        self._operators: List[Operator] = []
+        self._shared: Dict[str, Operator] = {}
+        self._edges: List[Tuple[Operator, Operator]] = []
+
+    # -- node management --------------------------------------------------
+
+    def add(self, operator: Operator) -> Operator:
+        """Register an operator (idempotent)."""
+        if operator not in self._operators:
+            self._operators.append(operator)
+        return operator
+
+    def shared(self, key: str, factory: Callable[[], Operator]) -> Operator:
+        """Return the shared operator for ``key``, creating it on first use."""
+        if key not in self._shared:
+            operator = factory()
+            self._shared[key] = operator
+            self.add(operator)
+        return self._shared[key]
+
+    def is_shared(self, operator: Operator) -> bool:
+        return operator in self._shared.values()
+
+    @property
+    def operators(self) -> List[Operator]:
+        return list(self._operators)
+
+    @property
+    def shared_keys(self) -> List[str]:
+        return list(self._shared)
+
+    # -- edge management ---------------------------------------------------
+
+    def connect(self, producer: Operator, consumer: Operator) -> None:
+        """Create a producer-consumer edge and reject cycles."""
+        self.add(producer)
+        self.add(consumer)
+        if (producer, consumer) in self._edges:
+            return
+        if self._creates_cycle(producer, consumer):
+            raise ValueError(
+                f"edge {producer.name} -> {consumer.name} would create a cycle"
+            )
+        producer.connect(consumer)
+        self._edges.append((producer, consumer))
+
+    def chain(self, *operators: Operator) -> Operator:
+        """Connect operators in sequence and return the last one."""
+        if not operators:
+            raise ValueError("chain requires at least one operator")
+        for producer, consumer in zip(operators, operators[1:]):
+            self.connect(producer, consumer)
+        if len(operators) == 1:
+            self.add(operators[0])
+        return operators[-1]
+
+    @property
+    def edges(self) -> List[Tuple[Operator, Operator]]:
+        return list(self._edges)
+
+    # -- structure queries -------------------------------------------------
+
+    def sources(self) -> List[Operator]:
+        """Operators with no incoming edge."""
+        consumers = {consumer for _, consumer in self._edges}
+        return [op for op in self._operators if op not in consumers]
+
+    def sinks(self) -> List[Sink]:
+        """Registered operators that are sinks."""
+        return [op for op in self._operators if isinstance(op, Sink)]
+
+    def topological_order(self) -> List[Operator]:
+        """Operators in a valid processing order (sources first)."""
+        indegree: Dict[Operator, int] = {op: 0 for op in self._operators}
+        for _, consumer in self._edges:
+            indegree[consumer] += 1
+        frontier = [op for op, degree in indegree.items() if degree == 0]
+        order: List[Operator] = []
+        remaining = dict(indegree)
+        while frontier:
+            node = frontier.pop()
+            order.append(node)
+            for producer, consumer in self._edges:
+                if producer is node:
+                    remaining[consumer] -= 1
+                    if remaining[consumer] == 0:
+                        frontier.append(consumer)
+        if len(order) != len(self._operators):
+            raise ValueError("the operator graph contains a cycle")
+        return order
+
+    def _creates_cycle(self, producer: Operator, consumer: Operator) -> bool:
+        """True if adding producer->consumer makes consumer reach producer."""
+        if producer is consumer:
+            return True
+        visited: Set[int] = set()
+        stack = [consumer]
+        adjacency: Dict[Operator, List[Operator]] = {}
+        for src, dst in self._edges:
+            adjacency.setdefault(src, []).append(dst)
+        while stack:
+            node = stack.pop()
+            if node is producer:
+                return True
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.extend(adjacency.get(node, []))
+        return False
+
+    def describe(self) -> str:
+        """Human-readable description of the DAG (used by examples)."""
+        lines = [f"DAG {self.name!r}: {len(self._operators)} operators, "
+                 f"{len(self._edges)} edges, {len(self._shared)} shared"]
+        for producer, consumer in self._edges:
+            shared = " [shared]" if self.is_shared(producer) else ""
+            lines.append(f"  {producer.name}{shared} -> {consumer.name}")
+        return "\n".join(lines)

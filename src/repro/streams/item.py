@@ -1,0 +1,62 @@
+"""The stream tuple: ``(timestamp, docId, set of tags, set of entities)``."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, FrozenSet, Iterable, Optional
+
+
+@dataclass(frozen=True)
+class StreamItem:
+    """One document flowing through the operator DAG.
+
+    ``tags`` are the editorial/user-assigned tags (NYT categories and
+    descriptors, hashtags, feed categories); ``entities`` are named entities
+    added by the entity-tagging operator.  ``text`` carries the raw content
+    for operators that need it (e.g. the entity tagger, personalization
+    keyword matching); ``metadata`` is a free-form channel for source- or
+    operator-specific annotations.
+    """
+
+    timestamp: float
+    doc_id: str
+    tags: FrozenSet[str] = frozenset()
+    entities: FrozenSet[str] = frozenset()
+    text: str = ""
+    source: str = ""
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.timestamp < 0:
+            raise ValueError("timestamp must be non-negative")
+        if not self.doc_id:
+            raise ValueError("doc_id must be non-empty")
+        # Normalise tag containers handed in as lists/sets into frozensets so
+        # items remain hashable and safely shareable between plans.
+        object.__setattr__(self, "tags", frozenset(self.tags))
+        object.__setattr__(self, "entities", frozenset(self.entities))
+
+    @property
+    def all_tags(self) -> FrozenSet[str]:
+        """Union of regular tags and entity tags.
+
+        The paper allows entity tags to be "handled independently of the
+        regular tags, or alternatively combined with regular tags to detect
+        tag/entity mixtures as emergent topics"; this property supports the
+        combined mode.
+        """
+        return self.tags | self.entities
+
+    def with_entities(self, entities: Iterable[str]) -> "StreamItem":
+        """Copy of this item with ``entities`` added (used by the tagger)."""
+        return replace(self, entities=self.entities | frozenset(entities))
+
+    def with_tags(self, tags: Iterable[str]) -> "StreamItem":
+        """Copy of this item with extra regular tags."""
+        return replace(self, tags=self.tags | frozenset(tags))
+
+    def with_metadata(self, **metadata: Any) -> "StreamItem":
+        """Copy of this item with extra metadata entries."""
+        merged = dict(self.metadata)
+        merged.update(metadata)
+        return replace(self, metadata=merged)

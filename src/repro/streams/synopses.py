@@ -1,0 +1,145 @@
+"""Synopsis operators: sketching and sampling plug-ins for the operator DAG.
+
+Section 4.1 lists "plug-in options for sketching operators that map stream
+items into synopses" among the shareable operators of the engine.  These
+operators pass every item through unchanged (so they can sit anywhere in a
+plan) while maintaining a compact summary of the stream that other
+components — monitoring dashboards, approximate seed selection, load
+shedding decisions — can read at any time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.sketches.countmin import WindowedCountMinSketch
+from repro.sketches.sampling import ReservoirSample
+from repro.streams.item import StreamItem
+from repro.streams.operators import Operator
+
+
+class SketchingOperator(Operator):
+    """Maintain approximate windowed tag counts with a Count-Min sketch.
+
+    The operator is a drop-in, approximate replacement for the exact
+    windowed tag statistics: downstream consumers can ask for the estimated
+    count of any tag (or of a tag pair, counted under a joined key) without
+    the engine having to keep exact per-tag state for the full vocabulary.
+    """
+
+    def __init__(
+        self,
+        horizon: float,
+        panes: int = 8,
+        width: int = 1024,
+        depth: int = 4,
+        track_pairs: bool = False,
+        name: Optional[str] = None,
+    ):
+        super().__init__(name=name or "sketching")
+        self._tags = WindowedCountMinSketch(
+            horizon=horizon, panes=panes, width=width, depth=depth)
+        self._pairs = (
+            WindowedCountMinSketch(horizon=horizon, panes=panes, width=width, depth=depth)
+            if track_pairs else None
+        )
+        self.track_pairs = track_pairs
+        self.items_sketched = 0
+
+    @staticmethod
+    def pair_key(tag_a: str, tag_b: str) -> str:
+        """Canonical sketch key for a tag pair."""
+        first, second = sorted((tag_a, tag_b))
+        return f"{first}␟{second}"
+
+    def process(self, item: StreamItem) -> Iterable[StreamItem]:
+        tags = sorted(item.all_tags)
+        for tag in tags:
+            self._tags.add(item.timestamp, tag)
+        if self._pairs is not None:
+            for i in range(len(tags)):
+                for j in range(i + 1, len(tags)):
+                    self._pairs.add(item.timestamp, self.pair_key(tags[i], tags[j]))
+        self.items_sketched += 1
+        return (item,)
+
+    def estimate(self, tag: str) -> int:
+        """Approximate number of windowed documents carrying ``tag``."""
+        return self._tags.estimate(tag)
+
+    def estimate_pair(self, tag_a: str, tag_b: str) -> int:
+        """Approximate windowed co-occurrence count of a pair."""
+        if self._pairs is None:
+            raise RuntimeError("pair tracking was not enabled for this operator")
+        return self._pairs.estimate(self.pair_key(tag_a, tag_b))
+
+    def heavy_hitters(self, candidates: Iterable[str], threshold: int) -> List[Tuple[str, int]]:
+        """Candidates whose estimated count reaches ``threshold``, best first."""
+        hits = [
+            (tag, self._tags.estimate(tag))
+            for tag in candidates
+        ]
+        hits = [(tag, count) for tag, count in hits if count >= threshold]
+        hits.sort(key=lambda item: (-item[1], item[0]))
+        return hits
+
+
+class SamplingOperator(Operator):
+    """Maintain a uniform reservoir sample of the stream.
+
+    Useful for inspection panels ("show me a few recent example documents")
+    and for estimating document-level statistics without storing the stream.
+    """
+
+    def __init__(self, capacity: int = 256, seed: Optional[int] = 0,
+                 name: Optional[str] = None):
+        super().__init__(name=name or "sampling")
+        self._sample: ReservoirSample[StreamItem] = ReservoirSample(capacity, seed=seed)
+
+    def process(self, item: StreamItem) -> Iterable[StreamItem]:
+        self._sample.add(item)
+        return (item,)
+
+    @property
+    def seen(self) -> int:
+        return self._sample.seen
+
+    def sample(self) -> List[StreamItem]:
+        """A copy of the current sample."""
+        return self._sample.items()
+
+    def sample_with_tag(self, tag: str) -> List[StreamItem]:
+        """Sampled documents carrying ``tag``."""
+        return [item for item in self._sample.items() if tag in item.all_tags]
+
+    def estimated_tag_fraction(self, tag: str) -> float:
+        """Estimated fraction of stream documents carrying ``tag``."""
+        items = self._sample.items()
+        if not items:
+            return 0.0
+        return sum(1 for item in items if tag in item.all_tags) / len(items)
+
+
+class ThrottleOperator(Operator):
+    """Deterministic load shedding: forward every ``keep_one_in``-th item.
+
+    A simple stand-in for the load-shedding knobs a production stream engine
+    needs when the input rate exceeds what downstream operators sustain.
+    Shedding is per-operator-instance and deterministic, so replays remain
+    reproducible.
+    """
+
+    def __init__(self, keep_one_in: int, name: Optional[str] = None):
+        super().__init__(name=name or f"throttle(1/{keep_one_in})")
+        if keep_one_in < 1:
+            raise ValueError("keep_one_in must be at least 1")
+        self.keep_one_in = int(keep_one_in)
+        self._counter = 0
+        self.shed = 0
+
+    def process(self, item: StreamItem) -> Iterable[StreamItem]:
+        self._counter += 1
+        if (self._counter - 1) % self.keep_one_in == 0:
+            return (item,)
+        self.shed += 1
+        return ()

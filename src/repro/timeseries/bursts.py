@@ -1,0 +1,117 @@
+"""Burst detection over single-tag frequency series.
+
+TwitterMonitor (Mathioudakis & Koudas, SIGMOD 2010) — the closest related
+system and our main baseline — "discovers topic trends in tweets by
+detecting bursts of tags or tag groups".  A tag is bursting when its current
+arrival rate significantly exceeds its historical baseline.  We implement a
+mean/standard-deviation burst model over a trailing history window, which is
+the standard formulation of that test and is sufficient to reproduce the
+qualitative contrast the paper draws in Figure 1 (bursty tags versus
+correlation shifts).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class BurstEvent:
+    """One detected burst: which series, when, and how strong."""
+
+    key: str
+    timestamp: float
+    value: float
+    baseline: float
+    score: float
+
+    def __post_init__(self) -> None:
+        if self.score < 0:
+            raise ValueError("burst scores are non-negative")
+
+
+class MeanDeviationBurstModel:
+    """Z-score style burst test against a trailing baseline window."""
+
+    def __init__(self, history: int = 24, threshold: float = 3.0, min_history: int = 4):
+        if history <= 0:
+            raise ValueError("history must be positive")
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if min_history < 2:
+            raise ValueError("min_history must be at least 2")
+        self.history = int(history)
+        self.threshold = float(threshold)
+        self.min_history = int(min_history)
+
+    def score(self, history: Sequence[float], value: float) -> float:
+        """Burst score of ``value`` given the trailing ``history``.
+
+        The score is the number of standard deviations the value lies above
+        the historical mean (0 when below the mean or history is too short).
+        A small variance floor keeps constant histories from producing
+        infinite scores.
+        """
+        if len(history) < self.min_history:
+            return 0.0
+        recent = [float(v) for v in history[-self.history:]]
+        mean = sum(recent) / len(recent)
+        variance = sum((v - mean) ** 2 for v in recent) / len(recent)
+        std = math.sqrt(variance)
+        floor = max(1.0, 0.05 * mean)
+        std = max(std, floor * 0.25)
+        if value <= mean:
+            return 0.0
+        return (value - mean) / std
+
+    def is_burst(self, history: Sequence[float], value: float) -> bool:
+        return self.score(history, value) >= self.threshold
+
+
+class BurstDetector:
+    """Track many keyed series and report bursts as observations arrive."""
+
+    def __init__(self, model: Optional[MeanDeviationBurstModel] = None):
+        self.model = model or MeanDeviationBurstModel()
+        self._histories: Dict[str, List[float]] = {}
+        self._events: List[BurstEvent] = []
+
+    def observe(self, key: str, timestamp: float, value: float) -> Optional[BurstEvent]:
+        """Record one observation; return a burst event if it qualifies."""
+        history = self._histories.setdefault(key, [])
+        score = self.model.score(history, value)
+        event: Optional[BurstEvent] = None
+        if score >= self.model.threshold:
+            recent = history[-self.model.history:]
+            baseline = sum(recent) / len(recent) if recent else 0.0
+            event = BurstEvent(
+                key=key, timestamp=timestamp, value=value,
+                baseline=baseline, score=score,
+            )
+            self._events.append(event)
+        history.append(float(value))
+        # Bound memory: only the trailing model history is ever consulted.
+        if len(history) > 4 * self.model.history:
+            del history[: len(history) - 2 * self.model.history]
+        return event
+
+    def history(self, key: str) -> List[float]:
+        return list(self._histories.get(key, []))
+
+    def events(self, key: Optional[str] = None) -> List[BurstEvent]:
+        """All burst events so far, optionally filtered by key."""
+        if key is None:
+            return list(self._events)
+        return [event for event in self._events if event.key == key]
+
+    def bursting_keys(self, since: Optional[float] = None) -> List[str]:
+        """Keys with at least one burst, optionally restricted to recent ones."""
+        keys = []
+        for event in self._events:
+            if since is not None and event.timestamp < since:
+                continue
+            if event.key not in keys:
+                keys.append(event.key)
+        return keys

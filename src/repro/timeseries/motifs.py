@@ -1,0 +1,100 @@
+"""Online discovery of repeating patterns (motifs) in a time series.
+
+The paper cites Mueen & Keogh (KDD 2010) on "online discovery and
+maintenance of time series motifs" as complementary machinery for the
+time-series sub-problem.  We provide a straightforward online motif tracker:
+it maintains the pair of (z-normalised) subsequences of a fixed length with
+the smallest Euclidean distance seen so far, updating as new points arrive.
+It is quadratic per insertion in the number of stored windows rather than
+using the authors' optimised data structures, which is adequate at the
+series lengths produced by the correlation tracker.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Motif:
+    """The closest pair of subsequences found so far."""
+
+    first_start: int
+    second_start: int
+    length: int
+    distance: float
+
+    def __post_init__(self) -> None:
+        if self.first_start < 0 or self.second_start < 0:
+            raise ValueError("motif offsets must be non-negative")
+        if self.length <= 0:
+            raise ValueError("motif length must be positive")
+        if self.distance < 0:
+            raise ValueError("motif distance must be non-negative")
+
+
+def _znormalize(values: Sequence[float]) -> List[float]:
+    n = len(values)
+    mean = sum(values) / n
+    variance = sum((v - mean) ** 2 for v in values) / n
+    std = math.sqrt(variance)
+    if std < 1e-12:
+        return [0.0] * n
+    return [(v - mean) / std for v in values]
+
+
+def _euclidean(a: Sequence[float], b: Sequence[float]) -> float:
+    return math.sqrt(sum((x - y) ** 2 for x, y in zip(a, b)))
+
+
+class MotifDiscovery:
+    """Maintain the best motif pair of a streaming series online."""
+
+    def __init__(self, window: int = 8, exclusion: Optional[int] = None):
+        if window < 2:
+            raise ValueError("motif window must be at least 2")
+        self.window = int(window)
+        # Trivial matches (overlapping windows) are excluded, as in the
+        # motif-discovery literature.
+        self.exclusion = int(exclusion) if exclusion is not None else self.window
+        self._values: List[float] = []
+        self._windows: List[Tuple[int, List[float]]] = []
+        self._best: Optional[Motif] = None
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def best_motif(self) -> Optional[Motif]:
+        return self._best
+
+    def append(self, value: float) -> Optional[Motif]:
+        """Add one observation; return the best motif if it changed."""
+        self._values.append(float(value))
+        if len(self._values) < self.window:
+            return None
+        start = len(self._values) - self.window
+        newest = _znormalize(self._values[start:])
+        improved = None
+        for other_start, other in self._windows:
+            if abs(start - other_start) < self.exclusion:
+                continue
+            distance = _euclidean(newest, other)
+            if self._best is None or distance < self._best.distance:
+                self._best = Motif(
+                    first_start=other_start,
+                    second_start=start,
+                    length=self.window,
+                    distance=distance,
+                )
+                improved = self._best
+        self._windows.append((start, newest))
+        return improved
+
+    def extend(self, values: Sequence[float]) -> Optional[Motif]:
+        """Append many observations; return the final best motif."""
+        for value in values:
+            self.append(value)
+        return self._best

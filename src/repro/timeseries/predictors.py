@@ -1,0 +1,147 @@
+"""One-step-ahead predictors for correlation series.
+
+The shift detector's rule is: "at any point in time we use the previous
+correlation values and try to predict the current ones.  If a predicted
+value is far away from the real one then the topic is considered to be
+emergent and the prediction error is used as a ranking criterion."  Each
+predictor here answers the question "given the history, what value do you
+expect next?" — the detector supplies the history and compares against the
+observation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Type
+
+
+class Predictor:
+    """Interface: predict the next value from a history of past values."""
+
+    #: Minimum number of past observations needed for a meaningful forecast.
+    min_history = 1
+
+    def predict(self, history: Sequence[float]) -> float:
+        """Forecast the next value.  ``history`` is ordered oldest-first."""
+        raise NotImplementedError
+
+    def can_predict(self, history: Sequence[float]) -> bool:
+        return len(history) >= self.min_history
+
+
+class LastValuePredictor(Predictor):
+    """Naive persistence forecast: the next value equals the last one."""
+
+    def predict(self, history: Sequence[float]) -> float:
+        if not history:
+            raise ValueError("cannot predict from an empty history")
+        return float(history[-1])
+
+
+class MovingAveragePredictor(Predictor):
+    """Mean of the last ``window`` observations."""
+
+    def __init__(self, window: int = 5):
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = int(window)
+
+    def predict(self, history: Sequence[float]) -> float:
+        if not history:
+            raise ValueError("cannot predict from an empty history")
+        recent = history[-self.window:]
+        return float(sum(recent)) / len(recent)
+
+
+class EwmaPredictor(Predictor):
+    """Exponentially weighted moving average with smoothing factor ``alpha``."""
+
+    def __init__(self, alpha: float = 0.3):
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must lie in (0, 1]")
+        self.alpha = float(alpha)
+
+    def predict(self, history: Sequence[float]) -> float:
+        if not history:
+            raise ValueError("cannot predict from an empty history")
+        estimate = float(history[0])
+        for value in history[1:]:
+            estimate = self.alpha * float(value) + (1 - self.alpha) * estimate
+        return estimate
+
+
+class LinearTrendPredictor(Predictor):
+    """Least-squares line over the last ``window`` points, extrapolated one step."""
+
+    min_history = 2
+
+    def __init__(self, window: int = 8):
+        if window < 2:
+            raise ValueError("window must be at least 2")
+        self.window = int(window)
+
+    def predict(self, history: Sequence[float]) -> float:
+        if len(history) < 2:
+            raise ValueError("linear trend needs at least two observations")
+        recent = [float(v) for v in history[-self.window:]]
+        n = len(recent)
+        xs = list(range(n))
+        mean_x = sum(xs) / n
+        mean_y = sum(recent) / n
+        denominator = sum((x - mean_x) ** 2 for x in xs)
+        if denominator == 0:
+            return mean_y
+        slope = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, recent)) / denominator
+        intercept = mean_y - slope * mean_x
+        return intercept + slope * n
+
+
+class HoltPredictor(Predictor):
+    """Holt's double exponential smoothing (level + trend)."""
+
+    min_history = 2
+
+    def __init__(self, alpha: float = 0.4, beta: float = 0.2):
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must lie in (0, 1]")
+        if not 0 < beta <= 1:
+            raise ValueError("beta must lie in (0, 1]")
+        self.alpha = float(alpha)
+        self.beta = float(beta)
+
+    def predict(self, history: Sequence[float]) -> float:
+        if len(history) < 2:
+            raise ValueError("Holt smoothing needs at least two observations")
+        values = [float(v) for v in history]
+        level = values[0]
+        trend = values[1] - values[0]
+        for value in values[1:]:
+            previous_level = level
+            level = self.alpha * value + (1 - self.alpha) * (level + trend)
+            trend = self.beta * (level - previous_level) + (1 - self.beta) * trend
+        return level + trend
+
+
+_PREDICTOR_REGISTRY: Dict[str, Type[Predictor]] = {
+    "last": LastValuePredictor,
+    "moving_average": MovingAveragePredictor,
+    "ewma": EwmaPredictor,
+    "linear": LinearTrendPredictor,
+    "holt": HoltPredictor,
+}
+
+
+def available_predictors() -> List[str]:
+    """Names accepted by :func:`make_predictor`."""
+    return sorted(_PREDICTOR_REGISTRY)
+
+
+def make_predictor(name: str, **kwargs) -> Predictor:
+    """Instantiate a predictor by name (``last``, ``moving_average``,
+    ``ewma``, ``linear`` or ``holt``)."""
+    try:
+        predictor_class = _PREDICTOR_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown predictor {name!r}; available: {available_predictors()}"
+        ) from None
+    return predictor_class(**kwargs)

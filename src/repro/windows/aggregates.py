@@ -1,0 +1,179 @@
+"""Windowed aggregates built on top of the sliding windows.
+
+The seed-tag selector needs sliding-window averages of tag frequencies, and
+the correlation tracker needs windowed document counts per tag and per tag
+pair.  These aggregates keep the per-entry data so that evictions are exact;
+approximate counterparts based on synopses live in :mod:`repro.sketches`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
+
+from repro.windows.sliding import TimeSlidingWindow
+
+
+class SlidingSum:
+    """Sum of numeric values observed within a time horizon."""
+
+    def __init__(self, horizon: float):
+        self._window = TimeSlidingWindow(horizon)
+        self._sum = 0.0
+
+    def add(self, timestamp: float, value: float) -> None:
+        self._window.append(timestamp, float(value))
+        self._resync()
+
+    def advance_to(self, timestamp: float) -> None:
+        self._window.advance_to(timestamp)
+        self._resync()
+
+    @property
+    def value(self) -> float:
+        return self._sum
+
+    def __len__(self) -> int:
+        return len(self._window)
+
+    def _resync(self) -> None:
+        # Recompute from live entries: windows are small relative to the
+        # stream, and exact recomputation avoids floating point drift from
+        # incremental add/subtract over long runs.
+        self._sum = float(sum(self._window.values()))
+
+
+class SlidingAverage:
+    """Sliding-window average, the paper's popularity measure for seed tags."""
+
+    def __init__(self, horizon: float):
+        self._window = TimeSlidingWindow(horizon)
+
+    def add(self, timestamp: float, value: float = 1.0) -> None:
+        self._window.append(timestamp, float(value))
+
+    def advance_to(self, timestamp: float) -> None:
+        self._window.advance_to(timestamp)
+
+    @property
+    def count(self) -> int:
+        return len(self._window)
+
+    @property
+    def value(self) -> float:
+        """Mean of the live values; 0.0 when the window is empty."""
+        if not self._window:
+            return 0.0
+        values = self._window.values()
+        return float(sum(values)) / len(values)
+
+    def rate(self) -> float:
+        """Arrivals per time unit over the window horizon."""
+        return len(self._window) / self._window.horizon
+
+
+class SlidingCounter:
+    """Number of events observed within a time horizon."""
+
+    def __init__(self, horizon: float):
+        self._window = TimeSlidingWindow(horizon)
+
+    def add(self, timestamp: float) -> None:
+        self._window.append(timestamp, 1)
+
+    def advance_to(self, timestamp: float) -> None:
+        self._window.advance_to(timestamp)
+
+    @property
+    def value(self) -> int:
+        return len(self._window)
+
+    @property
+    def horizon(self) -> float:
+        return self._window.horizon
+
+
+class TagFrequencyWindow:
+    """Windowed per-tag document counts over the stream.
+
+    This is the statistic behind both seed-tag popularity and the
+    denominators of the pairwise correlation measures: for each tag it tracks
+    how many documents inside the sliding window carry that tag, and it also
+    tracks the total number of documents in the window.
+    """
+
+    def __init__(self, horizon: float):
+        if horizon <= 0:
+            raise ValueError("window horizon must be positive")
+        self.horizon = float(horizon)
+        self._events: Deque[Tuple[float, Tuple[str, ...]]] = deque()
+        self._counts: Counter = Counter()
+        self._documents = 0
+        self._latest: Optional[float] = None
+
+    @property
+    def latest_timestamp(self) -> Optional[float]:
+        return self._latest
+
+    @property
+    def document_count(self) -> int:
+        """Number of documents currently inside the window."""
+        return self._documents
+
+    def add_document(self, timestamp: float, tags: Iterable[str]) -> None:
+        """Register a document and its (deduplicated) tag set."""
+        if self._latest is not None and timestamp < self._latest:
+            raise ValueError(
+                f"out-of-order insertion: {timestamp} < {self._latest}"
+            )
+        unique_tags = tuple(sorted(set(tags)))
+        self._events.append((timestamp, unique_tags))
+        for tag in unique_tags:
+            self._counts[tag] += 1
+        self._documents += 1
+        self._latest = timestamp
+        self._evict(timestamp)
+
+    def advance_to(self, timestamp: float) -> None:
+        if self._latest is not None and timestamp < self._latest:
+            raise ValueError(
+                f"cannot advance backwards: {timestamp} < {self._latest}"
+            )
+        self._latest = timestamp
+        self._evict(timestamp)
+
+    def count(self, tag: str) -> int:
+        """Documents in the window tagged with ``tag``."""
+        return self._counts.get(tag, 0)
+
+    def frequency(self, tag: str) -> float:
+        """Fraction of windowed documents tagged with ``tag``."""
+        if self._documents == 0:
+            return 0.0
+        return self._counts.get(tag, 0) / self._documents
+
+    def tags(self) -> List[str]:
+        """Tags with at least one live occurrence."""
+        return [tag for tag, count in self._counts.items() if count > 0]
+
+    def top_tags(self, k: int) -> List[Tuple[str, int]]:
+        """The ``k`` most frequent tags in the window, ties broken by name."""
+        if k <= 0:
+            return []
+        live = [(tag, count) for tag, count in self._counts.items() if count > 0]
+        live.sort(key=lambda item: (-item[1], item[0]))
+        return live[:k]
+
+    def snapshot(self) -> Dict[str, int]:
+        """Copy of the live per-tag counts."""
+        return {tag: count for tag, count in self._counts.items() if count > 0}
+
+    def _evict(self, now: float) -> None:
+        cutoff = now - self.horizon
+        while self._events and self._events[0][0] <= cutoff:
+            _, tags = self._events.popleft()
+            for tag in tags:
+                self._counts[tag] -= 1
+                if self._counts[tag] <= 0:
+                    del self._counts[tag]
+            self._documents -= 1

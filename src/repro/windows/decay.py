@@ -1,0 +1,97 @@
+"""Exponential decay utilities.
+
+The paper's shift detector keeps, for every candidate topic, "the maximum of
+the current prediction error and the prediction errors from the past,
+dampened appropriately using an exponential decline factor with a half life
+of approximately 2 days".  :class:`DecayedMaximum` implements exactly that
+decayed-maximum score; :class:`ExponentialDecay` provides the underlying
+decay factor computation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+#: Two days expressed in seconds, the paper's default half-life.
+TWO_DAYS_SECONDS = 2 * 24 * 3600.0
+
+
+def half_life_to_lambda(half_life: float) -> float:
+    """Convert a half-life into the exponential decay rate ``lambda``.
+
+    A value decayed for ``half_life`` time units is multiplied by exactly
+    ``0.5``: ``exp(-lambda * half_life) == 0.5``.
+    """
+    if half_life <= 0:
+        raise ValueError("half-life must be positive")
+    return math.log(2.0) / half_life
+
+
+@dataclass(frozen=True)
+class ExponentialDecay:
+    """Exponential decay characterised by its half-life."""
+
+    half_life: float = TWO_DAYS_SECONDS
+
+    def __post_init__(self) -> None:
+        if self.half_life <= 0:
+            raise ValueError("half-life must be positive")
+
+    @property
+    def decay_rate(self) -> float:
+        return half_life_to_lambda(self.half_life)
+
+    def factor(self, elapsed: float) -> float:
+        """Multiplicative decay factor after ``elapsed`` time units."""
+        if elapsed < 0:
+            raise ValueError("elapsed time must be non-negative")
+        return math.exp(-self.decay_rate * elapsed)
+
+    def decay(self, value: float, elapsed: float) -> float:
+        """Return ``value`` dampened by ``elapsed`` time units of decay."""
+        return value * self.factor(elapsed)
+
+
+class DecayedMaximum:
+    """Running maximum of observations under exponential decay.
+
+    ``update(t, x)`` first decays the stored maximum from its last update
+    time to ``t`` and then takes the maximum with ``x``.  ``value_at(t)``
+    reads the decayed maximum without recording a new observation.  This is
+    the score a topic carries in the emergent-topic ranking.
+    """
+
+    def __init__(self, decay: Optional[ExponentialDecay] = None):
+        self.decay = decay or ExponentialDecay()
+        self._value = 0.0
+        self._last_update: Optional[float] = None
+
+    @property
+    def last_update(self) -> Optional[float]:
+        return self._last_update
+
+    def update(self, timestamp: float, observation: float) -> float:
+        """Fold a new observation in and return the resulting score."""
+        if observation < 0:
+            raise ValueError("observations must be non-negative")
+        decayed = self.value_at(timestamp)
+        self._value = max(decayed, observation)
+        self._last_update = timestamp
+        return self._value
+
+    def value_at(self, timestamp: float) -> float:
+        """The decayed maximum as of ``timestamp`` (no state change)."""
+        if self._last_update is None:
+            return 0.0
+        if timestamp < self._last_update:
+            raise ValueError(
+                f"cannot evaluate in the past: {timestamp} < {self._last_update}"
+            )
+        elapsed = timestamp - self._last_update
+        return self.decay.decay(self._value, elapsed)
+
+    def reset(self) -> None:
+        self._value = 0.0
+        self._last_update = None

@@ -1,0 +1,137 @@
+"""A small timestamped series container.
+
+Correlation histories, popularity curves and the Figure 1 reproduction all
+need an ordered list of ``(timestamp, value)`` observations with a couple of
+convenience operations (slicing by time, resampling onto a regular grid,
+simple statistics).  Keeping this in one place avoids each consumer juggling
+parallel lists.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+
+class TimeSeries:
+    """An append-only series of ``(timestamp, value)`` pairs.
+
+    Timestamps must be appended in non-decreasing order; the stream sources
+    in this library all emit time-ordered documents so the restriction never
+    bites in practice and keeps lookups logarithmic.
+    """
+
+    def __init__(
+        self, points: Optional[Iterable[Tuple[float, float]]] = None
+    ) -> None:
+        self._timestamps: List[float] = []
+        self._values: List[float] = []
+        if points is not None:
+            for timestamp, value in points:
+                self.append(timestamp, value)
+
+    def __len__(self) -> int:
+        return len(self._timestamps)
+
+    def __bool__(self) -> bool:
+        return bool(self._timestamps)
+
+    def __iter__(self) -> Iterator[Tuple[float, float]]:
+        return iter(zip(self._timestamps, self._values))
+
+    def __getitem__(self, index: int) -> Tuple[float, float]:
+        return self._timestamps[index], self._values[index]
+
+    def append(self, timestamp: float, value: float) -> None:
+        if self._timestamps and timestamp < self._timestamps[-1]:
+            raise ValueError(
+                f"out-of-order append: {timestamp} < {self._timestamps[-1]}"
+            )
+        self._timestamps.append(float(timestamp))
+        self._values.append(float(value))
+
+    @property
+    def timestamps(self) -> Sequence[float]:
+        return tuple(self._timestamps)
+
+    @property
+    def values(self) -> Sequence[float]:
+        return tuple(self._values)
+
+    def last(self) -> Tuple[float, float]:
+        if not self._timestamps:
+            raise IndexError("empty time series")
+        return self._timestamps[-1], self._values[-1]
+
+    def value_at(self, timestamp: float) -> float:
+        """Most recent value at or before ``timestamp`` (step interpolation)."""
+        if not self._timestamps:
+            raise IndexError("empty time series")
+        index = bisect.bisect_right(self._timestamps, timestamp) - 1
+        if index < 0:
+            raise KeyError(f"no observation at or before {timestamp}")
+        return self._values[index]
+
+    def between(self, start: float, end: float) -> "TimeSeries":
+        """Sub-series with ``start <= timestamp <= end``."""
+        if end < start:
+            raise ValueError("end must not precede start")
+        lo = bisect.bisect_left(self._timestamps, start)
+        hi = bisect.bisect_right(self._timestamps, end)
+        series = TimeSeries()
+        series._timestamps = self._timestamps[lo:hi]
+        series._values = self._values[lo:hi]
+        return series
+
+    def tail(self, n: int) -> List[float]:
+        """The last ``n`` values (fewer if the series is shorter)."""
+        if n <= 0:
+            return []
+        return list(self._values[-n:])
+
+    def resample(self, start: float, end: float, step: float) -> "TimeSeries":
+        """Sample the series on a regular grid using step interpolation."""
+        if step <= 0:
+            raise ValueError("step must be positive")
+        if end < start:
+            raise ValueError("end must not precede start")
+        series = TimeSeries()
+        t = start
+        while t <= end + 1e-9:
+            try:
+                value = self.value_at(t)
+            except (KeyError, IndexError):
+                value = 0.0
+            series.append(t, value)
+            t += step
+        return series
+
+    def mean(self) -> float:
+        if not self._values:
+            return 0.0
+        return sum(self._values) / len(self._values)
+
+    def std(self) -> float:
+        if len(self._values) < 2:
+            return 0.0
+        mu = self.mean()
+        variance = sum((v - mu) ** 2 for v in self._values) / (len(self._values) - 1)
+        return math.sqrt(variance)
+
+    def max(self) -> float:
+        if not self._values:
+            return 0.0
+        return max(self._values)
+
+    def min(self) -> float:
+        if not self._values:
+            return 0.0
+        return min(self._values)
+
+    def diff(self) -> "TimeSeries":
+        """First differences: value[i] - value[i-1] stamped at timestamp[i]."""
+        series = TimeSeries()
+        for i in range(1, len(self._values)):
+            series.append(self._timestamps[i], self._values[i] - self._values[i - 1])
+        return series

@@ -1,0 +1,123 @@
+"""Tests for the correlation measures."""
+
+import pytest
+
+from repro.core.correlation import (
+    CosineCorrelation,
+    JaccardCorrelation,
+    KlDivergenceCorrelation,
+    OverlapCorrelation,
+    PairCounts,
+    PmiCorrelation,
+    available_measures,
+    make_measure,
+)
+
+
+def counts(a, b, both, total):
+    return PairCounts(count_a=a, count_b=b, count_both=both, total_documents=total)
+
+
+class TestPairCounts:
+    def test_union(self):
+        assert counts(10, 5, 3, 100).union == 12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            counts(-1, 5, 0, 100)
+        with pytest.raises(ValueError):
+            counts(5, 5, 6, 100)  # intersection larger than either set
+        with pytest.raises(ValueError):
+            counts(200, 5, 5, 100)  # tag count exceeds documents
+
+
+class TestJaccard:
+    def test_known_value(self):
+        assert JaccardCorrelation().value(counts(10, 5, 3, 100)) == pytest.approx(3 / 12)
+
+    def test_identical_sets_give_one(self):
+        assert JaccardCorrelation().value(counts(5, 5, 5, 100)) == 1.0
+
+    def test_disjoint_sets_give_zero(self):
+        assert JaccardCorrelation().value(counts(5, 5, 0, 100)) == 0.0
+
+    def test_empty_counts_give_zero(self):
+        assert JaccardCorrelation().value(counts(0, 0, 0, 0)) == 0.0
+
+
+class TestOverlap:
+    def test_driven_by_smaller_set(self):
+        # All of the rare tag's documents also carry the popular tag.
+        assert OverlapCorrelation().value(counts(100, 4, 4, 200)) == 1.0
+
+    def test_partial_overlap(self):
+        assert OverlapCorrelation().value(counts(100, 10, 5, 200)) == pytest.approx(0.5)
+
+    def test_zero_when_one_tag_absent(self):
+        assert OverlapCorrelation().value(counts(10, 0, 0, 100)) == 0.0
+
+
+class TestCosine:
+    def test_known_value(self):
+        assert CosineCorrelation().value(counts(9, 4, 3, 100)) == pytest.approx(0.5)
+
+    def test_zero_denominator(self):
+        assert CosineCorrelation().value(counts(0, 5, 0, 100)) == 0.0
+
+
+class TestPmi:
+    def test_independent_tags_score_zero(self):
+        # p(a,b) == p(a) p(b): PMI is 0.
+        value = PmiCorrelation().value(counts(50, 50, 25, 100))
+        assert value == pytest.approx(0.0, abs=1e-9)
+
+    def test_perfect_association_scores_one(self):
+        value = PmiCorrelation().value(counts(10, 10, 10, 100))
+        assert value == pytest.approx(1.0)
+
+    def test_negative_association_clamped_to_zero(self):
+        value = PmiCorrelation().value(counts(90, 90, 10, 100))
+        assert value == 0.0
+
+    def test_no_cooccurrence_scores_zero(self):
+        assert PmiCorrelation().value(counts(10, 10, 0, 100)) == 0.0
+
+
+class TestKlDivergence:
+    def test_identical_usage_distributions_score_high(self):
+        usage = {"x": 5, "y": 5}
+        measure = KlDivergenceCorrelation()
+        assert measure.value(counts(5, 5, 2, 10), usage, dict(usage)) == pytest.approx(1.0)
+
+    def test_different_usage_distributions_score_lower(self):
+        measure = KlDivergenceCorrelation()
+        similar = measure.value(counts(5, 5, 2, 10), {"x": 5, "y": 5}, {"x": 5, "y": 4})
+        different = measure.value(counts(5, 5, 2, 10), {"x": 10}, {"y": 10})
+        assert different < similar
+
+    def test_falls_back_to_jaccard_without_usage(self):
+        measure = KlDivergenceCorrelation()
+        assert measure.value(counts(10, 5, 3, 100)) == pytest.approx(3 / 12)
+
+    def test_smoothing_validation(self):
+        with pytest.raises(ValueError):
+            KlDivergenceCorrelation(smoothing=0.0)
+
+
+class TestRegistry:
+    def test_all_measures_available(self):
+        assert set(available_measures()) == {"jaccard", "overlap", "cosine", "pmi", "kl"}
+
+    def test_make_measure(self):
+        assert isinstance(make_measure("jaccard"), JaccardCorrelation)
+        assert isinstance(make_measure("kl", smoothing=0.1), KlDivergenceCorrelation)
+
+    def test_unknown_measure_rejected(self):
+        with pytest.raises(ValueError):
+            make_measure("psychic")
+
+    def test_values_are_bounded_for_set_measures(self):
+        for name in ("jaccard", "overlap", "cosine", "pmi"):
+            measure = make_measure(name)
+            value = measure.value(counts(20, 10, 7, 100))
+            assert 0.0 <= value <= 1.0

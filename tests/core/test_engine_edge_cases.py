@@ -1,0 +1,130 @@
+"""Edge-case behaviour of the EnBlogue engine."""
+
+import pytest
+
+from repro.core.config import EnBlogueConfig
+from repro.core.engine import EnBlogue
+from repro.datasets.documents import Document
+
+HOUR = 3600.0
+
+
+def config(**overrides):
+    defaults = dict(
+        window_horizon=6 * HOUR, evaluation_interval=HOUR,
+        num_seeds=10, min_seed_count=1, min_pair_support=1, min_history=2,
+        predictor_window=3,
+    )
+    defaults.update(overrides)
+    return EnBlogueConfig(**defaults)
+
+
+def doc(t, tags, doc_id=None, text=""):
+    return Document(timestamp=float(t), doc_id=doc_id or f"doc-{t}",
+                    tags=frozenset(tags), text=text)
+
+
+class TestDegenerateDocuments:
+    def test_documents_without_tags_are_ingested_harmlessly(self):
+        engine = EnBlogue(config())
+        engine.process(doc(0, []))
+        engine.process(doc(1, []))
+        assert engine.documents_processed == 2
+        ranking = engine.evaluate_now()
+        assert len(ranking) == 0
+
+    def test_single_tag_documents_produce_no_pairs(self):
+        engine = EnBlogue(config())
+        for t in range(5):
+            engine.process(doc(t * 600, ["solo"]))
+        ranking = engine.evaluate_now()
+        assert len(ranking) == 0
+        assert engine.tracker.tag_count("solo") == 5
+
+    def test_duplicate_timestamps_are_accepted(self):
+        engine = EnBlogue(config())
+        engine.process(doc(100, ["a", "b"], doc_id="one"))
+        engine.process(doc(100, ["a", "c"], doc_id="two"))
+        assert engine.documents_processed == 2
+
+    def test_out_of_order_documents_are_rejected(self):
+        engine = EnBlogue(config())
+        engine.process(doc(1000, ["a", "b"]))
+        with pytest.raises(ValueError):
+            engine.process(doc(10, ["a", "b"], doc_id="late"))
+
+    def test_empty_string_tags_are_dropped(self):
+        engine = EnBlogue(config())
+        engine.process(doc(0, ["", "real"]))
+        assert engine.tracker.tag_count("real") == 1
+        assert engine.tracker.tag_count("") == 0
+
+    def test_whitespace_only_text_without_tagger_is_fine(self):
+        engine = EnBlogue(config())
+        engine.process(doc(0, ["a", "b"], text="   "))
+        assert engine.documents_processed == 1
+
+
+class TestEvaluationBoundaries:
+    def test_no_seeds_when_all_tags_below_min_count(self):
+        engine = EnBlogue(config(min_seed_count=5))
+        engine.process(doc(0, ["a", "b"]))
+        engine.process(doc(2 * HOUR, ["a", "b"]))
+        assert engine.current_seeds == []
+        # Without seeds there are no candidate pairs and no topics.
+        assert all(len(r) == 0 for r in engine.ranking_history())
+
+    def test_evaluate_now_does_not_disturb_periodic_schedule(self):
+        engine = EnBlogue(config())
+        engine.process(doc(0, ["a", "b"]))
+        engine.evaluate_now()
+        before = len(engine.ranking_history())
+        engine.process(doc(HOUR + 1, ["a", "b"]))
+        assert len(engine.ranking_history()) == before + 1
+
+    def test_long_quiet_gap_produces_one_ranking_per_interval(self):
+        engine = EnBlogue(config())
+        engine.process(doc(0, ["a", "b"]))
+        engine.process(doc(5 * HOUR + 1, ["a", "b"]))
+        # Boundaries at 1h..5h after the first document.
+        assert len(engine.ranking_history()) == 5
+        timestamps = [r.timestamp for r in engine.ranking_history()]
+        assert timestamps == sorted(timestamps)
+
+    def test_rankings_after_window_fully_expires(self):
+        engine = EnBlogue(config())
+        engine.process(doc(0, ["a", "b"]))
+        engine.process(doc(0.5 * HOUR, ["a", "b"]))
+        # Jump far beyond the window: all live state should have expired and
+        # evaluation must still work (producing empty/low-score rankings).
+        engine.process(doc(48 * HOUR, ["c", "d"]))
+        assert engine.tracker.tag_count("a") == 0
+        final = engine.evaluate_now()
+        assert all(topic.score >= 0 for topic in final)
+
+
+class TestScoreSemantics:
+    def test_scores_decay_when_a_topic_goes_quiet(self):
+        engine = EnBlogue(config(decay_half_life=2 * HOUR))
+        # Hours 0-5: the tags co-occur at a low, steady rate (1 of 5 docs per
+        # hour); hours 6-8: they suddenly co-occur in every document, which is
+        # the shift being scored.
+        for hour in range(9):
+            together = hour >= 6
+            if together:
+                hour_docs = [["a", "b"]] * 5
+            else:
+                hour_docs = [["a", "b"], ["a", "x"], ["a", "x"], ["b", "y"], ["b", "y"]]
+            for i, tags in enumerate(hour_docs):
+                engine.process(doc(hour * HOUR + i, tags, doc_id=f"d{hour}-{i}"))
+        peak = engine.topic_score("a", "b")
+        assert peak > 0
+        # Then the topic goes completely quiet for a day.
+        engine.process(doc(30 * HOUR, ["x", "y"]))
+        decayed = engine.topic_score("a", "b")
+        assert decayed < peak / 4
+
+    def test_topic_score_for_unknown_pair_is_zero(self):
+        engine = EnBlogue(config())
+        engine.process(doc(0, ["a", "b"]))
+        assert engine.topic_score("never", "seen") == 0.0

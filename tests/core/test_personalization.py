@@ -1,0 +1,145 @@
+"""Tests for personalization (show case 3)."""
+
+import pytest
+
+from repro.core.personalization import (
+    PersonalizationEngine,
+    UserProfile,
+    personalize_ranking,
+)
+from repro.core.types import EmergentTopic, Ranking, TagPair
+
+
+def ranking_from(scores, timestamp=0.0):
+    topics = [
+        EmergentTopic(pair=TagPair(*pair), score=score, timestamp=timestamp)
+        for pair, score in scores
+    ]
+    return Ranking(timestamp=timestamp, topics=topics)
+
+
+CATEGORY_TAGS = {
+    "sports": ("tennis", "olympics", "baseball"),
+    "politics": ("elections", "congress"),
+}
+
+
+class TestUserProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UserProfile(user_id="")
+        with pytest.raises(ValueError):
+            UserProfile(user_id="u", boost=0.5)
+
+    def test_keyword_matching_is_substring_and_case_insensitive(self):
+        profile = UserProfile(user_id="u", keywords=("Volcano",))
+        assert profile.matches_tag("volcano")
+        assert profile.matches_tag("volcano eruption")
+        assert not profile.matches_tag("weather")
+
+    def test_category_matching_via_category_tags(self):
+        profile = UserProfile(user_id="u", categories=("sports",),
+                              category_tags=CATEGORY_TAGS)
+        assert profile.matches_tag("tennis")
+        assert not profile.matches_tag("elections")
+
+    def test_match_strength_levels(self):
+        profile = UserProfile(user_id="u", keywords=("tennis", "olympics"))
+        assert profile.match_strength(TagPair("tennis", "olympics")) == 1.0
+        assert profile.match_strength(TagPair("tennis", "weather")) == 0.5
+        assert profile.match_strength(TagPair("economy", "weather")) == 0.0
+
+    def test_update_preferences(self):
+        profile = UserProfile(user_id="u", keywords=("old",))
+        profile.update_keywords(["New"])
+        profile.update_categories(["sports"])
+        assert profile.keywords == ("new",)
+        assert profile.categories == ("sports",)
+
+    def test_interest_tags_deduplicated(self):
+        profile = UserProfile(user_id="u", categories=("sports", "politics"),
+                              category_tags=CATEGORY_TAGS)
+        tags = profile.interest_tags()
+        assert len(tags) == len(set(tags))
+        assert "tennis" in tags and "elections" in tags
+
+
+class TestPersonalizeRanking:
+    def base_ranking(self):
+        return ranking_from([
+            (("elections", "white house"), 0.6),
+            (("tennis", "olympics"), 0.5),
+            (("economy", "banking"), 0.4),
+        ])
+
+    def test_matching_topics_are_boosted(self):
+        profile = UserProfile(user_id="sports-fan", keywords=("tennis", "olympics"),
+                              boost=3.0)
+        personalized = personalize_ranking(self.base_ranking(), profile)
+        assert personalized[0].pair == TagPair("olympics", "tennis")
+        assert personalized[0].score == pytest.approx(0.5 * 3.0)
+
+    def test_non_matching_scores_unchanged(self):
+        profile = UserProfile(user_id="sports-fan", keywords=("tennis",))
+        personalized = personalize_ranking(self.base_ranking(), profile)
+        scores = personalized.scores()
+        assert scores[TagPair("economy", "banking")] == pytest.approx(0.4)
+
+    def test_filter_only_drops_non_matching_topics(self):
+        profile = UserProfile(user_id="u", keywords=("tennis",), filter_only=True)
+        personalized = personalize_ranking(self.base_ranking(), profile)
+        assert personalized.pairs() == [TagPair("olympics", "tennis")]
+
+    def test_top_k_truncation(self):
+        profile = UserProfile(user_id="u", keywords=("tennis",))
+        personalized = personalize_ranking(self.base_ranking(), profile, top_k=1)
+        assert len(personalized) == 1
+
+    def test_label_carries_user_id(self):
+        profile = UserProfile(user_id="alice")
+        assert personalize_ranking(self.base_ranking(), profile).label == "user:alice"
+
+    def test_different_profiles_give_different_orderings(self):
+        ranking = self.base_ranking()
+        sports = personalize_ranking(
+            ranking, UserProfile(user_id="s", keywords=("tennis", "olympics"), boost=4.0))
+        politics = personalize_ranking(
+            ranking, UserProfile(user_id="p", keywords=("elections",), boost=4.0))
+        assert sports[0].pair != politics[0].pair
+
+
+class TestPersonalizationEngine:
+    def test_register_and_lookup(self):
+        engine = PersonalizationEngine()
+        engine.register(UserProfile(user_id="alice"))
+        assert engine.users() == ["alice"]
+        assert engine.profile("alice").user_id == "alice"
+        assert len(engine) == 1
+
+    def test_unknown_user_raises(self):
+        with pytest.raises(KeyError):
+            PersonalizationEngine().profile("nobody")
+
+    def test_unregister(self):
+        engine = PersonalizationEngine()
+        engine.register(UserProfile(user_id="alice"))
+        engine.unregister("alice")
+        assert engine.users() == []
+        engine.unregister("alice")  # idempotent
+
+    def test_personalize_all(self):
+        engine = PersonalizationEngine()
+        engine.register(UserProfile(user_id="alice", keywords=("tennis",)))
+        engine.register(UserProfile(user_id="bob", keywords=("elections",)))
+        ranking = ranking_from([(("tennis", "olympics"), 0.5),
+                                (("elections", "congress"), 0.5)])
+        views = engine.personalize_all(ranking)
+        assert set(views) == {"alice", "bob"}
+        assert views["alice"][0].pair == TagPair("olympics", "tennis")
+        assert views["bob"][0].pair == TagPair("congress", "elections")
+
+    def test_reregistering_replaces_profile(self):
+        engine = PersonalizationEngine()
+        engine.register(UserProfile(user_id="alice", keywords=("a",)))
+        engine.register(UserProfile(user_id="alice", keywords=("b",)))
+        assert engine.profile("alice").keywords == ("b",)

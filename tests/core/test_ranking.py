@@ -1,0 +1,85 @@
+"""Tests for the top-k ranking builder."""
+
+import pytest
+
+from repro.core.ranking import RankingBuilder
+from repro.core.shift import ShiftDetector, ShiftScore
+from repro.core.tracker import PairObservation
+from repro.core.correlation import PairCounts
+from repro.core.types import TagPair
+from repro.timeseries.predictors import LastValuePredictor
+from repro.windows.decay import ExponentialDecay
+
+
+def shift(pair, score, timestamp=0.0, error=None, correlation=0.5):
+    return ShiftScore(
+        pair=pair, timestamp=timestamp, correlation=correlation,
+        predicted=0.1, error=error if error is not None else score,
+        score=score, seed_tag=pair.first,
+    )
+
+
+class TestRankingBuilder:
+    def test_builds_sorted_topk(self):
+        builder = RankingBuilder(top_k=2)
+        scores = [
+            shift(TagPair("a", "b"), 0.2),
+            shift(TagPair("c", "d"), 0.9),
+            shift(TagPair("e", "f"), 0.5),
+        ]
+        ranking = builder.build(10.0, scores)
+        assert len(ranking) == 2
+        assert ranking[0].pair == TagPair("c", "d")
+        assert ranking[1].pair == TagPair("e", "f")
+
+    def test_min_score_filters_noise(self):
+        builder = RankingBuilder(top_k=5, min_score=0.3)
+        ranking = builder.build(1.0, [shift(TagPair("a", "b"), 0.1)])
+        assert len(ranking) == 0
+
+    def test_zero_score_topics_excluded_by_default(self):
+        builder = RankingBuilder(top_k=5)
+        ranking = builder.build(1.0, [shift(TagPair("a", "b"), 0.0)])
+        assert len(ranking) == 0
+
+    def test_label_attached(self):
+        builder = RankingBuilder(top_k=5)
+        ranking = builder.build(1.0, [shift(TagPair("a", "b"), 0.5)], label="config-x")
+        assert ranking.label == "config-x"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RankingBuilder(top_k=0)
+        with pytest.raises(ValueError):
+            RankingBuilder(min_score=-1.0)
+
+    def test_past_scored_pairs_compete_via_detector(self):
+        # A pair scored strongly an hour ago but absent from the current
+        # observations must still appear with its decayed score.
+        decay = ExponentialDecay(half_life=7200.0)
+        detector = ShiftDetector(predictor=LastValuePredictor(), min_history=1, decay=decay)
+        old_pair = TagPair("old", "topic")
+        detector.update(
+            PairObservation(pair=old_pair, timestamp=0.0, correlation=0.9,
+                            counts=PairCounts(2, 2, 2, 10), seed_tag="old"),
+            [0.0],
+        )
+        builder = RankingBuilder(top_k=5)
+        fresh = [shift(TagPair("new", "topic"), 0.1, timestamp=3600.0)]
+        ranking = builder.build(3600.0, fresh, detector=detector)
+        assert ranking.contains_pair(old_pair)
+        assert ranking[0].pair == old_pair  # 0.9 decayed by half a half-life > 0.1
+
+    def test_current_observation_takes_precedence_over_detector_entry(self):
+        detector = ShiftDetector(predictor=LastValuePredictor(), min_history=1)
+        pair = TagPair("a", "b")
+        detector.update(
+            PairObservation(pair=pair, timestamp=0.0, correlation=0.9,
+                            counts=PairCounts(2, 2, 2, 10), seed_tag="a"),
+            [0.0],
+        )
+        builder = RankingBuilder(top_k=5)
+        ranking = builder.build(0.0, [shift(pair, 0.9, correlation=0.77)], detector=detector)
+        # Only one entry for the pair, carrying the fresh correlation value.
+        assert len([t for t in ranking if t.pair == pair]) == 1
+        assert ranking[0].correlation == pytest.approx(0.77)

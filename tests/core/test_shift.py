@@ -1,0 +1,103 @@
+"""Tests for shift detection and scoring."""
+
+import pytest
+
+from repro.core.correlation import PairCounts
+from repro.core.shift import ShiftDetector, ShiftScore
+from repro.core.tracker import PairObservation
+from repro.core.types import TagPair
+from repro.timeseries.predictors import LastValuePredictor, MovingAveragePredictor
+from repro.windows.decay import ExponentialDecay
+
+
+def observation(pair, timestamp, correlation, seed="s"):
+    return PairObservation(
+        pair=pair,
+        timestamp=timestamp,
+        correlation=correlation,
+        counts=PairCounts(1, 1, 1, 10),
+        seed_tag=seed,
+    )
+
+
+class TestPredictionError:
+    def test_short_history_gives_zero_error(self):
+        detector = ShiftDetector(min_history=3)
+        assert detector.prediction_error([0.1], 0.9) == 0.0
+        assert detector.predict([0.1]) == 0.0
+
+    def test_error_is_observation_minus_prediction(self):
+        detector = ShiftDetector(predictor=MovingAveragePredictor(window=3), min_history=3)
+        error = detector.prediction_error([0.1, 0.1, 0.1], 0.5)
+        assert error == pytest.approx(0.4)
+
+    def test_negative_errors_clamped_by_default(self):
+        detector = ShiftDetector(predictor=LastValuePredictor(), min_history=1)
+        assert detector.prediction_error([0.8], 0.2) == 0.0
+
+    def test_drops_penalised_when_requested(self):
+        detector = ShiftDetector(predictor=LastValuePredictor(), min_history=1,
+                                 penalize_drops=True)
+        assert detector.prediction_error([0.8], 0.2) == pytest.approx(0.6)
+
+    def test_predictable_series_has_no_error(self):
+        detector = ShiftDetector(predictor=MovingAveragePredictor(window=5), min_history=3)
+        assert detector.prediction_error([0.3, 0.3, 0.3, 0.3], 0.3) == pytest.approx(0.0)
+
+    def test_min_history_validation(self):
+        with pytest.raises(ValueError):
+            ShiftDetector(min_history=0)
+
+
+class TestUpdateAndScores:
+    def test_update_returns_shift_score(self):
+        detector = ShiftDetector(predictor=MovingAveragePredictor(window=3), min_history=3)
+        pair = TagPair("a", "b")
+        shift = detector.update(observation(pair, 10.0, 0.9), [0.1, 0.1, 0.1])
+        assert isinstance(shift, ShiftScore)
+        assert shift.error == pytest.approx(0.8)
+        assert shift.score == pytest.approx(0.8)
+        assert shift.predicted == pytest.approx(0.1)
+
+    def test_score_is_decayed_maximum_of_errors(self):
+        decay = ExponentialDecay(half_life=100.0)
+        detector = ShiftDetector(predictor=LastValuePredictor(), min_history=1, decay=decay)
+        pair = TagPair("a", "b")
+        detector.update(observation(pair, 0.0, 0.9), [0.1])       # error 0.8
+        second = detector.update(observation(pair, 100.0, 0.3), [0.9])  # error 0
+        # After one half-life the old error has decayed to 0.4 and still wins.
+        assert second.score == pytest.approx(0.4)
+
+    def test_fresh_large_error_beats_decayed_old_one(self):
+        decay = ExponentialDecay(half_life=100.0)
+        detector = ShiftDetector(predictor=LastValuePredictor(), min_history=1, decay=decay)
+        pair = TagPair("a", "b")
+        detector.update(observation(pair, 0.0, 0.5), [0.1])       # error 0.4
+        second = detector.update(observation(pair, 200.0, 0.95), [0.2])  # error 0.75
+        assert second.score == pytest.approx(0.75)
+
+    def test_score_at_for_unknown_pair_is_zero(self):
+        assert ShiftDetector().score_at(TagPair("a", "b"), 10.0) == 0.0
+
+    def test_score_at_decays_between_updates(self):
+        decay = ExponentialDecay(half_life=100.0)
+        detector = ShiftDetector(predictor=LastValuePredictor(), min_history=1, decay=decay)
+        pair = TagPair("a", "b")
+        detector.update(observation(pair, 0.0, 1.0), [0.0])  # error 1.0
+        assert detector.score_at(pair, 100.0) == pytest.approx(0.5)
+
+    def test_scored_pairs_and_reset(self):
+        detector = ShiftDetector(predictor=LastValuePredictor(), min_history=1)
+        pair_ab, pair_cd = TagPair("a", "b"), TagPair("c", "d")
+        detector.update(observation(pair_ab, 0.0, 1.0), [0.0])
+        detector.update(observation(pair_cd, 0.0, 1.0), [0.0])
+        assert detector.scored_pairs() == [pair_ab, pair_cd]
+        detector.reset(pair_ab)
+        assert detector.scored_pairs() == [pair_cd]
+        detector.reset()
+        assert detector.scored_pairs() == []
+
+    def test_shift_score_validation(self):
+        with pytest.raises(ValueError):
+            ShiftScore(pair=TagPair("a", "b"), timestamp=0.0, correlation=0.1,
+                       predicted=0.1, error=-0.1, score=0.0, seed_tag="a")

@@ -1,0 +1,157 @@
+"""Tests for the correlation tracker."""
+
+import pytest
+
+from repro.core.correlation import OverlapCorrelation
+from repro.core.tracker import CorrelationTracker
+from repro.core.types import TagPair
+
+
+class TestIngestion:
+    def test_counts_tags_and_pairs_in_window(self):
+        tracker = CorrelationTracker(window_horizon=100.0)
+        tracker.observe(1.0, ["a", "b"])
+        tracker.observe(2.0, ["a", "c"])
+        assert tracker.tag_count("a") == 2
+        assert tracker.tag_count("b") == 1
+        assert tracker.pair_count(TagPair("a", "b")) == 1
+        assert tracker.document_count() == 2
+
+    def test_entities_merged_when_enabled(self):
+        tracker = CorrelationTracker(window_horizon=100.0, use_entities=True)
+        tracker.observe(1.0, ["news"], entities=["Athens"])
+        assert tracker.tag_count("athens") == 1
+        assert tracker.pair_count(TagPair("athens", "news")) == 1
+
+    def test_entities_ignored_when_disabled(self):
+        tracker = CorrelationTracker(window_horizon=100.0, use_entities=False)
+        tracker.observe(1.0, ["news"], entities=["Athens"])
+        assert tracker.tag_count("athens") == 0
+
+    def test_window_eviction(self):
+        tracker = CorrelationTracker(window_horizon=10.0)
+        tracker.observe(0.0, ["a", "b"])
+        tracker.observe(20.0, ["a"])
+        assert tracker.tag_count("b") == 0
+        assert tracker.pair_count(TagPair("a", "b")) == 0
+        assert tracker.document_count() == 1
+
+    def test_out_of_order_documents_rejected(self):
+        tracker = CorrelationTracker(window_horizon=10.0)
+        tracker.observe(5.0, ["a"])
+        with pytest.raises(ValueError):
+            tracker.observe(1.0, ["b"])
+
+    def test_documents_seen_counts_everything(self):
+        tracker = CorrelationTracker(window_horizon=1.0)
+        tracker.observe(0.0, ["a"])
+        tracker.observe(100.0, ["b"])
+        assert tracker.documents_seen == 2
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            CorrelationTracker(window_horizon=0.0)
+        with pytest.raises(ValueError):
+            CorrelationTracker(window_horizon=1.0, min_pair_support=0)
+        with pytest.raises(ValueError):
+            CorrelationTracker(window_horizon=1.0, history_length=1)
+
+
+class TestCandidatePairs:
+    def test_only_pairs_with_a_seed_are_candidates(self):
+        tracker = CorrelationTracker(window_horizon=100.0, min_pair_support=1)
+        tracker.observe(1.0, ["seed", "x"])
+        tracker.observe(2.0, ["y", "z"])
+        candidates = tracker.candidate_pairs(["seed"])
+        assert [pair for pair, _ in candidates] == [TagPair("seed", "x")]
+        assert candidates[0][1] == "seed"
+
+    def test_min_pair_support_filters_weak_pairs(self):
+        tracker = CorrelationTracker(window_horizon=100.0, min_pair_support=2)
+        tracker.observe(1.0, ["seed", "x"])
+        tracker.observe(2.0, ["seed", "y"])
+        tracker.observe(3.0, ["seed", "y"])
+        candidates = tracker.candidate_pairs(["seed"])
+        assert [pair for pair, _ in candidates] == [TagPair("seed", "y")]
+
+    def test_no_seeds_means_no_candidates(self):
+        tracker = CorrelationTracker(window_horizon=100.0)
+        tracker.observe(1.0, ["a", "b"])
+        assert tracker.candidate_pairs([]) == []
+
+    def test_seed_tag_reported_for_double_seed_pair(self):
+        tracker = CorrelationTracker(window_horizon=100.0, min_pair_support=1)
+        tracker.observe(1.0, ["a", "b"])
+        candidates = tracker.candidate_pairs(["a", "b"])
+        assert candidates == [(TagPair("a", "b"), "a")]
+
+
+class TestCorrelation:
+    def test_jaccard_by_default(self):
+        tracker = CorrelationTracker(window_horizon=100.0)
+        tracker.observe(1.0, ["a", "b"])
+        tracker.observe(2.0, ["a"])
+        # |a∩b| = 1, |a∪b| = 2
+        assert tracker.correlation(TagPair("a", "b")) == pytest.approx(0.5)
+
+    def test_custom_measure(self):
+        tracker = CorrelationTracker(window_horizon=100.0, measure=OverlapCorrelation())
+        tracker.observe(1.0, ["a", "b"])
+        tracker.observe(2.0, ["a"])
+        assert tracker.correlation(TagPair("a", "b")) == pytest.approx(1.0)
+
+    def test_pair_counts_snapshot(self):
+        tracker = CorrelationTracker(window_horizon=100.0)
+        tracker.observe(1.0, ["a", "b"])
+        tracker.observe(2.0, ["a"])
+        counts = tracker.pair_counts_for(TagPair("a", "b"))
+        assert (counts.count_a, counts.count_b, counts.count_both) == (2, 1, 1)
+        assert counts.total_documents == 2
+
+
+class TestEvaluation:
+    def test_evaluate_appends_to_history(self):
+        tracker = CorrelationTracker(window_horizon=100.0, min_pair_support=1)
+        tracker.observe(1.0, ["s", "x"])
+        observations = tracker.evaluate(10.0, ["s"])
+        assert len(observations) == 1
+        history = tracker.history(TagPair("s", "x"))
+        assert len(history) == 1
+        assert history.values[0] == observations[0].correlation
+
+    def test_history_is_trimmed_to_length(self):
+        tracker = CorrelationTracker(window_horizon=1000.0, min_pair_support=1,
+                                     history_length=3)
+        tracker.observe(0.0, ["s", "x"])
+        for step in range(1, 8):
+            tracker.evaluate(float(step), ["s"])
+        assert len(tracker.history(TagPair("s", "x"))) == 3
+
+    def test_unknown_pair_history_is_empty(self):
+        tracker = CorrelationTracker(window_horizon=10.0)
+        assert len(tracker.history(TagPair("a", "b"))) == 0
+
+    def test_count_history_recorded_per_evaluation(self):
+        tracker = CorrelationTracker(window_horizon=100.0, min_pair_support=1)
+        tracker.observe(1.0, ["s", "x"])
+        tracker.evaluate(2.0, ["s"])
+        tracker.evaluate(3.0, ["s"])
+        history = tracker.count_history()
+        assert history["s"] == [1, 1]
+
+    def test_usage_tracking_for_kl_measure(self):
+        tracker = CorrelationTracker(window_horizon=100.0, track_usage=True,
+                                     min_pair_support=1)
+        tracker.observe(1.0, ["a", "b", "c"])
+        tracker.observe(2.0, ["a", "b"])
+        # usage distributions exist internally; evaluate should not fail and
+        # correlations stay bounded.
+        observations = tracker.evaluate(3.0, ["a"])
+        assert all(0.0 <= obs.correlation <= 1.0 for obs in observations)
+
+    def test_tracked_pairs_listed_sorted(self):
+        tracker = CorrelationTracker(window_horizon=100.0, min_pair_support=1)
+        tracker.observe(1.0, ["s", "x"])
+        tracker.observe(2.0, ["s", "a"])
+        tracker.evaluate(3.0, ["s"])
+        assert tracker.tracked_pairs() == [TagPair("a", "s"), TagPair("s", "x")]

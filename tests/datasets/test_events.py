@@ -1,0 +1,102 @@
+"""Tests for emergent events and the event schedule."""
+
+import pytest
+
+from repro.datasets.events import EmergentEvent, EventSchedule, canonical_pair
+
+
+class TestCanonicalPair:
+    def test_orders_lexicographically(self):
+        assert canonical_pair("b", "a") == ("a", "b")
+        assert canonical_pair("a", "b") == ("a", "b")
+
+    def test_rejects_identical_tags(self):
+        with pytest.raises(ValueError):
+            canonical_pair("a", "a")
+
+
+class TestEmergentEvent:
+    def make(self, **overrides):
+        defaults = dict(name="e", tags=("b", "a"), start=10.0, duration=10.0)
+        defaults.update(overrides)
+        return EmergentEvent(**defaults)
+
+    def test_tags_are_canonicalised(self):
+        assert self.make().pair == ("a", "b")
+
+    def test_end_and_activity(self):
+        event = self.make()
+        assert event.end == 20.0
+        assert not event.active_at(9.9)
+        assert event.active_at(10.0)
+        assert event.active_at(19.9)
+        assert not event.active_at(20.0)
+
+    def test_intensity_outside_window_is_zero(self):
+        assert self.make(intensity=5.0).intensity_at(100.0) == 0.0
+
+    def test_intensity_ramps_up(self):
+        event = self.make(intensity=10.0, ramp=0.5)
+        early = event.intensity_at(10.5)
+        late = event.intensity_at(16.0)
+        assert 0 < early < late
+        assert late == pytest.approx(10.0)
+
+    def test_zero_ramp_is_a_step(self):
+        event = self.make(intensity=10.0, ramp=0.0)
+        assert event.intensity_at(10.0) == 10.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.make(name="")
+        with pytest.raises(ValueError):
+            self.make(tags=("a", "a"))
+        with pytest.raises(ValueError):
+            self.make(start=-1.0)
+        with pytest.raises(ValueError):
+            self.make(duration=0.0)
+        with pytest.raises(ValueError):
+            self.make(intensity=0.0)
+        with pytest.raises(ValueError):
+            self.make(ramp=1.5)
+
+
+class TestEventSchedule:
+    def make_schedule(self):
+        return EventSchedule([
+            EmergentEvent(name="one", tags=("a", "b"), start=0.0, duration=10.0,
+                          category="sports"),
+            EmergentEvent(name="two", tags=("c", "d"), start=20.0, duration=10.0,
+                          category="politics"),
+        ])
+
+    def test_length_and_iteration(self):
+        schedule = self.make_schedule()
+        assert len(schedule) == 2
+        assert [event.name for event in schedule] == ["one", "two"]
+
+    def test_duplicate_names_rejected(self):
+        schedule = self.make_schedule()
+        with pytest.raises(ValueError):
+            schedule.add(EmergentEvent(name="one", tags=("x", "y"), start=0.0, duration=1.0))
+
+    def test_active_at(self):
+        schedule = self.make_schedule()
+        assert [event.name for event in schedule.active_at(5.0)] == ["one"]
+        assert schedule.active_at(15.0) == []
+
+    def test_by_category(self):
+        schedule = self.make_schedule()
+        assert [event.name for event in schedule.by_category("politics")] == ["two"]
+
+    def test_pairs_and_onsets(self):
+        schedule = self.make_schedule()
+        assert schedule.pairs() == [("a", "b"), ("c", "d")]
+        assert schedule.pair_onsets() == {("a", "b"): 0.0, ("c", "d"): 20.0}
+
+    def test_time_range(self):
+        assert self.make_schedule().time_range() == (0.0, 30.0)
+
+    def test_time_range_of_empty_schedule_raises(self):
+        with pytest.raises(ValueError):
+            EventSchedule().time_range()

@@ -1,0 +1,81 @@
+"""Tests for the synthetic NYT-style archive."""
+
+import pytest
+
+from repro.datasets.nyt import (
+    DAY,
+    NytArchiveGenerator,
+    default_historic_events,
+    nyt_vocabulary,
+)
+
+
+class TestNytVocabulary:
+    def test_demo_categories_present(self):
+        vocabulary = nyt_vocabulary()
+        assert "us elections" in vocabulary.categories()
+        assert "hurricanes" in vocabulary.categories()
+        assert "sports" in vocabulary.categories()
+
+
+class TestDefaultHistoricEvents:
+    def test_events_cover_demo_categories(self):
+        schedule = default_historic_events(years=2.0)
+        categories = {event.category for event in schedule}
+        assert {"us elections", "hurricanes", "sports"} <= categories
+
+    def test_includes_the_volcano_example(self):
+        schedule = default_historic_events()
+        pairs = schedule.pairs()
+        assert ("air traffic", "volcano") in pairs
+
+    def test_events_fit_inside_archive(self):
+        years = 1.5
+        schedule = default_historic_events(years=years)
+        _, end = schedule.time_range()
+        assert end <= years * 365 * DAY
+
+    def test_event_times_scale_with_archive_length(self):
+        short = default_historic_events(years=1.0)
+        long = default_historic_events(years=4.0)
+        assert long.events()[0].start == pytest.approx(4 * short.events()[0].start)
+
+    def test_rejects_non_positive_years(self):
+        with pytest.raises(ValueError):
+            default_historic_events(years=0.0)
+
+
+class TestNytArchiveGenerator:
+    def test_generates_expected_volume(self):
+        generator = NytArchiveGenerator(years=0.2, articles_per_day=10, seed=1)
+        corpus, schedule = generator.generate()
+        assert len(corpus) >= generator.num_days * 10
+        assert len(schedule) > 0
+
+    def test_documents_carry_nyt_style_tags(self):
+        generator = NytArchiveGenerator(years=0.1, articles_per_day=8, seed=2)
+        corpus, _ = generator.generate()
+        allowed = set(nyt_vocabulary().tags())
+        sample = list(corpus)[:200]
+        for document in sample:
+            assert document.tags <= allowed
+            assert document.doc_id.startswith("nyt-")
+
+    def test_event_documents_present_during_events(self):
+        schedule = default_historic_events(years=0.5)
+        generator = NytArchiveGenerator(years=0.5, articles_per_day=12,
+                                        schedule=schedule, seed=3)
+        corpus, _ = generator.generate()
+        event = schedule.events()[0]
+        during = corpus.between(event.start, event.end)
+        pair_docs = during.with_tags(*event.pair)
+        assert len(pair_docs) >= 3
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            NytArchiveGenerator(years=0.0)
+        with pytest.raises(ValueError):
+            NytArchiveGenerator(articles_per_day=0)
+
+    def test_categories_listed(self):
+        assert "sports" in NytArchiveGenerator(years=0.1).categories()

@@ -1,0 +1,49 @@
+"""Tests for the synthetic RSS feeds."""
+
+import pytest
+
+from repro.datasets.rss import DEFAULT_FEEDS, RssFeedGenerator
+from repro.datasets.vocabulary import news_vocabulary
+
+
+class TestRssFeedGenerator:
+    def test_default_feed_lineup(self):
+        generator = RssFeedGenerator(hours=6, seed=1)
+        assert set(generator.feed_names()) == set(DEFAULT_FEEDS)
+
+    def test_generate_single_feed(self):
+        generator = RssFeedGenerator(hours=6, posts_per_hour=4, seed=2)
+        corpus = generator.generate_feed("sports-desk")
+        assert len(corpus) >= 6 * 4
+        assert all(d.doc_id.startswith("rss-sports-desk") for d in corpus)
+
+    def test_feed_respects_its_thematic_slant(self):
+        generator = RssFeedGenerator(hours=8, posts_per_hour=5, seed=3)
+        corpus = generator.generate_feed("sports-desk")
+        allowed = set(news_vocabulary().tags("sports"))
+        for document in corpus:
+            assert document.tags <= allowed
+
+    def test_generate_all_returns_every_feed(self):
+        generator = RssFeedGenerator(hours=4, posts_per_hour=3, seed=4)
+        feeds = generator.generate_all()
+        assert set(feeds) == set(DEFAULT_FEEDS)
+        assert all(len(corpus) > 0 for corpus in feeds.values())
+
+    def test_unknown_feed_raises(self):
+        with pytest.raises(KeyError):
+            RssFeedGenerator(hours=4).generate_feed("nope")
+
+    def test_different_feeds_use_different_seeds(self):
+        generator = RssFeedGenerator(hours=4, posts_per_hour=3, seed=5)
+        world = generator.generate_feed("world-news-blog")
+        tech = generator.generate_feed("tech-review")
+        assert [d.tags for d in world] != [d.tags for d in tech]
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            RssFeedGenerator(hours=0)
+        with pytest.raises(ValueError):
+            RssFeedGenerator(posts_per_hour=0)
+        with pytest.raises(ValueError):
+            RssFeedGenerator(feeds={})

@@ -1,0 +1,170 @@
+"""Tests for the synthetic stream generator and the Figure 1 scenario."""
+
+import pytest
+
+from repro.datasets.events import EmergentEvent, EventSchedule
+from repro.datasets.synthetic import (
+    SyntheticStreamGenerator,
+    correlation_shift_stream,
+    figure1_stream,
+)
+from repro.datasets.vocabulary import news_vocabulary
+
+
+class TestSyntheticStreamGenerator:
+    def test_generates_requested_number_of_steps(self):
+        generator = SyntheticStreamGenerator(docs_per_step=5, seed=1)
+        corpus = generator.generate(10)
+        # 10 steps x 5 background docs (no events scheduled).
+        assert len(corpus) == 50
+
+    def test_documents_are_time_ordered(self):
+        generator = SyntheticStreamGenerator(docs_per_step=10, seed=2)
+        corpus = generator.generate(5)
+        timestamps = [d.timestamp for d in corpus]
+        assert timestamps == sorted(timestamps)
+
+    def test_tags_come_from_vocabulary(self):
+        vocabulary = news_vocabulary()
+        generator = SyntheticStreamGenerator(vocabulary=vocabulary, docs_per_step=5, seed=3)
+        corpus = generator.generate(3)
+        allowed = set(vocabulary.tags())
+        for document in corpus:
+            assert document.tags <= allowed
+
+    def test_event_injection_creates_cooccurring_documents(self):
+        schedule = EventSchedule([
+            EmergentEvent(name="shift", tags=("politics", "volcano"),
+                          start=0.0, duration=10 * 3600.0, intensity=5.0, ramp=0.0),
+        ])
+        generator = SyntheticStreamGenerator(schedule=schedule, docs_per_step=5, seed=4)
+        corpus = generator.generate(10)
+        event_docs = corpus.with_tags("politics", "volcano")
+        assert len(event_docs) > 5
+        assert all(d.metadata.get("kind") == "event" for d in event_docs
+                   if "event" in d.metadata.get("kind", ""))
+
+    def test_no_event_documents_outside_event_window(self):
+        schedule = EventSchedule([
+            EmergentEvent(name="late", tags=("politics", "volcano"),
+                          start=50 * 3600.0, duration=10 * 3600.0, intensity=5.0),
+        ])
+        generator = SyntheticStreamGenerator(schedule=schedule, docs_per_step=5, seed=5)
+        corpus = generator.generate(10)  # only the first 10 hours
+        assert all(d.metadata.get("kind") != "event" for d in corpus)
+
+    def test_deterministic_for_fixed_seed(self):
+        def ids(seed):
+            generator = SyntheticStreamGenerator(docs_per_step=5, seed=seed)
+            return [(d.doc_id, tuple(sorted(d.tags))) for d in generator.generate(5)]
+
+        assert ids(9) == ids(9)
+
+    def test_stream_yields_same_documents_as_generate(self):
+        first = SyntheticStreamGenerator(docs_per_step=4, seed=6)
+        second = SyntheticStreamGenerator(docs_per_step=4, seed=6)
+        assert [d.doc_id for d in first.stream(4)] == [
+            d.doc_id for d in second.generate(4)
+        ]
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticStreamGenerator(docs_per_step=0)
+        with pytest.raises(ValueError):
+            SyntheticStreamGenerator(step=0.0)
+        with pytest.raises(ValueError):
+            SyntheticStreamGenerator(tags_per_doc=(0, 3))
+        with pytest.raises(ValueError):
+            SyntheticStreamGenerator().generate(0)
+
+
+class TestFigure1Stream:
+    def test_returns_corpus_and_ground_truth(self):
+        corpus, schedule = figure1_stream()
+        assert len(corpus) > 0
+        assert len(schedule) == 1
+        assert schedule.events()[0].pair == ("politics", "volcano")
+
+    def test_overlap_grows_only_after_shift_start(self):
+        corpus, _ = figure1_stream(num_steps=50, shift_start=25, shift_length=10)
+        step = 3600.0
+        before = corpus.between(0.0, 24 * step).with_tags("politics", "volcano")
+        during = corpus.between(26 * step, 34 * step).with_tags("politics", "volcano")
+        assert len(during) > 3 * max(len(before), 1)
+
+    def test_popularity_peaks_do_not_change_overlap(self):
+        corpus, _ = figure1_stream(num_steps=40, shift_start=30,
+                                   popularity_peaks=(10,))
+        step = 3600.0
+        peak_docs = corpus.between(10 * step, 11 * step)
+        popular_count = len(peak_docs.with_tag("politics"))
+        overlap_count = len(peak_docs.with_tags("politics", "volcano"))
+        assert popular_count > 15
+        assert overlap_count <= 2
+
+    def test_shift_start_must_be_inside_range(self):
+        with pytest.raises(ValueError):
+            figure1_stream(num_steps=10, shift_start=20)
+
+    def test_deterministic(self):
+        first, _ = figure1_stream(seed=5)
+        second, _ = figure1_stream(seed=5)
+        assert [d.doc_id for d in first] == [d.doc_id for d in second]
+
+
+class TestCorrelationShiftStream:
+    def test_returns_corpus_and_one_event_per_pair(self):
+        corpus, schedule = correlation_shift_stream(num_events=3, num_steps=30,
+                                                    shift_start=15, seed=1)
+        assert len(schedule) == 3
+        assert len(corpus) > 0
+        assert len(set(schedule.pairs())) == 3
+
+    def test_tag_frequencies_stay_constant_through_the_shift(self):
+        step = 3600.0
+        corpus, schedule = correlation_shift_stream(
+            num_events=2, num_steps=40, shift_start=20, shift_length=10,
+            popular_rate=6, rare_rate=3, seed=2)
+        event = schedule.events()[0]
+        popular, rare = event.pair if event.pair[0] != event.pair[1] else event.pair
+        # Count per-step occurrences of each tag before and during the event.
+        def rate(tag, start_step, end_step):
+            selected = corpus.between(start_step * step, end_step * step - 1)
+            return len(selected.with_tag(tag)) / (end_step - start_step)
+
+        for tag in event.pair:
+            before = rate(tag, 5, 15)
+            during = rate(tag, 21, 29)
+            assert abs(before - during) <= 1.0
+
+    def test_cooccurrence_jumps_during_the_shift(self):
+        step = 3600.0
+        corpus, schedule = correlation_shift_stream(
+            num_events=2, num_steps=40, shift_start=20, shift_length=10, seed=3)
+        event = schedule.events()[0]
+        before = corpus.between(0.0, 19 * step).with_tags(*event.pair)
+        during = corpus.between(event.start, event.end).with_tags(*event.pair)
+        assert len(during) > len(before)
+        assert len(during) >= 10
+
+    def test_events_are_staggered(self):
+        _, schedule = correlation_shift_stream(num_events=3, num_steps=60,
+                                               shift_start=30, stagger=5, seed=4)
+        starts = sorted(event.start for event in schedule)
+        assert starts[1] - starts[0] == pytest.approx(5 * 3600.0)
+
+    def test_deterministic(self):
+        first, _ = correlation_shift_stream(num_steps=20, shift_start=10, seed=9)
+        second, _ = correlation_shift_stream(num_steps=20, shift_start=10, seed=9)
+        assert [d.doc_id for d in first] == [d.doc_id for d in second]
+        assert [d.tags for d in first] == [d.tags for d in second]
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            correlation_shift_stream(num_events=0)
+        with pytest.raises(ValueError):
+            correlation_shift_stream(num_steps=10, shift_start=20)
+        with pytest.raises(ValueError):
+            correlation_shift_stream(popular_rate=2, rare_rate=3)
+        with pytest.raises(ValueError):
+            correlation_shift_stream(shift_length=0)

@@ -1,0 +1,59 @@
+"""Tests for the synthetic tweet stream."""
+
+import pytest
+
+from repro.datasets.events import EventSchedule
+from repro.datasets.twitter import (
+    HOUR,
+    TweetStreamGenerator,
+    sigmod_athens_event,
+    twitter_vocabulary,
+)
+
+
+class TestSigmodAthensEvent:
+    def test_pair_is_sigmod_athens(self):
+        event = sigmod_athens_event()
+        assert event.pair == ("athens", "sigmod")
+
+    def test_timing_parameters(self):
+        event = sigmod_athens_event(start_hour=10.0, duration_hours=5.0)
+        assert event.start == 10 * HOUR
+        assert event.end == 15 * HOUR
+
+
+class TestTweetStreamGenerator:
+    def test_generates_tweets_with_hashtags(self):
+        corpus, schedule = TweetStreamGenerator(hours=12, tweets_per_hour=20, seed=1).generate()
+        assert len(corpus) >= 12 * 20
+        allowed = set(twitter_vocabulary().tags())
+        for document in list(corpus)[:100]:
+            assert document.tags <= allowed
+            assert document.doc_id.startswith("tweet-")
+
+    def test_default_schedule_includes_sigmod_event(self):
+        _, schedule = TweetStreamGenerator(hours=6, seed=2).generate()
+        assert ("athens", "sigmod") in schedule.pairs()
+
+    def test_sigmod_event_can_be_disabled(self):
+        _, schedule = TweetStreamGenerator(hours=6, include_sigmod_event=False, seed=3).generate()
+        assert ("athens", "sigmod") not in schedule.pairs()
+
+    def test_custom_schedule_is_respected(self):
+        _, schedule = TweetStreamGenerator(hours=6, schedule=EventSchedule(), seed=4).generate()
+        assert len(schedule) == 0
+
+    def test_sigmod_tweets_appear_during_the_event(self):
+        generator = TweetStreamGenerator(hours=50, tweets_per_hour=40, seed=5)
+        corpus, schedule = generator.generate()
+        event = next(e for e in schedule if e.name == "sigmod-athens")
+        during = corpus.between(event.start, event.end).with_tags("sigmod", "athens")
+        before = corpus.between(0.0, event.start - 1).with_tags("sigmod", "athens")
+        assert len(during) > len(before)
+        assert len(during) >= 5
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            TweetStreamGenerator(hours=0)
+        with pytest.raises(ValueError):
+            TweetStreamGenerator(tweets_per_hour=0)

@@ -1,0 +1,101 @@
+"""Tests for tag vocabularies and Zipf sampling."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.datasets.vocabulary import TagVocabulary, ZipfSampler, news_vocabulary
+
+
+class TestZipfSampler:
+    def test_rejects_empty_items_and_bad_exponent(self):
+        with pytest.raises(ValueError):
+            ZipfSampler([])
+        with pytest.raises(ValueError):
+            ZipfSampler(["a"], exponent=0.0)
+
+    def test_samples_come_from_vocabulary(self):
+        sampler = ZipfSampler(["a", "b", "c"], rng=random.Random(1))
+        for _ in range(50):
+            assert sampler.sample() in {"a", "b", "c"}
+
+    def test_head_items_sampled_more_often(self):
+        sampler = ZipfSampler([f"t{i}" for i in range(20)], exponent=1.2,
+                              rng=random.Random(3))
+        counts = Counter(sampler.sample() for _ in range(3000))
+        assert counts["t0"] > counts["t10"]
+        assert counts["t0"] > counts["t19"]
+
+    def test_sample_distinct_returns_unique_items(self):
+        sampler = ZipfSampler(["a", "b", "c", "d"], rng=random.Random(2))
+        distinct = sampler.sample_distinct(3)
+        assert len(distinct) == 3
+        assert len(set(distinct)) == 3
+
+    def test_sample_distinct_bounded_by_vocabulary_size(self):
+        sampler = ZipfSampler(["a", "b"], rng=random.Random(2))
+        assert len(sampler.sample_distinct(10)) == 2
+
+    def test_sample_distinct_zero(self):
+        sampler = ZipfSampler(["a"])
+        assert sampler.sample_distinct(0) == []
+
+    def test_probability_sums_to_one(self):
+        items = ["a", "b", "c", "d"]
+        sampler = ZipfSampler(items)
+        total = sum(sampler.probability(item) for item in items)
+        assert total == pytest.approx(1.0)
+
+    def test_probability_of_unknown_item_is_zero(self):
+        assert ZipfSampler(["a"]).probability("zzz") == 0.0
+
+    def test_deterministic_with_seeded_rng(self):
+        first = ZipfSampler(["a", "b", "c"], rng=random.Random(7))
+        second = ZipfSampler(["a", "b", "c"], rng=random.Random(7))
+        assert [first.sample() for _ in range(20)] == [second.sample() for _ in range(20)]
+
+
+class TestTagVocabulary:
+    def test_add_and_query_categories(self):
+        vocabulary = TagVocabulary({"sports": ["tennis", "golf"]})
+        assert vocabulary.categories() == ["sports"]
+        assert vocabulary.tags("sports") == ["tennis", "golf"]
+
+    def test_all_tags_deduplicated(self):
+        vocabulary = TagVocabulary({
+            "a": ["x", "shared"],
+            "b": ["y", "shared"],
+        })
+        assert vocabulary.tags() == ["x", "shared", "y"]
+        assert len(vocabulary) == 3
+
+    def test_category_of(self):
+        vocabulary = TagVocabulary({"sports": ["tennis"]})
+        assert vocabulary.category_of("tennis") == "sports"
+        assert vocabulary.category_of("unknown") is None
+
+    def test_contains(self):
+        vocabulary = TagVocabulary({"sports": ["tennis"]})
+        assert "tennis" in vocabulary
+        assert "golf" not in vocabulary
+
+    def test_unknown_category_raises(self):
+        with pytest.raises(KeyError):
+            TagVocabulary({"a": ["x"]}).tags("b")
+
+    def test_validation(self):
+        vocabulary = TagVocabulary()
+        with pytest.raises(ValueError):
+            vocabulary.add_category("", ["x"])
+        with pytest.raises(ValueError):
+            vocabulary.add_category("empty", [])
+
+
+class TestNewsVocabulary:
+    def test_has_expected_categories(self):
+        vocabulary = news_vocabulary()
+        assert "politics" in vocabulary.categories()
+        assert "weather" in vocabulary.categories()
+        assert "volcano" in vocabulary.tags("world")
+        assert len(vocabulary) > 30

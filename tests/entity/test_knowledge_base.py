@@ -1,0 +1,89 @@
+"""Tests for the Wikipedia-style knowledge base."""
+
+import pytest
+
+from repro.entity.knowledge_base import (
+    KnowledgeBase,
+    KnowledgeBaseEntry,
+    default_knowledge_base,
+    normalize_title,
+)
+
+
+class TestNormalizeTitle:
+    def test_lowercases_and_collapses_spaces(self):
+        assert normalize_title("  Barack   Obama ") == "barack obama"
+
+
+class TestKnowledgeBaseEntry:
+    def test_rejects_empty_title(self):
+        with pytest.raises(ValueError):
+            KnowledgeBaseEntry(title="   ")
+
+
+class TestKnowledgeBase:
+    def test_resolve_canonical_title(self):
+        kb = KnowledgeBase()
+        kb.add_entity("Barack Obama", aliases=["obama"], types=["person"])
+        entry = kb.resolve("barack obama")
+        assert entry is not None
+        assert entry.title == "Barack Obama"
+
+    def test_resolve_follows_redirects(self):
+        kb = KnowledgeBase()
+        kb.add_entity("Barack Obama", aliases=["obama", "president obama"])
+        assert kb.canonical_title("Obama") == "Barack Obama"
+        assert kb.canonical_title("PRESIDENT OBAMA") == "Barack Obama"
+
+    def test_unknown_phrase_resolves_to_none(self):
+        kb = KnowledgeBase()
+        assert kb.resolve("nobody") is None
+        assert "nobody" not in kb
+
+    def test_contains_uses_redirects(self):
+        kb = KnowledgeBase()
+        kb.add_entity("Hurricane Katrina", aliases=["katrina"])
+        assert "katrina" in kb
+
+    def test_duplicate_canonical_title_overwrites_cleanly(self):
+        kb = KnowledgeBase()
+        kb.add_entity("Athens", types=["city"])
+        # Adding the same title again replaces the entry (last write wins).
+        kb.add_entity("athens", types=["place"])
+        assert kb.resolve("Athens").types == ("place",)
+
+    def test_alias_colliding_with_canonical_title_is_rejected(self):
+        kb = KnowledgeBase()
+        kb.add_entity("Athens")
+        with pytest.raises(ValueError):
+            kb.add_entity("Greece", aliases=["Athens"])
+
+    def test_title_already_used_as_redirect_is_rejected(self):
+        kb = KnowledgeBase()
+        kb.add_entity("Barack Obama", aliases=["obama"])
+        with pytest.raises(ValueError):
+            kb.add_entity("Obama")
+
+    def test_phrases_cover_titles_and_aliases(self):
+        kb = KnowledgeBase()
+        kb.add_entity("Barack Obama", aliases=["obama"])
+        assert set(kb.phrases()) == {"barack obama", "obama"}
+
+    def test_len_counts_canonical_entities(self):
+        kb = KnowledgeBase()
+        kb.add_entity("A")
+        kb.add_entity("B", aliases=["bee"])
+        assert len(kb) == 2
+
+
+class TestDefaultKnowledgeBase:
+    def test_contains_demo_entities(self):
+        kb = default_knowledge_base()
+        assert kb.canonical_title("sigmod") == "SIGMOD"
+        assert kb.canonical_title("athens") == "Athens"
+        assert kb.canonical_title("katrina") == "Hurricane Katrina"
+        assert kb.canonical_title("eyjafjallajokull") == "Eyjafjallajokull"
+
+    def test_entities_have_types(self):
+        kb = default_knowledge_base()
+        assert "person" in kb.resolve("Barack Obama").types

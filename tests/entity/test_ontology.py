@@ -1,0 +1,81 @@
+"""Tests for the YAGO-style ontology."""
+
+import pytest
+
+from repro.entity.knowledge_base import default_knowledge_base
+from repro.entity.ontology import Ontology, ontology_from_knowledge_base
+
+
+class TestTypeHierarchy:
+    def test_add_and_query_subtypes(self):
+        onto = Ontology()
+        onto.add_type("person")
+        onto.add_type("politician", parent="person")
+        assert onto.is_subtype("politician", "person")
+        assert not onto.is_subtype("person", "politician")
+
+    def test_type_is_subtype_of_itself(self):
+        onto = Ontology()
+        onto.add_type("person")
+        assert onto.is_subtype("person", "person")
+
+    def test_transitive_supertypes(self):
+        onto = Ontology()
+        onto.add_type("agent")
+        onto.add_type("person", parent="agent")
+        onto.add_type("politician", parent="person")
+        assert onto.supertypes("politician") == {"person", "agent"}
+
+    def test_cycle_rejected(self):
+        onto = Ontology()
+        onto.add_type("a")
+        onto.add_type("b", parent="a")
+        with pytest.raises(ValueError):
+            onto.add_type("a", parent="b")
+
+    def test_empty_type_name_rejected(self):
+        with pytest.raises(ValueError):
+            Ontology().add_type("")
+
+
+class TestEntityAssignments:
+    def test_assign_and_query_types(self):
+        onto = Ontology()
+        onto.add_type("person")
+        onto.add_type("politician", parent="person")
+        onto.assign("Barack Obama", ["politician"])
+        assert onto.types_of("Barack Obama") == {"politician", "person"}
+
+    def test_entities_of_type_includes_subtypes(self):
+        onto = Ontology()
+        onto.add_type("person")
+        onto.add_type("athlete", parent="person")
+        onto.assign("Roger Federer", ["athlete"])
+        onto.assign("Some Person", ["person"])
+        assert set(onto.entities_of_type("person")) == {"Roger Federer", "Some Person"}
+
+    def test_matches_with_allowed_types(self):
+        onto = Ontology()
+        onto.add_type("person")
+        onto.add_type("place")
+        onto.assign("Athens", ["place"])
+        assert onto.matches("Athens", ["place"])
+        assert not onto.matches("Athens", ["person"])
+
+    def test_matches_with_empty_filter_accepts_everything(self):
+        onto = Ontology()
+        assert onto.matches("anything", [])
+
+    def test_unknown_entity_never_matches_a_filter(self):
+        onto = Ontology()
+        onto.add_type("person")
+        assert not onto.matches("nobody", ["person"])
+
+
+class TestOntologyFromKnowledgeBase:
+    def test_builds_subclass_structure_from_type_tuples(self):
+        onto = ontology_from_knowledge_base(default_knowledge_base())
+        assert onto.is_subtype("politician", "person")
+        assert onto.matches("Barack Obama", ["person"])
+        assert onto.matches("Athens", ["place"])
+        assert not onto.matches("Athens", ["person"])

@@ -1,0 +1,51 @@
+"""Tests for tokenisation and n-gram enumeration."""
+
+import pytest
+
+from repro.entity.tokenizer import is_stopword, ngrams, tokenize
+
+
+class TestTokenize:
+    def test_splits_on_whitespace_and_punctuation(self):
+        assert tokenize("Hello, world!") == ["hello", "world"]
+
+    def test_preserves_case_when_requested(self):
+        assert tokenize("Hello World", lowercase=False) == ["Hello", "World"]
+
+    def test_keeps_hyphens_and_apostrophes_inside_words(self):
+        assert tokenize("New York-based O'Brien") == ["new", "york-based", "o'brien"]
+
+    def test_numbers_are_tokens(self):
+        assert tokenize("election 2008 results") == ["election", "2008", "results"]
+
+    def test_empty_text(self):
+        assert tokenize("") == []
+
+
+class TestNgrams:
+    def test_enumerates_up_to_max_length(self):
+        phrases = [phrase for _, _, phrase in ngrams(["a", "b", "c"], 2)]
+        assert phrases == ["a b", "a", "b c", "b", "c"]
+
+    def test_longest_first_per_start_position(self):
+        result = list(ngrams(["x", "y"], 4))
+        assert result[0] == (0, 2, "x y")
+        assert result[1] == (0, 1, "x")
+
+    def test_max_length_must_be_positive(self):
+        with pytest.raises(ValueError):
+            list(ngrams(["a"], 0))
+
+    def test_empty_tokens(self):
+        assert list(ngrams([], 4)) == []
+
+
+class TestStopwords:
+    def test_common_function_words_are_stopwords(self):
+        assert is_stopword("the")
+        assert is_stopword("The")
+        assert is_stopword("and")
+
+    def test_content_words_are_not(self):
+        assert not is_stopword("volcano")
+        assert not is_stopword("athens")

@@ -1,0 +1,79 @@
+"""Tests for ground-truth matching."""
+
+import pytest
+
+from repro.core.types import EmergentTopic, Ranking, TagPair
+from repro.datasets.events import EmergentEvent, EventSchedule
+from repro.evaluation.ground_truth import GroundTruthMatcher
+
+
+def ranking_with(pairs, timestamp):
+    topics = [
+        EmergentTopic(pair=TagPair(*pair), score=1.0 - 0.1 * i, timestamp=timestamp)
+        for i, pair in enumerate(pairs)
+    ]
+    return Ranking(timestamp=timestamp, topics=topics)
+
+
+SCHEDULE = EventSchedule([
+    EmergentEvent(name="detected", tags=("a", "b"), start=100.0, duration=100.0),
+    EmergentEvent(name="missed", tags=("x", "y"), start=100.0, duration=100.0),
+])
+
+
+RANKINGS = [
+    ranking_with([("noise", "only")], timestamp=50.0),
+    ranking_with([("a", "b"), ("noise", "only")], timestamp=150.0),
+    ranking_with([("a", "b")], timestamp=250.0),
+]
+
+
+class TestGroundTruthMatcher:
+    def test_outcomes_per_event(self):
+        matcher = GroundTruthMatcher(SCHEDULE, k=5)
+        outcomes = {o.event.name: o for o in matcher.outcomes(RANKINGS)}
+        assert outcomes["detected"].detected
+        assert outcomes["detected"].latency == pytest.approx(50.0)
+        assert outcomes["detected"].best_rank == 0
+        assert not outcomes["missed"].detected
+        assert outcomes["missed"].latency is None
+
+    def test_recall(self):
+        matcher = GroundTruthMatcher(SCHEDULE, k=5)
+        assert matcher.recall(RANKINGS) == pytest.approx(0.5)
+
+    def test_recall_of_empty_schedule_is_one(self):
+        matcher = GroundTruthMatcher(EventSchedule(), k=5)
+        assert matcher.recall(RANKINGS) == 1.0
+
+    def test_mean_latency(self):
+        matcher = GroundTruthMatcher(SCHEDULE, k=5)
+        assert matcher.mean_latency(RANKINGS) == pytest.approx(50.0)
+
+    def test_mean_latency_none_when_nothing_detected(self):
+        matcher = GroundTruthMatcher(SCHEDULE, k=5)
+        assert matcher.mean_latency([RANKINGS[0]]) is None
+
+    def test_detection_window_limits_late_detections(self):
+        matcher = GroundTruthMatcher(SCHEDULE, k=5, detection_window=10.0)
+        outcomes = {o.event.name: o for o in matcher.outcomes(RANKINGS)}
+        assert not outcomes["detected"].detected
+
+    def test_precision_counts_truth_pairs_during_events(self):
+        matcher = GroundTruthMatcher(SCHEDULE, k=5)
+        # Only the ranking at t=150 falls inside an active event window;
+        # it reports 2 pairs of which 1 is ground truth.
+        assert matcher.precision(RANKINGS) == pytest.approx(0.5)
+
+    def test_precision_zero_without_rankings_during_events(self):
+        matcher = GroundTruthMatcher(SCHEDULE, k=5)
+        assert matcher.precision([RANKINGS[0]]) == 0.0
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            GroundTruthMatcher(SCHEDULE, k=0)
+
+    def test_outcome_pair_accessor(self):
+        matcher = GroundTruthMatcher(SCHEDULE, k=5)
+        outcome = matcher.outcomes(RANKINGS)[0]
+        assert outcome.pair == TagPair("a", "b")

@@ -1,0 +1,187 @@
+"""Tests for the evaluation metrics."""
+
+import pytest
+
+from repro.core.types import EmergentTopic, Ranking, TagPair
+from repro.evaluation.metrics import (
+    RankingComparison,
+    detection_latency,
+    kendall_tau,
+    precision_at_k,
+    recall_at_k,
+    reciprocal_rank,
+)
+
+
+def ranking_from(pairs_scores, timestamp=0.0):
+    topics = [
+        EmergentTopic(pair=TagPair(*pair), score=score, timestamp=timestamp)
+        for pair, score in pairs_scores
+    ]
+    return Ranking(timestamp=timestamp, topics=topics)
+
+
+RANKING = ranking_from([
+    (("a", "b"), 0.9),
+    (("c", "d"), 0.7),
+    (("e", "f"), 0.5),
+    (("g", "h"), 0.3),
+])
+
+
+class TestPrecisionRecall:
+    def test_precision_at_k(self):
+        relevant = [("a", "b"), ("e", "f")]
+        assert precision_at_k(RANKING, relevant, 2) == pytest.approx(0.5)
+        assert precision_at_k(RANKING, relevant, 4) == pytest.approx(0.5)
+        assert precision_at_k(RANKING, relevant, 0) == 0.0
+
+    def test_precision_accepts_tagpair_objects(self):
+        assert precision_at_k(RANKING, [TagPair("a", "b")], 1) == 1.0
+
+    def test_recall_at_k(self):
+        relevant = [("a", "b"), ("x", "y")]
+        assert recall_at_k(RANKING, relevant, 4) == pytest.approx(0.5)
+        assert recall_at_k(RANKING, [], 4) == 1.0
+        assert recall_at_k(RANKING, relevant, 0) == 0.0
+
+    def test_empty_ranking(self):
+        empty = Ranking(timestamp=0.0)
+        assert precision_at_k(empty, [("a", "b")], 3) == 0.0
+        assert recall_at_k(empty, [("a", "b")], 3) == 0.0
+
+    def test_reciprocal_rank(self):
+        assert reciprocal_rank(RANKING, [("c", "d")]) == pytest.approx(0.5)
+        assert reciprocal_rank(RANKING, [("a", "b")]) == 1.0
+        assert reciprocal_rank(RANKING, [("x", "y")]) == 0.0
+
+
+class TestKendallTau:
+    def test_identical_orderings(self):
+        items = [TagPair("a", "b"), TagPair("c", "d"), TagPair("e", "f")]
+        assert kendall_tau(items, list(items)) == 1.0
+
+    def test_reversed_orderings(self):
+        items = [TagPair("a", "b"), TagPair("c", "d"), TagPair("e", "f")]
+        assert kendall_tau(items, list(reversed(items))) == -1.0
+
+    def test_partial_disagreement(self):
+        first = ["x", "y", "z"]
+        second = ["x", "z", "y"]
+        assert 0.0 < kendall_tau(first, second) < 1.0
+
+    def test_disjoint_rankings_are_trivially_consistent(self):
+        assert kendall_tau(["a"], ["b"]) == 1.0
+
+    def test_only_common_items_compared(self):
+        first = ["a", "b", "c", "zzz"]
+        second = ["c", "b", "a"]
+        assert kendall_tau(first, second) == -1.0
+
+
+class TestDetectionLatency:
+    def make_history(self):
+        return [
+            ranking_from([(("x", "y"), 0.5)], timestamp=10.0),
+            ranking_from([(("a", "b"), 0.9), (("x", "y"), 0.5)], timestamp=20.0),
+            ranking_from([(("a", "b"), 0.9)], timestamp=30.0),
+        ]
+
+    def test_latency_to_first_appearance_after_onset(self):
+        latency = detection_latency(self.make_history(), ("a", "b"), onset=15.0)
+        assert latency == pytest.approx(5.0)
+
+    def test_appearances_before_onset_are_ignored(self):
+        latency = detection_latency(self.make_history(), ("x", "y"), onset=15.0)
+        assert latency == pytest.approx(5.0)
+
+    def test_never_detected_returns_none(self):
+        assert detection_latency(self.make_history(), ("nope", "never"), onset=0.0) is None
+
+    def test_top_k_restriction(self):
+        history = [ranking_from([(("a", "b"), 0.9), (("c", "d"), 0.1)], timestamp=10.0)]
+        assert detection_latency(history, ("c", "d"), onset=0.0, k=1) is None
+        assert detection_latency(history, ("c", "d"), onset=0.0, k=2) == pytest.approx(10.0)
+
+    def test_detection_at_onset_is_zero_latency(self):
+        history = [ranking_from([(("a", "b"), 0.9)], timestamp=10.0)]
+        assert detection_latency(history, ("a", "b"), onset=10.0) == 0.0
+
+
+class TestRankingComparison:
+    def test_identical_rankings(self):
+        comparison = RankingComparison.compare(RANKING, RANKING, k=4)
+        assert comparison.overlap == 1.0
+        assert comparison.tau == 1.0
+        assert comparison.only_in_first == ()
+        assert comparison.only_in_second == ()
+
+    def test_different_rankings(self):
+        other = ranking_from([(("a", "b"), 0.9), (("p", "q"), 0.7)])
+        comparison = RankingComparison.compare(RANKING, other, k=2)
+        assert 0.0 < comparison.overlap < 1.0
+        assert TagPair("c", "d") in comparison.only_in_first
+        assert TagPair("p", "q") in comparison.only_in_second
+
+    def test_empty_rankings_overlap_fully(self):
+        empty = Ranking(timestamp=0.0)
+        comparison = RankingComparison.compare(empty, empty)
+        assert comparison.overlap == 1.0
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking(self):
+        from repro.evaluation.metrics import average_precision
+        relevant = [("a", "b"), ("c", "d")]
+        assert average_precision(RANKING, relevant) == pytest.approx(1.0)
+
+    def test_partial_ranking(self):
+        from repro.evaluation.metrics import average_precision
+        # relevant pairs sit at ranks 1 and 3 -> AP = (1/1 + 2/3) / 2
+        relevant = [("a", "b"), ("e", "f")]
+        assert average_precision(RANKING, relevant) == pytest.approx((1.0 + 2 / 3) / 2)
+
+    def test_missing_relevant_pairs_lower_the_score(self):
+        from repro.evaluation.metrics import average_precision
+        relevant = [("a", "b"), ("zz", "yy")]
+        assert average_precision(RANKING, relevant) == pytest.approx(0.5)
+
+    def test_empty_relevant_set_is_perfect(self):
+        from repro.evaluation.metrics import average_precision
+        assert average_precision(RANKING, []) == 1.0
+
+    def test_cutoff_k(self):
+        from repro.evaluation.metrics import average_precision
+        relevant = [("g", "h")]
+        assert average_precision(RANKING, relevant, k=2) == 0.0
+        assert average_precision(RANKING, relevant, k=4) > 0.0
+
+
+class TestNdcg:
+    def test_ideal_ordering_scores_one(self):
+        from repro.evaluation.metrics import ndcg_at_k
+        relevance = {("a", "b"): 3, ("c", "d"): 2, ("e", "f"): 1}
+        assert ndcg_at_k(RANKING, relevance, k=3) == pytest.approx(1.0)
+
+    def test_suboptimal_ordering_scores_below_one(self):
+        from repro.evaluation.metrics import ndcg_at_k
+        relevance = {("g", "h"): 3, ("a", "b"): 1}
+        value = ndcg_at_k(RANKING, relevance, k=4)
+        assert 0.0 < value < 1.0
+
+    def test_no_relevant_pairs_in_ranking(self):
+        from repro.evaluation.metrics import ndcg_at_k
+        assert ndcg_at_k(RANKING, {("x", "y"): 2}, k=3) == 0.0
+
+    def test_empty_relevance_is_trivially_perfect(self):
+        from repro.evaluation.metrics import ndcg_at_k
+        assert ndcg_at_k(RANKING, {}, k=3) == 1.0
+
+    def test_negative_relevance_rejected(self):
+        from repro.evaluation.metrics import ndcg_at_k
+        with pytest.raises(ValueError):
+            ndcg_at_k(RANKING, {("a", "b"): -1}, k=3)
+
+    def test_zero_k(self):
+        from repro.evaluation.metrics import ndcg_at_k
+        assert ndcg_at_k(RANKING, {("a", "b"): 1}, k=0) == 0.0

@@ -1,0 +1,58 @@
+"""Tests for the plain-text reporting helpers."""
+
+from repro.evaluation.reporting import format_series, format_table
+
+
+class TestFormatTable:
+    def test_renders_rows_and_header(self):
+        rows = [
+            {"detector": "enblogue", "recall": 1.0},
+            {"detector": "twitter-monitor", "recall": 0.25},
+        ]
+        table = format_table(rows, title="comparison")
+        assert "comparison" in table
+        assert "detector" in table
+        assert "enblogue" in table
+        assert "0.250" in table
+
+    def test_column_subset_and_order(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        table = format_table(rows, columns=["c", "a"])
+        header = table.splitlines()[0]
+        assert header.index("c") < header.index("a")
+        assert "b" not in header
+
+    def test_none_rendered_as_dash(self):
+        table = format_table([{"latency": None}])
+        assert "-" in table
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([], title="t")
+
+    def test_alignment_produces_equal_width_rows(self):
+        rows = [{"name": "a", "value": 1}, {"name": "longer-name", "value": 22}]
+        lines = format_table(rows).splitlines()
+        assert len(lines[1]) == len(lines[2]) == len(lines[3])
+
+
+class TestFormatSeries:
+    def test_renders_named_series(self):
+        text = format_series(
+            {"correlation": [0.1, 0.2, 0.9], "prediction": [0.1, 0.1, 0.2]},
+            x_values=[0, 1, 2],
+            title="figure 1",
+        )
+        assert "figure 1" in text
+        assert "correlation" in text
+        assert "0.9" in text
+
+    def test_uneven_series_lengths_are_padded(self):
+        text = format_series({"a": [1.0, 2.0], "b": [1.0]})
+        assert text.count("\n") >= 3
+
+    def test_empty_series(self):
+        assert "(no series)" in format_series({})
+
+    def test_default_x_is_index(self):
+        text = format_series({"a": [5.0, 6.0]})
+        assert "0" in text and "1" in text

@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_replay_defaults(self):
+        args = build_parser().parse_args(["replay"])
+        assert args.dataset == "tweets"
+        assert args.command == "replay"
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["replay", "--dataset", "facebook"])
+
+
+class TestReplayCommand:
+    def test_replay_tweets_prints_summary_and_ranking(self, capsys):
+        exit_code = main(["replay", "--dataset", "tweets", "--hours", "24",
+                          "--top-k", "5", "--seed", "7"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "replay of 'tweets'" in output
+        assert "recall" in output
+        assert "ranking at t=" in output
+
+    def test_replay_with_export_writes_json(self, tmp_path, capsys):
+        target = tmp_path / "rankings.json"
+        exit_code = main(["replay", "--dataset", "tweets", "--hours", "18",
+                          "--seed", "7", "--export", str(target)])
+        assert exit_code == 0
+        payload = json.loads(target.read_text())
+        assert isinstance(payload, list)
+        assert payload, "at least one ranking should have been exported"
+        assert "topics" in payload[0]
+
+    def test_replay_with_overrides(self, capsys):
+        exit_code = main(["replay", "--dataset", "tweets", "--hours", "18",
+                          "--measure", "cosine", "--predictor", "ewma",
+                          "--seeds", "10", "--seed", "7"])
+        assert exit_code == 0
+
+
+class TestCompareCommand:
+    def test_compare_on_shift_workload(self, capsys):
+        exit_code = main(["compare", "--dataset", "shifts", "--hours", "48",
+                          "--seed", "11"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "enblogue" in output
+        assert "twitter-monitor" in output
+        assert "popularity" in output
+
+
+class TestExploreCommand:
+    def test_explore_tweets_range(self, capsys):
+        exit_code = main(["explore", "--dataset", "tweets", "--hours", "30",
+                          "--seed", "13", "--start-day", "10", "--end-day", "28",
+                          "--top-k", "5"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "indexed" in output
+        assert "ranking for" in output

@@ -1,0 +1,92 @@
+"""Tests for the APE-style push dispatcher."""
+
+import pytest
+
+from repro.portal.push import Channel, PushDispatcher, PushMessage
+
+
+class TestPushMessage:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PushMessage(channel="", payload=None, sequence=0)
+        with pytest.raises(ValueError):
+            PushMessage(channel="c", payload=None, sequence=-1)
+
+
+class TestChannel:
+    def test_publish_delivers_to_all_subscribers(self):
+        channel = Channel("news")
+        received_a, received_b = [], []
+        channel.subscribe("a", received_a.append)
+        channel.subscribe("b", received_b.append)
+        delivered = channel.publish(PushMessage("news", "payload", 0))
+        assert delivered == 2
+        assert len(received_a) == 1
+        assert len(received_b) == 1
+
+    def test_unsubscribe_stops_delivery(self):
+        channel = Channel("news")
+        received = []
+        channel.subscribe("a", received.append)
+        channel.unsubscribe("a")
+        channel.publish(PushMessage("news", "payload", 0))
+        assert received == []
+
+    def test_history_is_bounded(self):
+        channel = Channel("news", history_limit=3)
+        for i in range(10):
+            channel.publish(PushMessage("news", i, i))
+        history = channel.history()
+        assert len(history) == 3
+        assert [m.payload for m in history] == [7, 8, 9]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Channel("")
+        with pytest.raises(ValueError):
+            Channel("x", history_limit=-1)
+
+    def test_subscriber_ids_sorted(self):
+        channel = Channel("news")
+        channel.subscribe("b", lambda m: None)
+        channel.subscribe("a", lambda m: None)
+        assert channel.subscriber_ids == ["a", "b"]
+
+
+class TestPushDispatcher:
+    def test_publish_creates_channel_and_sequences_messages(self):
+        dispatcher = PushDispatcher()
+        first = dispatcher.publish("topics", "one")
+        second = dispatcher.publish("topics", "two")
+        assert first.sequence < second.sequence
+        assert dispatcher.channels() == ["topics"]
+        assert dispatcher.messages_published == 2
+
+    def test_subscribers_receive_pushes_without_polling(self):
+        dispatcher = PushDispatcher()
+        received = []
+        dispatcher.subscribe("topics", "client-1", received.append)
+        dispatcher.publish("topics", {"rank": 1})
+        assert len(received) == 1
+        assert received[0].payload == {"rank": 1}
+
+    def test_channels_are_isolated(self):
+        dispatcher = PushDispatcher()
+        received = []
+        dispatcher.subscribe("alpha", "client", received.append)
+        dispatcher.publish("beta", "not for you")
+        assert received == []
+
+    def test_deliveries_counted(self):
+        dispatcher = PushDispatcher()
+        dispatcher.subscribe("c", "one", lambda m: None)
+        dispatcher.subscribe("c", "two", lambda m: None)
+        dispatcher.publish("c", "x")
+        assert dispatcher.deliveries == 2
+
+    def test_unsubscribe_from_unknown_channel_is_noop(self):
+        PushDispatcher().unsubscribe("nope", "client")
+
+    def test_channel_accessor_reuses_instance(self):
+        dispatcher = PushDispatcher()
+        assert dispatcher.channel("x") is dispatcher.channel("x")

@@ -1,0 +1,79 @@
+"""Tests for ranking JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.core.types import EmergentTopic, Ranking, TagPair
+from repro.portal.serialization import (
+    ranking_from_dict,
+    ranking_from_json,
+    ranking_to_dict,
+    ranking_to_json,
+    rankings_from_json,
+    rankings_to_json,
+    topic_from_dict,
+    topic_to_dict,
+)
+
+
+def sample_ranking():
+    return Ranking(
+        timestamp=3600.0,
+        label="demo",
+        topics=[
+            EmergentTopic(pair=TagPair("volcano", "air traffic"), score=0.8,
+                          correlation=0.6, predicted_correlation=0.2,
+                          prediction_error=0.4, seed_tag="volcano", timestamp=3600.0),
+            EmergentTopic(pair=TagPair("athens", "sigmod"), score=0.5, timestamp=3600.0),
+        ],
+    )
+
+
+class TestTopicCodec:
+    def test_round_trip(self):
+        topic = sample_ranking()[0]
+        assert topic_from_dict(topic_to_dict(topic)) == topic
+
+    def test_missing_optional_fields_default(self):
+        restored = topic_from_dict({"tags": ["a", "b"], "score": 0.3})
+        assert restored.pair == TagPair("a", "b")
+        assert restored.correlation == 0.0
+
+    def test_invalid_tags_rejected(self):
+        with pytest.raises(ValueError):
+            topic_from_dict({"tags": ["only-one"], "score": 0.3})
+
+
+class TestRankingCodec:
+    def test_dict_round_trip(self):
+        ranking = sample_ranking()
+        restored = ranking_from_dict(ranking_to_dict(ranking))
+        assert restored.timestamp == ranking.timestamp
+        assert restored.label == ranking.label
+        assert restored.pairs() == ranking.pairs()
+        assert restored.scores() == ranking.scores()
+
+    def test_json_round_trip(self):
+        ranking = sample_ranking()
+        text = ranking_to_json(ranking, indent=2)
+        assert json.loads(text)["label"] == "demo"
+        restored = ranking_from_json(text)
+        assert restored.pairs() == ranking.pairs()
+
+    def test_json_is_sorted_and_stable(self):
+        first = ranking_to_json(sample_ranking())
+        second = ranking_to_json(sample_ranking())
+        assert first == second
+
+    def test_ranking_order_preserved_through_round_trip(self):
+        ranking = sample_ranking()
+        restored = ranking_from_json(ranking_to_json(ranking))
+        assert [t.score for t in restored] == [t.score for t in ranking]
+
+    def test_rankings_list_round_trip(self):
+        rankings = [sample_ranking(), Ranking(timestamp=7200.0)]
+        restored = rankings_from_json(rankings_to_json(rankings))
+        assert len(restored) == 2
+        assert restored[0].pairs() == rankings[0].pairs()
+        assert len(restored[1]) == 0

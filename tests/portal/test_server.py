@@ -1,0 +1,95 @@
+"""Tests for the portal façade (engine + push dispatcher + sessions)."""
+
+import pytest
+
+from repro.core.config import EnBlogueConfig
+from repro.core.engine import EnBlogue
+from repro.core.personalization import UserProfile
+from repro.core.types import Ranking
+from repro.datasets.documents import Document
+from repro.portal.server import GLOBAL_CHANNEL, Portal, user_channel
+
+HOUR = 3600.0
+
+
+def engine():
+    return EnBlogue(EnBlogueConfig(
+        window_horizon=6 * HOUR, evaluation_interval=HOUR,
+        num_seeds=10, min_seed_count=1, min_pair_support=1, min_history=2,
+    ))
+
+
+def doc(t, tags):
+    return Document(timestamp=float(t), doc_id=f"d{t}", tags=frozenset(tags))
+
+
+class TestSessions:
+    def test_connect_and_disconnect(self):
+        portal = Portal(engine())
+        portal.connect("session-1")
+        assert portal.sessions() == ["session-1"]
+        portal.disconnect("session-1")
+        assert portal.sessions() == []
+        portal.disconnect("session-1")  # idempotent
+
+    def test_duplicate_session_rejected(self):
+        portal = Portal(engine())
+        portal.connect("session-1")
+        with pytest.raises(ValueError):
+            portal.connect("session-1")
+
+    def test_unknown_session_lookup_raises(self):
+        with pytest.raises(KeyError):
+            Portal(engine()).session("nope")
+
+
+class TestPushFlow:
+    def test_rankings_are_pushed_to_connected_sessions(self):
+        enblogue = engine()
+        portal = Portal(enblogue)
+        session = portal.connect("browser-1")
+        enblogue.process(doc(0, ["a", "b"]))
+        enblogue.process(doc(2 * HOUR, ["a", "b"]))
+        assert len(session.messages(GLOBAL_CHANNEL)) == len(enblogue.ranking_history())
+        assert isinstance(portal.current_view("browser-1"), Ranking)
+
+    def test_disconnected_sessions_receive_nothing_further(self):
+        enblogue = engine()
+        portal = Portal(enblogue)
+        session = portal.connect("browser-1")
+        enblogue.process(doc(0, ["a", "b"]))
+        enblogue.process(doc(2 * HOUR, ["a", "b"]))
+        seen = len(session.messages())
+        portal.disconnect("browser-1")
+        enblogue.process(doc(5 * HOUR, ["a", "b"]))
+        assert len(session.messages()) == seen
+
+    def test_personalized_channel_for_registered_user(self):
+        enblogue = engine()
+        portal = Portal(enblogue)
+        portal.register_user(UserProfile(user_id="alice", keywords=("a",)))
+        session = portal.connect("browser-alice", user_id="alice")
+        enblogue.process(doc(0, ["a", "b"]))
+        enblogue.process(doc(2 * HOUR, ["a", "b"]))
+        personal = session.messages(user_channel("alice"))
+        assert personal
+        assert personal[-1].payload.label == "user:alice"
+        # The same session also sees the global channel.
+        assert session.messages(GLOBAL_CHANNEL)
+
+    def test_current_view_is_none_before_any_ranking(self):
+        portal = Portal(engine())
+        portal.connect("browser-1")
+        assert portal.current_view("browser-1") is None
+
+    def test_status_counters(self):
+        enblogue = engine()
+        portal = Portal(enblogue)
+        portal.connect("browser-1")
+        enblogue.process(doc(0, ["a", "b"]))
+        enblogue.process(doc(2 * HOUR, ["a", "b"]))
+        status = portal.status()
+        assert status["sessions"] == 1
+        assert status["documents_processed"] == 2
+        assert status["rankings_produced"] >= 1
+        assert status["messages_published"] >= status["rankings_produced"]

@@ -1,0 +1,49 @@
+"""Tests for client sessions."""
+
+import pytest
+
+from repro.portal.push import PushMessage
+from repro.portal.sessions import ClientSession
+
+
+def message(payload, channel="topics", sequence=0):
+    return PushMessage(channel=channel, payload=payload, sequence=sequence)
+
+
+class TestClientSession:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClientSession("")
+        with pytest.raises(ValueError):
+            ClientSession("s", inbox_limit=0)
+
+    def test_receives_and_stores_messages(self):
+        session = ClientSession("browser-1")
+        session.deliver(message("a"))
+        session.deliver(message("b", sequence=1))
+        assert len(session) == 2
+        assert session.latest_payload() == "b"
+
+    def test_messages_filtered_by_channel(self):
+        session = ClientSession("browser-1")
+        session.deliver(message("global", channel="all"))
+        session.deliver(message("mine", channel="user/alice", sequence=1))
+        assert [m.payload for m in session.messages("user/alice")] == ["mine"]
+        assert session.latest_payload("all") == "global"
+
+    def test_latest_payload_when_empty_is_none(self):
+        assert ClientSession("s").latest_payload() is None
+
+    def test_disconnect_stops_delivery(self):
+        session = ClientSession("browser-1")
+        session.disconnect()
+        session.deliver(message("late"))
+        assert len(session) == 0
+        assert not session.connected
+
+    def test_inbox_is_bounded(self):
+        session = ClientSession("browser-1", inbox_limit=5)
+        for i in range(20):
+            session.deliver(message(i, sequence=i))
+        assert len(session) == 5
+        assert session.latest_payload() == 19

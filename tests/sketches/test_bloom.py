@@ -1,0 +1,53 @@
+"""Tests for the Bloom filter."""
+
+import pytest
+
+from repro.sketches.bloom import BloomFilter
+
+
+class TestBloomFilter:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            BloomFilter(0)
+        with pytest.raises(ValueError):
+            BloomFilter(10, error_rate=0.0)
+        with pytest.raises(ValueError):
+            BloomFilter(10, error_rate=1.0)
+
+    def test_no_false_negatives(self):
+        bloom = BloomFilter(capacity=100)
+        keys = [f"key-{i}" for i in range(100)]
+        bloom.update(keys)
+        assert all(key in bloom for key in keys)
+
+    def test_unseen_keys_mostly_absent(self):
+        bloom = BloomFilter(capacity=500, error_rate=0.01)
+        bloom.update(f"present-{i}" for i in range(500))
+        false_positives = sum(
+            1 for i in range(1000) if f"absent-{i}" in bloom
+        )
+        # 1% nominal error rate: allow generous slack but not gross failure.
+        assert false_positives < 60
+
+    def test_empty_filter_contains_nothing(self):
+        bloom = BloomFilter(capacity=10)
+        assert "anything" not in bloom
+
+    def test_len_counts_insertions(self):
+        bloom = BloomFilter(capacity=10)
+        bloom.add("a")
+        bloom.add("a")
+        assert len(bloom) == 2
+
+    def test_estimated_false_positive_rate_grows_with_fill(self):
+        bloom = BloomFilter(capacity=50)
+        assert bloom.estimated_false_positive_rate() == 0.0
+        bloom.update(f"k{i}" for i in range(50))
+        half_full = bloom.estimated_false_positive_rate()
+        bloom.update(f"m{i}" for i in range(200))
+        assert bloom.estimated_false_positive_rate() > half_full
+
+    def test_size_and_hash_count_are_positive(self):
+        bloom = BloomFilter(capacity=10)
+        assert bloom.size > 0
+        assert bloom.hash_count > 0

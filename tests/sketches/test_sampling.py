@@ -1,0 +1,64 @@
+"""Tests for reservoir sampling."""
+
+import pytest
+
+from repro.sketches.sampling import ReservoirSample
+
+
+class TestReservoirSample:
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            ReservoirSample(0)
+
+    def test_keeps_everything_under_capacity(self):
+        sample = ReservoirSample(10, seed=1)
+        for i in range(5):
+            sample.add(i)
+        assert sorted(sample.items()) == [0, 1, 2, 3, 4]
+
+    def test_never_exceeds_capacity(self):
+        sample = ReservoirSample(10, seed=1)
+        for i in range(1000):
+            sample.add(i)
+        assert len(sample) == 10
+        assert sample.seen == 1000
+
+    def test_sample_items_come_from_stream(self):
+        sample = ReservoirSample(5, seed=2)
+        for i in range(100):
+            sample.add(i)
+        assert all(0 <= item < 100 for item in sample.items())
+
+    def test_deterministic_for_fixed_seed(self):
+        def run():
+            sample = ReservoirSample(5, seed=42)
+            for i in range(200):
+                sample.add(i)
+            return sample.items()
+
+        assert run() == run()
+
+    def test_roughly_uniform_inclusion(self):
+        # Each item of a 100-element stream should be kept ~10% of the time
+        # with capacity 10.  Averaged over many runs the early and late halves
+        # should be included about equally often.
+        early_hits = 0
+        late_hits = 0
+        for seed in range(200):
+            sample = ReservoirSample(10, seed=seed)
+            for i in range(100):
+                sample.add(i)
+            for item in sample.items():
+                if item < 50:
+                    early_hits += 1
+                else:
+                    late_hits += 1
+        ratio = early_hits / late_hits
+        assert 0.8 < ratio < 1.25
+
+    def test_items_returns_copy(self):
+        sample = ReservoirSample(5, seed=1)
+        sample.add("x")
+        items = sample.items()
+        items.append("y")
+        assert len(sample) == 1

@@ -1,0 +1,58 @@
+"""Tests for the bounded document store."""
+
+import pytest
+
+from repro.storage.document_store import DocumentStore
+from repro.streams.item import StreamItem
+
+
+def item(i, tags=("a",)):
+    return StreamItem(timestamp=float(i), doc_id=f"d{i}", tags=frozenset(tags))
+
+
+class TestDocumentStore:
+    def test_put_and_get(self):
+        store = DocumentStore()
+        store.put(item(1))
+        assert store.get("d1").timestamp == 1.0
+        assert "d1" in store
+        assert store.get("missing") is None
+
+    def test_capacity_evicts_oldest(self):
+        store = DocumentStore(capacity=3)
+        for i in range(5):
+            store.put(item(i))
+        assert len(store) == 3
+        assert store.evicted == 2
+        assert "d0" not in store
+        assert "d4" in store
+
+    def test_reinsert_refreshes_position(self):
+        store = DocumentStore(capacity=2)
+        store.put(item(1))
+        store.put(item(2))
+        store.put(StreamItem(timestamp=9.0, doc_id="d1", tags=frozenset({"x"})))
+        store.put(item(3))
+        # d2 was the oldest untouched entry, so it is the one evicted.
+        assert "d1" in store
+        assert "d2" not in store
+        assert store.get("d1").tags == frozenset({"x"})
+
+    def test_recent_returns_newest_first(self):
+        store = DocumentStore()
+        for i in range(4):
+            store.put(item(i))
+        assert [d.doc_id for d in store.recent(2)] == ["d3", "d2"]
+        assert store.recent(0) == []
+
+    def test_iteration_and_clear(self):
+        store = DocumentStore()
+        store.put(item(1))
+        store.put(item(2))
+        assert len(list(store)) == 2
+        store.clear()
+        assert len(store) == 0
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            DocumentStore(capacity=0)

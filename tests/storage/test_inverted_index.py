@@ -1,0 +1,78 @@
+"""Tests for the inverted tag index."""
+
+import pytest
+
+from repro.storage.inverted_index import InvertedTagIndex
+from repro.streams.item import StreamItem
+
+
+def item(doc_id, tags, entities=(), t=1.0):
+    return StreamItem(timestamp=t, doc_id=doc_id, tags=frozenset(tags),
+                      entities=frozenset(entities))
+
+
+class TestInvertedTagIndex:
+    def test_index_and_postings(self):
+        index = InvertedTagIndex()
+        index.index(item("d1", {"a", "b"}))
+        index.index(item("d2", {"a"}))
+        assert index.postings("a") == {"d1", "d2"}
+        assert index.postings("b") == {"d1"}
+        assert index.postings("zzz") == set()
+        assert index.document_frequency("a") == 2
+
+    def test_entities_indexed_when_enabled(self):
+        index = InvertedTagIndex(use_entities=True)
+        index.index(item("d1", {"news"}, entities={"Athens"}))
+        assert index.postings("Athens") == {"d1"}
+
+    def test_entities_ignored_when_disabled(self):
+        index = InvertedTagIndex(use_entities=False)
+        index.index(item("d1", {"news"}, entities={"Athens"}))
+        assert index.postings("Athens") == set()
+
+    def test_conjunctive_query(self):
+        index = InvertedTagIndex()
+        index.index(item("d1", {"a", "b"}, t=1.0))
+        index.index(item("d2", {"a"}, t=2.0))
+        index.index(item("d3", {"a", "b"}, t=3.0))
+        results = index.query(["a", "b"])
+        assert [d.doc_id for d in results] == ["d3", "d1"]
+
+    def test_query_with_missing_tag_is_empty(self):
+        index = InvertedTagIndex()
+        index.index(item("d1", {"a"}))
+        assert index.query(["a", "zzz"]) == []
+
+    def test_query_with_no_tags_is_empty(self):
+        assert InvertedTagIndex().query([]) == []
+
+    def test_reindexing_replaces_old_postings(self):
+        index = InvertedTagIndex()
+        index.index(item("d1", {"a"}))
+        index.index(item("d1", {"b"}))
+        assert index.postings("a") == set()
+        assert index.postings("b") == {"d1"}
+        assert len(index) == 1
+
+    def test_remove(self):
+        index = InvertedTagIndex()
+        index.index(item("d1", {"a"}))
+        index.remove("d1")
+        assert index.postings("a") == set()
+        assert len(index) == 0
+        index.remove("d1")  # no-op
+
+    def test_cooccurrence_count(self):
+        index = InvertedTagIndex()
+        index.index(item("d1", {"a", "b"}))
+        index.index(item("d2", {"a", "b"}))
+        index.index(item("d3", {"a"}))
+        assert index.cooccurrence_count("a", "b") == 2
+        assert index.cooccurrence_count("b", "a") == 2
+        assert index.cooccurrence_count("a", "zzz") == 0
+
+    def test_tags_listing(self):
+        index = InvertedTagIndex()
+        index.index(item("d1", {"b", "a"}))
+        assert index.tags() == ["a", "b"]

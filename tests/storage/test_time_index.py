@@ -1,0 +1,76 @@
+"""Tests for the time-partitioned index."""
+
+import pytest
+
+from repro.storage.time_index import TimePartitionedIndex
+from repro.streams.item import StreamItem
+
+
+def item(doc_id, t, tags):
+    return StreamItem(timestamp=float(t), doc_id=doc_id, tags=frozenset(tags))
+
+
+class TestTimePartitionedIndex:
+    def test_partition_of(self):
+        index = TimePartitionedIndex(partition_length=10.0)
+        assert index.partition_of(0.0) == 0
+        assert index.partition_of(9.9) == 0
+        assert index.partition_of(10.0) == 1
+
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(ValueError):
+            TimePartitionedIndex(10.0).partition_of(-1.0)
+
+    def test_document_and_tag_counts_over_range(self):
+        index = TimePartitionedIndex(partition_length=10.0)
+        index.index(item("d1", 1.0, {"a", "b"}))
+        index.index(item("d2", 11.0, {"a"}))
+        index.index(item("d3", 25.0, {"b"}))
+        assert index.document_count(0.0, 30.0) == 3
+        assert index.tag_count("a", 0.0, 15.0) == 2
+        assert index.tag_count("a", 20.0, 30.0) == 0
+
+    def test_pair_counts_are_order_independent(self):
+        index = TimePartitionedIndex(partition_length=10.0)
+        index.index(item("d1", 1.0, {"a", "b", "c"}))
+        index.index(item("d2", 2.0, {"a", "b"}))
+        assert index.pair_count("a", "b", 0.0, 10.0) == 2
+        assert index.pair_count("b", "a", 0.0, 10.0) == 2
+        assert index.pair_count("a", "c", 0.0, 10.0) == 1
+
+    def test_top_tags_and_pairs(self):
+        index = TimePartitionedIndex(partition_length=10.0)
+        index.index(item("d1", 1.0, {"a", "b"}))
+        index.index(item("d2", 2.0, {"a"}))
+        assert index.top_tags(0.0, 10.0, 1) == [("a", 2)]
+        assert index.top_pairs(0.0, 10.0, 1) == [(("a", "b"), 1)]
+        assert index.top_tags(0.0, 10.0, 0) == []
+
+    def test_range_queries_reject_reversed_bounds(self):
+        index = TimePartitionedIndex(partition_length=10.0)
+        with pytest.raises(ValueError):
+            index.document_count(10.0, 0.0)
+
+    def test_prune_before_drops_old_partitions(self):
+        index = TimePartitionedIndex(partition_length=10.0)
+        index.index(item("d1", 1.0, {"a"}))
+        index.index(item("d2", 50.0, {"a"}))
+        dropped = index.prune_before(40.0)
+        assert dropped == 1
+        assert index.document_count(0.0, 100.0) == 1
+
+    def test_entities_counted_when_enabled(self):
+        index = TimePartitionedIndex(partition_length=10.0, use_entities=True)
+        index.index(StreamItem(timestamp=1.0, doc_id="d1", tags=frozenset({"a"}),
+                               entities=frozenset({"Athens"})))
+        assert index.tag_count("Athens", 0.0, 10.0) == 1
+
+    def test_partitions_listing(self):
+        index = TimePartitionedIndex(partition_length=10.0)
+        index.index(item("d1", 5.0, {"a"}))
+        index.index(item("d2", 25.0, {"a"}))
+        assert index.partitions() == [0, 2]
+
+    def test_rejects_non_positive_partition_length(self):
+        with pytest.raises(ValueError):
+            TimePartitionedIndex(0.0)

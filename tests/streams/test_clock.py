@@ -1,0 +1,61 @@
+"""Tests for the stream clocks."""
+
+import pytest
+
+from repro.streams.clock import ReplayClock, SimulatedClock, SystemClock
+
+
+class TestSimulatedClock:
+    def test_starts_at_given_time(self):
+        assert SimulatedClock(5.0).now() == 5.0
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            SimulatedClock(-1.0)
+
+    def test_advance_to_moves_forward(self):
+        clock = SimulatedClock()
+        clock.advance_to(10.0)
+        assert clock.now() == 10.0
+
+    def test_advance_backwards_is_rejected(self):
+        clock = SimulatedClock(10.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(5.0)
+
+    def test_advance_by_delta(self):
+        clock = SimulatedClock(3.0)
+        clock.advance_by(4.0)
+        assert clock.now() == 7.0
+
+    def test_advance_by_negative_delta_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedClock().advance_by(-1.0)
+
+
+class TestSystemClock:
+    def test_is_monotone_non_decreasing(self):
+        clock = SystemClock()
+        assert clock.now() <= clock.now()
+
+
+class TestReplayClock:
+    def test_speedup_scales_elapsed_wall_time(self):
+        wall = SimulatedClock(0.0)
+        replay = ReplayClock(archive_start=1000.0, speedup=10.0, wall_clock=wall)
+        wall.advance_to(5.0)
+        assert replay.now() == pytest.approx(1050.0)
+
+    def test_rejects_non_positive_speedup(self):
+        with pytest.raises(ValueError):
+            ReplayClock(0.0, speedup=0.0)
+
+    def test_wall_delay_until_future_archive_time(self):
+        wall = SimulatedClock(0.0)
+        replay = ReplayClock(archive_start=0.0, speedup=100.0, wall_clock=wall)
+        assert replay.wall_delay_until(500.0) == pytest.approx(5.0)
+
+    def test_wall_delay_for_past_archive_time_is_zero(self):
+        wall = SimulatedClock(0.0)
+        replay = ReplayClock(archive_start=100.0, speedup=1.0, wall_clock=wall)
+        assert replay.wall_delay_until(50.0) == 0.0

@@ -1,0 +1,91 @@
+"""Tests for the operator DAG and operator sharing."""
+
+import pytest
+
+from repro.streams.dag import OperatorDAG
+from repro.streams.operators import CollectorSink, Operator, StatisticsOperator
+
+
+class TestEdges:
+    def test_connect_creates_edge_and_wires_operators(self):
+        dag = OperatorDAG()
+        a, b = Operator("a"), CollectorSink("b")
+        dag.connect(a, b)
+        assert (a, b) in dag.edges
+        assert b in a.consumers
+
+    def test_duplicate_edges_are_ignored(self):
+        dag = OperatorDAG()
+        a, b = Operator("a"), CollectorSink("b")
+        dag.connect(a, b)
+        dag.connect(a, b)
+        assert len(dag.edges) == 1
+
+    def test_cycle_is_rejected(self):
+        dag = OperatorDAG()
+        a, b, c = Operator("a"), Operator("b"), Operator("c")
+        dag.connect(a, b)
+        dag.connect(b, c)
+        with pytest.raises(ValueError):
+            dag.connect(c, a)
+
+    def test_self_loop_is_rejected(self):
+        dag = OperatorDAG()
+        a = Operator("a")
+        with pytest.raises(ValueError):
+            dag.connect(a, a)
+
+    def test_chain_connects_in_sequence(self):
+        dag = OperatorDAG()
+        a, b, c = Operator("a"), Operator("b"), CollectorSink("c")
+        last = dag.chain(a, b, c)
+        assert last is c
+        assert (a, b) in dag.edges
+        assert (b, c) in dag.edges
+
+
+class TestStructure:
+    def test_sources_and_sinks(self):
+        dag = OperatorDAG()
+        a, b, c = Operator("a"), Operator("b"), CollectorSink("c")
+        dag.chain(a, b, c)
+        assert dag.sources() == [a]
+        assert dag.sinks() == [c]
+
+    def test_topological_order_respects_edges(self):
+        dag = OperatorDAG()
+        a, b, c = Operator("a"), Operator("b"), Operator("c")
+        dag.connect(a, b)
+        dag.connect(b, c)
+        order = dag.topological_order()
+        assert order.index(a) < order.index(b) < order.index(c)
+
+    def test_describe_mentions_edges(self):
+        dag = OperatorDAG("demo")
+        a, b = Operator("upstream"), CollectorSink("downstream")
+        dag.connect(a, b)
+        description = dag.describe()
+        assert "upstream" in description
+        assert "downstream" in description
+
+
+class TestSharing:
+    def test_shared_returns_same_instance_for_same_key(self):
+        dag = OperatorDAG()
+        first = dag.shared("stats", StatisticsOperator)
+        second = dag.shared("stats", StatisticsOperator)
+        assert first is second
+        assert dag.is_shared(first)
+
+    def test_shared_operators_with_different_keys_differ(self):
+        dag = OperatorDAG()
+        first = dag.shared("stats-a", StatisticsOperator)
+        second = dag.shared("stats-b", StatisticsOperator)
+        assert first is not second
+        assert set(dag.shared_keys) == {"stats-a", "stats-b"}
+
+    def test_non_registered_operator_is_not_shared(self):
+        dag = OperatorDAG()
+        op = Operator()
+        dag.add(op)
+        assert not dag.is_shared(op)

@@ -1,0 +1,55 @@
+"""Tests for the stream tuple."""
+
+import pytest
+
+from repro.streams.item import StreamItem
+
+
+class TestStreamItem:
+    def test_basic_construction(self):
+        item = StreamItem(timestamp=1.0, doc_id="d1", tags={"a", "b"})
+        assert item.timestamp == 1.0
+        assert item.doc_id == "d1"
+        assert item.tags == frozenset({"a", "b"})
+        assert item.entities == frozenset()
+
+    def test_tags_are_normalised_to_frozensets(self):
+        item = StreamItem(timestamp=1.0, doc_id="d1", tags=["a", "a", "b"])
+        assert isinstance(item.tags, frozenset)
+        assert item.tags == frozenset({"a", "b"})
+
+    def test_rejects_negative_timestamp(self):
+        with pytest.raises(ValueError):
+            StreamItem(timestamp=-1.0, doc_id="d1")
+
+    def test_rejects_empty_doc_id(self):
+        with pytest.raises(ValueError):
+            StreamItem(timestamp=1.0, doc_id="")
+
+    def test_all_tags_unions_tags_and_entities(self):
+        item = StreamItem(
+            timestamp=1.0, doc_id="d1", tags={"a"}, entities={"Barack Obama"}
+        )
+        assert item.all_tags == frozenset({"a", "Barack Obama"})
+
+    def test_with_entities_adds_without_mutation(self):
+        item = StreamItem(timestamp=1.0, doc_id="d1", tags={"a"})
+        enriched = item.with_entities(["Athens"])
+        assert enriched.entities == frozenset({"Athens"})
+        assert item.entities == frozenset()
+        assert enriched.tags == item.tags
+
+    def test_with_tags_adds_tags(self):
+        item = StreamItem(timestamp=1.0, doc_id="d1", tags={"a"})
+        assert item.with_tags(["b"]).tags == frozenset({"a", "b"})
+
+    def test_with_metadata_merges(self):
+        item = StreamItem(timestamp=1.0, doc_id="d1", metadata={"x": 1})
+        updated = item.with_metadata(y=2)
+        assert updated.metadata == {"x": 1, "y": 2}
+        assert item.metadata == {"x": 1}
+
+    def test_items_with_same_fields_are_equal(self):
+        a = StreamItem(timestamp=1.0, doc_id="d1", tags={"a"})
+        b = StreamItem(timestamp=1.0, doc_id="d1", tags={"a"})
+        assert a == b

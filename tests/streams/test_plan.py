@@ -1,0 +1,89 @@
+"""Tests for query plans and the multi-plan executor."""
+
+import pytest
+
+from repro.streams.dag import OperatorDAG
+from repro.streams.item import StreamItem
+from repro.streams.operators import CollectorSink, StatisticsOperator, TagNormalizerOperator
+from repro.streams.plan import PlanExecutor, QueryPlan
+from repro.streams.sources import IterableSource
+
+
+def items(n=5):
+    return [
+        StreamItem(timestamp=float(i), doc_id=f"d{i}", tags={"A", "b"})
+        for i in range(n)
+    ]
+
+
+class TestQueryPlan:
+    def test_nodes_in_processing_order(self):
+        source = IterableSource(items())
+        normalizer = TagNormalizerOperator()
+        sink = CollectorSink()
+        plan = QueryPlan("p", source, [normalizer], sink)
+        assert plan.nodes() == [source, normalizer, sink]
+
+    def test_requires_name(self):
+        with pytest.raises(ValueError):
+            QueryPlan("", IterableSource(items()))
+
+
+class TestPlanExecutor:
+    def test_single_plan_runs_end_to_end(self):
+        executor = PlanExecutor()
+        source = IterableSource(items(4))
+        sink = CollectorSink()
+        executor.register(QueryPlan("p", source, [TagNormalizerOperator()], sink))
+        emitted = executor.run()
+        assert emitted == 4
+        assert len(sink.items) == 4
+        assert sink.items[0].tags == frozenset({"a", "b"})
+
+    def test_duplicate_plan_names_rejected(self):
+        executor = PlanExecutor()
+        source = IterableSource(items())
+        executor.register(QueryPlan("p", source, [], CollectorSink()))
+        with pytest.raises(ValueError):
+            executor.register(QueryPlan("p", source, [], CollectorSink()))
+
+    def test_plan_needs_at_least_two_nodes(self):
+        executor = PlanExecutor()
+        with pytest.raises(ValueError):
+            executor.register(QueryPlan("p", IterableSource(items())))
+
+    def test_run_without_plans_rejected(self):
+        with pytest.raises(ValueError):
+            PlanExecutor().run()
+
+    def test_shared_source_is_replayed_once_for_two_plans(self):
+        executor = PlanExecutor()
+        source = IterableSource(items(6))
+        stats = executor.shared_operator("stats", StatisticsOperator)
+        sink_a, sink_b = CollectorSink("a"), CollectorSink("b")
+        executor.register(QueryPlan("plan-a", source, [stats], sink_a))
+        executor.register(QueryPlan("plan-b", source, [stats], sink_b))
+        emitted = executor.run()
+        # The source is replayed once...
+        assert emitted == 6
+        # ...the shared operator sees each document once...
+        assert stats.documents == 6
+        # ...and both plans' sinks receive the full stream.
+        assert len(sink_a.items) == 6
+        assert len(sink_b.items) == 6
+
+    def test_unshared_plans_have_independent_operators(self):
+        executor = PlanExecutor()
+        source = IterableSource(items(3))
+        stats_a, stats_b = StatisticsOperator("sa"), StatisticsOperator("sb")
+        executor.register(QueryPlan("plan-a", source, [stats_a], CollectorSink()))
+        executor.register(QueryPlan("plan-b", source, [stats_b], CollectorSink()))
+        executor.run()
+        assert stats_a.documents == 3
+        assert stats_b.documents == 3
+
+    def test_describe_lists_plans(self):
+        executor = PlanExecutor(OperatorDAG("test"))
+        source = IterableSource(items())
+        executor.register(QueryPlan("my-plan", source, [], CollectorSink()))
+        assert "my-plan" in executor.describe()

@@ -1,0 +1,113 @@
+"""Tests for the synopsis (sketching/sampling/throttling) operators."""
+
+import pytest
+
+from repro.streams.item import StreamItem
+from repro.streams.operators import CollectorSink
+from repro.streams.synopses import SamplingOperator, SketchingOperator, ThrottleOperator
+
+
+def item(i, tags, t=None):
+    return StreamItem(timestamp=float(t if t is not None else i),
+                      doc_id=f"d{i}", tags=frozenset(tags))
+
+
+class TestSketchingOperator:
+    def test_passes_items_through_unchanged(self):
+        operator = SketchingOperator(horizon=100.0)
+        sink = CollectorSink()
+        operator.connect(sink)
+        original = item(1, {"a"})
+        operator.push(original)
+        assert sink.items == [original]
+        assert operator.items_sketched == 1
+
+    def test_estimates_windowed_tag_counts(self):
+        operator = SketchingOperator(horizon=1000.0)
+        for i in range(20):
+            operator.push(item(i, {"hot", f"rare{i}"}))
+        assert operator.estimate("hot") >= 20
+        assert operator.estimate("rare3") >= 1
+        assert operator.estimate("unknown") >= 0
+
+    def test_old_counts_expire_with_the_window(self):
+        operator = SketchingOperator(horizon=10.0, panes=2)
+        operator.push(item(1, {"old"}, t=0.0))
+        operator.push(item(2, {"new"}, t=100.0))
+        assert operator.estimate("old") == 0
+        assert operator.estimate("new") >= 1
+
+    def test_pair_estimates_when_enabled(self):
+        operator = SketchingOperator(horizon=1000.0, track_pairs=True)
+        for i in range(5):
+            operator.push(item(i, {"a", "b"}))
+        assert operator.estimate_pair("a", "b") >= 5
+        assert operator.estimate_pair("b", "a") >= 5
+
+    def test_pair_estimates_rejected_when_disabled(self):
+        operator = SketchingOperator(horizon=100.0, track_pairs=False)
+        with pytest.raises(RuntimeError):
+            operator.estimate_pair("a", "b")
+
+    def test_heavy_hitters_filters_and_sorts(self):
+        operator = SketchingOperator(horizon=1000.0)
+        for i in range(30):
+            tags = {"heavy"} if i % 2 == 0 else {"heavy", "medium"}
+            operator.push(item(i, tags))
+        hitters = operator.heavy_hitters(["heavy", "medium", "absent"], threshold=5)
+        assert [tag for tag, _ in hitters] == ["heavy", "medium"]
+
+    def test_entities_included_in_sketch(self):
+        operator = SketchingOperator(horizon=1000.0)
+        operator.push(StreamItem(timestamp=1.0, doc_id="d", tags=frozenset({"news"}),
+                                 entities=frozenset({"Athens"})))
+        assert operator.estimate("Athens") >= 1
+
+
+class TestSamplingOperator:
+    def test_passes_items_through(self):
+        operator = SamplingOperator(capacity=4)
+        sink = CollectorSink()
+        operator.connect(sink)
+        for i in range(10):
+            operator.push(item(i, {"a"}))
+        assert len(sink.items) == 10
+        assert operator.seen == 10
+        assert len(operator.sample()) == 4
+
+    def test_sample_with_tag(self):
+        operator = SamplingOperator(capacity=100, seed=1)
+        for i in range(20):
+            operator.push(item(i, {"a"} if i % 2 == 0 else {"b"}))
+        assert all("a" in s.tags for s in operator.sample_with_tag("a"))
+
+    def test_estimated_tag_fraction(self):
+        operator = SamplingOperator(capacity=200, seed=2)
+        for i in range(100):
+            operator.push(item(i, {"common"} if i < 80 else {"rare"}))
+        assert operator.estimated_tag_fraction("common") == pytest.approx(0.8, abs=0.05)
+        assert SamplingOperator(capacity=10).estimated_tag_fraction("x") == 0.0
+
+
+class TestThrottleOperator:
+    def test_keeps_one_in_n(self):
+        operator = ThrottleOperator(keep_one_in=3)
+        sink = CollectorSink()
+        operator.connect(sink)
+        for i in range(9):
+            operator.push(item(i, {"a"}))
+        assert len(sink.items) == 3
+        assert operator.shed == 6
+
+    def test_keep_one_in_one_forwards_everything(self):
+        operator = ThrottleOperator(keep_one_in=1)
+        sink = CollectorSink()
+        operator.connect(sink)
+        for i in range(5):
+            operator.push(item(i, {"a"}))
+        assert len(sink.items) == 5
+        assert operator.shed == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThrottleOperator(keep_one_in=0)

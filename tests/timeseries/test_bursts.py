@@ -1,0 +1,86 @@
+"""Tests for burst detection."""
+
+import pytest
+
+from repro.timeseries.bursts import BurstDetector, BurstEvent, MeanDeviationBurstModel
+
+
+class TestMeanDeviationBurstModel:
+    def test_no_score_with_short_history(self):
+        model = MeanDeviationBurstModel(min_history=4)
+        assert model.score([1.0, 1.0], 100.0) == 0.0
+
+    def test_value_below_mean_scores_zero(self):
+        model = MeanDeviationBurstModel()
+        assert model.score([10.0] * 10, 5.0) == 0.0
+
+    def test_large_spike_scores_high(self):
+        model = MeanDeviationBurstModel(threshold=3.0)
+        history = [10.0, 11.0, 9.0, 10.0, 10.0, 11.0, 9.0, 10.0]
+        assert model.score(history, 40.0) >= 3.0
+        assert model.is_burst(history, 40.0)
+
+    def test_small_increase_is_not_a_burst(self):
+        model = MeanDeviationBurstModel(threshold=3.0)
+        history = [10.0, 11.0, 9.0, 10.0, 10.0, 11.0, 9.0, 10.0]
+        assert not model.is_burst(history, 12.0)
+
+    def test_constant_history_does_not_divide_by_zero(self):
+        model = MeanDeviationBurstModel()
+        score = model.score([5.0] * 10, 50.0)
+        assert score > 0
+        assert score < float("inf")
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            MeanDeviationBurstModel(history=0)
+        with pytest.raises(ValueError):
+            MeanDeviationBurstModel(threshold=0.0)
+        with pytest.raises(ValueError):
+            MeanDeviationBurstModel(min_history=1)
+
+
+class TestBurstEvent:
+    def test_rejects_negative_score(self):
+        with pytest.raises(ValueError):
+            BurstEvent(key="a", timestamp=0.0, value=1.0, baseline=1.0, score=-1.0)
+
+
+class TestBurstDetector:
+    def test_detects_burst_after_stable_history(self):
+        detector = BurstDetector(MeanDeviationBurstModel(threshold=3.0))
+        for t in range(10):
+            assert detector.observe("tag", float(t), 10.0) is None
+        event = detector.observe("tag", 10.0, 60.0)
+        assert event is not None
+        assert event.key == "tag"
+        assert event.score >= 3.0
+
+    def test_independent_series_per_key(self):
+        detector = BurstDetector(MeanDeviationBurstModel(threshold=3.0))
+        for t in range(10):
+            detector.observe("quiet", float(t), 10.0)
+            detector.observe("noisy", float(t), 10.0)
+        detector.observe("noisy", 10.0, 100.0)
+        assert detector.bursting_keys() == ["noisy"]
+
+    def test_events_filtered_by_key_and_time(self):
+        detector = BurstDetector(MeanDeviationBurstModel(threshold=2.0))
+        for t in range(10):
+            detector.observe("a", float(t), 5.0)
+        detector.observe("a", 10.0, 50.0)
+        assert len(detector.events("a")) == 1
+        assert detector.events("b") == []
+        assert detector.bursting_keys(since=20.0) == []
+
+    def test_history_is_bounded(self):
+        detector = BurstDetector(MeanDeviationBurstModel(history=10))
+        for t in range(200):
+            detector.observe("tag", float(t), 1.0)
+        assert len(detector.history("tag")) <= 40
+
+    def test_no_burst_for_steady_growth_within_noise(self):
+        detector = BurstDetector(MeanDeviationBurstModel(threshold=3.0))
+        values = [10, 11, 10, 12, 11, 10, 11, 12, 11, 12]
+        events = [detector.observe("tag", float(t), float(v)) for t, v in enumerate(values)]
+        assert all(event is None for event in events)

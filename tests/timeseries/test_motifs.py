@@ -1,0 +1,59 @@
+"""Tests for online motif discovery."""
+
+import math
+
+import pytest
+
+from repro.timeseries.motifs import Motif, MotifDiscovery
+
+
+class TestMotif:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Motif(first_start=-1, second_start=0, length=4, distance=0.0)
+        with pytest.raises(ValueError):
+            Motif(first_start=0, second_start=1, length=0, distance=0.0)
+        with pytest.raises(ValueError):
+            Motif(first_start=0, second_start=1, length=4, distance=-1.0)
+
+
+class TestMotifDiscovery:
+    def test_needs_enough_points_before_reporting(self):
+        discovery = MotifDiscovery(window=4)
+        for value in [1.0, 2.0, 3.0]:
+            assert discovery.append(value) is None
+        assert discovery.best_motif is None
+
+    def test_finds_repeating_pattern(self):
+        # Two identical sine periods separated by noise: the best motif should
+        # align one period with the other at (near) zero distance.
+        period = [math.sin(2 * math.pi * i / 8) for i in range(8)]
+        noise = [5.0, -3.0, 7.0, 0.5, -2.0, 4.0, 1.0, -1.0]
+        series = period + noise + period
+        discovery = MotifDiscovery(window=8)
+        best = discovery.extend(series)
+        assert best is not None
+        assert best.distance < 0.5
+        assert abs(best.second_start - best.first_start) >= 8
+
+    def test_exclusion_zone_prevents_trivial_matches(self):
+        discovery = MotifDiscovery(window=4, exclusion=4)
+        discovery.extend([1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+        best = discovery.best_motif
+        if best is not None:
+            assert abs(best.second_start - best.first_start) >= 4
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            MotifDiscovery(window=1)
+
+    def test_length_counts_observations(self):
+        discovery = MotifDiscovery(window=4)
+        discovery.extend([1.0, 2.0, 3.0])
+        assert len(discovery) == 3
+
+    def test_constant_series_matches_itself(self):
+        discovery = MotifDiscovery(window=4)
+        best = discovery.extend([3.0] * 16)
+        assert best is not None
+        assert best.distance == pytest.approx(0.0)

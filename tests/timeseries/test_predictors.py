@@ -1,0 +1,117 @@
+"""Tests for the one-step-ahead predictors."""
+
+import pytest
+
+from repro.timeseries.predictors import (
+    EwmaPredictor,
+    HoltPredictor,
+    LastValuePredictor,
+    LinearTrendPredictor,
+    MovingAveragePredictor,
+    available_predictors,
+    make_predictor,
+)
+
+
+class TestLastValuePredictor:
+    def test_predicts_last_value(self):
+        assert LastValuePredictor().predict([1.0, 2.0, 7.0]) == 7.0
+
+    def test_empty_history_rejected(self):
+        with pytest.raises(ValueError):
+            LastValuePredictor().predict([])
+
+
+class TestMovingAveragePredictor:
+    def test_mean_of_window(self):
+        predictor = MovingAveragePredictor(window=3)
+        assert predictor.predict([1.0, 2.0, 3.0, 4.0]) == pytest.approx(3.0)
+
+    def test_short_history_uses_everything(self):
+        predictor = MovingAveragePredictor(window=10)
+        assert predictor.predict([2.0, 4.0]) == pytest.approx(3.0)
+
+    def test_rejects_non_positive_window(self):
+        with pytest.raises(ValueError):
+            MovingAveragePredictor(window=0)
+
+    def test_constant_series_predicted_exactly(self):
+        predictor = MovingAveragePredictor(window=4)
+        assert predictor.predict([5.0] * 10) == pytest.approx(5.0)
+
+
+class TestEwmaPredictor:
+    def test_constant_series_predicted_exactly(self):
+        assert EwmaPredictor(alpha=0.5).predict([3.0, 3.0, 3.0]) == pytest.approx(3.0)
+
+    def test_recent_values_weigh_more(self):
+        predictor = EwmaPredictor(alpha=0.8)
+        prediction = predictor.predict([0.0, 0.0, 0.0, 10.0])
+        assert prediction > 7.0
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            EwmaPredictor(alpha=0.0)
+        with pytest.raises(ValueError):
+            EwmaPredictor(alpha=1.5)
+
+    def test_alpha_one_equals_last_value(self):
+        assert EwmaPredictor(alpha=1.0).predict([1.0, 9.0]) == pytest.approx(9.0)
+
+
+class TestLinearTrendPredictor:
+    def test_extrapolates_linear_series(self):
+        predictor = LinearTrendPredictor(window=5)
+        assert predictor.predict([1.0, 2.0, 3.0, 4.0]) == pytest.approx(5.0)
+
+    def test_constant_series_stays_constant(self):
+        predictor = LinearTrendPredictor(window=5)
+        assert predictor.predict([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            LinearTrendPredictor().predict([1.0])
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            LinearTrendPredictor(window=1)
+
+
+class TestHoltPredictor:
+    def test_follows_linear_trend(self):
+        predictor = HoltPredictor(alpha=0.8, beta=0.8)
+        prediction = predictor.predict([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert prediction == pytest.approx(6.0, abs=0.5)
+
+    def test_constant_series(self):
+        predictor = HoltPredictor()
+        assert predictor.predict([4.0, 4.0, 4.0, 4.0]) == pytest.approx(4.0, abs=0.1)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            HoltPredictor().predict([1.0])
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            HoltPredictor(alpha=0.0)
+        with pytest.raises(ValueError):
+            HoltPredictor(beta=2.0)
+
+
+class TestRegistry:
+    def test_all_predictors_listed(self):
+        assert set(available_predictors()) == {
+            "last", "moving_average", "ewma", "linear", "holt",
+        }
+
+    def test_make_predictor_by_name(self):
+        assert isinstance(make_predictor("ewma", alpha=0.5), EwmaPredictor)
+        assert isinstance(make_predictor("holt"), HoltPredictor)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_predictor("oracle")
+
+    def test_can_predict_respects_min_history(self):
+        assert not LinearTrendPredictor().can_predict([1.0])
+        assert LinearTrendPredictor().can_predict([1.0, 2.0])

@@ -1,0 +1,142 @@
+"""Tests for the windowed aggregates."""
+
+import pytest
+
+from repro.windows.aggregates import (
+    SlidingAverage,
+    SlidingCounter,
+    SlidingSum,
+    TagFrequencyWindow,
+)
+
+
+class TestSlidingSum:
+    def test_sums_live_values(self):
+        aggregate = SlidingSum(10.0)
+        aggregate.add(0.0, 2.0)
+        aggregate.add(5.0, 3.0)
+        assert aggregate.value == pytest.approx(5.0)
+
+    def test_expired_values_leave_the_sum(self):
+        aggregate = SlidingSum(10.0)
+        aggregate.add(0.0, 2.0)
+        aggregate.add(20.0, 3.0)
+        assert aggregate.value == pytest.approx(3.0)
+
+    def test_advance_without_adding(self):
+        aggregate = SlidingSum(10.0)
+        aggregate.add(0.0, 2.0)
+        aggregate.advance_to(50.0)
+        assert aggregate.value == 0.0
+        assert len(aggregate) == 0
+
+
+class TestSlidingAverage:
+    def test_average_of_live_values(self):
+        average = SlidingAverage(10.0)
+        average.add(0.0, 2.0)
+        average.add(1.0, 4.0)
+        assert average.value == pytest.approx(3.0)
+
+    def test_empty_average_is_zero(self):
+        assert SlidingAverage(10.0).value == 0.0
+
+    def test_rate_counts_arrivals_per_time_unit(self):
+        average = SlidingAverage(10.0)
+        for t in range(5):
+            average.add(float(t))
+        assert average.rate() == pytest.approx(0.5)
+
+    def test_eviction_changes_average(self):
+        average = SlidingAverage(10.0)
+        average.add(0.0, 100.0)
+        average.add(20.0, 4.0)
+        assert average.value == pytest.approx(4.0)
+
+
+class TestSlidingCounter:
+    def test_counts_live_events(self):
+        counter = SlidingCounter(10.0)
+        counter.add(0.0)
+        counter.add(5.0)
+        assert counter.value == 2
+
+    def test_advance_expires_events(self):
+        counter = SlidingCounter(10.0)
+        counter.add(0.0)
+        counter.advance_to(20.0)
+        assert counter.value == 0
+
+    def test_horizon_exposed(self):
+        assert SlidingCounter(7.0).horizon == 7.0
+
+
+class TestTagFrequencyWindow:
+    def test_counts_documents_per_tag(self):
+        window = TagFrequencyWindow(100.0)
+        window.add_document(1.0, ["a", "b"])
+        window.add_document(2.0, ["a"])
+        assert window.count("a") == 2
+        assert window.count("b") == 1
+        assert window.count("missing") == 0
+
+    def test_duplicate_tags_in_one_document_count_once(self):
+        window = TagFrequencyWindow(100.0)
+        window.add_document(1.0, ["a", "a", "a"])
+        assert window.count("a") == 1
+
+    def test_document_count(self):
+        window = TagFrequencyWindow(100.0)
+        window.add_document(1.0, ["a"])
+        window.add_document(2.0, ["b"])
+        assert window.document_count == 2
+
+    def test_frequency_is_fraction_of_documents(self):
+        window = TagFrequencyWindow(100.0)
+        window.add_document(1.0, ["a", "b"])
+        window.add_document(2.0, ["a"])
+        assert window.frequency("a") == pytest.approx(1.0)
+        assert window.frequency("b") == pytest.approx(0.5)
+
+    def test_frequency_of_empty_window_is_zero(self):
+        assert TagFrequencyWindow(10.0).frequency("a") == 0.0
+
+    def test_eviction_removes_counts_and_documents(self):
+        window = TagFrequencyWindow(10.0)
+        window.add_document(0.0, ["a", "b"])
+        window.add_document(20.0, ["a"])
+        assert window.count("a") == 1
+        assert window.count("b") == 0
+        assert window.document_count == 1
+        assert "b" not in window.tags()
+
+    def test_top_tags_ordering_and_tie_break(self):
+        window = TagFrequencyWindow(100.0)
+        window.add_document(1.0, ["b", "a"])
+        window.add_document(2.0, ["a"])
+        window.add_document(3.0, ["c"])
+        assert window.top_tags(2) == [("a", 2), ("b", 1)]
+
+    def test_top_tags_with_non_positive_k(self):
+        window = TagFrequencyWindow(100.0)
+        window.add_document(1.0, ["a"])
+        assert window.top_tags(0) == []
+
+    def test_snapshot_returns_copy(self):
+        window = TagFrequencyWindow(100.0)
+        window.add_document(1.0, ["a"])
+        snapshot = window.snapshot()
+        snapshot["a"] = 99
+        assert window.count("a") == 1
+
+    def test_rejects_out_of_order_documents(self):
+        window = TagFrequencyWindow(100.0)
+        window.add_document(5.0, ["a"])
+        with pytest.raises(ValueError):
+            window.add_document(4.0, ["b"])
+
+    def test_advance_to_expires_documents(self):
+        window = TagFrequencyWindow(10.0)
+        window.add_document(0.0, ["a"])
+        window.advance_to(100.0)
+        assert window.document_count == 0

@@ -1,0 +1,101 @@
+"""Tests for exponential decay and the decayed maximum."""
+
+import math
+
+import pytest
+
+from repro.windows.decay import (
+    TWO_DAYS_SECONDS,
+    DecayedMaximum,
+    ExponentialDecay,
+    half_life_to_lambda,
+)
+
+
+class TestHalfLifeConversion:
+    def test_half_life_gives_half_after_one_half_life(self):
+        rate = half_life_to_lambda(10.0)
+        assert math.exp(-rate * 10.0) == pytest.approx(0.5)
+
+    def test_rejects_non_positive_half_life(self):
+        with pytest.raises(ValueError):
+            half_life_to_lambda(0.0)
+
+
+class TestExponentialDecay:
+    def test_default_half_life_is_two_days(self):
+        assert ExponentialDecay().half_life == TWO_DAYS_SECONDS
+
+    def test_factor_after_one_half_life_is_half(self):
+        decay = ExponentialDecay(half_life=100.0)
+        assert decay.factor(100.0) == pytest.approx(0.5)
+
+    def test_factor_after_two_half_lives_is_quarter(self):
+        decay = ExponentialDecay(half_life=100.0)
+        assert decay.factor(200.0) == pytest.approx(0.25)
+
+    def test_factor_at_zero_elapsed_is_one(self):
+        assert ExponentialDecay(half_life=100.0).factor(0.0) == 1.0
+
+    def test_decay_scales_value(self):
+        decay = ExponentialDecay(half_life=100.0)
+        assert decay.decay(8.0, 100.0) == pytest.approx(4.0)
+
+    def test_negative_elapsed_is_rejected(self):
+        with pytest.raises(ValueError):
+            ExponentialDecay(half_life=100.0).factor(-1.0)
+
+    def test_rejects_non_positive_half_life(self):
+        with pytest.raises(ValueError):
+            ExponentialDecay(half_life=0.0)
+
+
+class TestDecayedMaximum:
+    def test_initial_value_is_zero(self):
+        tracker = DecayedMaximum(ExponentialDecay(100.0))
+        assert tracker.value_at(50.0) == 0.0
+
+    def test_update_records_observation(self):
+        tracker = DecayedMaximum(ExponentialDecay(100.0))
+        assert tracker.update(0.0, 3.0) == pytest.approx(3.0)
+
+    def test_value_decays_over_time(self):
+        tracker = DecayedMaximum(ExponentialDecay(100.0))
+        tracker.update(0.0, 4.0)
+        assert tracker.value_at(100.0) == pytest.approx(2.0)
+
+    def test_new_observation_beats_decayed_maximum(self):
+        tracker = DecayedMaximum(ExponentialDecay(100.0))
+        tracker.update(0.0, 4.0)
+        # After one half-life the stored max decays to 2; a new observation
+        # of 3 becomes the maximum.
+        assert tracker.update(100.0, 3.0) == pytest.approx(3.0)
+
+    def test_decayed_maximum_beats_small_observation(self):
+        tracker = DecayedMaximum(ExponentialDecay(100.0))
+        tracker.update(0.0, 4.0)
+        assert tracker.update(10.0, 0.1) == pytest.approx(4.0 * 0.5 ** 0.1, rel=1e-6)
+
+    def test_paper_half_life_semantics(self):
+        # Score from two days ago weighs half as much as a fresh one.
+        tracker = DecayedMaximum()
+        tracker.update(0.0, 1.0)
+        assert tracker.value_at(TWO_DAYS_SECONDS) == pytest.approx(0.5)
+
+    def test_rejects_negative_observation(self):
+        tracker = DecayedMaximum()
+        with pytest.raises(ValueError):
+            tracker.update(0.0, -1.0)
+
+    def test_rejects_evaluation_in_the_past(self):
+        tracker = DecayedMaximum()
+        tracker.update(10.0, 1.0)
+        with pytest.raises(ValueError):
+            tracker.value_at(5.0)
+
+    def test_reset_clears_state(self):
+        tracker = DecayedMaximum()
+        tracker.update(0.0, 1.0)
+        tracker.reset()
+        assert tracker.value_at(10.0) == 0.0
+        assert tracker.last_update is None

@@ -1,0 +1,111 @@
+"""Tests for the TimeSeries container."""
+
+import pytest
+
+from repro.windows.timeseries import TimeSeries
+
+
+class TestAppendAndAccess:
+    def test_starts_empty(self):
+        series = TimeSeries()
+        assert len(series) == 0
+        assert not series
+
+    def test_append_and_iterate(self):
+        series = TimeSeries()
+        series.append(1.0, 10.0)
+        series.append(2.0, 20.0)
+        assert list(series) == [(1.0, 10.0), (2.0, 20.0)]
+
+    def test_construct_from_points(self):
+        series = TimeSeries([(1.0, 1.0), (2.0, 4.0)])
+        assert series.values == (1.0, 4.0)
+
+    def test_rejects_out_of_order_append(self):
+        series = TimeSeries([(2.0, 1.0)])
+        with pytest.raises(ValueError):
+            series.append(1.0, 5.0)
+
+    def test_equal_timestamps_are_allowed(self):
+        series = TimeSeries()
+        series.append(1.0, 1.0)
+        series.append(1.0, 2.0)
+        assert len(series) == 2
+
+    def test_getitem_and_last(self):
+        series = TimeSeries([(1.0, 5.0), (3.0, 7.0)])
+        assert series[0] == (1.0, 5.0)
+        assert series.last() == (3.0, 7.0)
+
+    def test_last_on_empty_series_raises(self):
+        with pytest.raises(IndexError):
+            TimeSeries().last()
+
+
+class TestLookups:
+    def test_value_at_uses_step_interpolation(self):
+        series = TimeSeries([(0.0, 1.0), (10.0, 2.0)])
+        assert series.value_at(5.0) == 1.0
+        assert series.value_at(10.0) == 2.0
+        assert series.value_at(100.0) == 2.0
+
+    def test_value_at_before_first_point_raises(self):
+        series = TimeSeries([(5.0, 1.0)])
+        with pytest.raises(KeyError):
+            series.value_at(1.0)
+
+    def test_value_at_on_empty_series_raises(self):
+        with pytest.raises(IndexError):
+            TimeSeries().value_at(0.0)
+
+    def test_between_selects_inclusive_range(self):
+        series = TimeSeries([(1.0, 1.0), (2.0, 2.0), (3.0, 3.0), (4.0, 4.0)])
+        sub = series.between(2.0, 3.0)
+        assert list(sub) == [(2.0, 2.0), (3.0, 3.0)]
+
+    def test_between_with_reversed_bounds_raises(self):
+        with pytest.raises(ValueError):
+            TimeSeries().between(2.0, 1.0)
+
+    def test_tail(self):
+        series = TimeSeries([(float(i), float(i)) for i in range(5)])
+        assert series.tail(2) == [3.0, 4.0]
+        assert series.tail(0) == []
+        assert series.tail(10) == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+
+class TestTransforms:
+    def test_resample_onto_regular_grid(self):
+        series = TimeSeries([(0.0, 1.0), (10.0, 3.0)])
+        resampled = series.resample(0.0, 20.0, 10.0)
+        assert list(resampled) == [(0.0, 1.0), (10.0, 3.0), (20.0, 3.0)]
+
+    def test_resample_before_data_yields_zero(self):
+        series = TimeSeries([(10.0, 3.0)])
+        resampled = series.resample(0.0, 10.0, 5.0)
+        assert resampled.values == (0.0, 0.0, 3.0)
+
+    def test_resample_rejects_bad_arguments(self):
+        series = TimeSeries([(0.0, 1.0)])
+        with pytest.raises(ValueError):
+            series.resample(0.0, 10.0, 0.0)
+        with pytest.raises(ValueError):
+            series.resample(10.0, 0.0, 1.0)
+
+    def test_diff_produces_first_differences(self):
+        series = TimeSeries([(0.0, 1.0), (1.0, 4.0), (2.0, 2.0)])
+        assert list(series.diff()) == [(1.0, 3.0), (2.0, -2.0)]
+
+    def test_statistics(self):
+        series = TimeSeries([(0.0, 1.0), (1.0, 3.0), (2.0, 5.0)])
+        assert series.mean() == pytest.approx(3.0)
+        assert series.max() == 5.0
+        assert series.min() == 1.0
+        assert series.std() == pytest.approx(2.0)
+
+    def test_statistics_of_empty_series_are_zero(self):
+        series = TimeSeries()
+        assert series.mean() == 0.0
+        assert series.std() == 0.0
+        assert series.max() == 0.0
+        assert series.min() == 0.0
