@@ -1,0 +1,176 @@
+"""A faithful replica of the seed revision's single-document hot path.
+
+The batched, index-backed pipeline refactor is behaviour-preserving, so the
+only honest way to benchmark it is against what the code did before: one
+document at a time through the engine, per-pair counters updated pair by
+pair, candidate generation as a full scan over every windowed pair, and
+correlation histories trimmed by rebuilding the whole series.  This module
+reconstructs that hot path on top of the current data structures (the
+surrounding stages — seed selection, correlation measures, ranking — are
+unchanged and shared).
+
+``SeedPathEngine`` must produce *identical* rankings to the current engine
+on the same stream; ``bench_throughput.py`` asserts this before timing
+anything, so the comparison can never silently drift apart from the real
+pipeline.
+"""
+
+from __future__ import annotations
+
+from repro.core.correlation import PairCounts
+from repro.core.engine import EnBlogue
+from repro.core.shift import ShiftScore
+from repro.core.tracker import CorrelationTracker, PairObservation
+from repro.core.types import TagPair
+from repro.windows.decay import DecayedMaximum
+from repro.windows.timeseries import TimeSeries
+
+
+class SeedPathTracker(CorrelationTracker):
+    """Seed-revision tracker: per-document counters, full-scan candidates."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        # The seed revision kept one flat Counter of windowed pair counts.
+        from collections import Counter
+        self._seed_pair_counts = Counter()
+
+    def observe(self, timestamp, tags, entities=()):
+        if self._latest is not None and timestamp < self._latest:
+            raise ValueError(
+                f"out-of-order document: {timestamp} < {self._latest}"
+            )
+        effective = set(tags)
+        if self.use_entities:
+            effective |= {entity.lower() for entity in entities}
+        effective = {tag for tag in effective if tag}
+        self._tag_window.add_document(timestamp, effective)
+        ordered = sorted(effective)
+        pairs = tuple(
+            TagPair(ordered[i], ordered[j])
+            for i in range(len(ordered))
+            for j in range(i + 1, len(ordered))
+        )
+        self._pair_events.append((timestamp, pairs))
+        counts = self._seed_pair_counts
+        for pair in pairs:
+            counts[pair] += 1
+        self._documents_seen += 1
+        self._latest = timestamp
+        self._seed_evict(timestamp)
+
+    def _seed_evict(self, now):
+        cutoff = now - self.window_horizon
+        counts = self._seed_pair_counts
+        while self._pair_events and self._pair_events[0][0] <= cutoff:
+            _, pairs = self._pair_events.popleft()
+            for pair in pairs:
+                counts[pair] -= 1
+                if counts[pair] <= 0:
+                    del counts[pair]
+
+    def advance_to(self, timestamp):
+        self._tag_window.advance_to(timestamp)
+        self._latest = timestamp
+        self._seed_evict(timestamp)
+
+    def candidate_pairs(self, seeds):
+        seed_set = set(seeds)
+        if not seed_set:
+            return []
+        candidates = []
+        for pair, count in self._seed_pair_counts.items():
+            if count < self.min_pair_support:
+                continue
+            if pair.first in seed_set:
+                candidates.append((pair, pair.first))
+            elif pair.second in seed_set:
+                candidates.append((pair, pair.second))
+        candidates.sort(key=lambda item: item[0])
+        return candidates
+
+    def evaluate(self, timestamp, seeds):
+        self.advance_to(timestamp)
+        self._record_count_history()
+        observations = []
+        for pair, seed_tag in self.candidate_pairs(seeds):
+            counts = PairCounts(
+                count_a=self.tag_count(pair.first),
+                count_b=self.tag_count(pair.second),
+                count_both=self._seed_pair_counts.get(pair, 0),
+                total_documents=self.document_count(),
+            )
+            value = max(0.0, self.measure.value(counts, None, None))
+            history = self._histories.setdefault(pair, TimeSeries())
+            history.append(timestamp, value)
+            # Seed-revision trimming: rebuild the whole series.
+            if len(history) > self.history_length:
+                trimmed = TimeSeries()
+                for point_ts, point_value in list(history)[-self.history_length:]:
+                    trimmed.append(point_ts, point_value)
+                self._histories[pair] = trimmed
+            observations.append(PairObservation(
+                pair=pair, timestamp=timestamp, correlation=value,
+                counts=counts, seed_tag=seed_tag,
+            ))
+        return observations
+
+
+class SeedPathEngine(EnBlogue):
+    """Seed-revision engine loop: one document at a time, no batching."""
+
+    def __init__(self, config):
+        super().__init__(config)
+        self.tracker = SeedPathTracker(
+            window_horizon=config.window_horizon,
+            measure=self.tracker.measure,
+            min_pair_support=config.min_pair_support,
+            history_length=config.history_length,
+            use_entities=config.use_entities,
+        )
+
+    def process(self, document):
+        timestamp = float(getattr(document, "timestamp"))
+        tags = [str(tag).lower() for tag in getattr(document, "tags", ()) or ()]
+        entities = list(getattr(document, "entities", ()) or ())
+        if self._next_evaluation is None:
+            self._next_evaluation = timestamp + self.config.evaluation_interval
+        ranking = None
+        while timestamp >= self._next_evaluation:
+            ranking = self._seed_evaluate(self._next_evaluation)
+            self._next_evaluation += self.config.evaluation_interval
+        self.tracker.observe(timestamp, tags, entities)
+        self._documents_processed += 1
+        return ranking
+
+    def _seed_evaluate(self, timestamp):
+        window = self.tracker.tag_window
+        self._current_seeds = self.seed_selector.select(
+            window, history=self.tracker.count_history()
+        )
+        observations = self.tracker.evaluate(timestamp, self._current_seeds)
+        shift_scores = []
+        for observation in observations:
+            # Seed-revision detector usage: the predictor runs twice (once
+            # for the forecast, once inside the error) over copied histories.
+            history = list(self.tracker.history(observation.pair).values)
+            previous = history[:-1]
+            predicted = self.detector.predict(previous)
+            error = self.detector.prediction_error(previous, observation.correlation)
+            score_tracker = self.detector._scores.setdefault(
+                observation.pair, DecayedMaximum(self.detector.decay)
+            )
+            score = score_tracker.update(observation.timestamp, error)
+            shift_scores.append(ShiftScore(
+                pair=observation.pair, timestamp=observation.timestamp,
+                correlation=observation.correlation, predicted=predicted,
+                error=error, score=score, seed_tag=observation.seed_tag,
+            ))
+        ranking = self.ranking_builder.build(
+            timestamp, shift_scores, detector=self.detector,
+            label=self.config.name,
+        )
+        self._rankings.append(ranking)
+        for listener in self._listeners:
+            listener(ranking)
+        return ranking

@@ -29,6 +29,7 @@ from repro.core.seeds import (
     VolatilitySeedSelector,
     make_seed_selector,
 )
+from repro.core.candidates import CandidateIndex
 from repro.core.tracker import CorrelationTracker, PairObservation
 from repro.core.shift import ShiftDetector, ShiftScore
 from repro.core.ranking import RankingBuilder
@@ -55,6 +56,7 @@ __all__ = [
     "VolatilitySeedSelector",
     "HybridSeedSelector",
     "make_seed_selector",
+    "CandidateIndex",
     "CorrelationTracker",
     "PairObservation",
     "ShiftDetector",

@@ -1,0 +1,181 @@
+"""Stage (i) pruning made incremental: a tag→pairs postings index.
+
+The paper's efficiency argument is that only pairs containing a *seed* tag
+need correlation sampling.  The seed implementation honoured that at
+evaluation time by scanning every windowed pair and testing it against the
+seed set — linear in the number of live pairs regardless of how few seeds
+there are.  :class:`CandidateIndex` maintains the inverse mapping
+incrementally as documents arrive and expire: for every tag it keeps a
+postings dictionary of the live pairs containing that tag together with
+their windowed co-occurrence counts.  Candidate generation then unions the
+postings of the seed tags, which is linear in the size of the seeds'
+postings — and because the count is stored inside each postings entry, the
+union needs no per-pair hash lookups at all.
+
+The index is updated by the :class:`~repro.core.tracker.CorrelationTracker`
+in ``observe``/``observe_many`` (additions) and during window eviction
+(removals); the batch entry points collapse duplicate pairs with
+:class:`collections.Counter` arithmetic before touching the postings, so
+large ingests and evictions pay one postings update per *distinct* pair.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Tuple
+
+from repro.core.types import TagPair
+
+_EMPTY: Dict[TagPair, int] = {}
+
+
+class CandidateIndex:
+    """Per-tag postings of live pairs, each entry carrying the pair's count.
+
+    Every live pair is present in exactly two postings dictionaries (one per
+    tag), which hold the identical windowed co-occurrence count.
+    ``min_support`` mirrors the tracker's ``min_pair_support``: pairs with a
+    lower count stay in the index (they may regain support) but are not
+    reported as candidates.
+    """
+
+    def __init__(self, min_support: int = 1):
+        if min_support < 1:
+            raise ValueError("min_support must be at least 1")
+        self.min_support = int(min_support)
+        self._postings: Dict[str, Dict[TagPair, int]] = {}
+        self._size = 0
+
+    # -- introspection --------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of distinct live pairs."""
+        return self._size
+
+    def __contains__(self, pair: TagPair) -> bool:
+        return pair in self._postings.get(pair.first, _EMPTY)
+
+    def count(self, pair: TagPair) -> int:
+        """Windowed co-occurrence count of ``pair`` (0 when absent)."""
+        return self._postings.get(pair.first, _EMPTY).get(pair, 0)
+
+    def items(self) -> Iterator[Tuple[TagPair, int]]:
+        """Iterate over ``(pair, count)`` for every live pair, once each."""
+        for tag, postings in self._postings.items():
+            for pair, count in postings.items():
+                if pair.first == tag:
+                    yield pair, count
+
+    def pairs_for(self, tag: str) -> FrozenSet[TagPair]:
+        """The live pairs containing ``tag`` (the tag's postings list)."""
+        return frozenset(self._postings.get(tag, _EMPTY))
+
+    # -- maintenance ----------------------------------------------------------
+
+    def add(self, pair: TagPair) -> None:
+        """Record one co-occurrence of ``pair``."""
+        self._bump(pair, 1)
+
+    def add_many(self, pairs: Iterable[TagPair]) -> None:
+        """Record a batch of co-occurrences (duplicates allowed)."""
+        for pair, increment in Counter(pairs).items():
+            self._bump(pair, increment)
+
+    def discard(self, pair: TagPair) -> None:
+        """Remove one co-occurrence of ``pair``, dropping dead postings."""
+        self._bump(pair, -1)
+
+    def remove_many(self, pairs: Iterable[TagPair]) -> None:
+        """Remove a batch of co-occurrences (duplicates allowed)."""
+        for pair, decrement in Counter(pairs).items():
+            self._bump(pair, -decrement)
+
+    def _bump(self, pair: TagPair, delta: int) -> None:
+        postings = self._postings
+        first = postings.get(pair.first)
+        if first is None:
+            if delta <= 0:
+                return
+            first = postings[pair.first] = {}
+        count = first.get(pair, 0) + delta
+        if count > 0:
+            if pair not in first:
+                self._size += 1
+            first[pair] = count
+            second = postings.get(pair.second)
+            if second is None:
+                second = postings[pair.second] = {}
+            second[pair] = count
+        else:
+            if first.pop(pair, None) is not None:
+                self._size -= 1
+            if not first:
+                del postings[pair.first]
+            second = postings.get(pair.second)
+            if second is not None:
+                second.pop(pair, None)
+                if not second:
+                    del postings[pair.second]
+
+    # -- candidate generation -------------------------------------------------
+
+    def iter_candidates(
+        self, seeds: Iterable[str]
+    ) -> List[Tuple[TagPair, str, int]]:
+        """Supported pairs containing at least one seed, in no fixed order.
+
+        Returns ``(pair, seed_tag, count)`` triples; when both tags are
+        seeds the lexicographically smaller one is reported as the trigger,
+        matching the semantics of the original full scan.  Evaluation hot
+        paths use this unsorted form — per-pair work is order-independent
+        and the final ranking applies a total order of its own.
+
+        A pair whose tags are both seeds occurs in two postings lists; it is
+        collected only from its trigger's list, which deduplicates the union
+        without a seen-set.
+        """
+        seed_set = set(seeds)
+        if not seed_set:
+            return []
+        min_support = self.min_support
+        postings = self._postings
+        selected: List[Tuple[TagPair, str, int]] = []
+        append = selected.append
+        for seed in seed_set:
+            seed_postings = postings.get(seed)
+            if not seed_postings:
+                continue
+            for pair, count in seed_postings.items():
+                if count < min_support:
+                    continue
+                first = pair.first
+                trigger = first if first in seed_set else pair.second
+                if trigger == seed:
+                    append((pair, trigger, count))
+        return selected
+
+    def candidates(self, seeds: Iterable[str]) -> List[Tuple[TagPair, str]]:
+        """``(pair, seed_tag)`` tuples sorted by pair (the public contract)."""
+        selected = [
+            (pair, trigger) for pair, trigger, _ in self.iter_candidates(seeds)
+        ]
+        selected.sort(key=lambda item: item[0])
+        return selected
+
+    def scan_candidates(self, seeds: Iterable[str]) -> List[Tuple[TagPair, str]]:
+        """Reference implementation: the seed revision's full scan over all
+        pairs.  Kept for equivalence testing; the hot path uses
+        :meth:`candidates`."""
+        seed_set = set(seeds)
+        if not seed_set:
+            return []
+        selected: List[Tuple[TagPair, str]] = []
+        for pair, count in self.items():
+            if count < self.min_support:
+                continue
+            if pair.first in seed_set:
+                selected.append((pair, pair.first))
+            elif pair.second in seed_set:
+                selected.append((pair, pair.second))
+        selected.sort(key=lambda item: item[0])
+        return selected

@@ -9,7 +9,7 @@ topic rankings obtained from different parameter settings in real-time".
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from repro.windows.decay import TWO_DAYS_SECONDS
 
@@ -39,6 +39,9 @@ class EnBlogueConfig:
     re-evaluations of correlations and rankings (one hour by default).
     ``use_entities`` switches the pipeline between regular-tag mode and the
     combined tag/entity mode described in the Entity Tagging subsection.
+    ``max_ranking_history`` bounds how many published rankings the engine
+    retains (``None`` keeps every ranking, which suits replayed archives;
+    long-running live streams should set a finite bound).
     """
 
     window_horizon: float = DAY
@@ -55,6 +58,7 @@ class EnBlogueConfig:
     decay_half_life: float = TWO_DAYS_SECONDS
     top_k: int = 10
     use_entities: bool = True
+    max_ranking_history: Optional[int] = None
     name: str = "default"
 
     def __post_init__(self) -> None:
@@ -82,6 +86,8 @@ class EnBlogueConfig:
             raise ValueError("top_k must be positive")
         if self.predictor_window <= 0:
             raise ValueError("predictor_window must be positive")
+        if self.max_ranking_history is not None and self.max_ranking_history < 1:
+            raise ValueError("max_ranking_history must be at least 1 (or None)")
         if self.seed_criterion not in ("popularity", "volatility", "hybrid"):
             raise ValueError(
                 "seed_criterion must be 'popularity', 'volatility' or 'hybrid'"
@@ -105,6 +111,7 @@ class EnBlogueConfig:
             "decay_half_life": self.decay_half_life,
             "top_k": self.top_k,
             "use_entities": self.use_entities,
+            "max_ranking_history": self.max_ranking_history,
         }
 
 
@@ -134,4 +141,7 @@ def live_stream_config(name: str = "live-stream") -> EnBlogueConfig:
         history_length=48,
         decay_half_life=2 * DAY,
         top_k=10,
+        # A week of hourly rankings: live streams run indefinitely, so the
+        # ranking history must not grow with stream length.
+        max_ranking_history=7 * 24,
     )

@@ -2,11 +2,14 @@
 
 ``EnBlogue.process`` ingests one tagged document at a time (either a
 :class:`~repro.streams.item.StreamItem` or anything exposing ``timestamp``,
-``tags`` and optionally ``entities``/``text``).  Whenever stream time crosses
-an evaluation boundary the engine re-selects seed tags, samples the
-correlations of all candidate pairs, scores their shifts and publishes a new
-top-k ranking; registered ranking listeners (e.g. the portal's push
-dispatcher) and user profiles see the update immediately, without polling.
+``tags`` and optionally ``entities``/``text``); ``EnBlogue.process_batch``
+ingests a time-ordered chunk in one call, splitting it internally at
+evaluation boundaries so the produced rankings are identical to the
+document-at-a-time path.  Whenever stream time crosses an evaluation
+boundary the engine re-selects seed tags, samples the correlations of all
+candidate pairs, scores their shifts and publishes a new top-k ranking;
+registered ranking listeners (e.g. the portal's push dispatcher) and user
+profiles see the update immediately, without polling.
 """
 
 from __future__ import annotations
@@ -20,7 +23,7 @@ from repro.core.ranking import RankingBuilder
 from repro.core.seeds import make_seed_selector
 from repro.core.shift import ShiftDetector, ShiftScore
 from repro.core.tracker import CorrelationTracker
-from repro.core.types import Ranking, TagPair
+from repro.core.types import Ranking, TagPair, normalize_tag
 from repro.entity.tagger import EntityTagger
 from repro.streams.item import StreamItem
 from repro.streams.operators import FunctionSink
@@ -90,14 +93,11 @@ class EnBlogue:
         :class:`~repro.datasets.documents.Document`, or any object with
         ``timestamp`` and ``tags`` attributes (``entities`` and ``text`` are
         optional).  When an entity tagger was supplied and the document has
-        text but no entities, entities are extracted on the fly.
+        text but no entities, entities are extracted on the fly.  Tag
+        normalisation (strip + lower-case) happens inside the tracker, so
+        direct tracker callers see the same tag identities as this façade.
         """
-        timestamp = float(getattr(document, "timestamp"))
-        tags = [str(tag).lower() for tag in getattr(document, "tags", ()) or ()]
-        entities = list(getattr(document, "entities", ()) or ())
-        text = str(getattr(document, "text", "") or "")
-        if not entities and text and self.entity_tagger is not None:
-            entities = self.entity_tagger.tag(text)
+        timestamp, tags, entities = self._prepare(document)
 
         if self._next_evaluation is None:
             self._next_evaluation = timestamp + self.config.evaluation_interval
@@ -120,6 +120,39 @@ class EnBlogue:
             ranking = self.process(document)
             if ranking is not None:
                 produced.append(ranking)
+        return produced
+
+    def process_batch(self, documents: Iterable) -> List[Ranking]:
+        """Ingest a time-ordered chunk of documents in one call.
+
+        The chunk is split internally at evaluation boundaries: documents up
+        to each boundary are handed to the tracker as one batch
+        (:meth:`CorrelationTracker.observe_many`), the evaluation runs, and
+        ingestion resumes — so the rankings produced are identical to feeding
+        the same documents through :meth:`process` one at a time.  Returns
+        every ranking produced (one per crossed boundary).
+        """
+        interval = self.config.evaluation_interval
+        produced: List[Ranking] = []
+        pending: List[tuple] = []
+        for document in documents:
+            observation = self._prepare(document)
+            timestamp = observation[0]
+            if self._next_evaluation is None:
+                self._next_evaluation = timestamp + interval
+            if timestamp >= self._next_evaluation:
+                # Flush and count the documents preceding the boundary, so
+                # listeners fired by the evaluation observe the same
+                # documents_processed as on the per-document path.
+                if pending:
+                    self._documents_processed += self.tracker.observe_many(pending)
+                    pending = []
+                while timestamp >= self._next_evaluation:
+                    produced.append(self._evaluate(self._next_evaluation))
+                    self._next_evaluation += interval
+            pending.append(observation)
+        if pending:
+            self._documents_processed += self.tracker.observe_many(pending)
         return produced
 
     def evaluate_now(self, timestamp: Optional[float] = None) -> Ranking:
@@ -151,14 +184,18 @@ class EnBlogue:
 
     def correlation_history(self, tag_a: str, tag_b: str) -> TimeSeries:
         """Correlation history of a pair (for plots such as Figure 1)."""
-        return self.tracker.history(TagPair(tag_a.lower(), tag_b.lower()))
+        return self.tracker.history(
+            TagPair(normalize_tag(tag_a), normalize_tag(tag_b))
+        )
 
     def topic_score(self, tag_a: str, tag_b: str,
                     timestamp: Optional[float] = None) -> float:
         """Current decayed score of a pair."""
         if timestamp is None:
             timestamp = self.tracker.latest_timestamp or 0.0
-        return self.detector.score_at(TagPair(tag_a.lower(), tag_b.lower()), timestamp)
+        return self.detector.score_at(
+            TagPair(normalize_tag(tag_a), normalize_tag(tag_b)), timestamp
+        )
 
     # -- integration ------------------------------------------------------------------
 
@@ -171,10 +208,29 @@ class EnBlogue:
         self._listeners.append(listener)
 
     def as_sink(self, name: Optional[str] = None) -> FunctionSink:
-        """A stream sink feeding this engine, for use in operator DAGs."""
-        return FunctionSink(self.process, name=name or f"enblogue[{self.config.name}]")
+        """A stream sink feeding this engine, for use in operator DAGs.
+
+        The sink is batch-aware: chunks pushed by batch-mode sources land in
+        :meth:`process_batch`, single items in :meth:`process`.
+        """
+        return FunctionSink(
+            self.process,
+            name=name or f"enblogue[{self.config.name}]",
+            batch_callback=self.process_batch,
+        )
 
     # -- internals -----------------------------------------------------------------------
+
+    def _prepare(self, document) -> tuple:
+        """Extract ``(timestamp, tags, entities)``, running the entity tagger."""
+        timestamp = float(getattr(document, "timestamp"))
+        tags = getattr(document, "tags", ()) or ()
+        entities = getattr(document, "entities", ()) or ()
+        if not entities and self.entity_tagger is not None:
+            text = str(getattr(document, "text", "") or "")
+            if text:
+                entities = self.entity_tagger.tag(text)
+        return timestamp, tags, entities
 
     def _evaluate(self, timestamp: float) -> Ranking:
         window = self.tracker.tag_window
@@ -184,16 +240,18 @@ class EnBlogue:
         observations = self.tracker.evaluate(timestamp, self._current_seeds)
         shift_scores: List[ShiftScore] = []
         for observation in observations:
-            history = list(self.tracker.history(observation.pair).values)
             # The tracker already appended the current value; the predictor
             # must only see the values that precede it.
-            previous = history[:-1]
+            previous = self.tracker.history(observation.pair).previous_values()
             shift_scores.append(self.detector.update(observation, previous))
         ranking = self.ranking_builder.build(
             timestamp, shift_scores, detector=self.detector,
             label=self.config.name,
         )
         self._rankings.append(ranking)
+        limit = self.config.max_ranking_history
+        if limit is not None and len(self._rankings) > limit:
+            del self._rankings[: len(self._rankings) - limit]
         for listener in self._listeners:
             listener(ranking)
         return ranking

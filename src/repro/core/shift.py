@@ -61,26 +61,37 @@ class ShiftDetector:
 
     # -- scoring ------------------------------------------------------------
 
-    def prediction_error(self, history: Sequence[float], observed: float) -> float:
-        """Error between the predictor's forecast and the observation.
+    def _usable_history(self, history: Sequence[float]) -> Optional[List[float]]:
+        """The history as floats, or None when it is too short to forecast.
 
         Histories shorter than ``min_history`` (or than the predictor's own
-        minimum) yield an error of zero: a pair that has just appeared is
-        not yet *unpredictable*, it is simply unknown.
+        minimum) are "unknown, not unpredictable": a pair that has just
+        appeared yields no forecast and no error.  Lists from the engine
+        already hold floats — skip the defensive copy.
         """
-        usable = [float(v) for v in history]
+        usable = history if type(history) is list \
+            else [float(v) for v in history]
         if len(usable) < max(self.min_history, self.predictor.min_history):
-            return 0.0
-        predicted = self.predictor.predict(usable)
-        error = observed - predicted
+            return None
+        return usable
+
+    def _error(self, observed: float, predicted: float) -> float:
+        raw_error = observed - predicted
         if self.penalize_drops:
-            return abs(error)
-        return max(0.0, error)
+            return abs(raw_error)
+        return max(0.0, raw_error)
+
+    def prediction_error(self, history: Sequence[float], observed: float) -> float:
+        """Error between the predictor's forecast and the observation."""
+        usable = self._usable_history(history)
+        if usable is None:
+            return 0.0
+        return self._error(observed, self.predictor.predict(usable))
 
     def predict(self, history: Sequence[float]) -> float:
         """The raw forecast for the next correlation value (0.0 if unknown)."""
-        usable = [float(v) for v in history]
-        if len(usable) < max(self.min_history, self.predictor.min_history):
+        usable = self._usable_history(history)
+        if usable is None:
             return 0.0
         return self.predictor.predict(usable)
 
@@ -94,8 +105,15 @@ class ShiftDetector:
         ``history`` must contain the *previous* correlation values of the
         pair, i.e. it must not include ``observation.correlation`` itself.
         """
-        predicted = self.predict(history)
-        error = self.prediction_error(history, observation.correlation)
+        # Shares the gate and error formula with predict/prediction_error
+        # but runs the predictor once per observation instead of twice.
+        usable = self._usable_history(history)
+        if usable is None:
+            predicted = 0.0
+            error = 0.0
+        else:
+            predicted = self.predictor.predict(usable)
+            error = self._error(observation.correlation, predicted)
         tracker = self._scores.setdefault(
             observation.pair, DecayedMaximum(self.decay)
         )

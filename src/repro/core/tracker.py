@@ -4,7 +4,9 @@ The tracker ingests the tagged document stream and maintains, within the
 configured sliding window,
 
 * per-tag document counts (feeding seed selection and the measures),
-* per-pair co-occurrence counts,
+* per-pair co-occurrence counts behind a tag→pairs postings index
+  (:class:`~repro.core.candidates.CandidateIndex`), so candidate
+  generation is a union over seed postings rather than a full scan,
 * per-tag co-tag usage distributions (for the information-theoretic
   measure), and
 * per-pair correlation histories sampled at every evaluation.
@@ -12,18 +14,36 @@ configured sliding window,
 Candidate topics are the pairs that co-occurred inside the window and
 contain at least one seed tag; only their correlations are computed, which
 is the pruning argument of stage (i).
+
+Tags and entities are normalised (stripped, lower-cased) here, at the
+single choke point every ingestion path goes through, so direct tracker
+callers and the :class:`~repro.core.engine.EnBlogue` façade agree on tag
+identity.  ``observe_many`` ingests a chunk of documents with one eviction
+pass and C-speed counter updates; it is the backbone of the engine's batch
+path.
 """
 
 from __future__ import annotations
 
 from collections import Counter, deque
 from dataclasses import dataclass
-from typing import Deque, Dict, Iterable, List, Optional, Set, Tuple
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
 
+from repro.core.candidates import CandidateIndex
 from repro.core.correlation import CorrelationMeasure, JaccardCorrelation, PairCounts
-from repro.core.types import TagPair
+from repro.core.types import TagPair, normalize_tag
 from repro.windows.aggregates import TagFrequencyWindow
 from repro.windows.timeseries import TimeSeries
+
+#: One prepared document: ``(timestamp, tags, entities)``.
+Observation = Tuple[float, Iterable[str], Iterable[str]]
+
+_EMPTY_FROZENSET: frozenset = frozenset()
+
+#: Bound on the tag-set decomposition memo; real streams draw from a small
+#: vocabulary so the memo stays tiny, but an adversarial stream must not be
+#: able to grow it without limit.
+_DECOMPOSE_CACHE_LIMIT = 65536
 
 
 @dataclass(frozen=True)
@@ -61,23 +81,29 @@ class CorrelationTracker:
             raise ValueError("history_length must be at least 2")
         self.window_horizon = float(window_horizon)
         self.measure = measure or JaccardCorrelation()
-        self.min_pair_support = int(min_pair_support)
         self.history_length = int(history_length)
         self.use_entities = bool(use_entities)
         self.track_usage = bool(track_usage)
 
         self._tag_window = TagFrequencyWindow(window_horizon)
         # Windowed pair co-occurrences: a deque of (timestamp, pairs-of-doc)
-        # plus a running counter, evicted in lockstep with the tag window.
+        # plus the postings index, evicted in lockstep with the tag window.
         self._pair_events: Deque[Tuple[float, Tuple[TagPair, ...]]] = deque()
-        self._pair_counts: Counter = Counter()
+        self._candidates = CandidateIndex(min_support=min_pair_support)
         # Windowed co-tag usage per tag (only when the measure needs it).
         self._usage_events: Deque[Tuple[float, Tuple[Tuple[str, Tuple[str, ...]], ...]]] = deque()
         self._usage: Dict[str, Counter] = {}
-        # Correlation histories per pair, appended at each evaluation.
+        # Correlation histories per pair, appended at each evaluation;
+        # bounded ring buffers so long runs cannot grow them without limit.
         self._histories: Dict[TagPair, TimeSeries] = {}
         # Windowed tag-count history per tag (for the volatility seed criterion).
         self._count_history: Dict[str, List[int]] = {}
+        # Memo of (tags, entities) frozensets → (ordered tags, pairs): tag
+        # sets recur constantly in real streams, and building the O(k²) pair
+        # tuple dominates ingestion when computed from scratch per document.
+        self._decompose_cache: Dict[
+            Tuple[frozenset, frozenset], Tuple[Tuple[str, ...], Tuple[TagPair, ...]]
+        ] = {}
         self._documents_seen = 0
         self._latest: Optional[float] = None
 
@@ -95,39 +121,75 @@ class CorrelationTracker:
     def tag_window(self) -> TagFrequencyWindow:
         return self._tag_window
 
+    @property
+    def candidate_index(self) -> CandidateIndex:
+        """The incremental seed-postings index behind candidate generation."""
+        return self._candidates
+
+    @property
+    def min_pair_support(self) -> int:
+        """Support threshold for candidate pairs (mutable between evaluations)."""
+        return self._candidates.min_support
+
+    @min_pair_support.setter
+    def min_pair_support(self, value: int) -> None:
+        value = int(value)
+        if value < 1:
+            raise ValueError("min_pair_support must be at least 1")
+        self._candidates.min_support = value
+
     def observe(self, timestamp: float, tags: Iterable[str],
                 entities: Iterable[str] = ()) -> None:
-        """Ingest one document's tag (and entity) set."""
-        if self._latest is not None and timestamp < self._latest:
-            raise ValueError(
-                f"out-of-order document: {timestamp} < {self._latest}"
-            )
-        effective: Set[str] = set(tags)
-        if self.use_entities:
-            effective |= {entity.lower() for entity in entities}
-        effective = {tag for tag in effective if tag}
-        self._tag_window.add_document(timestamp, effective)
-        ordered = sorted(effective)
-        pairs = tuple(
-            TagPair(ordered[i], ordered[j])
-            for i in range(len(ordered))
-            for j in range(i + 1, len(ordered))
-        )
-        self._pair_events.append((timestamp, pairs))
-        for pair in pairs:
-            self._pair_counts[pair] += 1
-        if self.track_usage:
-            usage_update = tuple(
-                (tag, tuple(t for t in ordered if t != tag)) for tag in ordered
-            )
-            self._usage_events.append((timestamp, usage_update))
-            for tag, cotags in usage_update:
-                counter = self._usage.setdefault(tag, Counter())
-                for cotag in cotags:
-                    counter[cotag] += 1
-        self._documents_seen += 1
-        self._latest = timestamp
+        """Ingest one document's tag (and entity) set.
+
+        Tags and entities are normalised (stripped, lower-cased) before any
+        statistic is updated, so every ingestion path agrees on tag identity.
+        """
+        timestamp, ordered = self._ingest(timestamp, tags, entities)
+        self._tag_window.add_document(timestamp, ordered, prepared=True)
         self._evict(timestamp)
+
+    def observe_many(self, observations: Iterable[Observation]) -> int:
+        """Ingest a chunk of ``(timestamp, tags, entities)`` documents.
+
+        The documents must be time-ordered (as within ``observe``); counter
+        updates are batched and the window is evicted once at the end, which
+        leaves the tracker in exactly the state that one ``observe`` call per
+        document would have produced.  The whole chunk is validated *and*
+        decomposed before any state is touched, so a rejected or malformed
+        document leaves the tracker unchanged.  Returns the number of
+        documents ingested.
+        """
+        prepared: List[Tuple[float, Tuple[str, ...], Tuple[TagPair, ...]]] = []
+        all_pairs: List[TagPair] = []
+        latest = self._latest
+        for timestamp, tags, entities in observations:
+            timestamp = float(timestamp)
+            if latest is not None and timestamp < latest:
+                raise ValueError(
+                    f"out-of-order document: {timestamp} < {latest}"
+                )
+            latest = timestamp
+            ordered, pairs = self._decompose(tags, entities)
+            all_pairs.extend(pairs)
+            prepared.append((timestamp, ordered, pairs))
+        if not prepared:
+            return 0
+        # Commit phase: nothing below can fail on malformed input.
+        track_usage = self.track_usage
+        for timestamp, ordered, pairs in prepared:
+            self._pair_events.append((timestamp, pairs))
+            if track_usage:
+                self._record_usage(timestamp, ordered)
+        self._documents_seen += len(prepared)
+        self._latest = latest
+        self._candidates.add_many(all_pairs)
+        self._tag_window.add_documents(
+            ((timestamp, ordered) for timestamp, ordered, _ in prepared),
+            prepared=True,
+        )
+        self._evict(latest)
+        return len(prepared)
 
     def advance_to(self, timestamp: float) -> None:
         """Move stream time forward without ingesting a document."""
@@ -145,7 +207,7 @@ class CorrelationTracker:
         return self._tag_window.count(tag)
 
     def pair_count(self, pair: TagPair) -> int:
-        return self._pair_counts.get(pair, 0)
+        return self._candidates.count(pair)
 
     def document_count(self) -> int:
         return self._tag_window.document_count
@@ -154,21 +216,11 @@ class CorrelationTracker:
         """Pairs with enough windowed support that contain at least one seed.
 
         Returns ``(pair, seed_tag)`` tuples; when both tags are seeds the
-        lexicographically smaller one is reported as the trigger.
+        lexicographically smaller one is reported as the trigger.  Answered
+        from the postings index in time proportional to the seeds' postings,
+        not the total number of live pairs.
         """
-        seed_set = set(seeds)
-        if not seed_set:
-            return []
-        candidates: List[Tuple[TagPair, str]] = []
-        for pair, count in self._pair_counts.items():
-            if count < self.min_pair_support:
-                continue
-            if pair.first in seed_set:
-                candidates.append((pair, pair.first))
-            elif pair.second in seed_set:
-                candidates.append((pair, pair.second))
-        candidates.sort(key=lambda item: item[0])
-        return candidates
+        return self._candidates.candidates(seeds)
 
     def pair_counts_for(self, pair: TagPair) -> PairCounts:
         """The windowed counts driving the correlation of ``pair``."""
@@ -197,14 +249,30 @@ class CorrelationTracker:
         self.advance_to(timestamp)
         self._record_count_history()
         observations: List[PairObservation] = []
-        for pair, seed_tag in self.candidate_pairs(seeds):
-            counts = self.pair_counts_for(pair)
-            usage_a = self._usage.get(pair.first) if self.track_usage else None
-            usage_b = self._usage.get(pair.second) if self.track_usage else None
-            value = max(0.0, self.measure.value(counts, usage_a, usage_b))
-            history = self._histories.setdefault(pair, TimeSeries())
+        # Local bindings for the per-pair loop: evaluation samples hundreds
+        # of pairs per boundary, so attribute and method-call overhead shows.
+        tag_counts = self._tag_window.counts
+        total_documents = self._tag_window.document_count
+        measure_value = self.measure.value
+        track_usage = self.track_usage
+        # Unsorted iteration: per-pair sampling is order-independent and the
+        # ranking builder applies its own total order downstream.  The
+        # postings entries carry the pair counts, so no lookups are needed.
+        for pair, seed_tag, pair_count in self._candidates.iter_candidates(seeds):
+            counts = PairCounts(
+                count_a=tag_counts.get(pair.first, 0),
+                count_b=tag_counts.get(pair.second, 0),
+                count_both=pair_count,
+                total_documents=total_documents,
+            )
+            usage_a = self._usage.get(pair.first) if track_usage else None
+            usage_b = self._usage.get(pair.second) if track_usage else None
+            value = max(0.0, measure_value(counts, usage_a, usage_b))
+            history = self._histories.get(pair)
+            if history is None:
+                history = TimeSeries(maxlen=self.history_length)
+                self._histories[pair] = history
             history.append(timestamp, value)
-            self._trim_history(pair)
             observations.append(PairObservation(
                 pair=pair, timestamp=timestamp, correlation=value,
                 counts=counts, seed_tag=seed_tag,
@@ -224,6 +292,74 @@ class CorrelationTracker:
 
     # -- internals ----------------------------------------------------------------
 
+    def _decompose(
+        self, tags: Iterable[str], entities: Iterable[str]
+    ) -> Tuple[Tuple[str, ...], Tuple[TagPair, ...]]:
+        """Normalise a document's tag/entity sets into (ordered tags, pairs).
+
+        Results are memoised when both inputs are frozensets (the shape every
+        dataset and stream item produces), since the same tag combinations
+        recur constantly within a stream.
+        """
+        key: Optional[Tuple[frozenset, frozenset]] = None
+        if type(tags) is frozenset:
+            if not entities:
+                key = (tags, _EMPTY_FROZENSET)
+            elif type(entities) is frozenset:
+                key = (tags, entities)
+            if key is not None:
+                cached = self._decompose_cache.get(key)
+                if cached is not None:
+                    return cached
+        effective = {normalize_tag(tag) for tag in tags}
+        if self.use_entities:
+            effective |= {normalize_tag(entity) for entity in entities}
+        effective.discard("")
+        ordered = tuple(sorted(effective))
+        pairs = tuple(
+            TagPair(ordered[i], ordered[j])
+            for i in range(len(ordered))
+            for j in range(i + 1, len(ordered))
+        )
+        if key is not None:
+            if len(self._decompose_cache) >= _DECOMPOSE_CACHE_LIMIT:
+                self._decompose_cache.clear()
+            self._decompose_cache[key] = (ordered, pairs)
+        return ordered, pairs
+
+    def _ingest(
+        self,
+        timestamp: float,
+        tags: Iterable[str],
+        entities: Iterable[str],
+    ) -> Tuple[float, Tuple[str, ...]]:
+        """Everything except the tag window and eviction, for the single path."""
+        timestamp = float(timestamp)
+        if self._latest is not None and timestamp < self._latest:
+            raise ValueError(
+                f"out-of-order document: {timestamp} < {self._latest}"
+            )
+        ordered, pairs = self._decompose(tags, entities)
+        self._pair_events.append((timestamp, pairs))
+        for pair in pairs:
+            self._candidates.add(pair)
+        if self.track_usage:
+            self._record_usage(timestamp, ordered)
+        self._documents_seen += 1
+        self._latest = timestamp
+        return timestamp, ordered
+
+    def _record_usage(self, timestamp: float, ordered: Tuple[str, ...]) -> None:
+        """Update the windowed co-tag usage distributions for one document."""
+        usage_update = tuple(
+            (tag, tuple(t for t in ordered if t != tag)) for tag in ordered
+        )
+        self._usage_events.append((timestamp, usage_update))
+        for tag, cotags in usage_update:
+            counter = self._usage.setdefault(tag, Counter())
+            for cotag in cotags:
+                counter[cotag] += 1
+
     def _record_count_history(self) -> None:
         snapshot = self._tag_window.snapshot()
         for tag, count in snapshot.items():
@@ -236,23 +372,14 @@ class CorrelationTracker:
             if len(self._count_history[tag]) > self.history_length:
                 del self._count_history[tag][: -self.history_length]
 
-    def _trim_history(self, pair: TagPair) -> None:
-        history = self._histories[pair]
-        if len(history) <= self.history_length:
-            return
-        trimmed = TimeSeries()
-        for timestamp, value in list(history)[-self.history_length:]:
-            trimmed.append(timestamp, value)
-        self._histories[pair] = trimmed
-
     def _evict(self, now: float) -> None:
         cutoff = now - self.window_horizon
+        expired_pairs: List[TagPair] = []
         while self._pair_events and self._pair_events[0][0] <= cutoff:
             _, pairs = self._pair_events.popleft()
-            for pair in pairs:
-                self._pair_counts[pair] -= 1
-                if self._pair_counts[pair] <= 0:
-                    del self._pair_counts[pair]
+            expired_pairs.extend(pairs)
+        if expired_pairs:
+            self._candidates.remove_many(expired_pairs)
         while self._usage_events and self._usage_events[0][0] <= cutoff:
             _, usage_update = self._usage_events.popleft()
             for tag, cotags in usage_update:

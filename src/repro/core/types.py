@@ -6,12 +6,25 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 
-@dataclass(frozen=True, order=True)
+def normalize_tag(tag: object) -> str:
+    """Canonical tag identity: stripped and lower-cased.
+
+    The single definition shared by the tracker's ingestion, the stream
+    normaliser operator and the engine's query surface, so "Athens " and
+    "athens" always name the same tag everywhere.
+    """
+    return str(tag).strip().lower()
+
+
+@dataclass(frozen=True)
 class TagPair:
     """An unordered pair of tags, the unit of an emergent topic.
 
     Pairs are stored in lexicographic order so ``TagPair("b", "a")`` and
-    ``TagPair("a", "b")`` compare (and hash) equal.
+    ``TagPair("a", "b")`` compare (and hash) equal.  The hash and the
+    comparison key are precomputed: pairs are used as dictionary keys and
+    sort keys millions of times per replay, and rebuilding the field tuple
+    on every lookup dominates those operations otherwise.
     """
 
     first: str
@@ -26,6 +39,37 @@ class TagPair:
             smaller, larger = self.second, self.first
             object.__setattr__(self, "first", smaller)
             object.__setattr__(self, "second", larger)
+        key = (self.first, self.second)
+        object.__setattr__(self, "_key", key)
+        object.__setattr__(self, "_hash", hash(key))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, TagPair):
+            return self._key == other._key
+        return NotImplemented
+
+    def __lt__(self, other: "TagPair") -> bool:
+        if isinstance(other, TagPair):
+            return self._key < other._key
+        return NotImplemented
+
+    def __le__(self, other: "TagPair") -> bool:
+        if isinstance(other, TagPair):
+            return self._key <= other._key
+        return NotImplemented
+
+    def __gt__(self, other: "TagPair") -> bool:
+        if isinstance(other, TagPair):
+            return self._key > other._key
+        return NotImplemented
+
+    def __ge__(self, other: "TagPair") -> bool:
+        if isinstance(other, TagPair):
+            return self._key >= other._key
+        return NotImplemented
 
     @classmethod
     def of(cls, tag_a: str, tag_b: str) -> "TagPair":

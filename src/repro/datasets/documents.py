@@ -57,6 +57,17 @@ class Corpus:
         for document in documents:
             self.add(document)
 
+    def iter_batches(self, batch_size: int) -> Iterator[List[Document]]:
+        """Yield the documents as time-ordered chunks of ``batch_size``.
+
+        The last chunk may be shorter; feeding the chunks to a batched
+        consumer in order reproduces the document-at-a-time stream exactly.
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        for start in range(0, len(self._documents), batch_size):
+            yield self._documents[start:start + batch_size]
+
     def between(self, start: float, end: float) -> "Corpus":
         """Documents with ``start <= timestamp <= end``."""
         if end < start:

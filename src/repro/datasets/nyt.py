@@ -14,9 +14,9 @@ seconds, so benchmarks can speak in days the way the demo does.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple
 
-from repro.datasets.documents import Corpus
+from repro.datasets.documents import Corpus, Document
 from repro.datasets.events import EmergentEvent, EventSchedule
 from repro.datasets.synthetic import SyntheticStreamGenerator
 from repro.datasets.vocabulary import TagVocabulary
@@ -161,9 +161,8 @@ class NytArchiveGenerator:
     def num_days(self) -> int:
         return int(self.years * 365)
 
-    def generate(self) -> Tuple[Corpus, EventSchedule]:
-        """Build the archive corpus and return it with its ground truth."""
-        generator = SyntheticStreamGenerator(
+    def _generator(self) -> SyntheticStreamGenerator:
+        return SyntheticStreamGenerator(
             vocabulary=nyt_vocabulary(),
             schedule=self.schedule,
             docs_per_step=self.articles_per_day,
@@ -173,8 +172,22 @@ class NytArchiveGenerator:
             seed=self.seed,
             doc_prefix="nyt",
         )
-        corpus = generator.generate(self.num_days)
+
+    def generate(self) -> Tuple[Corpus, EventSchedule]:
+        """Build the archive corpus and return it with its ground truth."""
+        corpus = self._generator().generate(self.num_days)
         return corpus, self.schedule
+
+    def iter_batches(
+        self, batch_size: Optional[int] = None
+    ) -> Iterator[List[Document]]:
+        """Yield the archive as time-ordered chunks (default: one per day).
+
+        A fresh replay each call — identical documents to :meth:`generate`
+        thanks to the fixed seed — suitable for the engine's batched
+        ingestion path without materialising the whole archive.
+        """
+        yield from self._generator().iter_batches(self.num_days, batch_size)
 
     def categories(self) -> List[str]:
         return nyt_vocabulary().categories()

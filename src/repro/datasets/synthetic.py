@@ -127,6 +127,30 @@ class SyntheticStreamGenerator:
             for document in step_documents:
                 yield document
 
+    def iter_batches(
+        self, num_steps: int, batch_size: Optional[int] = None
+    ) -> Iterator[List[Document]]:
+        """Yield time-ordered chunks of documents for batched ingestion.
+
+        Without ``batch_size`` each time step becomes one chunk (the natural
+        arrival unit of the generator); with it the stream is re-chunked into
+        lists of up to ``batch_size`` documents.
+        """
+        if batch_size is None:
+            yield from self.steps(num_steps)
+            return
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        batch: List[Document] = []
+        for step_documents in self.steps(num_steps):
+            for document in step_documents:
+                batch.append(document)
+                if len(batch) >= batch_size:
+                    yield batch
+                    batch = []
+        if batch:
+            yield batch
+
     def _poisson(self, rate: float) -> int:
         """Small-rate Poisson sample (inversion method) for injection counts."""
         if rate <= 0:

@@ -9,9 +9,9 @@ while the demo runs.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Iterator, List, Optional, Tuple
 
-from repro.datasets.documents import Corpus
+from repro.datasets.documents import Corpus, Document
 from repro.datasets.events import EmergentEvent, EventSchedule
 from repro.datasets.synthetic import SyntheticStreamGenerator
 from repro.datasets.vocabulary import TagVocabulary
@@ -97,8 +97,8 @@ class TweetStreamGenerator:
         self.schedule = schedule
         self.seed = int(seed)
 
-    def generate(self) -> Tuple[Corpus, EventSchedule]:
-        generator = SyntheticStreamGenerator(
+    def _generator(self) -> SyntheticStreamGenerator:
+        return SyntheticStreamGenerator(
             vocabulary=twitter_vocabulary(),
             schedule=self.schedule,
             docs_per_step=self.tweets_per_hour,
@@ -108,5 +108,18 @@ class TweetStreamGenerator:
             seed=self.seed,
             doc_prefix="tweet",
         )
-        corpus = generator.generate(self.hours)
+
+    def generate(self) -> Tuple[Corpus, EventSchedule]:
+        corpus = self._generator().generate(self.hours)
         return corpus, self.schedule
+
+    def iter_batches(
+        self, batch_size: Optional[int] = None
+    ) -> Iterator[List[Document]]:
+        """Yield the tweet stream as time-ordered chunks (default: per hour).
+
+        A fresh replay each call — identical documents to :meth:`generate`
+        thanks to the fixed seed — suitable for the engine's batched
+        ingestion path without materialising the whole corpus.
+        """
+        yield from self._generator().iter_batches(self.hours, batch_size)

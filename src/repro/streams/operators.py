@@ -5,12 +5,20 @@ by its producers and pushes derived items to its consumers.  Sinks terminate
 the DAG; the most important sink in enBlogue computes the emergent-topic
 ranking and forwards it to the portal (see :mod:`repro.core.engine` and
 :mod:`repro.portal`).
+
+The DAG supports two push granularities.  ``push``/``emit`` move one item at
+a time; ``push_batch``/``emit_batch`` move a time-ordered chunk through the
+same ``process`` logic while paying the per-edge call overhead once per
+chunk instead of once per item.  Batch-aware sinks (see
+:class:`FunctionSink`) can exploit the chunk directly — the detection engine
+feeds it to its batched ingestion path.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
+from repro.core.types import normalize_tag
 from repro.streams.item import StreamItem
 
 
@@ -45,6 +53,14 @@ class Operator:
         for result in self.process(item):
             self.emit(result)
 
+    def push_batch(self, items: Sequence[StreamItem]) -> None:
+        """Receive a time-ordered chunk, process it and forward one chunk."""
+        self._items_in += len(items)
+        results: List[StreamItem] = []
+        for item in items:
+            results.extend(self.process(item))
+        self.emit_batch(results)
+
     def process(self, item: StreamItem) -> Iterable[StreamItem]:
         """Transform one input item into zero or more output items."""
         return (item,)
@@ -54,6 +70,14 @@ class Operator:
         self._items_out += 1
         for consumer in self._consumers:
             consumer.push(item)
+
+    def emit_batch(self, items: Sequence[StreamItem]) -> None:
+        """Push a chunk of items to every downstream consumer."""
+        if not items:
+            return
+        self._items_out += len(items)
+        for consumer in self._consumers:
+            consumer.push_batch(items)
 
     def flush(self) -> None:
         """Signal end-of-stream; propagated through the DAG."""
@@ -81,8 +105,17 @@ class Sink(Operator):
         self._items_in += 1
         self.consume(item)
 
+    def push_batch(self, items: Sequence[StreamItem]) -> None:
+        self._items_in += len(items)
+        self.consume_batch(items)
+
     def consume(self, item: StreamItem) -> None:
         raise NotImplementedError
+
+    def consume_batch(self, items: Sequence[StreamItem]) -> None:
+        """Consume a chunk; sinks with a batched backend should override."""
+        for item in items:
+            self.consume(item)
 
     def connect(self, consumer: "Operator") -> "Operator":
         raise TypeError("sinks terminate the DAG and cannot have consumers")
@@ -138,7 +171,7 @@ class TagNormalizerOperator(Operator):
     """
 
     def process(self, item: StreamItem) -> Iterable[StreamItem]:
-        normalized = {tag.strip().lower() for tag in item.tags}
+        normalized = {normalize_tag(tag) for tag in item.tags}
         normalized.discard("")
         if normalized == item.tags:
             return (item,)
@@ -213,20 +246,32 @@ class CollectorSink(Sink):
 
 
 class FunctionSink(Sink):
-    """Sink that hands every item to a callback (e.g. the detection engine)."""
+    """Sink that hands every item to a callback (e.g. the detection engine).
+
+    ``batch_callback`` receives whole chunks pushed via the batch protocol;
+    without it, chunks fall back to one ``callback`` call per item.
+    """
 
     def __init__(
         self,
         callback: Callable[[StreamItem], None],
         name: Optional[str] = None,
         on_flush: Optional[Callable[[], None]] = None,
+        batch_callback: Optional[Callable[[Sequence[StreamItem]], None]] = None,
     ):
         super().__init__(name=name or "callback-sink")
         self._callback = callback
         self._on_flush = on_flush
+        self._batch_callback = batch_callback
 
     def consume(self, item: StreamItem) -> None:
         self._callback(item)
+
+    def consume_batch(self, items: Sequence[StreamItem]) -> None:
+        if self._batch_callback is not None:
+            self._batch_callback(items)
+        else:
+            super().consume_batch(items)
 
     def flush(self) -> None:
         if self._on_flush is not None:

@@ -75,12 +75,16 @@ class PlanExecutor:
         """Convenience pass-through to the DAG's shared-operator registry."""
         return self.dag.shared(key, factory)
 
-    def run(self, limit: Optional[int] = None) -> int:
+    def run(self, limit: Optional[int] = None,
+            batch_size: Optional[int] = None) -> int:
         """Replay every distinct source once, pushing through all plans.
 
         Returns the total number of items emitted by the sources.  Plans
         sharing a source are fed by a single replay of that source, which is
-        precisely the efficiency argument of the paper.
+        precisely the efficiency argument of the paper.  ``batch_size``
+        switches the replay to the DAG's batch protocol: sources push chunks
+        of up to that many items, and batch-aware sinks (e.g. the engine's)
+        ingest them through their batched path.
         """
         if not self._plans:
             raise ValueError("no plans registered")
@@ -90,7 +94,7 @@ class PlanExecutor:
                 distinct_sources.append(plan.source)
         emitted = 0
         for source in distinct_sources:
-            emitted += source.run(limit=limit)
+            emitted += source.run(limit=limit, batch_size=batch_size)
         return emitted
 
     def describe(self) -> str:

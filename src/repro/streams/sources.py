@@ -28,20 +28,37 @@ class Source(Operator):
     def push(self, item: StreamItem) -> None:
         raise TypeError("sources are roots of the DAG and cannot receive items")
 
-    def run(self, limit: Optional[int] = None) -> int:
+    def push_batch(self, items) -> None:
+        raise TypeError("sources are roots of the DAG and cannot receive items")
+
+    def run(self, limit: Optional[int] = None,
+            batch_size: Optional[int] = None) -> int:
         """Replay the backing stream, pushing items downstream.
 
         Returns the number of items emitted.  ``limit`` caps the emission
         count, which is convenient for incremental replays in tests and in
-        the interactive examples.
+        the interactive examples.  With ``batch_size`` set, items are pushed
+        as chunks of up to that many items through the DAG's batch protocol
+        instead of one at a time.
         """
+        if batch_size is not None and batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
         emitted = 0
+        batch: List[StreamItem] = []
         for item in self.stream():
             if limit is not None and emitted >= limit:
                 break
             self.clock.advance_to(max(self.clock.now(), item.timestamp))
-            self.emit(item)
             emitted += 1
+            if batch_size is None:
+                self.emit(item)
+            else:
+                batch.append(item)
+                if len(batch) >= batch_size:
+                    self.emit_batch(batch)
+                    batch = []
+        if batch:
+            self.emit_batch(batch)
         if limit is None:
             self.flush()
         return emitted

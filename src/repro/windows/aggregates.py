@@ -120,19 +120,74 @@ class TagFrequencyWindow:
         """Number of documents currently inside the window."""
         return self._documents
 
-    def add_document(self, timestamp: float, tags: Iterable[str]) -> None:
-        """Register a document and its (deduplicated) tag set."""
+    @property
+    def counts(self) -> Counter:
+        """Live view of the per-tag counts (read-only; do not mutate).
+
+        Hot loops (the tracker's evaluation samples hundreds of pairs per
+        boundary) read this directly instead of paying two method calls per
+        tag via :meth:`count`.
+        """
+        return self._counts
+
+    def add_document(self, timestamp: float, tags: Iterable[str],
+                     prepared: bool = False) -> None:
+        """Register a document and its (deduplicated) tag set.
+
+        With ``prepared`` the caller asserts ``tags`` is already a
+        deduplicated, sorted tuple, skipping the re-sort.
+        """
         if self._latest is not None and timestamp < self._latest:
             raise ValueError(
                 f"out-of-order insertion: {timestamp} < {self._latest}"
             )
-        unique_tags = tuple(sorted(set(tags)))
+        unique_tags = tags if prepared else tuple(sorted(set(tags)))
         self._events.append((timestamp, unique_tags))
         for tag in unique_tags:
             self._counts[tag] += 1
         self._documents += 1
         self._latest = timestamp
         self._evict(timestamp)
+
+    def add_documents(
+        self,
+        documents: Iterable[Tuple[float, Iterable[str]]],
+        prepared: bool = False,
+    ) -> int:
+        """Register a time-ordered chunk of ``(timestamp, tags)`` documents.
+
+        Counter updates run once over the whole chunk and the window is
+        evicted once at the end; because eviction is monotone in time, the
+        final state is identical to one :meth:`add_document` call per
+        document.  With ``prepared`` the caller asserts that every tag
+        collection is already a deduplicated, sorted tuple (the correlation
+        tracker normalises documents before handing them over), skipping the
+        per-document re-sort.  Returns the number of documents added.
+
+        The whole chunk is validated before any state is touched, so a
+        rejected document leaves the window unchanged (as the per-document
+        path does).
+        """
+        latest = self._latest
+        staged: List[Tuple[float, Tuple[str, ...]]] = []
+        added: List[str] = []
+        for timestamp, tags in documents:
+            if latest is not None and timestamp < latest:
+                raise ValueError(
+                    f"out-of-order insertion: {timestamp} < {latest}"
+                )
+            unique_tags = tags if prepared else tuple(sorted(set(tags)))
+            staged.append((timestamp, unique_tags))
+            added.extend(unique_tags)
+            latest = timestamp
+        if not staged:
+            return 0
+        self._events.extend(staged)
+        self._counts.update(added)
+        self._documents += len(staged)
+        self._latest = latest
+        self._evict(latest)
+        return len(staged)
 
     def advance_to(self, timestamp: float) -> None:
         if self._latest is not None and timestamp < self._latest:
@@ -170,10 +225,13 @@ class TagFrequencyWindow:
 
     def _evict(self, now: float) -> None:
         cutoff = now - self.horizon
+        expired: List[str] = []
         while self._events and self._events[0][0] <= cutoff:
             _, tags = self._events.popleft()
-            for tag in tags:
-                self._counts[tag] -= 1
+            expired.extend(tags)
+            self._documents -= 1
+        if expired:
+            self._counts.subtract(expired)
+            for tag in set(expired):
                 if self._counts[tag] <= 0:
                     del self._counts[tag]
-            self._documents -= 1

@@ -20,16 +20,30 @@ class TimeSeries:
     Timestamps must be appended in non-decreasing order; the stream sources
     in this library all emit time-ordered documents so the restriction never
     bites in practice and keeps lookups logarithmic.
+
+    With ``maxlen`` set the series becomes a bounded ring buffer: appends
+    beyond the bound drop the oldest point, so long-running streams (e.g.
+    the per-pair correlation histories) hold at most ``maxlen`` points.
     """
 
     def __init__(
-        self, points: Optional[Iterable[Tuple[float, float]]] = None
+        self,
+        points: Optional[Iterable[Tuple[float, float]]] = None,
+        maxlen: Optional[int] = None,
     ) -> None:
+        if maxlen is not None and maxlen < 1:
+            raise ValueError("maxlen must be at least 1")
+        self._maxlen = maxlen
         self._timestamps: List[float] = []
         self._values: List[float] = []
         if points is not None:
             for timestamp, value in points:
                 self.append(timestamp, value)
+
+    @property
+    def maxlen(self) -> Optional[int]:
+        """The bound of the ring buffer (None when unbounded)."""
+        return self._maxlen
 
     def __len__(self) -> int:
         return len(self._timestamps)
@@ -50,6 +64,11 @@ class TimeSeries:
             )
         self._timestamps.append(float(timestamp))
         self._values.append(float(value))
+        # Ring-buffer bound: maxlen values are small (tens of points), so the
+        # front drop stays cheap while keeping memory constant over the run.
+        if self._maxlen is not None and len(self._timestamps) > self._maxlen:
+            del self._timestamps[0]
+            del self._values[0]
 
     @property
     def timestamps(self) -> Sequence[float]:
@@ -89,6 +108,15 @@ class TimeSeries:
         if n <= 0:
             return []
         return list(self._values[-n:])
+
+    def previous_values(self) -> List[float]:
+        """Every value except the most recent one (empty when len < 2).
+
+        This is the history a one-step-ahead predictor may see after the
+        current observation has been appended; a single slice instead of the
+        tuple-copy-then-trim dance the callers would otherwise do.
+        """
+        return self._values[:-1]
 
     def resample(self, start: float, end: float, step: float) -> "TimeSeries":
         """Sample the series on a regular grid using step interpolation."""

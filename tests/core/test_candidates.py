@@ -1,0 +1,113 @@
+"""Tests for the incremental seed-postings candidate index."""
+
+import pytest
+
+from repro.core.candidates import CandidateIndex
+from repro.core.types import TagPair
+
+
+def pair(a, b):
+    return TagPair(a, b)
+
+
+class TestMaintenance:
+    def test_add_and_count(self):
+        index = CandidateIndex()
+        index.add(pair("a", "b"))
+        index.add(pair("a", "b"))
+        assert index.count(pair("a", "b")) == 2
+        assert len(index) == 1
+        assert pair("a", "b") in index
+
+    def test_discard_decrements_and_drops_dead_pairs(self):
+        index = CandidateIndex()
+        index.add(pair("a", "b"))
+        index.add(pair("a", "b"))
+        index.discard(pair("a", "b"))
+        assert index.count(pair("a", "b")) == 1
+        index.discard(pair("a", "b"))
+        assert index.count(pair("a", "b")) == 0
+        assert pair("a", "b") not in index
+        assert len(index) == 0
+
+    def test_discard_of_unknown_pair_is_a_noop(self):
+        index = CandidateIndex()
+        index.discard(pair("a", "b"))
+        assert len(index) == 0
+
+    def test_postings_track_both_tags(self):
+        index = CandidateIndex()
+        index.add(pair("a", "b"))
+        index.add(pair("a", "c"))
+        assert index.pairs_for("a") == {pair("a", "b"), pair("a", "c")}
+        assert index.pairs_for("b") == {pair("a", "b")}
+        assert index.pairs_for("missing") == frozenset()
+
+    def test_postings_cleaned_up_after_removal(self):
+        index = CandidateIndex()
+        index.add(pair("a", "b"))
+        index.discard(pair("a", "b"))
+        assert index.pairs_for("a") == frozenset()
+        assert index.pairs_for("b") == frozenset()
+        assert index._postings == {}
+
+    def test_batch_updates_match_single_updates(self):
+        pairs = [pair("a", "b"), pair("a", "b"), pair("a", "c"), pair("b", "c")]
+        singles = CandidateIndex()
+        for p in pairs:
+            singles.add(p)
+        batched = CandidateIndex()
+        batched.add_many(pairs)
+        assert dict(singles.items()) == dict(batched.items())
+
+        for p in pairs[:2]:
+            singles.discard(p)
+        batched.remove_many(pairs[:2])
+        assert dict(singles.items()) == dict(batched.items())
+
+    def test_items_lists_each_pair_once(self):
+        index = CandidateIndex()
+        index.add_many([pair("a", "b"), pair("b", "c"), pair("a", "b")])
+        assert sorted(index.items()) == [(pair("a", "b"), 2), (pair("b", "c"), 1)]
+
+    def test_min_support_validation(self):
+        with pytest.raises(ValueError):
+            CandidateIndex(min_support=0)
+
+
+class TestCandidates:
+    def test_union_over_seed_postings(self):
+        index = CandidateIndex()
+        index.add_many([pair("seed", "x"), pair("y", "z")])
+        assert index.candidates(["seed"]) == [(pair("seed", "x"), "seed")]
+
+    def test_min_support_filters_weak_pairs(self):
+        index = CandidateIndex(min_support=2)
+        index.add_many([pair("s", "x"), pair("s", "y"), pair("s", "y")])
+        assert index.candidates(["s"]) == [(pair("s", "y"), "s")]
+
+    def test_no_seeds_no_candidates(self):
+        index = CandidateIndex()
+        index.add(pair("a", "b"))
+        assert index.candidates([]) == []
+        assert index.iter_candidates([]) == []
+
+    def test_double_seed_pair_reported_once_with_smaller_trigger(self):
+        index = CandidateIndex()
+        index.add(pair("a", "b"))
+        assert index.candidates(["a", "b"]) == [(pair("a", "b"), "a")]
+
+    def test_matches_reference_scan(self):
+        index = CandidateIndex(min_support=2)
+        index.add_many([
+            pair("a", "b"), pair("a", "b"), pair("a", "c"),
+            pair("b", "c"), pair("b", "c"), pair("c", "d"), pair("c", "d"),
+        ])
+        for seeds in ([], ["a"], ["a", "c"], ["d"], ["a", "b", "c", "d"]):
+            assert index.candidates(seeds) == index.scan_candidates(seeds)
+
+    def test_iter_candidates_carries_counts(self):
+        index = CandidateIndex()
+        index.add_many([pair("s", "x"), pair("s", "x"), pair("s", "y")])
+        triples = sorted(index.iter_candidates(["s"]))
+        assert triples == [(pair("s", "x"), "s", 2), (pair("s", "y"), "s", 1)]

@@ -85,6 +85,19 @@ class TestCandidatePairs:
         candidates = tracker.candidate_pairs(["a", "b"])
         assert candidates == [(TagPair("a", "b"), "a")]
 
+    def test_min_pair_support_is_mutable_between_evaluations(self):
+        tracker = CorrelationTracker(window_horizon=100.0, min_pair_support=1)
+        tracker.observe(1.0, ["seed", "x"])
+        tracker.observe(2.0, ["seed", "y"])
+        tracker.observe(3.0, ["seed", "y"])
+        assert len(tracker.candidate_pairs(["seed"])) == 2
+        tracker.min_pair_support = 2
+        assert tracker.min_pair_support == 2
+        assert [p for p, _ in tracker.candidate_pairs(["seed"])] \
+            == [TagPair("seed", "y")]
+        with pytest.raises(ValueError):
+            tracker.min_pair_support = 0
+
 
 class TestCorrelation:
     def test_jaccard_by_default(self):
@@ -155,3 +168,109 @@ class TestEvaluation:
         tracker.observe(2.0, ["s", "a"])
         tracker.evaluate(3.0, ["s"])
         assert tracker.tracked_pairs() == [TagPair("a", "s"), TagPair("s", "x")]
+
+
+class TestNormalization:
+    def test_tags_lowercased_and_stripped_in_tracker(self):
+        tracker = CorrelationTracker(window_horizon=100.0)
+        tracker.observe(1.0, ["Politics", "  VOLCANO "])
+        assert tracker.tag_count("politics") == 1
+        assert tracker.tag_count("volcano") == 1
+        assert tracker.pair_count(TagPair("politics", "volcano")) == 1
+        assert tracker.tag_count("Politics") == 0
+
+    def test_mixed_case_spellings_collapse_to_one_tag(self):
+        tracker = CorrelationTracker(window_horizon=100.0)
+        tracker.observe(1.0, ["News"])
+        tracker.observe(2.0, ["news"])
+        tracker.observe(3.0, ["NEWS"])
+        assert tracker.tag_count("news") == 3
+
+    def test_whitespace_only_tags_dropped(self):
+        tracker = CorrelationTracker(window_horizon=100.0)
+        tracker.observe(1.0, ["a", "   ", ""])
+        assert tracker.tag_window.tags() == ["a"]
+
+    def test_direct_tracker_and_engine_agree_on_identity(self):
+        # The satellite fix: direct callers used to bypass the engine's
+        # lowercasing; normalisation now lives in the tracker itself.
+        tracker = CorrelationTracker(window_horizon=100.0)
+        tracker.observe(1.0, ["Athens"], entities=["SIGMOD"])
+        assert tracker.pair_count(TagPair("athens", "sigmod")) == 1
+
+    def test_engine_query_surface_normalises_like_the_tracker(self):
+        from repro.core.config import EnBlogueConfig
+        from repro.core.engine import EnBlogue
+        engine = EnBlogue(EnBlogueConfig(
+            min_seed_count=1, min_pair_support=1, min_history=2))
+        engine.tracker.observe(0.0, ["Athens ", "sigmod"])
+        engine.evaluate_now(3600.0)
+        # Whitespace- and case-variant queries reach the same history.
+        assert len(engine.correlation_history("Athens ", "SIGMOD")) == 1
+        assert len(engine.correlation_history("athens", "sigmod")) == 1
+
+    def test_rejected_malformed_batch_leaves_tracker_unchanged(self):
+        tracker = CorrelationTracker(window_horizon=10.0)
+        tracker.observe(1.0, ["a", "b"])
+        with pytest.raises(TypeError):
+            tracker.observe_many([(2.0, ["c", "d"], ()), (3.0, None, ())])
+        # The valid prefix of the malformed chunk must not have left
+        # phantom pair events behind (their eviction would corrupt counts).
+        assert tracker.documents_seen == 1
+        assert len(tracker._pair_events) == 1
+        tracker.observe(3.0, ["c", "d"])
+        tracker.advance_to(11.5)
+        assert tracker.pair_count(TagPair("c", "d")) == 1
+
+
+class TestEvictionBoundary:
+    """``timestamp <= cutoff`` must agree across every windowed structure."""
+
+    def test_document_exactly_at_cutoff_evicted_everywhere(self):
+        tracker = CorrelationTracker(window_horizon=10.0, track_usage=True,
+                                     min_pair_support=1)
+        tracker.observe(0.0, ["a", "b", "c"])
+        # cutoff = 10 - 10 = 0; the document at t=0 satisfies t <= cutoff.
+        tracker.observe(10.0, ["x"])
+        assert tracker.document_count() == 1
+        assert tracker.tag_count("a") == 0
+        assert tracker.pair_count(TagPair("a", "b")) == 0
+        assert len(tracker.candidate_index) == 0
+        # Only the live document's tag remains in the usage distributions.
+        assert set(tracker._usage) <= {"x"}
+        assert not any(tracker._usage.get(tag) for tag in ("a", "b", "c"))
+
+    def test_document_just_inside_window_survives_everywhere(self):
+        tracker = CorrelationTracker(window_horizon=10.0, track_usage=True,
+                                     min_pair_support=1)
+        tracker.observe(0.1, ["a", "b"])
+        tracker.observe(10.0, ["x"])
+        assert tracker.document_count() == 2
+        assert tracker.tag_count("a") == 1
+        assert tracker.pair_count(TagPair("a", "b")) == 1
+        assert "a" in tracker._usage
+
+    def test_advance_to_evicts_like_observe(self):
+        tracker = CorrelationTracker(window_horizon=10.0, track_usage=True,
+                                     min_pair_support=1)
+        tracker.observe(0.0, ["a", "b"])
+        tracker.advance_to(10.0)
+        assert tracker.document_count() == 0
+        assert tracker.pair_count(TagPair("a", "b")) == 0
+        assert tracker._usage == {}
+
+    def test_batch_eviction_matches_sequential_eviction(self):
+        sequential = CorrelationTracker(window_horizon=5.0, track_usage=True,
+                                        min_pair_support=1)
+        batched = CorrelationTracker(window_horizon=5.0, track_usage=True,
+                                     min_pair_support=1)
+        observations = [(float(t), ["a", "b"] if t % 2 else ["b", "c"], ())
+                        for t in range(12)]
+        for timestamp, tags, entities in observations:
+            sequential.observe(timestamp, tags, entities)
+        batched.observe_many(observations)
+        assert sequential.tag_window.snapshot() == batched.tag_window.snapshot()
+        assert dict(sequential.candidate_index.items()) \
+            == dict(batched.candidate_index.items())
+        assert sequential._usage == batched._usage
+        assert sequential.document_count() == batched.document_count()

@@ -73,3 +73,16 @@ class TestCorpus:
     def test_iteration(self):
         corpus = Corpus([doc(1, "a", {"x"})])
         assert [d.doc_id for d in corpus] == ["a"]
+
+
+class TestCorpusBatches:
+    def test_iter_batches_covers_corpus_in_order(self):
+        corpus = Corpus([doc(t, f"d{t}", {"x"}) for t in range(10)])
+        batches = list(corpus.iter_batches(4))
+        assert [len(b) for b in batches] == [4, 4, 2]
+        flattened = [d.doc_id for batch in batches for d in batch]
+        assert flattened == [d.doc_id for d in corpus]
+
+    def test_iter_batches_validates_batch_size(self):
+        with pytest.raises(ValueError):
+            list(Corpus().iter_batches(0))

@@ -79,3 +79,16 @@ class TestNytArchiveGenerator:
 
     def test_categories_listed(self):
         assert "sports" in NytArchiveGenerator(years=0.1).categories()
+
+
+class TestBatchIterator:
+    def test_iter_batches_replays_generate_exactly(self):
+        generator = NytArchiveGenerator(years=0.05, articles_per_day=6, seed=5)
+        corpus, _ = generator.generate()
+        flattened = [d.doc_id for batch in generator.iter_batches(32)
+                     for d in batch]
+        assert flattened == [d.doc_id for d in corpus]
+
+    def test_default_batches_are_daily_steps(self):
+        generator = NytArchiveGenerator(years=0.02, articles_per_day=4, seed=5)
+        assert len(list(generator.iter_batches())) == generator.num_days

@@ -168,3 +168,34 @@ class TestCorrelationShiftStream:
             correlation_shift_stream(popular_rate=2, rare_rate=3)
         with pytest.raises(ValueError):
             correlation_shift_stream(shift_length=0)
+
+
+class TestBatchIterators:
+    def test_iter_batches_defaults_to_one_step_per_batch(self):
+        generator = SyntheticStreamGenerator(docs_per_step=5, seed=3)
+        batches = list(generator.iter_batches(4))
+        assert len(batches) == 4
+        assert all(len(batch) >= 5 for batch in batches)
+
+    def test_iter_batches_rechunks_to_fixed_size(self):
+        generator = SyntheticStreamGenerator(docs_per_step=5, seed=3)
+        reference = [d.doc_id for d in
+                     SyntheticStreamGenerator(docs_per_step=5, seed=3).stream(4)]
+        batches = list(generator.iter_batches(4, batch_size=7))
+        assert all(len(batch) == 7 for batch in batches[:-1])
+        flattened = [d.doc_id for batch in batches for d in batch]
+        assert flattened == reference
+
+    def test_iter_batches_validates_batch_size(self):
+        generator = SyntheticStreamGenerator(docs_per_step=5, seed=3)
+        with pytest.raises(ValueError):
+            list(generator.iter_batches(2, batch_size=0))
+
+    def test_batches_are_time_ordered_across_boundaries(self):
+        generator = SyntheticStreamGenerator(docs_per_step=5, seed=3)
+        previous = None
+        for batch in generator.iter_batches(6, batch_size=4):
+            for document in batch:
+                if previous is not None:
+                    assert document.timestamp >= previous
+                previous = document.timestamp

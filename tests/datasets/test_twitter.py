@@ -57,3 +57,16 @@ class TestTweetStreamGenerator:
             TweetStreamGenerator(hours=0)
         with pytest.raises(ValueError):
             TweetStreamGenerator(tweets_per_hour=0)
+
+
+class TestBatchIterator:
+    def test_iter_batches_replays_generate_exactly(self):
+        generator = TweetStreamGenerator(hours=6, tweets_per_hour=10, seed=5)
+        corpus, _ = generator.generate()
+        flattened = [d.doc_id for batch in generator.iter_batches(16)
+                     for d in batch]
+        assert flattened == [d.doc_id for d in corpus]
+
+    def test_default_batches_are_hourly_steps(self):
+        generator = TweetStreamGenerator(hours=5, tweets_per_hour=8, seed=5)
+        assert len(list(generator.iter_batches())) == 5

@@ -1,0 +1,100 @@
+"""Property test: indexed candidate generation equals the brute-force scan.
+
+The seed revision computed candidates by scanning every windowed pair at
+evaluation time; the postings index maintains them incrementally across
+arrivals and evictions.  On randomized streams the two must agree exactly —
+same ``(pair, seed_tag)`` list, same order.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.tracker import CorrelationTracker
+from repro.core.types import TagPair
+
+tag_names = st.sampled_from(
+    ["alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"]
+)
+
+documents = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=500.0, allow_nan=False),
+        st.sets(tag_names, min_size=0, max_size=4),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def brute_force_candidates(tracker, seeds):
+    """The seed revision's scan, reimplemented from the tracker's live pairs."""
+    seed_set = set(seeds)
+    if not seed_set:
+        return []
+    candidates = []
+    for pair, count in tracker.candidate_index.items():
+        if count < tracker.min_pair_support:
+            continue
+        if pair.first in seed_set:
+            candidates.append((pair, pair.first))
+        elif pair.second in seed_set:
+            candidates.append((pair, pair.second))
+    candidates.sort(key=lambda item: item[0])
+    return candidates
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    docs=documents,
+    seeds=st.sets(tag_names, max_size=4),
+    min_support=st.integers(min_value=1, max_value=3),
+    horizon=st.floats(min_value=10.0, max_value=400.0, allow_nan=False),
+)
+def test_indexed_candidates_match_brute_force_scan(docs, seeds, min_support, horizon):
+    tracker = CorrelationTracker(window_horizon=horizon,
+                                 min_pair_support=min_support)
+    for timestamp, tags in sorted(docs, key=lambda d: d[0]):
+        tracker.observe(timestamp, tags)
+    assert tracker.candidate_pairs(seeds) == brute_force_candidates(tracker, seeds)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    docs=documents,
+    seeds=st.sets(tag_names, max_size=4),
+    chunk=st.integers(min_value=1, max_value=7),
+)
+def test_batched_ingestion_matches_sequential_then_brute_force(docs, seeds, chunk):
+    ordered = sorted(docs, key=lambda d: d[0])
+    sequential = CorrelationTracker(window_horizon=120.0, min_pair_support=2)
+    for timestamp, tags in ordered:
+        sequential.observe(timestamp, tags)
+    batched = CorrelationTracker(window_horizon=120.0, min_pair_support=2)
+    for start in range(0, len(ordered), chunk):
+        batched.observe_many(
+            (timestamp, tags, ()) for timestamp, tags in ordered[start:start + chunk]
+        )
+    assert dict(sequential.candidate_index.items()) \
+        == dict(batched.candidate_index.items())
+    assert sequential.candidate_pairs(seeds) == batched.candidate_pairs(seeds)
+    assert batched.candidate_pairs(seeds) == brute_force_candidates(batched, seeds)
+
+
+@settings(max_examples=100, deadline=None)
+@given(docs=documents)
+def test_postings_and_counts_stay_consistent(docs):
+    """Every live pair appears in exactly its two tags' postings."""
+    tracker = CorrelationTracker(window_horizon=80.0, min_pair_support=1)
+    for timestamp, tags in sorted(docs, key=lambda d: d[0]):
+        tracker.observe(timestamp, tags)
+    index = tracker.candidate_index
+    live = dict(index.items())
+    assert len(live) == len(index)
+    for pair, count in live.items():
+        assert count > 0
+        assert pair in index.pairs_for(pair.first)
+        assert pair in index.pairs_for(pair.second)
+    # No postings entry without a live pair.
+    for tag, postings in index._postings.items():
+        for pair in postings:
+            assert pair in live
+            assert tag in (pair.first, pair.second)

@@ -140,3 +140,43 @@ class TestTagFrequencyWindow:
         window.add_document(0.0, ["a"])
         window.advance_to(100.0)
         assert window.document_count == 0
+
+
+class TestBatchAddDocuments:
+    def test_batch_add_matches_sequential_adds(self):
+        sequential = TagFrequencyWindow(10.0)
+        batched = TagFrequencyWindow(10.0)
+        documents = [(0.0, ["a", "b"]), (4.0, ["b"]), (12.0, ["c", "a"])]
+        for timestamp, tags in documents:
+            sequential.add_document(timestamp, tags)
+        assert batched.add_documents(documents) == 3
+        assert sequential.snapshot() == batched.snapshot()
+        assert sequential.document_count == batched.document_count
+        assert sequential.latest_timestamp == batched.latest_timestamp
+
+    def test_prepared_batch_trusts_sorted_tuples(self):
+        window = TagFrequencyWindow(100.0)
+        window.add_documents([(0.0, ("a", "b")), (1.0, ("b",))], prepared=True)
+        assert window.count("b") == 2
+        assert window.count("a") == 1
+
+    def test_empty_batch_is_a_noop(self):
+        window = TagFrequencyWindow(10.0)
+        assert window.add_documents([]) == 0
+        assert window.document_count == 0
+
+    def test_batch_rejects_out_of_order(self):
+        window = TagFrequencyWindow(10.0)
+        with pytest.raises(ValueError):
+            window.add_documents([(5.0, ["a"]), (1.0, ["b"])])
+
+    def test_rejected_batch_leaves_window_unchanged(self):
+        window = TagFrequencyWindow(10.0)
+        with pytest.raises(ValueError):
+            window.add_documents([(5.0, ["a"]), (1.0, ["b"])])
+        assert window.document_count == 0
+        assert window.snapshot() == {}
+        # Still consistent after the rejection: no phantom events to evict.
+        window.add_document(20.0, ["c"])
+        assert window.document_count == 1
+        assert window.count("c") == 1

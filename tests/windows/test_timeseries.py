@@ -109,3 +109,40 @@ class TestTransforms:
         assert series.std() == 0.0
         assert series.max() == 0.0
         assert series.min() == 0.0
+
+
+class TestRingBufferMode:
+    def test_maxlen_bounds_length(self):
+        series = TimeSeries(maxlen=3)
+        for t in range(10):
+            series.append(float(t), float(t) * 2)
+        assert len(series) == 3
+        assert list(series) == [(7.0, 14.0), (8.0, 16.0), (9.0, 18.0)]
+
+    def test_unbounded_without_maxlen(self):
+        series = TimeSeries()
+        for t in range(10):
+            series.append(float(t), 0.0)
+        assert len(series) == 10
+        assert series.maxlen is None
+
+    def test_maxlen_respected_from_constructor_points(self):
+        series = TimeSeries([(0.0, 1.0), (1.0, 2.0), (2.0, 3.0)], maxlen=2)
+        assert list(series) == [(1.0, 2.0), (2.0, 3.0)]
+        assert series.maxlen == 2
+
+    def test_order_check_still_applies_when_bounded(self):
+        series = TimeSeries(maxlen=2)
+        series.append(5.0, 1.0)
+        with pytest.raises(ValueError):
+            series.append(4.0, 1.0)
+
+    def test_invalid_maxlen_rejected(self):
+        with pytest.raises(ValueError):
+            TimeSeries(maxlen=0)
+
+    def test_previous_values(self):
+        series = TimeSeries([(0.0, 1.0), (1.0, 2.0), (2.0, 3.0)])
+        assert series.previous_values() == [1.0, 2.0]
+        assert TimeSeries().previous_values() == []
+        assert TimeSeries([(0.0, 7.0)]).previous_values() == []
