@@ -25,12 +25,14 @@ from repro.core.engine import EnBlogue
 from repro.core.personalization import PersonalizationEngine, UserProfile
 from repro.core.types import EmergentTopic, Ranking, TagPair
 from repro.portal.server import Portal
+from repro.sharding import ShardedEnBlogue
 from repro.streams.item import StreamItem
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "EnBlogue",
+    "ShardedEnBlogue",
     "EnBlogueConfig",
     "news_archive_config",
     "live_stream_config",

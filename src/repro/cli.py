@@ -8,6 +8,7 @@ the produced rankings as JSON for external consumers.
 Examples::
 
     python -m repro.cli replay --dataset tweets --hours 48 --top-k 5
+    python -m repro.cli replay --dataset tweets --shards 4 --backend process
     python -m repro.cli replay --dataset nyt --export /tmp/rankings.json
     python -m repro.cli compare --dataset shifts
     python -m repro.cli explore --dataset nyt --start-day 50 --end-day 80
@@ -32,8 +33,16 @@ from repro.datasets.twitter import TweetStreamGenerator
 from repro.evaluation.harness import run_experiment
 from repro.evaluation.reporting import format_table
 from repro.portal.serialization import rankings_to_json
+from repro.sharding import ShardedEnBlogue, available_backends
 
 HOUR = 3600.0
+
+
+def _positive_int(value: str) -> int:
+    parsed = int(value)
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer: {value!r}")
+    return parsed
 
 
 def _load_dataset(name: str, hours: int, years: float,
@@ -74,11 +83,24 @@ def _apply_overrides(config: EnBlogueConfig, args: argparse.Namespace) -> EnBlog
     return config.with_overrides(**overrides) if overrides else config
 
 
+def _make_engine(config: EnBlogueConfig, args: argparse.Namespace):
+    """The single engine, or the sharded one when --shards/--backend ask for it."""
+    if args.shards <= 1 and args.backend == "serial":
+        return EnBlogue(config)
+    return ShardedEnBlogue(config, num_shards=args.shards, backend=args.backend)
+
+
 def _cmd_replay(args: argparse.Namespace) -> int:
     corpus, schedule, config = _load_dataset(args.dataset, args.hours, args.years, args.seed)
     config = _apply_overrides(config, args)
-    engine = EnBlogue(config)
-    result = run_experiment(engine, corpus, schedule, name="enblogue", k=config.top_k)
+    engine = _make_engine(config, args)
+    name = "enblogue" if isinstance(engine, EnBlogue) \
+        else f"enblogue[{args.shards}x{args.backend}]"
+    try:
+        result = run_experiment(engine, corpus, schedule, name=name, k=config.top_k)
+    finally:
+        if isinstance(engine, ShardedEnBlogue):
+            engine.close()
     print(format_table([result.summary()], title=f"replay of {args.dataset!r}"))
     final = result.run.final_ranking()
     if final is not None:
@@ -152,6 +174,11 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(replay)
     replay.add_argument("--export", default=None,
                         help="write the produced rankings to this JSON file")
+    replay.add_argument("--shards", type=_positive_int, default=1,
+                        help="partition the pair space over N shards "
+                             "(1 = the single-process engine)")
+    replay.add_argument("--backend", choices=available_backends(), default="serial",
+                        help="shard execution backend (with --shards > 1)")
     replay.set_defaults(handler=_cmd_replay)
 
     compare = subparsers.add_parser("compare",

@@ -40,11 +40,29 @@ class CandidateIndex:
     """
 
     def __init__(self, min_support: int = 1):
-        if min_support < 1:
-            raise ValueError("min_support must be at least 1")
-        self.min_support = int(min_support)
         self._postings: Dict[str, Dict[TagPair, int]] = {}
         self._size = 0
+        self.min_support = min_support
+
+    @property
+    def min_support(self) -> int:
+        """Support threshold below which live pairs are not reported.
+
+        Mutable between evaluations: pairs below the threshold *stay in the
+        postings* with their counts (they may regain support, and lowering
+        the threshold must bring them back), so changing the value takes
+        effect on the next candidate query without any rebuild.  Validation
+        lives here so every write path — the tracker's ``min_pair_support``
+        setter or a direct assignment — enforces the same invariant.
+        """
+        return self._min_support
+
+    @min_support.setter
+    def min_support(self, value: int) -> None:
+        value = int(value)
+        if value < 1:
+            raise ValueError("min_support must be at least 1")
+        self._min_support = value
 
     # -- introspection --------------------------------------------------------
 

@@ -34,8 +34,51 @@ from repro.windows.timeseries import TimeSeries
 RankingListener = Callable[[Ranking], None]
 
 
-class EnBlogue:
-    """Emergent topic detection over a Web 2.0 document stream."""
+def make_tracker(config: EnBlogueConfig,
+                 track_usage: Optional[bool] = None) -> CorrelationTracker:
+    """The correlation tracker a configuration prescribes.
+
+    Shared by the :class:`EnBlogue` façade and the sharded engine's workers
+    (which pass ``track_usage=False``: co-tag usage is a global statistic
+    that cannot be maintained per shard), so both build identical stage (ii)
+    state.
+    """
+    if track_usage is None:
+        track_usage = config.correlation_measure == "kl"
+    return CorrelationTracker(
+        window_horizon=config.window_horizon,
+        measure=make_measure(config.correlation_measure),
+        min_pair_support=config.min_pair_support,
+        history_length=config.history_length,
+        use_entities=config.use_entities,
+        track_usage=track_usage,
+    )
+
+
+def make_shift_detector(config: EnBlogueConfig) -> ShiftDetector:
+    """The stage (iii) detector a configuration prescribes (shared as above)."""
+    predictor_kwargs = {}
+    if config.predictor == "moving_average":
+        predictor_kwargs["window"] = config.predictor_window
+    return ShiftDetector(
+        predictor=make_predictor(config.predictor, **predictor_kwargs),
+        decay=ExponentialDecay(config.decay_half_life),
+        min_history=config.min_history,
+    )
+
+
+class DetectionEngineBase:
+    """Shared surface of the single and the sharded detection engine.
+
+    Owns the boundary bookkeeping — the evaluation schedule, the published
+    rankings with their ``max_ranking_history`` bound, listeners,
+    personalization and the document-preparation rule — so both engines
+    run literally the same ingestion loop; they differ only in the hooks:
+    ``_ingest_document`` (where a prepared document's statistics go),
+    ``_latest_timestamp`` and ``_evaluate``.  Keeping this in one place is
+    part of the sharded engine's bit-identical guarantee: there is no
+    second copy of the catch-up loop to drift.
+    """
 
     def __init__(
         self,
@@ -43,27 +86,10 @@ class EnBlogue:
         entity_tagger: Optional[EntityTagger] = None,
     ):
         self.config = config or EnBlogueConfig()
-        measure = make_measure(self.config.correlation_measure)
-        self.tracker = CorrelationTracker(
-            window_horizon=self.config.window_horizon,
-            measure=measure,
-            min_pair_support=self.config.min_pair_support,
-            history_length=self.config.history_length,
-            use_entities=self.config.use_entities,
-            track_usage=(self.config.correlation_measure == "kl"),
-        )
         self.seed_selector = make_seed_selector(
             self.config.seed_criterion,
             num_seeds=self.config.num_seeds,
             min_count=self.config.min_seed_count,
-        )
-        predictor_kwargs = {}
-        if self.config.predictor == "moving_average":
-            predictor_kwargs["window"] = self.config.predictor_window
-        self.detector = ShiftDetector(
-            predictor=make_predictor(self.config.predictor, **predictor_kwargs),
-            decay=ExponentialDecay(self.config.decay_half_life),
-            min_history=self.config.min_history,
         )
         self.ranking_builder = RankingBuilder(top_k=self.config.top_k)
         self.personalization = PersonalizationEngine()
@@ -74,6 +100,20 @@ class EnBlogue:
         self._current_seeds: List[str] = []
         self._next_evaluation: Optional[float] = None
         self._documents_processed = 0
+
+    # -- hooks ----------------------------------------------------------------
+
+    def _ingest_document(self, timestamp: float, tags, entities) -> None:
+        """Feed one prepared document into the engine's statistics."""
+        raise NotImplementedError
+
+    def _latest_timestamp(self) -> Optional[float]:
+        """The most recent stream time seen (None before any document)."""
+        raise NotImplementedError
+
+    def _evaluate(self, timestamp: float) -> Ranking:
+        """Re-select seeds, score candidates and publish a new ranking."""
+        raise NotImplementedError
 
     # -- ingestion ------------------------------------------------------------
 
@@ -109,7 +149,7 @@ class EnBlogue:
             ranking = self._evaluate(self._next_evaluation)
             self._next_evaluation += self.config.evaluation_interval
 
-        self.tracker.observe(timestamp, tags, entities)
+        self._ingest_document(timestamp, tags, entities)
         self._documents_processed += 1
         return ranking
 
@@ -126,44 +166,70 @@ class EnBlogue:
         """Ingest a time-ordered chunk of documents in one call.
 
         The chunk is split internally at evaluation boundaries: documents up
-        to each boundary are handed to the tracker as one batch
-        (:meth:`CorrelationTracker.observe_many`), the evaluation runs, and
-        ingestion resumes — so the rankings produced are identical to feeding
-        the same documents through :meth:`process` one at a time.  Returns
+        to each boundary are handed to :meth:`_ingest_observations` as one
+        batch, the evaluation runs, and ingestion resumes — so the rankings
+        produced are identical to feeding the same documents through
+        :meth:`process` one at a time, and listeners fired by a boundary
+        observe the same ``documents_processed`` count on every path.
+
+        The whole chunk is prepared and validated *before* any state is
+        touched, so a rejected (out-of-order) document leaves the engine
+        unchanged — no ranking is published, nothing is ingested.  Returns
         every ranking produced (one per crossed boundary).
         """
         interval = self.config.evaluation_interval
+        observations = self._prepare_batch(documents)
         produced: List[Ranking] = []
         pending: List[tuple] = []
-        for document in documents:
-            observation = self._prepare(document)
+        for observation in observations:
             timestamp = observation[0]
             if self._next_evaluation is None:
                 self._next_evaluation = timestamp + interval
             if timestamp >= self._next_evaluation:
-                # Flush and count the documents preceding the boundary, so
-                # listeners fired by the evaluation observe the same
-                # documents_processed as on the per-document path.
                 if pending:
-                    self._documents_processed += self.tracker.observe_many(pending)
+                    self._documents_processed += \
+                        self._ingest_observations(pending)
                     pending = []
                 while timestamp >= self._next_evaluation:
                     produced.append(self._evaluate(self._next_evaluation))
                     self._next_evaluation += interval
             pending.append(observation)
         if pending:
-            self._documents_processed += self.tracker.observe_many(pending)
+            self._documents_processed += self._ingest_observations(pending)
         return produced
+
+    def _prepare_batch(self, documents: Iterable) -> List[tuple]:
+        """Prepare a chunk and validate its time order against the stream."""
+        prepared: List[tuple] = []
+        latest = self._latest_timestamp()
+        for document in documents:
+            observation = self._prepare(document)
+            timestamp = observation[0]
+            if latest is not None and timestamp < latest:
+                raise ValueError(
+                    f"out-of-order document: {timestamp} < {latest}"
+                )
+            latest = timestamp
+            prepared.append(observation)
+        return prepared
+
+    def _ingest_observations(self, observations: List[tuple]) -> int:
+        """Feed one boundary-free run of prepared documents; returns count."""
+        ingested = 0
+        for timestamp, tags, entities in observations:
+            self._ingest_document(timestamp, tags, entities)
+            ingested += 1
+        return ingested
 
     def evaluate_now(self, timestamp: Optional[float] = None) -> Ranking:
         """Force an evaluation at ``timestamp`` (default: latest stream time)."""
         if timestamp is None:
-            timestamp = self.tracker.latest_timestamp
+            timestamp = self._latest_timestamp()
         if timestamp is None:
             raise ValueError("no documents processed yet")
         return self._evaluate(timestamp)
 
-    # -- results -----------------------------------------------------------------
+    # -- results --------------------------------------------------------------
 
     def current_ranking(self) -> Optional[Ranking]:
         """The most recently published ranking (None before the first one)."""
@@ -182,22 +248,7 @@ class EnBlogue:
             return None
         return self.personalization.personalize(current, user_id, top_k=top_k)
 
-    def correlation_history(self, tag_a: str, tag_b: str) -> TimeSeries:
-        """Correlation history of a pair (for plots such as Figure 1)."""
-        return self.tracker.history(
-            TagPair(normalize_tag(tag_a), normalize_tag(tag_b))
-        )
-
-    def topic_score(self, tag_a: str, tag_b: str,
-                    timestamp: Optional[float] = None) -> float:
-        """Current decayed score of a pair."""
-        if timestamp is None:
-            timestamp = self.tracker.latest_timestamp or 0.0
-        return self.detector.score_at(
-            TagPair(normalize_tag(tag_a), normalize_tag(tag_b)), timestamp
-        )
-
-    # -- integration ------------------------------------------------------------------
+    # -- integration ----------------------------------------------------------
 
     def register_user(self, profile: UserProfile) -> UserProfile:
         """Register a personalization profile (show case 3)."""
@@ -215,11 +266,14 @@ class EnBlogue:
         """
         return FunctionSink(
             self.process,
-            name=name or f"enblogue[{self.config.name}]",
+            name=name or self._sink_name(),
             batch_callback=self.process_batch,
         )
 
-    # -- internals -----------------------------------------------------------------------
+    def _sink_name(self) -> str:
+        return f"enblogue[{self.config.name}]"
+
+    # -- shared internals ------------------------------------------------------
 
     def _prepare(self, document) -> tuple:
         """Extract ``(timestamp, tags, entities)``, running the entity tagger."""
@@ -231,6 +285,61 @@ class EnBlogue:
             if text:
                 entities = self.entity_tagger.tag(text)
         return timestamp, tags, entities
+
+    def _publish(self, ranking: Ranking) -> Ranking:
+        """Record a new ranking (bounded history) and notify listeners."""
+        self._rankings.append(ranking)
+        limit = self.config.max_ranking_history
+        if limit is not None and len(self._rankings) > limit:
+            del self._rankings[: len(self._rankings) - limit]
+        for listener in self._listeners:
+            listener(ranking)
+        return ranking
+
+
+class EnBlogue(DetectionEngineBase):
+    """Emergent topic detection over a Web 2.0 document stream."""
+
+    def __init__(
+        self,
+        config: Optional[EnBlogueConfig] = None,
+        entity_tagger: Optional[EntityTagger] = None,
+    ):
+        super().__init__(config, entity_tagger)
+        self.tracker = make_tracker(self.config)
+        self.detector = make_shift_detector(self.config)
+
+    # -- hooks ----------------------------------------------------------------
+
+    def _ingest_document(self, timestamp: float, tags, entities) -> None:
+        self.tracker.observe(timestamp, tags, entities)
+
+    def _latest_timestamp(self) -> Optional[float]:
+        return self.tracker.latest_timestamp
+
+    def _ingest_observations(self, observations: List[tuple]) -> int:
+        # One eviction pass and C-speed counter updates for the whole
+        # boundary-free run — the engine's batch-path speedup.
+        return self.tracker.observe_many(observations)
+
+    # -- results -----------------------------------------------------------------
+
+    def correlation_history(self, tag_a: str, tag_b: str) -> TimeSeries:
+        """Correlation history of a pair (for plots such as Figure 1)."""
+        return self.tracker.history(
+            TagPair(normalize_tag(tag_a), normalize_tag(tag_b))
+        )
+
+    def topic_score(self, tag_a: str, tag_b: str,
+                    timestamp: Optional[float] = None) -> float:
+        """Current decayed score of a pair."""
+        if timestamp is None:
+            timestamp = self.tracker.latest_timestamp or 0.0
+        return self.detector.score_at(
+            TagPair(normalize_tag(tag_a), normalize_tag(tag_b)), timestamp
+        )
+
+    # -- internals -----------------------------------------------------------------------
 
     def _evaluate(self, timestamp: float) -> Ranking:
         window = self.tracker.tag_window
@@ -248,10 +357,4 @@ class EnBlogue:
             timestamp, shift_scores, detector=self.detector,
             label=self.config.name,
         )
-        self._rankings.append(ranking)
-        limit = self.config.max_ranking_history
-        if limit is not None and len(self._rankings) > limit:
-            del self._rankings[: len(self._rankings) - limit]
-        for listener in self._listeners:
-            listener(ranking)
-        return ranking
+        return self._publish(ranking)

@@ -9,10 +9,27 @@ fresh but weak shift, which is exactly the role of the two-day half-life.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+import heapq
+from itertools import islice
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.shift import ShiftDetector, ShiftScore
 from repro.core.types import EmergentTopic, Ranking, TagPair
+
+
+def topic_sort_key(topic: EmergentTopic) -> Tuple[float, TagPair]:
+    """The total order of every ranking: score descending, pair ascending.
+
+    Scores alone leave ties — two pairs shifting identically (common on
+    synthetic streams and in the first evaluations of a live one) — so the
+    canonical pair breaks them lexicographically.  The order is *total*:
+    pairs are unique within a ranking, hence no two topics compare equal.
+    Every consumer that orders topics (the builder, the sharded engine's
+    cross-shard merge, ``Ranking`` itself) must use this one key, which is
+    what makes a k-way merge of per-shard rankings bit-identical to ranking
+    the union in one process.
+    """
+    return (-topic.score, topic.pair)
 
 
 class RankingBuilder:
@@ -26,20 +43,21 @@ class RankingBuilder:
         self.top_k = int(top_k)
         self.min_score = float(min_score)
 
-    def build(
+    def collect_topics(
         self,
         timestamp: float,
         shift_scores: Iterable[ShiftScore],
         detector: Optional[ShiftDetector] = None,
-        label: str = "",
-    ) -> Ranking:
-        """Build the ranking for one evaluation.
+    ) -> Dict[TagPair, EmergentTopic]:
+        """Every topic competing at ``timestamp``, keyed by pair (unordered).
 
         ``shift_scores`` are the freshly scored observations; when
         ``detector`` is given, pairs it has scored in the past but that are
         absent from the current observations compete with their decayed
         scores, so a strong recent topic does not vanish the moment its
-        correlation stops growing.
+        correlation stops growing.  Shared by :meth:`build` and the sharded
+        engine's per-shard scoring, so both paths admit exactly the same
+        topics.
         """
         topics: Dict[TagPair, EmergentTopic] = {}
         for shift in shift_scores:
@@ -64,7 +82,44 @@ class RankingBuilder:
                 topics[pair] = EmergentTopic(
                     pair=pair, score=score, timestamp=timestamp,
                 )
-        ranked = sorted(
-            topics.values(), key=lambda topic: (-topic.score, topic.pair)
-        )[: self.top_k]
+        return topics
+
+    def top_topics(
+        self,
+        timestamp: float,
+        shift_scores: Iterable[ShiftScore],
+        detector: Optional[ShiftDetector] = None,
+    ) -> List[EmergentTopic]:
+        """The top-k competing topics in :func:`topic_sort_key` order."""
+        topics = self.collect_topics(timestamp, shift_scores, detector)
+        return sorted(topics.values(), key=topic_sort_key)[: self.top_k]
+
+    def build(
+        self,
+        timestamp: float,
+        shift_scores: Iterable[ShiftScore],
+        detector: Optional[ShiftDetector] = None,
+        label: str = "",
+    ) -> Ranking:
+        """Build the ranking for one evaluation."""
+        ranked = self.top_topics(timestamp, shift_scores, detector)
+        return Ranking(timestamp=timestamp, topics=ranked, label=label)
+
+    def merge(
+        self,
+        timestamp: float,
+        topic_lists: Sequence[Sequence[EmergentTopic]],
+        label: str = "",
+    ) -> Ranking:
+        """K-way-merge per-shard top-k topic lists into one global ranking.
+
+        Each input list must already be sorted by :func:`topic_sort_key` and
+        the lists must cover disjoint pair sets (each pair lives in exactly
+        one shard).  Because every shard contributes its local top-k, the
+        global top-k is a prefix of the merged order — the standard
+        scatter-gather argument — so the result is bit-identical to building
+        one ranking from the union of all shards' topics.
+        """
+        merged = heapq.merge(*topic_lists, key=topic_sort_key)
+        ranked = list(islice(merged, self.top_k))
         return Ranking(timestamp=timestamp, topics=ranked, label=label)

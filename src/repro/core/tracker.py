@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from collections import Counter, deque
 from dataclasses import dataclass
-from typing import Deque, Dict, Iterable, List, Optional, Tuple
+from typing import Deque, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.core.candidates import CandidateIndex
 from repro.core.correlation import CorrelationMeasure, JaccardCorrelation, PairCounts
@@ -59,6 +59,75 @@ class PairObservation:
     def __post_init__(self) -> None:
         if self.correlation < 0:
             raise ValueError("correlations are non-negative")
+
+
+class DocumentDecomposer:
+    """Normalise a document's tag/entity sets into (ordered tags, pairs).
+
+    The one decomposition rule of the system, shared by the tracker and by
+    the sharded coordinator (which must decompose each document exactly once
+    before routing its pairs to shard workers).  Results are memoised when
+    both inputs are frozensets (the shape every dataset and stream item
+    produces), since the same tag combinations recur constantly within a
+    stream.
+    """
+
+    def __init__(self, use_entities: bool = True):
+        self.use_entities = bool(use_entities)
+        self._cache: Dict[
+            Tuple[frozenset, frozenset], Tuple[Tuple[str, ...], Tuple[TagPair, ...]]
+        ] = {}
+
+    def decompose(
+        self, tags: Iterable[str], entities: Iterable[str] = ()
+    ) -> Tuple[Tuple[str, ...], Tuple[TagPair, ...]]:
+        key: Optional[Tuple[frozenset, frozenset]] = None
+        if type(tags) is frozenset:
+            if not entities:
+                key = (tags, _EMPTY_FROZENSET)
+            elif type(entities) is frozenset:
+                key = (tags, entities)
+            if key is not None:
+                cached = self._cache.get(key)
+                if cached is not None:
+                    return cached
+        effective = {normalize_tag(tag) for tag in tags}
+        if self.use_entities:
+            effective |= {normalize_tag(entity) for entity in entities}
+        effective.discard("")
+        ordered = tuple(sorted(effective))
+        pairs = tuple(
+            TagPair(ordered[i], ordered[j])
+            for i in range(len(ordered))
+            for j in range(i + 1, len(ordered))
+        )
+        if key is not None:
+            if len(self._cache) >= _DECOMPOSE_CACHE_LIMIT:
+                self._cache.clear()
+            self._cache[key] = (ordered, pairs)
+        return ordered, pairs
+
+
+def record_count_history(
+    history: Dict[str, List[int]],
+    snapshot: Mapping[str, int],
+    history_length: int,
+) -> None:
+    """Fold one evaluation's per-tag count snapshot into ``history`` in place.
+
+    Tags absent from the window record an explicit zero so volatility
+    reflects disappearance as well as growth; each tag's series is bounded
+    to the last ``history_length`` points.  The single rule behind the
+    volatility seed criterion, shared by the tracker and the sharded
+    coordinator (whose global count history must evolve identically).
+    """
+    for tag, count in snapshot.items():
+        history.setdefault(tag, []).append(count)
+    for tag in list(history):
+        if tag not in snapshot:
+            history[tag].append(0)
+        if len(history[tag]) > history_length:
+            del history[tag][: -history_length]
 
 
 class CorrelationTracker:
@@ -98,12 +167,10 @@ class CorrelationTracker:
         self._histories: Dict[TagPair, TimeSeries] = {}
         # Windowed tag-count history per tag (for the volatility seed criterion).
         self._count_history: Dict[str, List[int]] = {}
-        # Memo of (tags, entities) frozensets → (ordered tags, pairs): tag
-        # sets recur constantly in real streams, and building the O(k²) pair
-        # tuple dominates ingestion when computed from scratch per document.
-        self._decompose_cache: Dict[
-            Tuple[frozenset, frozenset], Tuple[Tuple[str, ...], Tuple[TagPair, ...]]
-        ] = {}
+        # Memoising decomposer: tag sets recur constantly in real streams,
+        # and building the O(k²) pair tuple dominates ingestion when computed
+        # from scratch per document.
+        self._decomposer = DocumentDecomposer(use_entities=self.use_entities)
         self._documents_seen = 0
         self._latest: Optional[float] = None
 
@@ -191,6 +258,44 @@ class CorrelationTracker:
         self._evict(latest)
         return len(prepared)
 
+    def observe_pair_events(
+        self, events: Iterable[Tuple[float, Tuple[TagPair, ...]]]
+    ) -> int:
+        """Ingest pre-decomposed ``(timestamp, pairs)`` events.
+
+        This is the pair-restricted ingestion path of the sharded engine: a
+        coordinator decomposes each document once, routes every pair to the
+        shard that owns it, and the shard's tracker ingests only its slice of
+        the pair stream.  Tag-level statistics (the frequency window, usage
+        distributions, count history) are *not* updated — in a sharded
+        deployment those are global concerns answered by the coordinator and
+        broadcast back at evaluation time via :meth:`sample_candidates`.
+
+        Events must be time-ordered; the whole chunk is validated before any
+        state is touched.  Returns the number of events ingested.
+        """
+        staged: List[Tuple[float, Tuple[TagPair, ...]]] = []
+        all_pairs: List[TagPair] = []
+        latest = self._latest
+        for timestamp, pairs in events:
+            timestamp = float(timestamp)
+            if latest is not None and timestamp < latest:
+                raise ValueError(
+                    f"out-of-order pair event: {timestamp} < {latest}"
+                )
+            latest = timestamp
+            staged.append((timestamp, pairs))
+            all_pairs.extend(pairs)
+        if not staged:
+            return 0
+        self._pair_events.extend(staged)
+        self._documents_seen += len(staged)
+        self._latest = latest
+        self._candidates.add_many(all_pairs)
+        self._tag_window.advance_to(latest)
+        self._evict(latest)
+        return len(staged)
+
     def advance_to(self, timestamp: float) -> None:
         """Move stream time forward without ingesting a document."""
         if self._latest is not None and timestamp < self._latest:
@@ -248,11 +353,40 @@ class CorrelationTracker:
         """
         self.advance_to(timestamp)
         self._record_count_history()
+        return self._sample(
+            timestamp, seeds, self._tag_window.counts,
+            self._tag_window.document_count,
+        )
+
+    def sample_candidates(
+        self,
+        timestamp: float,
+        seeds: Iterable[str],
+        tag_counts: Mapping[str, int],
+        total_documents: int,
+    ) -> List[PairObservation]:
+        """Sample candidate correlations against *externally supplied* counts.
+
+        The scatter-gather entry point: a shard's tracker holds only its
+        slice of the pair space, so the per-tag document counts and the total
+        document count — global statistics — are broadcast by the
+        coordinator alongside the seeds.  Advances (and evicts) this
+        tracker's pair window to ``timestamp`` first; the tag-count history
+        is *not* recorded (a global concern the coordinator owns).
+        """
+        self.advance_to(timestamp)
+        return self._sample(timestamp, seeds, tag_counts, total_documents)
+
+    def _sample(
+        self,
+        timestamp: float,
+        seeds: Iterable[str],
+        tag_counts: Mapping[str, int],
+        total_documents: int,
+    ) -> List[PairObservation]:
         observations: List[PairObservation] = []
         # Local bindings for the per-pair loop: evaluation samples hundreds
         # of pairs per boundary, so attribute and method-call overhead shows.
-        tag_counts = self._tag_window.counts
-        total_documents = self._tag_window.document_count
         measure_value = self.measure.value
         track_usage = self.track_usage
         # Unsorted iteration: per-pair sampling is order-independent and the
@@ -295,37 +429,8 @@ class CorrelationTracker:
     def _decompose(
         self, tags: Iterable[str], entities: Iterable[str]
     ) -> Tuple[Tuple[str, ...], Tuple[TagPair, ...]]:
-        """Normalise a document's tag/entity sets into (ordered tags, pairs).
-
-        Results are memoised when both inputs are frozensets (the shape every
-        dataset and stream item produces), since the same tag combinations
-        recur constantly within a stream.
-        """
-        key: Optional[Tuple[frozenset, frozenset]] = None
-        if type(tags) is frozenset:
-            if not entities:
-                key = (tags, _EMPTY_FROZENSET)
-            elif type(entities) is frozenset:
-                key = (tags, entities)
-            if key is not None:
-                cached = self._decompose_cache.get(key)
-                if cached is not None:
-                    return cached
-        effective = {normalize_tag(tag) for tag in tags}
-        if self.use_entities:
-            effective |= {normalize_tag(entity) for entity in entities}
-        effective.discard("")
-        ordered = tuple(sorted(effective))
-        pairs = tuple(
-            TagPair(ordered[i], ordered[j])
-            for i in range(len(ordered))
-            for j in range(i + 1, len(ordered))
-        )
-        if key is not None:
-            if len(self._decompose_cache) >= _DECOMPOSE_CACHE_LIMIT:
-                self._decompose_cache.clear()
-            self._decompose_cache[key] = (ordered, pairs)
-        return ordered, pairs
+        """Normalise a document's tag/entity sets into (ordered tags, pairs)."""
+        return self._decomposer.decompose(tags, entities)
 
     def _ingest(
         self,
@@ -361,16 +466,9 @@ class CorrelationTracker:
                 counter[cotag] += 1
 
     def _record_count_history(self) -> None:
-        snapshot = self._tag_window.snapshot()
-        for tag, count in snapshot.items():
-            self._count_history.setdefault(tag, []).append(count)
-        # Tags absent from the window record an explicit zero so volatility
-        # reflects disappearance as well as growth.
-        for tag in list(self._count_history):
-            if tag not in snapshot:
-                self._count_history[tag].append(0)
-            if len(self._count_history[tag]) > self.history_length:
-                del self._count_history[tag][: -self.history_length]
+        record_count_history(
+            self._count_history, self._tag_window.snapshot(), self.history_length
+        )
 
     def _evict(self, now: float) -> None:
         cutoff = now - self.window_horizon

@@ -133,6 +133,9 @@ class Ranking:
     label: str = ""
 
     def __post_init__(self) -> None:
+        # Total order shared with repro.core.ranking.topic_sort_key (spelled
+        # out here because types must not import ranking): score descending,
+        # then canonical pair ascending as the deterministic tie-break.
         self.topics = sorted(
             self.topics, key=lambda topic: (-topic.score, topic.pair)
         )

@@ -1,0 +1,42 @@
+"""Sharded scatter-gather execution of the detection pipeline.
+
+The single :class:`~repro.core.engine.EnBlogue` engine tracks every
+windowed tag pair in one process; this subsystem partitions the pair space
+across shards so ingest and evaluation scale horizontally while the
+published rankings stay **bit-identical** to the single engine:
+
+* :class:`PairPartitioner` — stable (process-independent) hash of the
+  canonical pair to a shard id,
+* :class:`ShardWorker` — one shard's pair-restricted tracker, shift
+  detector and local top-k,
+* :class:`SerialBackend` / :class:`ProcessBackend` — pluggable execution
+  (in-process reference vs. one worker process per shard),
+* :class:`ShardedEnBlogue` — the coordinator: decomposes each document
+  once, keeps the global tag-frequency window, routes per-shard pair
+  chunks, broadcasts seeds and counts at each boundary and k-way-merges
+  the shards' top-k lists.
+"""
+
+from repro.sharding.backends import (
+    ProcessBackend,
+    SerialBackend,
+    ShardBackend,
+    ShardExecutionError,
+    available_backends,
+    make_backend,
+)
+from repro.sharding.engine import ShardedEnBlogue
+from repro.sharding.partitioner import PairPartitioner
+from repro.sharding.worker import ShardWorker
+
+__all__ = [
+    "PairPartitioner",
+    "ShardWorker",
+    "ShardBackend",
+    "SerialBackend",
+    "ProcessBackend",
+    "ShardExecutionError",
+    "available_backends",
+    "make_backend",
+    "ShardedEnBlogue",
+]

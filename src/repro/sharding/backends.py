@@ -1,0 +1,280 @@
+"""Pluggable execution backends for the sharded detection engine.
+
+The coordinator talks to its shard workers through a minimal scatter-gather
+protocol — ``ingest`` (fire-and-forget, chunked), ``evaluate`` (synchronous
+broadcast + gather) and ``close`` — and the backend decides where the
+workers live:
+
+* :class:`SerialBackend` keeps them in-process and calls them directly.
+  It is the deterministic reference implementation: tests establish
+  bit-identical equivalence against the single engine here, and the
+  process backend is then held to the same output.
+* :class:`ProcessBackend` gives each shard its own worker process.  The
+  worker state (all plain-Python, picklable) is shipped once at start-up;
+  afterwards only pair-event chunks flow down and local top-k lists flow
+  back.  Ingest messages need no acknowledgement — pipes are FIFO, so an
+  ``evaluate`` request observes every chunk sent before it — which lets
+  the coordinator keep decomposing and routing documents while workers
+  ingest in parallel.  A worker that fails during ingest remembers the
+  failure and reports it at the next synchronisation point.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from typing import List, Mapping, Optional, Sequence
+
+from repro.core.types import EmergentTopic
+from repro.sharding.worker import ShardEvent, ShardWorker
+
+
+class ShardExecutionError(RuntimeError):
+    """A shard worker failed; carries the worker-side traceback text."""
+
+
+class ShardBackend:
+    """Interface: execute shard workers and the scatter-gather protocol."""
+
+    name = "base"
+
+    def start(self, workers: Sequence[ShardWorker]) -> None:
+        raise NotImplementedError
+
+    def ingest(self, chunks: Sequence[List[ShardEvent]]) -> None:
+        """Dispatch one chunk of pair events per shard (empty chunks skipped)."""
+        raise NotImplementedError
+
+    def evaluate(
+        self,
+        timestamp: float,
+        seeds: Sequence[str],
+        tag_counts: Mapping[str, int],
+        total_documents: int,
+    ) -> List[List[EmergentTopic]]:
+        """Broadcast the globals, gather every shard's local top-k."""
+        raise NotImplementedError
+
+    def stats(self) -> List[dict]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+
+class SerialBackend(ShardBackend):
+    """In-process reference backend: direct calls, fully deterministic."""
+
+    name = "serial"
+
+    def __init__(self) -> None:
+        self.workers: List[ShardWorker] = []
+        self._closed = False
+
+    def start(self, workers: Sequence[ShardWorker]) -> None:
+        self.workers = list(workers)
+        self._closed = False
+
+    def ingest(self, chunks: Sequence[List[ShardEvent]]) -> None:
+        self._ensure_open()
+        for worker, events in zip(self.workers, chunks):
+            if events:
+                worker.ingest(events)
+
+    def evaluate(self, timestamp, seeds, tag_counts, total_documents):
+        self._ensure_open()
+        return [
+            worker.evaluate(timestamp, seeds, tag_counts, total_documents)
+            for worker in self.workers
+        ]
+
+    def stats(self) -> List[dict]:
+        self._ensure_open()
+        return [worker.stats() for worker in self.workers]
+
+    def close(self) -> None:
+        self._closed = True
+        self.workers = []
+
+    def _ensure_open(self) -> None:
+        # A closed backend must fail loudly: silently dropping chunks or
+        # returning empty evaluations would publish bogus empty rankings.
+        if self._closed:
+            raise ShardExecutionError("backend is closed")
+
+
+def _shard_loop(worker: ShardWorker, connection) -> None:
+    """Request loop of one shard process.
+
+    Ingest requests carry no reply; request/reply operations (``evaluate``,
+    ``stats``) answer ``("ok", value)`` or ``("error", traceback)``.  An
+    ingest failure is remembered and surfaces at the next reply, so the
+    coordinator's fire-and-forget dispatch cannot silently lose an error.
+    """
+    failure: Optional[str] = None
+    while True:
+        try:
+            operation, payload = connection.recv()
+        except EOFError:
+            break
+        if operation == "stop":
+            break
+        if operation == "ingest":
+            if failure is None:
+                try:
+                    worker.ingest(payload)
+                except Exception:
+                    failure = traceback.format_exc()
+        elif failure is not None:
+            connection.send(("error", failure))
+        elif operation == "evaluate":
+            try:
+                connection.send(("ok", worker.evaluate(*payload)))
+            except Exception:
+                failure = traceback.format_exc()
+                connection.send(("error", failure))
+        elif operation == "stats":
+            try:
+                connection.send(("ok", worker.stats()))
+            except Exception:
+                failure = traceback.format_exc()
+                connection.send(("error", failure))
+        else:
+            connection.send(("error", f"unknown operation {operation!r}"))
+    connection.close()
+
+
+class ProcessBackend(ShardBackend):
+    """One worker process per shard, connected by a duplex pipe.
+
+    ``start_method`` selects the :mod:`multiprocessing` context; the default
+    prefers ``fork`` (cheap start-up, Linux/CI) and falls back to ``spawn``,
+    under which the picklable worker state is shipped to the child instead.
+    """
+
+    name = "process"
+
+    def __init__(self, start_method: Optional[str] = None):
+        self._start_method = start_method
+        self._processes: List[multiprocessing.Process] = []
+        self._pipes: List = []
+        self._closed = False
+
+    def start(self, workers: Sequence[ShardWorker]) -> None:
+        self._closed = False
+        method = self._start_method
+        if method is None:
+            available = multiprocessing.get_all_start_methods()
+            method = "fork" if "fork" in available else "spawn"
+        context = multiprocessing.get_context(method)
+        for worker in workers:
+            parent_end, child_end = context.Pipe(duplex=True)
+            process = context.Process(
+                target=_shard_loop,
+                args=(worker, child_end),
+                name=f"enblogue-shard-{worker.shard_id}",
+                daemon=True,
+            )
+            process.start()
+            child_end.close()
+            self._pipes.append(parent_end)
+            self._processes.append(process)
+
+    def ingest(self, chunks: Sequence[List[ShardEvent]]) -> None:
+        self._ensure_open()
+        for shard_id, (pipe, events) in enumerate(zip(self._pipes, chunks)):
+            if events:
+                self._send(shard_id, pipe, ("ingest", events))
+
+    def evaluate(self, timestamp, seeds, tag_counts, total_documents):
+        self._ensure_open()
+        payload = (timestamp, list(seeds), dict(tag_counts), total_documents)
+        # Scatter to every shard first so they all compute concurrently,
+        # then gather in shard order (the merge needs a fixed order anyway).
+        for shard_id, pipe in enumerate(self._pipes):
+            self._send(shard_id, pipe, ("evaluate", payload))
+        return self._gather("evaluate")
+
+    def stats(self) -> List[dict]:
+        self._ensure_open()
+        for shard_id, pipe in enumerate(self._pipes):
+            self._send(shard_id, pipe, ("stats", None))
+        return self._gather("stats")
+
+    def _ensure_open(self) -> None:
+        # Matches SerialBackend: using a closed (or crash-reaped) pool must
+        # raise, not silently drop chunks and return empty evaluations.
+        if self._closed:
+            raise ShardExecutionError("backend is closed")
+
+    def _send(self, shard_id: int, pipe, message) -> None:
+        try:
+            pipe.send(message)
+        except (BrokenPipeError, EOFError, OSError) as exc:
+            # The worker process died (OOM kill, crash): tear the rest of
+            # the pool down instead of leaking it, and surface shard context.
+            self.close()
+            raise ShardExecutionError(
+                f"shard {shard_id} process died before "
+                f"{message[0]!r} could be dispatched: {exc!r}"
+            ) from exc
+
+    def _gather(self, operation: str) -> List:
+        results = []
+        for shard_id, pipe in enumerate(self._pipes):
+            try:
+                status, value = pipe.recv()
+            except (EOFError, OSError) as exc:
+                self.close()
+                raise ShardExecutionError(
+                    f"shard {shard_id} process died during {operation}: {exc!r}"
+                ) from exc
+            if status != "ok":
+                self.close()
+                raise ShardExecutionError(
+                    f"shard {shard_id} failed during {operation}:\n{value}"
+                )
+            results.append(value)
+        return results
+
+    def close(self) -> None:
+        self._closed = True
+        for pipe in self._pipes:
+            try:
+                pipe.send(("stop", None))
+            except (BrokenPipeError, OSError):
+                pass
+        for pipe in self._pipes:
+            try:
+                pipe.close()
+            except OSError:
+                pass
+        for process in self._processes:
+            process.join(timeout=5.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+        self._pipes = []
+        self._processes = []
+
+
+_BACKENDS = {
+    SerialBackend.name: SerialBackend,
+    ProcessBackend.name: ProcessBackend,
+}
+
+
+def available_backends() -> List[str]:
+    """Names accepted by :func:`make_backend`."""
+    return sorted(_BACKENDS)
+
+
+def make_backend(name: str, **kwargs) -> ShardBackend:
+    """Instantiate an execution backend by name (``serial`` or ``process``)."""
+    try:
+        backend_class = _BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown shard backend {name!r}; available: {available_backends()}"
+        ) from None
+    return backend_class(**kwargs)

@@ -1,0 +1,105 @@
+"""The per-shard unit of the scatter-gather detection engine.
+
+A :class:`ShardWorker` owns the pair-restricted state of one shard: a
+:class:`~repro.core.tracker.CorrelationTracker` fed through its pair-event
+path (so it maintains the shard's slice of the windowed pair counts, the
+:class:`~repro.core.candidates.CandidateIndex` postings and the per-pair
+correlation histories), a :class:`~repro.core.shift.ShiftDetector` holding
+the decayed shift scores of the shard's pairs, and a
+:class:`~repro.core.ranking.RankingBuilder` that turns one evaluation's
+scores into the shard's local top-k.
+
+Because every pair lives in exactly one shard
+(:class:`~repro.sharding.partitioner.PairPartitioner` is a pure function of
+the canonical pair), the worker's computations are exactly the ones the
+single engine would have performed for those pairs — same inputs, same
+floating-point operations — which is what makes the gathered ranking
+bit-identical.  Workers hold only plain-Python state (dicts, deques,
+dataclasses), so they pickle cleanly into worker processes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Tuple
+
+from repro.core.config import EnBlogueConfig
+from repro.core.engine import make_shift_detector, make_tracker
+from repro.core.ranking import RankingBuilder
+from repro.core.shift import ShiftScore
+from repro.core.types import EmergentTopic, TagPair
+
+#: One pair-restricted document event: ``(timestamp, pairs-of-this-shard)``.
+ShardEvent = Tuple[float, Tuple[TagPair, ...]]
+
+
+class ShardWorker:
+    """Pair-restricted tracker + shift detector + local top-k for one shard."""
+
+    def __init__(self, shard_id: int, config: EnBlogueConfig):
+        if shard_id < 0:
+            raise ValueError("shard_id must be non-negative")
+        self.shard_id = int(shard_id)
+        self.config = config
+        # Usage tracking is off: co-tag usage distributions are computed over
+        # whole documents, which shards never see — the coordinator rejects
+        # the one measure ("kl") that needs them.
+        self.tracker = make_tracker(config, track_usage=False)
+        self.detector = make_shift_detector(config)
+        self.builder = RankingBuilder(top_k=config.top_k)
+
+    # -- ingestion ------------------------------------------------------------
+
+    def ingest(self, events: Iterable[ShardEvent]) -> int:
+        """Ingest a time-ordered chunk of this shard's pair events."""
+        return self.tracker.observe_pair_events(events)
+
+    def advance_to(self, timestamp: float) -> None:
+        """Move the shard's window forward without ingesting events."""
+        self.tracker.advance_to(timestamp)
+
+    # -- evaluation -----------------------------------------------------------
+
+    def evaluate(
+        self,
+        timestamp: float,
+        seeds: Iterable[str],
+        tag_counts: Mapping[str, int],
+        total_documents: int,
+    ) -> List[EmergentTopic]:
+        """Score this shard's candidates and return its local top-k topics.
+
+        ``seeds``, ``tag_counts`` and ``total_documents`` are the global
+        statistics broadcast by the coordinator.  Mirrors the scoring loop
+        of :meth:`repro.core.engine.EnBlogue._evaluate` exactly: sample each
+        candidate's correlation, hand the predictor the values *preceding*
+        the one just appended, fold the prediction error into the decayed
+        maximum, then let the builder admit decayed past pairs absent from
+        the current observations.  The returned list is sorted by
+        :func:`~repro.core.ranking.topic_sort_key`, ready for the
+        coordinator's k-way merge.
+        """
+        observations = self.tracker.sample_candidates(
+            timestamp, seeds, tag_counts, total_documents
+        )
+        shift_scores: List[ShiftScore] = []
+        for observation in observations:
+            previous = self.tracker.history(observation.pair).previous_values()
+            shift_scores.append(self.detector.update(observation, previous))
+        return self.builder.top_topics(
+            timestamp, shift_scores, detector=self.detector
+        )
+
+    # -- introspection --------------------------------------------------------
+
+    def live_pairs(self) -> int:
+        """Distinct pairs currently inside this shard's window."""
+        return len(self.tracker.candidate_index)
+
+    def stats(self) -> dict:
+        """Summary counters (for logs, benchmarks and smoke checks)."""
+        return {
+            "shard_id": self.shard_id,
+            "events": self.tracker.documents_seen,
+            "live_pairs": self.live_pairs(),
+            "scored_pairs": len(self.detector.scored_pairs()),
+        }

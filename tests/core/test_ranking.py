@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.ranking import RankingBuilder
+from repro.core.ranking import RankingBuilder, topic_sort_key
 from repro.core.shift import ShiftDetector, ShiftScore
 from repro.core.tracker import PairObservation
 from repro.core.correlation import PairCounts
@@ -83,3 +83,79 @@ class TestRankingBuilder:
         # Only one entry for the pair, carrying the fresh correlation value.
         assert len([t for t in ranking if t.pair == pair]) == 1
         assert ranking[0].correlation == pytest.approx(0.77)
+
+
+class TestDeterministicTieBreaking:
+    """The documented total order: score descending, canonical pair ascending."""
+
+    def test_equal_scores_break_by_canonical_pair(self):
+        builder = RankingBuilder(top_k=5)
+        scores = [
+            shift(TagPair("zeta", "omega"), 0.5),
+            shift(TagPair("alpha", "beta"), 0.5),
+            shift(TagPair("beta", "gamma"), 0.5),
+        ]
+        ranking = builder.build(1.0, scores)
+        assert ranking.pairs() == [
+            TagPair("alpha", "beta"),
+            TagPair("beta", "gamma"),
+            TagPair("omega", "zeta"),
+        ]
+
+    def test_order_is_independent_of_input_order(self):
+        builder = RankingBuilder(top_k=10)
+        scores = [
+            shift(TagPair("c", "d"), 0.5),
+            shift(TagPair("a", "b"), 0.5),
+            shift(TagPair("e", "f"), 0.9),
+            shift(TagPair("g", "h"), 0.5),
+        ]
+        forward = builder.build(1.0, scores)
+        backward = builder.build(1.0, list(reversed(scores)))
+        assert forward.topics == backward.topics
+
+    def test_topic_sort_key_is_total_over_distinct_pairs(self):
+        builder = RankingBuilder(top_k=10)
+        ranking = builder.build(1.0, [
+            shift(TagPair("a", "b"), 0.5),
+            shift(TagPair("a", "c"), 0.5),
+        ])
+        keys = [topic_sort_key(topic) for topic in ranking]
+        assert keys == sorted(keys)
+        assert len(set(keys)) == len(keys)
+
+
+class TestKWayMerge:
+    """Cross-shard merge: identical to ranking the union in one builder."""
+
+    def test_merge_of_disjoint_sorted_lists_equals_union_build(self):
+        builder = RankingBuilder(top_k=3)
+        all_scores = [
+            shift(TagPair("a", "b"), 0.7),
+            shift(TagPair("c", "d"), 0.9),
+            shift(TagPair("e", "f"), 0.5),
+            shift(TagPair("g", "h"), 0.5),
+            shift(TagPair("i", "j"), 0.1),
+        ]
+        union = builder.build(5.0, all_scores, label="union")
+        # Partition the scores over two "shards" and merge their local top-k.
+        local_a = builder.top_topics(5.0, all_scores[0::2])
+        local_b = builder.top_topics(5.0, all_scores[1::2])
+        merged = builder.merge(5.0, [local_a, local_b], label="union")
+        assert merged.topics == union.topics
+        assert merged.timestamp == union.timestamp
+        assert merged.label == "union"
+
+    def test_merge_truncates_to_top_k(self):
+        builder = RankingBuilder(top_k=2)
+        local = builder.top_topics(1.0, [
+            shift(TagPair("a", "b"), 0.9),
+            shift(TagPair("c", "d"), 0.8),
+        ])
+        other = builder.top_topics(1.0, [shift(TagPair("e", "f"), 0.85)])
+        merged = builder.merge(1.0, [local, other])
+        assert [topic.score for topic in merged] == [0.9, 0.85]
+
+    def test_merge_of_no_shards_is_empty(self):
+        builder = RankingBuilder(top_k=2)
+        assert len(builder.merge(1.0, [])) == 0

@@ -274,3 +274,44 @@ class TestEvictionBoundary:
             == dict(batched.candidate_index.items())
         assert sequential._usage == batched._usage
         assert sequential.document_count() == batched.document_count()
+
+
+class TestMinPairSupportPropagation:
+    """Regression: updating the threshold must reach the candidate index."""
+
+    def _tracker_with_mixed_support(self):
+        tracker = CorrelationTracker(window_horizon=100.0, min_pair_support=1)
+        # (a, b) co-occurs three times, (a, c) once.
+        tracker.observe(0.0, ["a", "b"])
+        tracker.observe(1.0, ["a", "b"])
+        tracker.observe(2.0, ["a", "b"])
+        tracker.observe(3.0, ["a", "c"])
+        return tracker
+
+    def test_raising_support_hides_weak_candidates(self):
+        tracker = self._tracker_with_mixed_support()
+        assert [p for p, _ in tracker.candidate_pairs(["a"])] \
+            == [TagPair("a", "b"), TagPair("a", "c")]
+        tracker.min_pair_support = 2
+        assert tracker.min_pair_support == 2
+        assert tracker.candidate_index.min_support == 2
+        assert [p for p, _ in tracker.candidate_pairs(["a"])] == [TagPair("a", "b")]
+
+    def test_lowering_support_restores_retained_postings(self):
+        # Sub-threshold pairs stay in the postings with their counts, so
+        # lowering the threshold brings them back without any re-ingestion.
+        tracker = self._tracker_with_mixed_support()
+        tracker.min_pair_support = 3
+        assert [p for p, _ in tracker.candidate_pairs(["a"])] == [TagPair("a", "b")]
+        tracker.min_pair_support = 1
+        assert [p for p, _ in tracker.candidate_pairs(["a"])] \
+            == [TagPair("a", "b"), TagPair("a", "c")]
+        assert tracker.pair_count(TagPair("a", "c")) == 1
+
+    def test_threshold_validated_on_every_write_path(self):
+        tracker = self._tracker_with_mixed_support()
+        with pytest.raises(ValueError):
+            tracker.min_pair_support = 0
+        with pytest.raises(ValueError):
+            tracker.candidate_index.min_support = 0
+        assert tracker.min_pair_support == 1

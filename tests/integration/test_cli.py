@@ -21,6 +21,12 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["replay", "--dataset", "facebook"])
 
+    def test_non_positive_shards_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["replay", "--shards", "0"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["replay", "--shards", "-2"])
+
 
 class TestReplayCommand:
     def test_replay_tweets_prints_summary_and_ranking(self, capsys):
@@ -47,6 +53,25 @@ class TestReplayCommand:
                           "--measure", "cosine", "--predictor", "ewma",
                           "--seeds", "10", "--seed", "7"])
         assert exit_code == 0
+
+    def test_sharded_replay_matches_single_engine_output(self, capsys):
+        main(["replay", "--dataset", "tweets", "--hours", "18", "--seed", "7"])
+        single_ranking = capsys.readouterr().out.split("ranking at t=")[1]
+        exit_code = main(["replay", "--dataset", "tweets", "--hours", "18",
+                          "--seed", "7", "--shards", "4", "--backend", "serial"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "enblogue[4xserial]" in output
+        assert output.split("ranking at t=")[1] == single_ranking
+
+    def test_sharded_replay_process_backend(self, capsys):
+        exit_code = main(["replay", "--dataset", "tweets", "--hours", "12",
+                          "--seed", "7", "--shards", "2",
+                          "--backend", "process"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "enblogue[2xprocess]" in output
+        assert "ranking at t=" in output
 
 
 class TestCompareCommand:

@@ -1,0 +1,101 @@
+"""Property tests for pair partitioning (the sharding correctness core).
+
+Two invariants make scatter-gather detection equivalent to the single
+engine: every observed pair is owned by *exactly one* shard, and the union
+of the shard-local candidate sets equals the single tracker's candidate
+set.  Both are checked here on randomized streams, seed sets and shard
+counts.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.engine import make_tracker
+from repro.core.config import EnBlogueConfig
+from repro.core.tracker import CorrelationTracker, DocumentDecomposer
+from repro.sharding.partitioner import PairPartitioner
+
+tag_names = st.sampled_from(
+    ["alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"]
+)
+
+documents = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=500.0, allow_nan=False),
+        st.sets(tag_names, min_size=0, max_size=5),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    docs=documents,
+    num_shards=st.integers(min_value=1, max_value=6),
+)
+def test_every_observed_pair_has_exactly_one_owner(docs, num_shards):
+    partitioner = PairPartitioner(num_shards)
+    decomposer = DocumentDecomposer()
+    for _, tags in docs:
+        _, pairs = decomposer.decompose(frozenset(tags))
+        for pair in pairs:
+            owners = [
+                shard for shard in range(num_shards)
+                if partitioner.shard_of(pair) == shard
+            ]
+            assert len(owners) == 1
+        # split() routes each pair to precisely its owner, dropping none.
+        split = partitioner.split(pairs)
+        routed = [pair for shard_pairs in split.values() for pair in shard_pairs]
+        assert sorted(routed) == sorted(pairs)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    docs=documents,
+    seeds=st.sets(tag_names, max_size=4),
+    num_shards=st.integers(min_value=1, max_value=5),
+    min_support=st.integers(min_value=1, max_value=3),
+    horizon=st.floats(min_value=10.0, max_value=400.0, allow_nan=False),
+)
+def test_union_of_shard_candidates_equals_single_tracker(
+    docs, seeds, num_shards, min_support, horizon
+):
+    ordered_docs = sorted(docs, key=lambda d: d[0])
+    config = EnBlogueConfig(
+        window_horizon=horizon, evaluation_interval=horizon,
+        min_pair_support=min_support,
+    )
+
+    single = CorrelationTracker(window_horizon=horizon,
+                                min_pair_support=min_support)
+    for timestamp, tags in ordered_docs:
+        single.observe(timestamp, frozenset(tags))
+
+    partitioner = PairPartitioner(num_shards)
+    decomposer = DocumentDecomposer()
+    shards = [make_tracker(config, track_usage=False)
+              for _ in range(num_shards)]
+    for timestamp, tags in ordered_docs:
+        _, pairs = decomposer.decompose(frozenset(tags))
+        for shard_id, event in partitioner.split_event(timestamp, pairs):
+            shards[shard_id].observe_pair_events([event])
+        # Empty documents still advance every shard's window, mirroring the
+        # coordinator's eviction-by-broadcast at evaluation time.
+        for shard in shards:
+            shard.advance_to(timestamp)
+
+    single_candidates = single.candidate_pairs(seeds)
+    union = []
+    for shard in shards:
+        union.extend(shard.candidate_pairs(seeds))
+    assert sorted(union, key=lambda item: item[0]) == single_candidates
+
+    # The shard-local live-pair sets partition the single tracker's.
+    single_pairs = dict(single.candidate_index.items())
+    shard_pairs = {}
+    for shard in shards:
+        for pair, count in shard.candidate_index.items():
+            assert pair not in shard_pairs, "pair owned by two shards"
+            shard_pairs[pair] = count
+    assert shard_pairs == single_pairs
