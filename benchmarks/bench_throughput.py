@@ -14,6 +14,8 @@ measures
 * the sharded scatter-gather engine (serial and process backends, shard
   counts 1/2/4) against the single engine — rankings asserted
   bit-identical first, then ingest+evaluation documents/second,
+* the cost of durability: the batch replay with ``save_checkpoint`` on a
+  fixed cadence versus without (the CLI's ``--checkpoint-every``),
 * the cost of running N parallel query plans with and without sharing the
   expensive upstream operators (entity tagging + statistics), and
 * exact windowed counting versus the Count-Min sketch synopsis.
@@ -22,14 +24,18 @@ Absolute numbers are not comparable to the paper's Java system; the claims
 being reproduced are the *relative* benefits of sharing, batching and
 postings-based pruning.  Run ``PYTHONPATH=src python -m
 benchmarks.bench_throughput`` from the repo root to re-record the machine
-baseline in ``BENCH_throughput.json``.
+baseline in ``BENCH_throughput.json``; ``--section sharding`` (or
+``checkpointing``) re-records just that section — CI uses the former to
+refresh the sharded scaling rows on a multi-core runner.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import statistics
+import tempfile
 import time
 from pathlib import Path
 
@@ -39,7 +45,7 @@ from benchmarks.conftest import HOUR, live_config
 from benchmarks.seed_path import SeedPathEngine
 from repro.core.engine import EnBlogue
 from repro.core.tracker import CorrelationTracker
-from repro.sharding import ShardedEnBlogue
+from repro.sharding import ProcessBackend, ShardedEnBlogue
 from repro.datasets.synthetic import SyntheticStreamGenerator
 from repro.datasets.twitter import TweetStreamGenerator
 from repro.datasets.vocabulary import TagVocabulary
@@ -104,7 +110,16 @@ def replay_batch(docs):
 
 
 def replay_sharded(docs, num_shards, backend):
-    """Replay through the scatter-gather engine (batch path, like ``batch``)."""
+    """Replay through the scatter-gather engine (batch path, like ``batch``).
+
+    The process backend runs under the "fork" start method here: the
+    benchmark measures steady-state ingest+evaluation scaling, and the
+    pinned "spawn" default would spend ~0.5s per worker booting a fresh
+    interpreter — longer than the whole replay, drowning the signal.  A
+    long-running deployment amortizes that boot cost to nothing.
+    """
+    if backend == "process":
+        backend = ProcessBackend(start_method="fork")
     engine = ShardedEnBlogue(
         throughput_config("batch"), num_shards=num_shards, backend=backend,
     )
@@ -112,6 +127,29 @@ def replay_sharded(docs, num_shards, backend):
         engine.process_batch(docs)
     finally:
         engine.close()
+    return engine
+
+
+#: Checkpoint cadence of the durability scenario: one ``save_checkpoint``
+#: per CHECKPOINT_EVERY chunks of CHUNK_DOCS documents.
+CHUNK_DOCS = 256
+CHECKPOINT_EVERY = 4
+
+
+def replay_batch_checkpointed(docs, checkpoint_dir=None):
+    """The batch replay in CHUNK_DOCS chunks, checkpointing on a cadence.
+
+    With ``checkpoint_dir`` unset this is the plain chunked batch path —
+    the "off" contestant, paying the same chunking as the "on" one so the
+    measured delta is purely the durability cost.
+    """
+    engine = EnBlogue(throughput_config("batch"))
+    chunks = 0
+    for start in range(0, len(docs), CHUNK_DOCS):
+        engine.process_batch(docs[start:start + CHUNK_DOCS])
+        chunks += 1
+        if checkpoint_dir is not None and chunks % CHECKPOINT_EVERY == 0:
+            engine.save_checkpoint(checkpoint_dir)
     return engine
 
 
@@ -207,6 +245,54 @@ def test_sharded_vs_single_throughput(heavy_tweets):
     # No speedup assertion: on a small per-evaluation pair population the
     # scatter-gather overhead (routing + IPC) can dominate; the recorded
     # baseline captures where the crossover lies on this machine.
+    assert all(seconds > 0 for seconds in medians.values())
+
+
+# -- checkpoint overhead ------------------------------------------------------
+
+
+def test_checkpoint_overhead(heavy_tweets, tmp_path):
+    """Documents/second with --checkpoint-every on vs. off.
+
+    Durability must not change results: the checkpointed replay's rankings
+    are asserted identical first.  No hard overhead bound — the recorded
+    baseline (``checkpointing`` section) tracks the cost in the
+    trajectory; a noisy CI runner only has to finish both replays.
+    """
+    plain = replay_batch_checkpointed(heavy_tweets)
+    checkpointed = replay_batch_checkpointed(heavy_tweets,
+                                             checkpoint_dir=tmp_path)
+    assert ranking_signature(plain) == ranking_signature(checkpointed)
+
+    medians = interleaved_medians(
+        [
+            ("checkpoint-off",
+             lambda: replay_batch_checkpointed(heavy_tweets)),
+            ("checkpoint-on",
+             lambda: replay_batch_checkpointed(heavy_tweets,
+                                               checkpoint_dir=tmp_path)),
+        ],
+        rounds=3,
+    )
+    overhead = medians["checkpoint-on"] / medians["checkpoint-off"] - 1.0
+    rows = [
+        {
+            "path": name,
+            "docs/s": round(len(heavy_tweets) / seconds),
+            "ms/replay": round(seconds * 1000, 1),
+        }
+        for name, seconds in medians.items()
+    ]
+    checkpoint_bytes = sum(
+        path.stat().st_size for path in tmp_path.iterdir()
+    )
+    print()
+    print(format_table(
+        rows,
+        title=f"PERF-3 — checkpoint every {CHECKPOINT_EVERY * CHUNK_DOCS} "
+              f"docs ({checkpoint_bytes / 1024:.0f} KiB on disk, "
+              f"overhead {overhead:+.1%})",
+    ))
     assert all(seconds > 0 for seconds in medians.values())
 
 
@@ -392,23 +478,22 @@ def test_exact_vs_sketch_counting(benchmark, small_tweets):
 # -- baseline recording ------------------------------------------------------
 
 
-def record_baseline(rounds: int = 9) -> dict:
-    """Measure the machine baseline and write ``BENCH_throughput.json``."""
-    corpus, _ = TweetStreamGenerator(hours=24, tweets_per_hour=400, seed=43).generate()
-    docs = list(corpus)
-    assert ranking_signature(replay_seed_path(docs)) \
-        == ranking_signature(replay_single(docs)) \
-        == ranking_signature(replay_batch(docs))
+def _bench_docs():
+    corpus, _ = TweetStreamGenerator(hours=24, tweets_per_hour=400,
+                                     seed=43).generate()
+    return list(corpus)
 
-    medians = interleaved_medians(
-        [
-            ("seed-path", lambda: replay_seed_path(docs)),
-            ("single", lambda: replay_single(docs)),
-            ("batch", lambda: replay_batch(docs)),
-        ],
-        rounds=rounds,
-    )
 
+def _cpu_cores():
+    # Sharded/checkpoint numbers are only meaningful relative to the cores
+    # the recording machine actually had: on one core the process backend
+    # can't beat the single engine by construction.
+    return len(os.sched_getaffinity(0)) \
+        if hasattr(os, "sched_getaffinity") else os.cpu_count()
+
+
+def _measure_sharding_section(docs, rounds: int) -> dict:
+    """The ``sharding`` section: scaling rows vs the single engine."""
     reference = ranking_signature(replay_batch(docs))
     for num_shards in (1, 2, 4):
         assert ranking_signature(replay_sharded(docs, num_shards, "serial")) \
@@ -425,7 +510,93 @@ def record_baseline(rounds: int = 9) -> dict:
             ("serial-4", lambda: replay_sharded(docs, 4, "serial")),
             ("process-4", lambda: replay_sharded(docs, 4, "process")),
         ],
-        rounds=max(3, rounds // 3),
+        rounds=rounds,
+    )
+    return {
+        "rankings_identical": True,
+        "recorded": time.strftime("%Y-%m-%d"),
+        "cpu_cores": _cpu_cores(),
+        **{
+            f"{name}_docs_per_s": round(len(docs) / seconds)
+            for name, seconds in sharded_medians.items()
+        },
+        "process_4_vs_single_speedup": round(
+            sharded_medians["single"] / sharded_medians["process-4"], 2),
+    }
+
+
+def _measure_checkpointing_section(docs, rounds: int) -> dict:
+    """The ``checkpointing`` section: the docs/s cost of durability."""
+    with tempfile.TemporaryDirectory() as raw_dir:
+        directory = Path(raw_dir)
+        assert ranking_signature(replay_batch_checkpointed(docs)) \
+            == ranking_signature(
+                replay_batch_checkpointed(docs, checkpoint_dir=directory))
+        medians = interleaved_medians(
+            [
+                ("off", lambda: replay_batch_checkpointed(docs)),
+                ("on", lambda: replay_batch_checkpointed(
+                    docs, checkpoint_dir=directory)),
+            ],
+            rounds=rounds,
+        )
+        checkpoint_bytes = sum(
+            path.stat().st_size for path in directory.iterdir()
+        )
+    checkpoints = (len(docs) // CHUNK_DOCS) // CHECKPOINT_EVERY
+    return {
+        "rankings_identical": True,
+        "recorded": time.strftime("%Y-%m-%d"),
+        "checkpoint_every_docs": CHECKPOINT_EVERY * CHUNK_DOCS,
+        "checkpoints_per_replay": checkpoints,
+        "checkpoint_bytes": checkpoint_bytes,
+        "off_docs_per_s": round(len(docs) / medians["off"]),
+        "on_docs_per_s": round(len(docs) / medians["on"]),
+        # The replay-relative overhead is brutal by construction (a 24h
+        # stream replays in ~100ms); the per-checkpoint milliseconds are
+        # the number a deployment actually pays per cadence tick.
+        "overhead_pct": round(
+            (medians["on"] / medians["off"] - 1.0) * 100, 1),
+        "checkpoint_ms": round(
+            (medians["on"] - medians["off"]) / max(checkpoints, 1) * 1000, 1),
+    }
+
+
+def update_sections(sections, rounds: int = 3) -> dict:
+    """Re-record only ``sections`` of an existing ``BENCH_throughput.json``.
+
+    CI uses ``sharding`` here: the full baseline was recorded in a 1-core
+    container where the process backend can only lose, so the scaling rows
+    are refreshed on the multi-core CI runner and uploaded as an artifact.
+    """
+    baseline = json.loads(BASELINE_PATH.read_text())
+    docs = _bench_docs()
+    for section in sections:
+        if section == "sharding":
+            baseline["sharding"] = _measure_sharding_section(docs, rounds)
+        elif section == "checkpointing":
+            baseline["checkpointing"] = _measure_checkpointing_section(
+                docs, rounds)
+        else:
+            raise SystemExit(f"unknown section {section!r}")
+    BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+    return baseline
+
+
+def record_baseline(rounds: int = 9) -> dict:
+    """Measure the machine baseline and write ``BENCH_throughput.json``."""
+    docs = _bench_docs()
+    assert ranking_signature(replay_seed_path(docs)) \
+        == ranking_signature(replay_single(docs)) \
+        == ranking_signature(replay_batch(docs))
+
+    medians = interleaved_medians(
+        [
+            ("seed-path", lambda: replay_seed_path(docs)),
+            ("single", lambda: replay_single(docs)),
+            ("batch", lambda: replay_batch(docs)),
+        ],
+        rounds=rounds,
     )
 
     tracker, seeds = _candidate_workload()
@@ -453,11 +624,7 @@ def record_baseline(rounds: int = 9) -> dict:
             "documents": len(docs),
             "config": "live_config(min_pair_support=5, num_seeds=15)",
             "rounds": rounds,
-            # Sharded numbers are only meaningful relative to the cores the
-            # recording machine actually had: on one core the process
-            # backend can't beat the single engine by construction.
-            "cpu_cores": len(os.sched_getaffinity(0))
-            if hasattr(os, "sched_getaffinity") else os.cpu_count(),
+            "cpu_cores": _cpu_cores(),
         },
         "ingestion": {
             "seed_path_docs_per_s": round(len(docs) / medians["seed-path"]),
@@ -477,24 +644,31 @@ def record_baseline(rounds: int = 9) -> dict:
             "indexed_vs_scan_speedup": round(
                 candidate_medians["scan"] / candidate_medians["indexed"], 2),
         },
-        "sharding": {
-            "rankings_identical": True,
-            **{
-                f"{name}_docs_per_s": round(len(docs) / seconds)
-                for name, seconds in sharded_medians.items()
-            },
-            "process_4_vs_single_speedup": round(
-                sharded_medians["single"] / sharded_medians["process-4"], 2),
-        },
+        "sharding": _measure_sharding_section(docs, max(3, rounds // 3)),
+        "checkpointing": _measure_checkpointing_section(
+            docs, max(3, rounds // 3)),
     }
     BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
     return baseline
 
 
 if __name__ == "__main__":
-    recorded = record_baseline()
-    print(json.dumps(recorded, indent=2))
-    speedup = recorded["ingestion"]["batch_vs_seed_speedup"]
-    if speedup < 1.5:
-        raise SystemExit(
-            f"batch path speedup {speedup} below the 1.5x target")
+    arguments = argparse.ArgumentParser(
+        description="record the machine baseline in BENCH_throughput.json")
+    arguments.add_argument(
+        "--section", action="append", choices=("sharding", "checkpointing"),
+        help="re-record only this section of the existing baseline "
+             "(repeatable); default: record everything")
+    arguments.add_argument("--rounds", type=int, default=None,
+                           help="interleaved measurement rounds")
+    parsed = arguments.parse_args()
+    if parsed.section:
+        recorded = update_sections(parsed.section, rounds=parsed.rounds or 3)
+        print(json.dumps(recorded, indent=2))
+    else:
+        recorded = record_baseline(rounds=parsed.rounds or 9)
+        print(json.dumps(recorded, indent=2))
+        speedup = recorded["ingestion"]["batch_vs_seed_speedup"]
+        if speedup < 1.5:
+            raise SystemExit(
+                f"batch path speedup {speedup} below the 1.5x target")

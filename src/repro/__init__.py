@@ -24,15 +24,17 @@ from repro.core.config import EnBlogueConfig, live_stream_config, news_archive_c
 from repro.core.engine import EnBlogue
 from repro.core.personalization import PersonalizationEngine, UserProfile
 from repro.core.types import EmergentTopic, Ranking, TagPair
+from repro.persistence import load_engine
 from repro.portal.server import Portal
 from repro.sharding import ShardedEnBlogue
 from repro.streams.item import StreamItem
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "EnBlogue",
     "ShardedEnBlogue",
+    "load_engine",
     "EnBlogueConfig",
     "news_archive_config",
     "live_stream_config",

@@ -10,6 +10,9 @@ Examples::
     python -m repro.cli replay --dataset tweets --hours 48 --top-k 5
     python -m repro.cli replay --dataset tweets --shards 4 --backend process
     python -m repro.cli replay --dataset nyt --export /tmp/rankings.json
+    python -m repro.cli replay --dataset tweets --shards 2 \
+        --checkpoint-every 8 --checkpoint-dir /tmp/ckpt
+    python -m repro.cli replay --resume /tmp/ckpt --shards 4
     python -m repro.cli compare --dataset shifts
     python -m repro.cli explore --dataset nyt --start-day 50 --end-day 80
 """
@@ -30,12 +33,20 @@ from repro.datasets.events import EventSchedule
 from repro.datasets.nyt import DAY, NytArchiveGenerator
 from repro.datasets.synthetic import correlation_shift_stream
 from repro.datasets.twitter import TweetStreamGenerator
-from repro.evaluation.harness import run_experiment
+from repro.evaluation.harness import run_detector, run_experiment
 from repro.evaluation.reporting import format_table
+from repro.persistence.resume import load_engine
 from repro.portal.serialization import rankings_to_json
 from repro.sharding import ShardedEnBlogue, available_backends
 
 HOUR = 3600.0
+
+#: Parser defaults of the dataset parameters, shared with the resume
+#: conflict check (a flag equal to its default was not explicitly asked
+#: for, so it silently defers to the checkpoint manifest).
+_RESUME_FALLBACK_DEFAULTS = {
+    "dataset": "tweets", "hours": 72, "years": 0.5, "seed": 19,
+}
 
 
 def _positive_int(value: str) -> int:
@@ -85,31 +96,177 @@ def _apply_overrides(config: EnBlogueConfig, args: argparse.Namespace) -> EnBlog
 
 def _make_engine(config: EnBlogueConfig, args: argparse.Namespace):
     """The single engine, or the sharded one when --shards/--backend ask for it."""
-    if args.shards <= 1 and args.backend == "serial":
+    shards = args.shards or 1
+    if shards <= 1 and args.backend == "serial":
         return EnBlogue(config)
-    return ShardedEnBlogue(config, num_shards=args.shards, backend=args.backend)
+    return ShardedEnBlogue(config, num_shards=shards, backend=args.backend)
+
+
+def _checkpoint_extras(dataset: str, hours: int, years: float,
+                       seed: int) -> dict:
+    """Dataset parameters stored in the manifest so --resume can rebuild
+    the exact stream the checkpoint was taken from."""
+    return {"dataset": dataset, "hours": hours, "years": years, "seed": seed}
+
+
+def _checkpoint_cadence(engine, args: argparse.Namespace, extras: dict):
+    """The checkpoint policy shared by fresh replays and resumes.
+
+    Returns ``(after_ranking, save_final, counts)``: the cadence hook for
+    the harness (None when no --checkpoint-every), the bare
+    --checkpoint-dir end-of-replay save, and the written/rankings counters
+    for reporting.
+    """
+    counts = {"rankings": 0, "written": 0}
+
+    def after_ranking(ranking) -> None:
+        # Called between documents, when the engine state is consistent;
+        # see evaluation.harness.run_detector.
+        counts["rankings"] += 1
+        if counts["rankings"] % args.checkpoint_every == 0:
+            engine.save_checkpoint(args.checkpoint_dir, extras=extras)
+            counts["written"] += 1
+
+    def save_final() -> None:
+        if args.checkpoint_dir and not args.checkpoint_every:
+            engine.save_checkpoint(args.checkpoint_dir, extras=extras)
+            counts["written"] += 1
+
+    hook = after_ranking if args.checkpoint_every else None
+    return hook, save_final, counts
+
+
+def _report_checkpoints(counts: dict, directory) -> None:
+    if counts["written"]:
+        print(f"\nwrote {counts['written']} checkpoint(s) to {directory}")
+
+
+def _export_rankings(path: str, rankings: Sequence) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(rankings_to_json(list(rankings), indent=2))
+    print(f"\nwrote {len(rankings)} rankings to {path}")
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
+    if args.checkpoint_every and not args.checkpoint_dir:
+        raise SystemExit("--checkpoint-every requires --checkpoint-dir")
+    if args.resume:
+        return _cmd_replay_resume(args)
     corpus, schedule, config = _load_dataset(args.dataset, args.hours, args.years, args.seed)
     config = _apply_overrides(config, args)
     engine = _make_engine(config, args)
     name = "enblogue" if isinstance(engine, EnBlogue) \
-        else f"enblogue[{args.shards}x{args.backend}]"
+        else f"enblogue[{engine.num_shards}x{args.backend}]"
+
+    extras = _checkpoint_extras(args.dataset, args.hours, args.years, args.seed)
+    after_ranking, save_final, checkpoints = _checkpoint_cadence(
+        engine, args, extras)
+
     try:
-        result = run_experiment(engine, corpus, schedule, name=name, k=config.top_k)
+        result = run_experiment(
+            engine, corpus, schedule, name=name, k=config.top_k,
+            after_ranking=after_ranking,
+        )
+        save_final()
     finally:
         if isinstance(engine, ShardedEnBlogue):
             engine.close()
     print(format_table([result.summary()], title=f"replay of {args.dataset!r}"))
+    _report_checkpoints(checkpoints, args.checkpoint_dir)
     final = result.run.final_ranking()
     if final is not None:
         print()
         print(final.describe(k=config.top_k))
     if args.export:
-        with open(args.export, "w", encoding="utf-8") as handle:
-            handle.write(rankings_to_json(result.run.rankings, indent=2))
-        print(f"\nwrote {len(result.run.rankings)} rankings to {args.export}")
+        _export_rankings(args.export, result.run.rankings)
+    return 0
+
+
+def _require_no_resume_overrides(args: argparse.Namespace,
+                                 extras: dict, parser_defaults: dict) -> None:
+    """Reject flags a resume cannot honor, instead of dropping them.
+
+    A resumed engine runs under the checkpoint's configuration and
+    replays the checkpoint's stream; silently accepting ``--top-k`` or
+    ``--hours`` would hand the user something other than what they asked
+    for.  Config overrides are detectable directly (their defaults are
+    None); dataset parameters are flagged when they differ from both the
+    parser default and the manifest (explicitly re-passing the recorded
+    value is a harmless no-op).
+    """
+    for flag in ("top_k", "measure", "predictor", "seeds"):
+        if getattr(args, flag) is not None:
+            raise SystemExit(
+                f"--{flag.replace('_', '-')} cannot be combined with "
+                f"--resume: the engine runs under the checkpoint's "
+                f"configuration"
+            )
+    for flag in ("dataset", "hours", "years", "seed"):
+        value = getattr(args, flag)
+        if flag in extras and value != parser_defaults[flag] \
+                and value != type(value)(extras[flag]):
+            raise SystemExit(
+                f"--{flag} {value!r} conflicts with the checkpoint's "
+                f"recorded {flag}={extras[flag]!r}; --resume always "
+                f"replays the checkpointed stream"
+            )
+
+
+def _cmd_replay_resume(args: argparse.Namespace) -> int:
+    """Resume a replay from a checkpoint directory.
+
+    The engine (kind, configuration, shard count) is rebuilt from the
+    checkpoint manifest; ``--shards``/``--backend`` override the shard
+    count (re-partitioning the pair state) and the execution backend.  The
+    dataset parameters recorded at save time rebuild the stream, and only
+    the documents past the checkpoint are replayed.  ``--export`` writes
+    the rankings produced *after* the resume point.
+    """
+    engine, manifest = load_engine(
+        args.resume, num_shards=args.shards, backend=args.backend,
+    )
+    extras = manifest.get("extras", {})
+    try:
+        _require_no_resume_overrides(args, extras, _RESUME_FALLBACK_DEFAULTS)
+    except SystemExit:
+        if isinstance(engine, ShardedEnBlogue):
+            engine.close()
+        raise
+    dataset = extras.get("dataset", args.dataset)
+    hours = int(extras.get("hours", args.hours))
+    years = float(extras.get("years", args.years))
+    seed = int(extras.get("seed", args.seed))
+    corpus, _, _ = _load_dataset(dataset, hours, years, seed)
+
+    skip = engine.documents_processed
+    remaining = list(corpus)[skip:]
+    after_ranking, save_final, checkpoints = _checkpoint_cadence(
+        engine, args, extras)
+
+    try:
+        # The one replay loop of the harness: collection, the cadence
+        # hook's consistency guarantees and the replayed-anything guard on
+        # the forced final evaluation all come with it.
+        run = run_detector(
+            engine, remaining, name="resume", after_ranking=after_ranking,
+        )
+        produced = run.rankings
+        save_final()
+    finally:
+        if isinstance(engine, ShardedEnBlogue):
+            engine.close()
+
+    shape = "single" if isinstance(engine, EnBlogue) \
+        else f"{engine.num_shards}x{args.backend}"
+    print(f"resumed {dataset!r} from {args.resume} ({shape}): "
+          f"skipped {skip} checkpointed documents, replayed "
+          f"{len(remaining)}, produced {len(produced)} rankings")
+    _report_checkpoints(checkpoints, args.checkpoint_dir)
+    if produced:
+        print()
+        print(produced[-1].describe(k=engine.config.top_k))
+    if args.export:
+        _export_rankings(args.export, produced)
     return 0
 
 
@@ -153,15 +310,20 @@ def _cmd_explore(args: argparse.Namespace) -> int:
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="EnBlogue emergent-topic detection (SIGMOD 2011 reproduction)")
-    parser.add_argument("--seed", type=int, default=19, help="dataset generator seed")
+    parser.add_argument("--seed", type=int,
+                        default=_RESUME_FALLBACK_DEFAULTS["seed"],
+                        help="dataset generator seed")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     def add_common(sub: argparse.ArgumentParser) -> None:
         sub.add_argument("--dataset", choices=("tweets", "nyt", "shifts"),
-                         default="tweets", help="which synthetic dataset to replay")
-        sub.add_argument("--hours", type=int, default=72,
+                         default=_RESUME_FALLBACK_DEFAULTS["dataset"],
+                         help="which synthetic dataset to replay")
+        sub.add_argument("--hours", type=int,
+                         default=_RESUME_FALLBACK_DEFAULTS["hours"],
                          help="stream length in hours (tweets / shifts datasets)")
-        sub.add_argument("--years", type=float, default=0.5,
+        sub.add_argument("--years", type=float,
+                         default=_RESUME_FALLBACK_DEFAULTS["years"],
                          help="archive length in years (nyt dataset)")
         sub.add_argument("--top-k", type=int, default=None, help="ranking size")
         sub.add_argument("--measure", default=None,
@@ -173,12 +335,26 @@ def build_parser() -> argparse.ArgumentParser:
     replay = subparsers.add_parser("replay", help="replay a dataset through enBlogue")
     add_common(replay)
     replay.add_argument("--export", default=None,
-                        help="write the produced rankings to this JSON file")
-    replay.add_argument("--shards", type=_positive_int, default=1,
+                        help="write the produced rankings to this JSON file "
+                             "(with --resume: only the post-resume rankings)")
+    replay.add_argument("--shards", type=_positive_int, default=None,
                         help="partition the pair space over N shards "
-                             "(1 = the single-process engine)")
+                             "(default 1 = the single-process engine; with "
+                             "--resume: restore into N shards, re-partitioning "
+                             "the checkpointed pair state if N differs)")
     replay.add_argument("--backend", choices=available_backends(), default="serial",
                         help="shard execution backend (with --shards > 1)")
+    replay.add_argument("--checkpoint-every", type=_positive_int, default=None,
+                        metavar="N",
+                        help="write a checkpoint after every N published "
+                             "rankings (requires --checkpoint-dir)")
+    replay.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                        help="checkpoint directory; without --checkpoint-every "
+                             "the end-of-replay state is saved once")
+    replay.add_argument("--resume", default=None, metavar="DIR",
+                        help="resume from the checkpoint in DIR instead of "
+                             "replaying from cold (engine config and dataset "
+                             "parameters come from the checkpoint manifest)")
     replay.set_defaults(handler=_cmd_replay)
 
     compare = subparsers.add_parser("compare",

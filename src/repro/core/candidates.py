@@ -22,9 +22,10 @@ large ingests and evictions pay one postings update per *distinct* pair.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Tuple
 
 from repro.core.types import TagPair
+from repro.persistence.snapshot import require_state
 
 _EMPTY: Dict[TagPair, int] = {}
 
@@ -87,6 +88,33 @@ class CandidateIndex:
     def pairs_for(self, tag: str) -> FrozenSet[TagPair]:
         """The live pairs containing ``tag`` (the tag's postings list)."""
         return frozenset(self._postings.get(tag, _EMPTY))
+
+    # -- persistence ----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The postings' complete state as a versioned, JSON-safe dict.
+
+        Pairs are stored once each (sorted, with their windowed counts);
+        the two-sided postings structure is rebuilt on restore.
+        """
+        return {
+            "kind": "candidate-index",
+            "version": 1,
+            "min_support": self._min_support,
+            "pairs": [
+                [pair.first, pair.second, count]
+                for pair, count in sorted(self.items())
+            ],
+        }
+
+    def restore(self, state: Mapping) -> None:
+        """Replace the postings with a :meth:`snapshot`'s state."""
+        require_state(state, "candidate-index", 1)
+        self._postings = {}
+        self._size = 0
+        self.min_support = state["min_support"]
+        for first, second, count in state["pairs"]:
+            self._bump(TagPair(str(first), str(second)), int(count))
 
     # -- maintenance ----------------------------------------------------------
 

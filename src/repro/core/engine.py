@@ -14,7 +14,9 @@ profiles see the update immediately, without polling.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from dataclasses import asdict
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.core.config import EnBlogueConfig
 from repro.core.correlation import make_measure
@@ -25,6 +27,13 @@ from repro.core.shift import ShiftDetector, ShiftScore
 from repro.core.tracker import CorrelationTracker
 from repro.core.types import Ranking, TagPair, normalize_tag
 from repro.entity.tagger import EntityTagger
+from repro.persistence.codec import (
+    optional_float,
+    ranking_from_state,
+    ranking_to_state,
+)
+from repro.persistence.snapshot import SnapshotMismatchError, require_state
+from repro.persistence.store import write_checkpoint
 from repro.streams.item import StreamItem
 from repro.streams.operators import FunctionSink
 from repro.timeseries.predictors import make_predictor
@@ -273,6 +282,63 @@ class DetectionEngineBase:
     def _sink_name(self) -> str:
         return f"enblogue[{self.config.name}]"
 
+    # -- persistence ----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The engine's complete state as a versioned, JSON-safe dict."""
+        raise NotImplementedError
+
+    def restore(self, state: Mapping) -> None:
+        """Replace this engine's state with a :meth:`snapshot`'s."""
+        raise NotImplementedError
+
+    def save_checkpoint(
+        self, directory, extras: Optional[Mapping] = None
+    ) -> Path:
+        """Persist :meth:`snapshot` into ``directory`` (see the store docs).
+
+        Safe to call between any two ``process``/``process_batch`` calls —
+        the snapshot then captures a boundary-consistent state that a
+        restored engine continues from bit-identically.  ``extras`` lands
+        in the checkpoint manifest (the CLI stores its dataset parameters
+        there so ``--resume`` can rebuild the stream).
+        """
+        return write_checkpoint(directory, self.snapshot(), extras)
+
+    def _base_snapshot(self) -> dict:
+        """The boundary bookkeeping shared by both engines."""
+        return {
+            "config": asdict(self.config),
+            "documents_processed": self._documents_processed,
+            "current_seeds": list(self._current_seeds),
+            "next_evaluation": self._next_evaluation,
+            "rankings": [ranking_to_state(r) for r in self._rankings],
+        }
+
+    def _restore_base(self, state: Mapping) -> None:
+        """Restore the shared bookkeeping; rejects foreign configurations.
+
+        Restoring under a different configuration would silently change
+        measure/predictor semantics mid-stream, so every differing config
+        field is named in the error instead.
+        """
+        expected = asdict(self.config)
+        found = dict(state["config"])
+        if found != expected:
+            differing = sorted(
+                key
+                for key in set(expected) | set(found)
+                if expected.get(key) != found.get(key)
+            )
+            raise SnapshotMismatchError(
+                "checkpoint was taken under a different configuration; "
+                f"differing fields: {', '.join(differing)}"
+            )
+        self._documents_processed = int(state["documents_processed"])
+        self._current_seeds = [str(seed) for seed in state["current_seeds"]]
+        self._next_evaluation = optional_float(state["next_evaluation"])
+        self._rankings = [ranking_from_state(r) for r in state["rankings"]]
+
     # -- shared internals ------------------------------------------------------
 
     def _prepare(self, document) -> tuple:
@@ -338,6 +404,39 @@ class EnBlogue(DetectionEngineBase):
         return self.detector.score_at(
             TagPair(normalize_tag(tag_a), normalize_tag(tag_b)), timestamp
         )
+
+    # -- persistence ---------------------------------------------------------------
+
+    #: Snapshot envelope of the single engine (see ``repro.persistence``).
+    SNAPSHOT_KIND = "enblogue"
+
+    def snapshot(self) -> dict:
+        """The engine's complete state as a versioned, JSON-safe dict.
+
+        Listeners and user profiles are runtime wiring, not stream state —
+        a restored engine starts with none and callers re-register them.
+        """
+        return {
+            "kind": self.SNAPSHOT_KIND,
+            "version": 1,
+            **self._base_snapshot(),
+            "tracker": self.tracker.snapshot(),
+            "detector": self.detector.snapshot(),
+            "builder": self.ranking_builder.snapshot(),
+        }
+
+    def restore(self, state: Mapping) -> None:
+        """Adopt a :meth:`snapshot`'s state; continuation is bit-identical.
+
+        The engine must be constructed with the configuration the snapshot
+        was taken under (:func:`~repro.persistence.resume.load_engine`
+        rebuilds it from the checkpoint manifest automatically).
+        """
+        require_state(state, self.SNAPSHOT_KIND, 1)
+        self._restore_base(state)
+        self.tracker.restore(state["tracker"])
+        self.detector.restore(state["detector"])
+        self.ranking_builder.restore(state["builder"])
 
     # -- internals -----------------------------------------------------------------------
 

@@ -11,10 +11,11 @@ from __future__ import annotations
 
 import heapq
 from itertools import islice
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.shift import ShiftDetector, ShiftScore
 from repro.core.types import EmergentTopic, Ranking, TagPair
+from repro.persistence.snapshot import require_state
 
 
 def topic_sort_key(topic: EmergentTopic) -> Tuple[float, TagPair]:
@@ -42,6 +43,35 @@ class RankingBuilder:
             raise ValueError("min_score must be non-negative")
         self.top_k = int(top_k)
         self.min_score = float(min_score)
+
+    # -- persistence --------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The builder's parameters as a versioned, JSON-safe dict.
+
+        The builder keeps no per-evaluation state (published rankings live
+        on the engine), so its snapshot is the ranking policy itself —
+        restoring it guarantees the resumed run cuts its top-k with exactly
+        the thresholds the checkpointed run used.
+        """
+        return {
+            "kind": "ranking-builder",
+            "version": 1,
+            "top_k": self.top_k,
+            "min_score": self.min_score,
+        }
+
+    def restore(self, state: Mapping) -> None:
+        """Adopt a :meth:`snapshot`'s ranking policy (validated as in init)."""
+        require_state(state, "ranking-builder", 1)
+        top_k = int(state["top_k"])
+        min_score = float(state["min_score"])
+        if top_k <= 0:
+            raise ValueError("top_k must be positive")
+        if min_score < 0:
+            raise ValueError("min_score must be non-negative")
+        self.top_k = top_k
+        self.min_score = min_score
 
     def collect_topics(
         self,

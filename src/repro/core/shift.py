@@ -14,10 +14,11 @@ approximately 2 days."
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.core.tracker import PairObservation
 from repro.core.types import TagPair
+from repro.persistence.snapshot import require_compatible, require_state
 from repro.timeseries.predictors import MovingAveragePredictor, Predictor
 from repro.windows.decay import DecayedMaximum, ExponentialDecay
 
@@ -144,3 +145,43 @@ class ShiftDetector:
             self._scores.clear()
         else:
             self._scores.pop(pair, None)
+
+    # -- persistence --------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Every pair's decayed maximum as a versioned, JSON-safe dict.
+
+        The predictor itself is stateless between evaluations (it reads the
+        tracker-owned histories), so the per-pair ``(value, last_update)``
+        pairs are the detector's whole state.
+        """
+        return {
+            "kind": "shift-detector",
+            "version": 1,
+            "min_history": self.min_history,
+            "penalize_drops": self.penalize_drops,
+            "decay_half_life": self.decay.half_life,
+            "scores": [
+                [pair.first, pair.second, *self._scores[pair].state()]
+                for pair in sorted(self._scores)
+            ],
+        }
+
+    def restore(self, state: Mapping) -> None:
+        """Replace the per-pair scores with a :meth:`snapshot`'s state."""
+        require_state(state, "shift-detector", 1)
+        require_compatible(
+            "shift-detector",
+            {
+                "min_history": self.min_history,
+                "penalize_drops": self.penalize_drops,
+                "decay_half_life": self.decay.half_life,
+            },
+            state,
+        )
+        scores: Dict[TagPair, DecayedMaximum] = {}
+        for first, second, value, last_update in state["scores"]:
+            maximum = DecayedMaximum(self.decay)
+            maximum.restore_state(value, last_update)
+            scores[TagPair(str(first), str(second))] = maximum
+        self._scores = scores

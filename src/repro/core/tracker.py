@@ -32,6 +32,7 @@ from typing import Deque, Dict, Iterable, List, Mapping, Optional, Tuple
 from repro.core.candidates import CandidateIndex
 from repro.core.correlation import CorrelationMeasure, JaccardCorrelation, PairCounts
 from repro.core.types import TagPair, normalize_tag
+from repro.persistence.snapshot import require_compatible, require_state
 from repro.windows.aggregates import TagFrequencyWindow
 from repro.windows.timeseries import TimeSeries
 
@@ -423,6 +424,100 @@ class CorrelationTracker:
     def count_history(self) -> Dict[str, List[int]]:
         """Windowed count history per tag (for the volatility seed selector)."""
         return {tag: list(values) for tag, values in self._count_history.items()}
+
+    # -- persistence ----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The tracker's complete state as a versioned, JSON-safe dict.
+
+        Everything the stream built up is externalized — the tag window,
+        the windowed pair events with the postings index, the co-tag usage
+        events, the per-pair correlation histories and the count history —
+        so a restored tracker continues bit-identically.  The decomposition
+        memo is deliberately absent: it is a cache, rebuilt on demand.
+        """
+        return {
+            "kind": "correlation-tracker",
+            "version": 1,
+            "window_horizon": self.window_horizon,
+            "history_length": self.history_length,
+            "use_entities": self.use_entities,
+            "track_usage": self.track_usage,
+            "documents_seen": self._documents_seen,
+            "latest": self._latest,
+            "tag_window": self._tag_window.state_dict(),
+            "pair_events": [
+                [timestamp, [[pair.first, pair.second] for pair in pairs]]
+                for timestamp, pairs in self._pair_events
+            ],
+            "candidates": self._candidates.snapshot(),
+            "usage_events": [
+                [timestamp, [[tag, list(cotags)] for tag, cotags in update]]
+                for timestamp, update in self._usage_events
+            ],
+            "histories": [
+                [pair.first, pair.second, series.snapshot()]
+                for pair, series in sorted(self._histories.items())
+            ],
+            "count_history": {
+                tag: list(values) for tag, values in self._count_history.items()
+            },
+        }
+
+    def restore(self, state: Mapping) -> None:
+        """Replace this tracker's state with a :meth:`snapshot`'s.
+
+        The tracker must be constructed with the same structural parameters
+        (window horizon, history length, entity/usage switches) as the one
+        that took the snapshot; mismatches raise
+        :class:`~repro.persistence.snapshot.SnapshotMismatchError` before
+        any state is touched.  The usage counters are rebuilt from the
+        usage events, so restored eviction arithmetic is exact.
+        """
+        require_state(state, "correlation-tracker", 1)
+        require_compatible(
+            "correlation-tracker",
+            {
+                "window_horizon": self.window_horizon,
+                "history_length": self.history_length,
+                "use_entities": self.use_entities,
+                "track_usage": self.track_usage,
+            },
+            state,
+        )
+        self._tag_window.restore_state(state["tag_window"])
+        self._candidates.restore(state["candidates"])
+        self._pair_events = deque(
+            (float(timestamp), tuple(TagPair(str(a), str(b)) for a, b in pairs))
+            for timestamp, pairs in state["pair_events"]
+        )
+        usage_events: Deque[
+            Tuple[float, Tuple[Tuple[str, Tuple[str, ...]], ...]]
+        ] = deque()
+        usage: Dict[str, Counter] = {}
+        for timestamp, update in state["usage_events"]:
+            prepared = tuple(
+                (str(tag), tuple(str(cotag) for cotag in cotags))
+                for tag, cotags in update
+            )
+            usage_events.append((float(timestamp), prepared))
+            for tag, cotags in prepared:
+                counter = usage.setdefault(tag, Counter())
+                for cotag in cotags:
+                    counter[cotag] += 1
+        self._usage_events = usage_events
+        self._usage = usage
+        self._histories = {
+            TagPair(str(a), str(b)): TimeSeries.from_snapshot(series)
+            for a, b, series in state["histories"]
+        }
+        self._count_history = {
+            str(tag): [int(value) for value in values]
+            for tag, values in state["count_history"].items()
+        }
+        self._documents_seen = int(state["documents_seen"])
+        latest = state["latest"]
+        self._latest = None if latest is None else float(latest)
 
     # -- internals ----------------------------------------------------------------
 

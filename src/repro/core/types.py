@@ -43,6 +43,22 @@ class TagPair:
         object.__setattr__(self, "_key", key)
         object.__setattr__(self, "_hash", hash(key))
 
+    def __getstate__(self):
+        # str hashes are salted per process (PYTHONHASHSEED), so the cached
+        # ``_hash`` must never cross a process boundary: a pair unpickled in
+        # a spawn-started worker would otherwise hash differently from an
+        # equal pair built there, and dicts would keep both as distinct
+        # keys.  Pickle only the tags and recompute the cache on arrival.
+        return (self.first, self.second)
+
+    def __setstate__(self, state) -> None:
+        first, second = state
+        object.__setattr__(self, "first", first)
+        object.__setattr__(self, "second", second)
+        key = (first, second)
+        object.__setattr__(self, "_key", key)
+        object.__setattr__(self, "_hash", hash(key))
+
     def __hash__(self) -> int:
         return self._hash
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.core.types import Ranking
 from repro.datasets.documents import Corpus
@@ -63,6 +63,7 @@ def run_detector(
     corpus: Iterable,
     name: Optional[str] = None,
     finalize: bool = True,
+    after_ranking: Optional[Callable[[Ranking], None]] = None,
 ) -> DetectorRun:
     """Replay ``corpus`` through ``detector`` and collect its rankings.
 
@@ -70,6 +71,14 @@ def run_detector(
     ranking (EnBlogue and both baselines do).  With ``finalize`` the
     detector's ``evaluate_now`` (when present) is called once after the
     replay so events near the end of the corpus still get a final ranking.
+
+    ``after_ranking`` is called with each ranking the *stream itself*
+    produced, after the producing ``process`` call has fully returned — at
+    that point the detector is between documents and its state is
+    checkpoint-consistent, which is what the CLI's ``--checkpoint-every``
+    relies on.  The forced ``finalize`` ranking is excluded: it is not a
+    stream boundary, so a checkpoint taken there would not resume
+    identically.
     """
     run_name = name or type(detector).__name__
     rankings: List[Ranking] = []
@@ -80,6 +89,8 @@ def run_detector(
         documents += 1
         if ranking is not None:
             rankings.append(ranking)
+            if after_ranking is not None:
+                after_ranking(ranking)
     if finalize and hasattr(detector, "evaluate_now") and documents > 0:
         rankings.append(detector.evaluate_now())
     elapsed = time.perf_counter() - started
@@ -115,9 +126,10 @@ def run_experiment(
     k: int = 10,
     detection_window: Optional[float] = None,
     extras: Optional[Dict[str, Any]] = None,
+    after_ranking: Optional[Callable[[Ranking], None]] = None,
 ) -> ExperimentResult:
     """Replay and score in one call."""
-    run = run_detector(detector, corpus, name=name)
+    run = run_detector(detector, corpus, name=name, after_ranking=after_ranking)
     return score_run(
         run, schedule, k=k, detection_window=detection_window, extras=extras
     )

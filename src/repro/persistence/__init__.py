@@ -1,0 +1,70 @@
+"""Checkpoint/restore persistence for the detection engines.
+
+A long-running emergent-topic service must survive restarts without
+replaying the stream from cold, so the state every layer maintains — the
+correlation window, the candidate postings, the detector scores, the
+published rankings — is externalized behind one uniform protocol:
+
+* :class:`~repro.persistence.snapshot.Snapshotable` — ``snapshot()``
+  returns a versioned, JSON-serialisable dict; ``restore(state)`` puts an
+  identically-configured instance back into exactly that state.  The
+  protocol is implemented by :class:`~repro.core.tracker.CorrelationTracker`,
+  :class:`~repro.core.candidates.CandidateIndex`,
+  :class:`~repro.core.shift.ShiftDetector`,
+  :class:`~repro.core.ranking.RankingBuilder`,
+  :class:`~repro.sharding.worker.ShardWorker` and both detection engines.
+* :mod:`~repro.persistence.store` — the on-disk checkpoint format: a
+  ``MANIFEST.json`` plus one generation-suffixed state file per component
+  (``engine-<gen>.json``, ``shard-NNNN-<gen>.json``), each
+  CRC-32-checksummed and written atomically via write-then-rename with the
+  manifest rename as the sole commit point (the previous checkpoint stays
+  restorable through a crash), and distinct errors for corruption and for
+  format version mismatches.
+* :func:`~repro.persistence.resume.load_engine` — rebuild an engine from a
+  checkpoint directory, optionally re-partitioning a sharded checkpoint
+  into a different shard count (the pair space is re-routed through the
+  same stable CRC-32 hash that partitioned it originally).
+
+Restoring an engine from a checkpoint and continuing the stream produces
+rankings **bit-identical** to an uninterrupted run — including when the
+shard count changes across the restore — which the test-suite pins on both
+backends.
+"""
+
+from repro.persistence.snapshot import (
+    Snapshotable,
+    SnapshotCorruptionError,
+    SnapshotError,
+    SnapshotMismatchError,
+    SnapshotVersionError,
+)
+from repro.persistence.store import (
+    MANIFEST_NAME,
+    read_checkpoint,
+    read_manifest,
+    write_checkpoint,
+)
+
+__all__ = [
+    "Snapshotable",
+    "SnapshotError",
+    "SnapshotVersionError",
+    "SnapshotCorruptionError",
+    "SnapshotMismatchError",
+    "MANIFEST_NAME",
+    "write_checkpoint",
+    "read_checkpoint",
+    "read_manifest",
+    "load_engine",
+]
+
+
+def __getattr__(name):
+    # ``load_engine`` needs the engine classes, whose modules themselves use
+    # this package; importing it lazily keeps the package a leaf layer that
+    # core/ and sharding/ can depend on without a cycle.
+    if name == "load_engine":
+        from repro.persistence.resume import load_engine
+
+        return load_engine
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

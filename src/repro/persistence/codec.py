@@ -1,0 +1,91 @@
+"""JSON-safe encodings of the core value types.
+
+Snapshots must round-trip through JSON without losing a bit: floats are
+written with Python's shortest-repr rule (which round-trips exactly),
+:class:`~repro.core.types.TagPair` keys become two-element lists (JSON
+objects only allow string keys), and rankings/topics are flattened to
+positional lists so the per-pair state stays compact.  Only value types
+live here — the stateful components encode themselves via their own
+``snapshot``/``restore`` methods.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Mapping, Optional, Sequence
+
+from repro.core.types import EmergentTopic, Ranking, TagPair
+from repro.persistence.snapshot import SnapshotCorruptionError
+
+
+def pair_to_state(pair: TagPair) -> List[str]:
+    """A canonical pair as the two-element list ``[first, second]``."""
+    return [pair.first, pair.second]
+
+
+def pair_from_state(state: Sequence[str]) -> TagPair:
+    """Rebuild a pair; :class:`TagPair` re-canonicalises and validates."""
+    try:
+        first, second = state
+        return TagPair(str(first), str(second))
+    except (TypeError, ValueError) as exc:
+        raise SnapshotCorruptionError(
+            f"malformed tag-pair state {state!r}: {exc}"
+        ) from exc
+
+
+def topic_to_state(topic: EmergentTopic) -> List[Any]:
+    """One ranking entry as a positional list (order matches the fields)."""
+    return [
+        topic.pair.first,
+        topic.pair.second,
+        topic.score,
+        topic.correlation,
+        topic.predicted_correlation,
+        topic.prediction_error,
+        topic.seed_tag,
+        topic.timestamp,
+    ]
+
+
+def topic_from_state(state: Sequence[Any]) -> EmergentTopic:
+    try:
+        first, second, score, correlation, predicted, error, seed, ts = state
+        return EmergentTopic(
+            pair=TagPair(str(first), str(second)),
+            score=float(score),
+            correlation=float(correlation),
+            predicted_correlation=float(predicted),
+            prediction_error=float(error),
+            seed_tag=None if seed is None else str(seed),
+            timestamp=float(ts),
+        )
+    except (TypeError, ValueError) as exc:
+        raise SnapshotCorruptionError(
+            f"malformed topic state {state!r}: {exc}"
+        ) from exc
+
+
+def ranking_to_state(ranking: Ranking) -> dict:
+    return {
+        "timestamp": ranking.timestamp,
+        "label": ranking.label,
+        "topics": [topic_to_state(topic) for topic in ranking.topics],
+    }
+
+
+def ranking_from_state(state: Mapping[str, Any]) -> Ranking:
+    try:
+        return Ranking(
+            timestamp=float(state["timestamp"]),
+            topics=[topic_from_state(entry) for entry in state["topics"]],
+            label=str(state.get("label", "")),
+        )
+    except (KeyError, TypeError) as exc:
+        raise SnapshotCorruptionError(
+            f"malformed ranking state: {exc}"
+        ) from exc
+
+
+def optional_float(value: Any) -> Optional[float]:
+    """A float or None, the encoding of nullable stream timestamps."""
+    return None if value is None else float(value)

@@ -1,0 +1,84 @@
+"""Rebuild a detection engine from a checkpoint directory.
+
+The checkpoint manifest records everything needed to reconstruct the
+engine that wrote it — kind (single vs. sharded), full configuration and
+shard count — so a resume needs nothing but the directory.  A sharded
+checkpoint may be restored into a *different* shard count (the pair state
+is re-routed through the stable CRC-32 partitioner) and onto either
+backend; both are runtime choices, not stream state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.core.config import EnBlogueConfig
+from repro.core.engine import DetectionEngineBase, EnBlogue
+from repro.persistence.snapshot import (
+    SnapshotCorruptionError,
+    SnapshotMismatchError,
+)
+from repro.persistence.store import read_checkpoint
+from repro.sharding.backends import ShardBackend
+from repro.sharding.engine import ShardedEnBlogue
+
+
+def load_engine(
+    directory,
+    num_shards: Optional[int] = None,
+    backend: Optional[Union[str, ShardBackend]] = None,
+    chunk_size: Optional[int] = None,
+) -> Tuple[DetectionEngineBase, Dict[str, Any]]:
+    """Restore the engine checkpointed in ``directory``.
+
+    Returns ``(engine, manifest)`` — the manifest exposes the ``extras``
+    recorded at save time (the CLI keeps its dataset parameters there).
+    For a sharded checkpoint, ``num_shards`` selects the restored shard
+    count (default: the checkpointed one; differing counts re-partition
+    the pair state), ``backend`` the execution backend (default: serial)
+    and ``chunk_size`` the dispatch chunk (default: the checkpointed one).
+    A single-engine checkpoint ignores ``backend``/``chunk_size`` and
+    rejects ``num_shards`` other than 1 — its tracker holds tag-level
+    state that cannot be partitioned by pair.
+    """
+    manifest, state = read_checkpoint(directory)
+    try:
+        config = EnBlogueConfig(**state["config"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SnapshotCorruptionError(
+            f"checkpoint in {directory} carries an unusable configuration: {exc}"
+        ) from exc
+    kind = state.get("kind")
+
+    if kind == EnBlogue.SNAPSHOT_KIND:
+        if num_shards not in (None, 1):
+            raise SnapshotMismatchError(
+                "a single-engine checkpoint cannot be restored into "
+                f"{num_shards} shards: its tracker holds tag-level state "
+                "(usage distributions, count history) that is not "
+                "partitioned by pair; resume it with EnBlogue instead"
+            )
+        engine = EnBlogue(config)
+        engine.restore(state)
+        return engine, manifest
+
+    if kind == ShardedEnBlogue.SNAPSHOT_KIND:
+        target_shards = num_shards or len(state["shards"])
+        engine = ShardedEnBlogue(
+            config,
+            num_shards=target_shards,
+            backend="serial" if backend is None else backend,
+            chunk_size=chunk_size or int(state.get("chunk_size") or 256),
+        )
+        try:
+            engine.restore(state)
+        except BaseException:
+            engine.close()
+            raise
+        return engine, manifest
+
+    raise SnapshotMismatchError(
+        f"checkpoint in {directory} was written by an unknown engine kind "
+        f"{kind!r}; this build can restore "
+        f"{[EnBlogue.SNAPSHOT_KIND, ShardedEnBlogue.SNAPSHOT_KIND]}"
+    )

@@ -1,0 +1,295 @@
+"""The on-disk checkpoint format: manifest + per-component state files.
+
+A checkpoint directory holds::
+
+    MANIFEST.json               format version, generation, engine
+                                kind/config, file table with CRC-32s
+    engine-00000003.json        the engine-level snapshot of generation 3
+    shard-0000-00000003.json    one file per shard worker (sharded engines)
+    shard-0001-00000003.json    ...
+
+State files carry a monotonically increasing *generation* suffix and are
+never overwritten: a new checkpoint writes a fresh generation's files
+(each through a ``.tmp`` sibling, fsynced, atomically renamed), then
+commits by atomically replacing the manifest, and only then prunes the
+previous generation.  A crash at *any* point therefore leaves the last
+committed checkpoint fully restorable — before the manifest rename the
+old manifest still references the old, untouched files; after it the new
+ones.  This matters most for cadence checkpointing into one directory
+(``--checkpoint-every``), whose entire purpose is surviving exactly such
+crashes.  :func:`read_checkpoint` verifies the format version and every
+CRC before any state reaches a ``restore`` call, raising
+:class:`~repro.persistence.snapshot.SnapshotVersionError` or
+:class:`~repro.persistence.snapshot.SnapshotCorruptionError` respectively.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import zlib
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.persistence.snapshot import (
+    SnapshotCorruptionError,
+    SnapshotVersionError,
+)
+
+#: Version of the directory layout + manifest schema (component snapshots
+#: carry their own ``version`` fields on top of this).
+FORMAT_VERSION = 1
+
+MANIFEST_NAME = "MANIFEST.json"
+
+#: State files end in ``-<generation>.json``; the suffix is how stale
+#: generations are recognised for pruning and collision avoidance.
+_GENERATION_SUFFIX = re.compile(r"-(\d{8})\.json$")
+
+
+def _engine_file_name(generation: int) -> str:
+    return f"engine-{generation:08d}.json"
+
+
+def _shard_file_name(shard_id: int, generation: int) -> str:
+    return f"shard-{shard_id:04d}-{generation:08d}.json"
+
+
+def _next_generation(directory: Path) -> int:
+    """One past the newest generation any file in ``directory`` belongs to.
+
+    The committed manifest's ``generation`` is the authority, but the scan
+    over file names guards the case of a corrupt manifest plus orphaned
+    state files from an interrupted write: new files must never collide
+    with (and thereby destroy) anything already on disk.
+    """
+    newest = 0
+    try:
+        manifest = json.loads((directory / MANIFEST_NAME).read_bytes())
+        newest = int(manifest.get("generation", 0))
+    except (OSError, ValueError, TypeError, AttributeError):
+        pass
+    for path in directory.glob("*.json"):
+        match = _GENERATION_SUFFIX.search(path.name)
+        if match:
+            newest = max(newest, int(match.group(1)))
+    return newest + 1
+
+
+def _prune_stale(directory: Path, generation: int) -> None:
+    """Best-effort removal of state files older than ``generation``.
+
+    Runs only after the new manifest has committed, so everything removed
+    is unreferenced; failures are ignored (a leftover file costs disk, a
+    raised error would fail a checkpoint that already succeeded).
+    """
+    for path in directory.glob("*.json.tmp"):
+        try:
+            path.unlink()
+        except OSError:
+            pass
+    for path in directory.glob("*.json"):
+        match = _GENERATION_SUFFIX.search(path.name)
+        if match and int(match.group(1)) < generation:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+
+def _atomic_write(path: Path, payload: bytes) -> None:
+    """Write ``payload`` via a temporary sibling and an atomic rename."""
+    tmp_path = path.with_name(path.name + ".tmp")
+    with open(tmp_path, "wb") as handle:
+        handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, path)
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Persist the directory's entries (renames/unlinks) to stable storage.
+
+    File fsyncs alone do not order the *renames* with respect to a power
+    cut; without this, the manifest rename could be lost while the prune
+    of the previous generation survives — no restorable checkpoint left.
+    Best-effort on filesystems that reject directory fsync.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def _encode(state: Mapping[str, Any]) -> bytes:
+    # Compact separators: checkpoints are written on a cadence from a hot
+    # loop, and the indented form costs 3x the encode time and twice the
+    # bytes for state nobody reads by eye (the manifest stays small anyway).
+    return json.dumps(state, separators=(",", ":")).encode("utf-8")
+
+
+def write_checkpoint(
+    directory,
+    state: Mapping[str, Any],
+    extras: Optional[Mapping[str, Any]] = None,
+) -> Path:
+    """Persist an engine snapshot into ``directory``; returns the path.
+
+    ``state`` is an engine ``snapshot()`` dict; when it carries a
+    ``"shards"`` list (the sharded engine), each shard's state goes into
+    its own ``shard-NNNN-<generation>.json`` so a restore — or a future
+    per-shard migration — can read shards independently.  ``extras`` is
+    free-form metadata recorded in the manifest (the CLI stores the
+    dataset parameters there so ``--resume`` can rebuild the stream).
+    Writing into a directory that already holds a checkpoint never touches
+    the committed generation's files: the previous checkpoint stays
+    restorable until the new manifest lands, and is pruned afterwards.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    generation = _next_generation(directory)
+
+    engine_state = dict(state)
+    shard_states = engine_state.pop("shards", None)
+
+    files: Dict[str, Dict[str, Any]] = {}
+    payloads: List[Tuple[Path, bytes]] = []
+
+    engine_name = _engine_file_name(generation)
+    engine_payload = _encode(engine_state)
+    files["engine"] = {
+        "path": engine_name,
+        "crc32": zlib.crc32(engine_payload),
+    }
+    payloads.append((directory / engine_name, engine_payload))
+
+    if shard_states is not None:
+        for shard_id, shard_state in enumerate(shard_states):
+            name = _shard_file_name(shard_id, generation)
+            payload = _encode(shard_state)
+            files[f"shard-{shard_id}"] = {
+                "path": name,
+                "crc32": zlib.crc32(payload),
+            }
+            payloads.append((directory / name, payload))
+
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "generation": generation,
+        "kind": state.get("kind"),
+        "config": state.get("config"),
+        "num_shards": None if shard_states is None else len(shard_states),
+        "documents_processed": state.get("documents_processed"),
+        "files": files,
+        "extras": dict(extras or {}),
+    }
+
+    for path, payload in payloads:
+        _atomic_write(path, payload)
+    # The manifest commits the checkpoint: readers start from it, so until
+    # this rename lands they keep seeing the previous complete checkpoint.
+    _atomic_write(directory / MANIFEST_NAME, _encode(manifest))
+    # One directory fsync persists every rename above; it must land before
+    # the prune may remove the previous generation.
+    _fsync_directory(directory)
+    _prune_stale(directory, generation)
+    return directory
+
+
+def _read_json(path: Path, description: str) -> Any:
+    try:
+        payload = path.read_bytes()
+    except FileNotFoundError:
+        raise SnapshotCorruptionError(
+            f"checkpoint is missing its {description}: {path}"
+        ) from None
+    try:
+        return json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SnapshotCorruptionError(
+            f"checkpoint {description} {path} is not valid JSON: {exc}"
+        ) from exc
+
+
+def read_manifest(directory) -> Dict[str, Any]:
+    """Read and validate a checkpoint's manifest (format version only)."""
+    directory = Path(directory)
+    manifest = _read_json(directory / MANIFEST_NAME, "manifest")
+    if not isinstance(manifest, dict) or "files" not in manifest:
+        raise SnapshotCorruptionError(
+            f"checkpoint manifest {directory / MANIFEST_NAME} has no file table"
+        )
+    version = manifest.get("format_version")
+    if version != FORMAT_VERSION:
+        raise SnapshotVersionError(
+            f"checkpoint format version {version!r} is not supported "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    return manifest
+
+
+def _read_verified(directory: Path, entry: Mapping[str, Any], name: str) -> Any:
+    path = directory / entry["path"]
+    try:
+        payload = path.read_bytes()
+    except FileNotFoundError:
+        raise SnapshotCorruptionError(
+            f"checkpoint is missing state file {path} (listed as {name!r})"
+        ) from None
+    crc = zlib.crc32(payload)
+    expected = entry.get("crc32")
+    if crc != expected:
+        # ``expected`` may be absent/None in a damaged manifest — still a
+        # corruption, and the message must not crash formatting it.
+        raise SnapshotCorruptionError(
+            f"checkpoint state file {path} is corrupt: CRC-32 {crc:#010x} "
+            f"does not match the manifest's {expected!r}"
+        )
+    try:
+        return json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SnapshotCorruptionError(
+            f"checkpoint state file {path} is not valid JSON: {exc}"
+        ) from exc
+
+
+def read_checkpoint(directory) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+    """Load a checkpoint; returns ``(manifest, state)``.
+
+    The returned ``state`` is the engine snapshot with the per-shard files
+    reassembled under ``"shards"`` (in shard order), ready for an engine's
+    ``restore``.  Validation order: manifest format version first, then the
+    CRC-32 of every state file — corrupted bytes never reach a restore.
+    """
+    directory = Path(directory)
+    manifest = read_manifest(directory)
+    files = manifest["files"]
+    if "engine" not in files:
+        raise SnapshotCorruptionError(
+            f"checkpoint manifest in {directory} lists no engine state file"
+        )
+    state = _read_verified(directory, files["engine"], "engine")
+    if not isinstance(state, dict):
+        raise SnapshotCorruptionError(
+            f"engine state in {directory} is not a mapping"
+        )
+    num_shards = manifest.get("num_shards")
+    if num_shards is not None:
+        shards = []
+        for shard_id in range(num_shards):
+            name = f"shard-{shard_id}"
+            if name not in files:
+                raise SnapshotCorruptionError(
+                    f"checkpoint manifest in {directory} is missing the "
+                    f"entry for shard {shard_id}"
+                )
+            shards.append(_read_verified(directory, files[name], name))
+        state["shards"] = shards
+    return manifest, state

@@ -18,6 +18,7 @@ published rankings stay **bit-identical** to the single engine:
 """
 
 from repro.sharding.backends import (
+    DEFAULT_START_METHOD,
     ProcessBackend,
     SerialBackend,
     ShardBackend,
@@ -27,6 +28,7 @@ from repro.sharding.backends import (
 )
 from repro.sharding.engine import ShardedEnBlogue
 from repro.sharding.partitioner import PairPartitioner
+from repro.sharding.reshard import reshard_worker_states
 from repro.sharding.worker import ShardWorker
 
 __all__ = [
@@ -36,7 +38,9 @@ __all__ = [
     "SerialBackend",
     "ProcessBackend",
     "ShardExecutionError",
+    "DEFAULT_START_METHOD",
     "available_backends",
     "make_backend",
+    "reshard_worker_states",
     "ShardedEnBlogue",
 ]

@@ -26,7 +26,16 @@ import traceback
 from typing import List, Mapping, Optional, Sequence
 
 from repro.core.types import EmergentTopic
+from repro.persistence.snapshot import SnapshotMismatchError
 from repro.sharding.worker import ShardEvent, ShardWorker
+
+#: The pinned multiprocessing start method.  "spawn" is the only method
+#: available on every platform and the only one whose workers start from a
+#: clean interpreter, so worker behavior — and therefore restored
+#: checkpoint state — is identical on Linux and macOS.  Tests that churn
+#: through many short-lived pools may override it with the cheaper "fork"
+#: where available; production deployments should keep the default.
+DEFAULT_START_METHOD = "spawn"
 
 
 class ShardExecutionError(RuntimeError):
@@ -58,8 +67,28 @@ class ShardBackend:
     def stats(self) -> List[dict]:
         raise NotImplementedError
 
+    def collect_states(self) -> List[dict]:
+        """Gather every shard worker's snapshot, in shard order.
+
+        A synchronisation point like ``evaluate``: the returned states
+        reflect every ingest chunk dispatched before the call.
+        """
+        raise NotImplementedError
+
+    def restore_states(self, states: Sequence[Mapping]) -> None:
+        """Restore one snapshot per shard worker, in shard order."""
+        raise NotImplementedError
+
     def close(self) -> None:
         raise NotImplementedError
+
+    def _require_state_per_shard(self, states: Sequence, shards: int) -> None:
+        if len(states) != shards:
+            raise SnapshotMismatchError(
+                f"backend runs {shards} shard(s) but {len(states)} shard "
+                f"state(s) were offered; re-partition the checkpoint first "
+                f"(see repro.sharding.reshard)"
+            )
 
 
 class SerialBackend(ShardBackend):
@@ -91,6 +120,16 @@ class SerialBackend(ShardBackend):
     def stats(self) -> List[dict]:
         self._ensure_open()
         return [worker.stats() for worker in self.workers]
+
+    def collect_states(self) -> List[dict]:
+        self._ensure_open()
+        return [worker.snapshot() for worker in self.workers]
+
+    def restore_states(self, states: Sequence[Mapping]) -> None:
+        self._ensure_open()
+        self._require_state_per_shard(states, len(self.workers))
+        for worker, state in zip(self.workers, states):
+            worker.restore(state)
 
     def close(self) -> None:
         self._closed = True
@@ -139,6 +178,19 @@ def _shard_loop(worker: ShardWorker, connection) -> None:
             except Exception:
                 failure = traceback.format_exc()
                 connection.send(("error", failure))
+        elif operation == "collect_state":
+            try:
+                connection.send(("ok", worker.snapshot()))
+            except Exception:
+                failure = traceback.format_exc()
+                connection.send(("error", failure))
+        elif operation == "restore_state":
+            try:
+                worker.restore(payload)
+                connection.send(("ok", None))
+            except Exception:
+                failure = traceback.format_exc()
+                connection.send(("error", failure))
         else:
             connection.send(("error", f"unknown operation {operation!r}"))
     connection.close()
@@ -147,26 +199,30 @@ def _shard_loop(worker: ShardWorker, connection) -> None:
 class ProcessBackend(ShardBackend):
     """One worker process per shard, connected by a duplex pipe.
 
-    ``start_method`` selects the :mod:`multiprocessing` context; the default
-    prefers ``fork`` (cheap start-up, Linux/CI) and falls back to ``spawn``,
-    under which the picklable worker state is shipped to the child instead.
+    ``start_method`` selects the :mod:`multiprocessing` context and is
+    pinned to :data:`DEFAULT_START_METHOD` (``"spawn"``) rather than the
+    platform default, so a checkpoint restored on macOS behaves exactly
+    like the Linux run that wrote it.  The picklable worker state is
+    shipped to each child at start-up; pass ``start_method="fork"`` to
+    trade that portability for cheaper start-up (tests do).
     """
 
     name = "process"
 
     def __init__(self, start_method: Optional[str] = None):
-        self._start_method = start_method
+        self._start_method = start_method or DEFAULT_START_METHOD
         self._processes: List[multiprocessing.Process] = []
         self._pipes: List = []
         self._closed = False
 
+    @property
+    def start_method(self) -> str:
+        """The multiprocessing start method workers are launched with."""
+        return self._start_method
+
     def start(self, workers: Sequence[ShardWorker]) -> None:
         self._closed = False
-        method = self._start_method
-        if method is None:
-            available = multiprocessing.get_all_start_methods()
-            method = "fork" if "fork" in available else "spawn"
-        context = multiprocessing.get_context(method)
+        context = multiprocessing.get_context(self._start_method)
         for worker in workers:
             parent_end, child_end = context.Pipe(duplex=True)
             process = context.Process(
@@ -200,6 +256,21 @@ class ProcessBackend(ShardBackend):
         for shard_id, pipe in enumerate(self._pipes):
             self._send(shard_id, pipe, ("stats", None))
         return self._gather("stats")
+
+    def collect_states(self) -> List[dict]:
+        self._ensure_open()
+        # Pipes are FIFO, so each snapshot observes every chunk dispatched
+        # before this call — the same ordering argument as ``evaluate``.
+        for shard_id, pipe in enumerate(self._pipes):
+            self._send(shard_id, pipe, ("collect_state", None))
+        return self._gather("collect_state")
+
+    def restore_states(self, states: Sequence[Mapping]) -> None:
+        self._ensure_open()
+        self._require_state_per_shard(states, len(self._pipes))
+        for shard_id, (pipe, state) in enumerate(zip(self._pipes, states)):
+            self._send(shard_id, pipe, ("restore_state", dict(state)))
+        self._gather("restore_state")
 
     def _ensure_open(self) -> None:
         # Matches SerialBackend: using a closed (or crash-reaped) pool must

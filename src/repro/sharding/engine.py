@@ -30,15 +30,19 @@ of it to drift.
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+from typing import List, Mapping, Optional, Union
 
 from repro.core.config import EnBlogueConfig
+from repro.core.correlation import available_measures
 from repro.core.engine import DetectionEngineBase
 from repro.core.tracker import DocumentDecomposer, record_count_history
 from repro.core.types import Ranking
 from repro.entity.tagger import EntityTagger
+from repro.persistence.codec import optional_float
+from repro.persistence.snapshot import require_state
 from repro.sharding.backends import ShardBackend, make_backend
 from repro.sharding.partitioner import PairPartitioner
+from repro.sharding.reshard import reshard_worker_states
 from repro.sharding.worker import ShardEvent, ShardWorker
 from repro.windows.aggregates import TagFrequencyWindow
 
@@ -64,10 +68,14 @@ class ShardedEnBlogue(DetectionEngineBase):
     ):
         super().__init__(config, entity_tagger)
         if self.config.correlation_measure == "kl":
+            supported = [m for m in available_measures() if m != "kl"]
             raise ValueError(
-                "the 'kl' measure needs global co-tag usage distributions, "
-                "which pair-partitioned shards cannot maintain; use the "
-                "single-process EnBlogue engine for it"
+                "ShardedEnBlogue does not support correlation_measure='kl': "
+                "the KL measure needs global co-tag usage distributions, "
+                "which pair-partitioned shards cannot maintain. Set the "
+                "config key 'correlation_measure' to one of "
+                f"{supported}, or use the single-process EnBlogue "
+                "engine for 'kl'."
             )
         if chunk_size < 1:
             raise ValueError("chunk_size must be at least 1")
@@ -144,6 +152,65 @@ class ShardedEnBlogue(DetectionEngineBase):
         """Per-shard summary counters (events, live pairs, scored pairs)."""
         self._flush()
         return self.backend.stats()
+
+    # -- persistence ----------------------------------------------------------
+
+    #: Snapshot envelope of the sharded engine (see ``repro.persistence``).
+    SNAPSHOT_KIND = "sharded-enblogue"
+
+    def snapshot(self) -> dict:
+        """Coordinator + every shard's state as a versioned, JSON-safe dict.
+
+        Buffered chunks are flushed first, so the collected shard states
+        observe every routed pair event and the snapshot is consistent as
+        of the last processed document.  The per-shard states land under
+        ``"shards"``; the checkpoint store writes them to one file each.
+        """
+        self._ensure_open()
+        self._flush()
+        return {
+            "kind": self.SNAPSHOT_KIND,
+            "version": 1,
+            **self._base_snapshot(),
+            "num_shards": self.num_shards,
+            "chunk_size": self.chunk_size,
+            "latest": self._latest,
+            "tag_window": self._tag_window.state_dict(),
+            "count_history": {
+                tag: list(values)
+                for tag, values in self._count_history.items()
+            },
+            "builder": self.ranking_builder.snapshot(),
+            "shards": self.backend.collect_states(),
+        }
+
+    def restore(self, state: Mapping) -> None:
+        """Adopt a :meth:`snapshot`'s state; continuation is bit-identical.
+
+        The snapshot may come from a deployment with a *different* shard
+        count: the per-pair state is then re-routed through the stable
+        CRC-32 partitioner (:mod:`repro.sharding.reshard`) before it is
+        handed to this engine's workers, so a 2-shard checkpoint restores
+        into 4 shards (or 1) without replaying the stream.  ``chunk_size``
+        and the backend are runtime choices, free to differ from the
+        checkpointed run's.
+        """
+        require_state(state, self.SNAPSHOT_KIND, 1)
+        self._ensure_open()
+        self._restore_base(state)
+        self._tag_window.restore_state(state["tag_window"])
+        self._count_history = {
+            str(tag): [int(value) for value in values]
+            for tag, values in state["count_history"].items()
+        }
+        self._latest = optional_float(state["latest"])
+        self.ranking_builder.restore(state["builder"])
+        shard_states = state["shards"]
+        if len(shard_states) != self.num_shards:
+            shard_states = reshard_worker_states(shard_states, self.num_shards)
+        self.backend.restore_states(shard_states)
+        self._buffers = [[] for _ in range(self.num_shards)]
+        self._buffered_documents = 0
 
     # -- internals ------------------------------------------------------------
 

@@ -27,6 +27,7 @@ from repro.core.engine import make_shift_detector, make_tracker
 from repro.core.ranking import RankingBuilder
 from repro.core.shift import ShiftScore
 from repro.core.types import EmergentTopic, TagPair
+from repro.persistence.snapshot import require_compatible, require_state
 
 #: One pair-restricted document event: ``(timestamp, pairs-of-this-shard)``.
 ShardEvent = Tuple[float, Tuple[TagPair, ...]]
@@ -88,6 +89,43 @@ class ShardWorker:
         return self.builder.top_topics(
             timestamp, shift_scores, detector=self.detector
         )
+
+    # -- persistence ----------------------------------------------------------
+
+    #: Snapshot envelope of one shard's state (see ``repro.persistence``).
+    SNAPSHOT_KIND = "shard-worker"
+
+    def snapshot(self) -> dict:
+        """This shard's complete state as a versioned, JSON-safe dict.
+
+        Every entry is keyed (directly or transitively) by a canonical
+        pair, which is what lets
+        :func:`~repro.sharding.reshard.reshard_worker_states` re-route a
+        checkpoint into a different shard count through the partitioner.
+        """
+        return {
+            "kind": self.SNAPSHOT_KIND,
+            "version": 1,
+            "shard_id": self.shard_id,
+            "tracker": self.tracker.snapshot(),
+            "detector": self.detector.snapshot(),
+            "builder": self.builder.snapshot(),
+        }
+
+    def restore(self, state: Mapping) -> None:
+        """Replace this shard's state with a :meth:`snapshot`'s.
+
+        The state must be addressed to this shard id — a re-partitioned
+        checkpoint carries freshly assigned ids, so a mismatch means the
+        caller wired states to the wrong workers.
+        """
+        require_state(state, self.SNAPSHOT_KIND, 1)
+        require_compatible(
+            self.SNAPSHOT_KIND, {"shard_id": self.shard_id}, state
+        )
+        self.tracker.restore(state["tracker"])
+        self.detector.restore(state["detector"])
+        self.builder.restore(state["builder"])
 
     # -- introspection --------------------------------------------------------
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 from collections import Counter, deque
 from typing import Deque, Dict, Iterable, List, Optional, Tuple
 
+from repro.persistence.snapshot import require_compatible, require_state
 from repro.windows.sliding import TimeSlidingWindow
 
 
@@ -222,6 +223,46 @@ class TagFrequencyWindow:
     def snapshot(self) -> Dict[str, int]:
         """Copy of the live per-tag counts."""
         return {tag: count for tag, count in self._counts.items() if count > 0}
+
+    # -- persistence ----------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """The window's complete state as a versioned, JSON-safe dict.
+
+        (Named ``state_dict`` rather than the ``Snapshotable`` protocol's
+        ``snapshot`` because :meth:`snapshot` — the per-tag counts copy —
+        predates the persistence layer and feeds the seed selector.)  Only
+        the event deque and the latest timestamp are stored: the per-tag
+        counters and the document count are derived exactly from the events
+        on restore.
+        """
+        return {
+            "kind": "tag-frequency-window",
+            "version": 1,
+            "horizon": self.horizon,
+            "latest": self._latest,
+            "events": [
+                [timestamp, list(tags)] for timestamp, tags in self._events
+            ],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Replace this window's state with a :meth:`state_dict` snapshot."""
+        require_state(state, "tag-frequency-window", 1)
+        require_compatible(
+            "tag-frequency-window", {"horizon": self.horizon}, state
+        )
+        events: Deque[Tuple[float, Tuple[str, ...]]] = deque()
+        counts: Counter = Counter()
+        for timestamp, tags in state["events"]:
+            unique_tags = tuple(str(tag) for tag in tags)
+            events.append((float(timestamp), unique_tags))
+            counts.update(unique_tags)
+        self._events = events
+        self._counts = counts
+        self._documents = len(events)
+        latest = state["latest"]
+        self._latest = None if latest is None else float(latest)
 
     def _evict(self, now: float) -> None:
         cutoff = now - self.horizon

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 #: Two days expressed in seconds, the paper's default half-life.
 TWO_DAYS_SECONDS = 2 * 24 * 3600.0
@@ -71,6 +71,17 @@ class DecayedMaximum:
     @property
     def last_update(self) -> Optional[float]:
         return self._last_update
+
+    def state(self) -> Tuple[float, Optional[float]]:
+        """The raw ``(value, last_update)`` pair, for persistence."""
+        return self._value, self._last_update
+
+    def restore_state(self, value: float, last_update: Optional[float]) -> None:
+        """Set the raw state, the inverse of :meth:`state`."""
+        if value < 0:
+            raise ValueError("decayed maxima are non-negative")
+        self._value = float(value)
+        self._last_update = None if last_update is None else float(last_update)
 
     def update(self, timestamp: float, observation: float) -> float:
         """Fold a new observation in and return the resulting score."""

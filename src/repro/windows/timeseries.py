@@ -13,6 +13,8 @@ import bisect
 import math
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.persistence.snapshot import require_state
+
 
 class TimeSeries:
     """An append-only series of ``(timestamp, value)`` pairs.
@@ -44,6 +46,26 @@ class TimeSeries:
     def maxlen(self) -> Optional[int]:
         """The bound of the ring buffer (None when unbounded)."""
         return self._maxlen
+
+    def snapshot(self) -> dict:
+        """The series as a versioned, JSON-serialisable dict."""
+        return {
+            "kind": "timeseries",
+            "version": 1,
+            "maxlen": self._maxlen,
+            "timestamps": list(self._timestamps),
+            "values": list(self._values),
+        }
+
+    @classmethod
+    def from_snapshot(cls, state: dict) -> "TimeSeries":
+        """Rebuild a series from :meth:`snapshot` output, bit for bit."""
+        require_state(state, "timeseries", 1)
+        maxlen = state["maxlen"]
+        series = cls(maxlen=None if maxlen is None else int(maxlen))
+        series._timestamps = [float(t) for t in state["timestamps"]]
+        series._values = [float(v) for v in state["values"]]
+        return series
 
     def __len__(self) -> int:
         return len(self._timestamps)

@@ -237,9 +237,43 @@ class TestProcessBackendEquivalence:
 
 
 class TestEngineSurface:
-    def test_kl_measure_rejected(self):
-        with pytest.raises(ValueError, match="kl"):
+    def test_kl_measure_rejected_at_construction_with_actionable_message(self):
+        # The error must name the config key and list the measures that DO
+        # work sharded, so the fix is evident without reading the source.
+        with pytest.raises(ValueError) as excinfo:
             ShardedEnBlogue(config(correlation_measure="kl"), num_shards=2)
+        message = str(excinfo.value)
+        assert "correlation_measure" in message
+        for supported in ("jaccard", "overlap", "cosine", "pmi"):
+            assert supported in message
+        assert "EnBlogue" in message
+
+    def test_kl_rejection_leaks_no_backend(self):
+        # Construction fails before the backend starts: no worker processes
+        # are left behind by the raise.
+        backend = SerialBackend()
+        with pytest.raises(ValueError):
+            ShardedEnBlogue(config(correlation_measure="kl"), num_shards=2,
+                            backend=backend)
+        assert backend.workers == []
+
+    def test_process_backend_start_method_pinned_to_spawn(self):
+        # The platform default ("fork" on Linux, "spawn" on macOS) must not
+        # leak into worker behavior; the pinned default is overridable.
+        assert ProcessBackend().start_method == "spawn"
+        assert make_backend("process").start_method == "spawn"
+        assert ProcessBackend(start_method="fork").start_method == "fork"
+
+    @pytest.mark.parametrize("start_method", ["spawn", "fork"])
+    def test_rankings_identical_across_start_methods(self, tweet_docs,
+                                                     start_method):
+        cfg = config()
+        reference = single_reference(tweet_docs[:300], cfg)
+        backend = ProcessBackend(start_method=start_method)
+        with ShardedEnBlogue(cfg, num_shards=2, backend=backend) as sharded:
+            sharded.process_batch(tweet_docs[:300])
+            sharded.evaluate_now()
+            assert signature(sharded) == signature(reference)
 
     def test_chunk_size_validated(self):
         with pytest.raises(ValueError):
