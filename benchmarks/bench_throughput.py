@@ -135,21 +135,45 @@ def replay_sharded(docs, num_shards, backend):
 CHUNK_DOCS = 256
 CHECKPOINT_EVERY = 4
 
+#: Re-base cadence of the delta-mode contestant (the CLI's --full-every):
+#: every K-th cadence tick writes a full base, the others append journal
+#: segments.  Larger than the ~9 ticks of one replay, so the measured
+#: steady state is one base plus deltas — the shape a deployment pays.
+FULL_EVERY = 16
 
-def replay_batch_checkpointed(docs, checkpoint_dir=None):
+
+def replay_batch_checkpointed(docs, checkpoint_dir=None, mode="full",
+                              full_every=FULL_EVERY):
     """The batch replay in CHUNK_DOCS chunks, checkpointing on a cadence.
 
     With ``checkpoint_dir`` unset this is the plain chunked batch path —
     the "off" contestant, paying the same chunking as the "on" one so the
-    measured delta is purely the durability cost.
+    measured delta is purely the durability cost.  ``mode`` mirrors the
+    CLI's ``--checkpoint-mode``: ``"full"`` re-serializes the window every
+    tick, ``"delta"`` writes a base on the first (and every
+    ``full_every``-th) tick and appends journal segments otherwise.
     """
     engine = EnBlogue(throughput_config("batch"))
     chunks = 0
+    written = 0
+    if checkpoint_dir is not None and mode == "delta":
+        # The chain's base is the (near-empty) stream-start state — the
+        # CLI does the same — so every cadence tick below appends a
+        # journal segment and the full-window serialization is paid only
+        # at the re-base cadence, not inside the steady state.
+        engine.save_checkpoint(checkpoint_dir, track_deltas=True)
+        written = 1
     for start in range(0, len(docs), CHUNK_DOCS):
         engine.process_batch(docs[start:start + CHUNK_DOCS])
         chunks += 1
         if checkpoint_dir is not None and chunks % CHECKPOINT_EVERY == 0:
-            engine.save_checkpoint(checkpoint_dir)
+            if mode == "full":
+                engine.save_checkpoint(checkpoint_dir)
+            elif written % full_every == 0:
+                engine.save_checkpoint(checkpoint_dir, track_deltas=True)
+            else:
+                engine.save_delta_checkpoint(checkpoint_dir)
+            written += 1
     return engine
 
 
@@ -294,6 +318,122 @@ def test_checkpoint_overhead(heavy_tweets, tmp_path):
               f"overhead {overhead:+.1%})",
     ))
     assert all(seconds > 0 for seconds in medians.values())
+
+
+def test_delta_checkpoint_overhead(heavy_tweets, tmp_path):
+    """Delta-mode cadence vs full-mode vs off: journaling must be cheaper.
+
+    Results first: the delta-checkpointed replay's rankings are asserted
+    identical to the plain replay, and the final base+journal directory
+    must restore into a state equal to the live engine's snapshot.  Then
+    docs/s for off / full-mode / delta-mode, asserting only the ordering
+    (delta cheaper than full) — the recorded ``checkpointing_delta``
+    baseline section carries the measured percentages.
+    """
+    from repro.persistence import read_checkpoint
+
+    plain = replay_batch_checkpointed(heavy_tweets)
+    delta_dir = tmp_path / "delta"
+    delta = replay_batch_checkpointed(heavy_tweets, checkpoint_dir=delta_dir,
+                                      mode="delta")
+    assert ranking_signature(plain) == ranking_signature(delta)
+    # The cadence stopped before the trailing partial chunk; append one
+    # more segment so the directory describes the live engine exactly.
+    delta.save_delta_checkpoint(delta_dir)
+    _, merged = read_checkpoint(delta_dir)
+    assert merged == delta.snapshot()
+
+    full_dir = tmp_path / "full"
+    medians = interleaved_medians(
+        [
+            ("off", lambda: replay_batch_checkpointed(heavy_tweets)),
+            ("full", lambda: replay_batch_checkpointed(
+                heavy_tweets, checkpoint_dir=full_dir)),
+            ("delta", lambda: replay_batch_checkpointed(
+                heavy_tweets, checkpoint_dir=delta_dir, mode="delta")),
+        ],
+        rounds=3,
+    )
+    rows = [
+        {
+            "path": name,
+            "docs/s": round(len(heavy_tweets) / seconds),
+            "overhead": f"{medians[name] / medians['off'] - 1.0:+.1%}",
+        }
+        for name, seconds in medians.items()
+    ]
+    print()
+    print(format_table(rows, title="PERF-3 — full vs delta checkpoint "
+                                   f"cadence (every "
+                                   f"{CHECKPOINT_EVERY * CHUNK_DOCS} docs)"))
+    assert medians["delta"] < medians["full"]
+
+
+# -- count-history maintenance (micro) ----------------------------------------
+
+
+def seed_record_count_history(history, snapshot, history_length):
+    """The pre-deque implementation: rescan and slice every tag per tick."""
+    for tag, count in snapshot.items():
+        history.setdefault(tag, []).append(count)
+    for tag in list(history):
+        if tag not in snapshot:
+            history[tag].append(0)
+        if len(history[tag]) > history_length:
+            del history[tag][: -history_length]
+
+
+def test_count_history_deques_vs_seed_slicing():
+    """Bounded deques vs the seed rescan-and-slice, same evolution.
+
+    Every evaluation used to copy the key list and re-slice every tag's
+    series; with deque(maxlen) the append is the whole trim.  Equivalence
+    is asserted first over a tag population with churn (appearing and
+    disappearing tags), then both maintenance loops are timed.
+    """
+    from repro.core.tracker import record_count_history
+
+    tags = [f"tag{i:04d}" for i in range(2000)]
+    rows = [
+        {tag: (step + index) % 7 + 1
+         for index, tag in enumerate(tags)
+         if (step + index) % 3}          # a third of the tags churn out
+        for step in range(48)
+    ]
+    history_length = 24
+
+    lists: dict = {}
+    deques: dict = {}
+    for row in rows:
+        seed_record_count_history(lists, row, history_length)
+        record_count_history(deques, row, history_length)
+    assert {tag: list(series) for tag, series in deques.items()} == lists
+
+    def run_seed():
+        history: dict = {}
+        for row in rows:
+            seed_record_count_history(history, row, history_length)
+
+    def run_deques():
+        history: dict = {}
+        for row in rows:
+            record_count_history(history, row, history_length)
+
+    medians = interleaved_medians(
+        [("rescan+slice (seed)", run_seed), ("bounded deques", run_deques)],
+        rounds=5,
+    )
+    per_eval = {name: seconds / len(rows) * 1e6
+                for name, seconds in medians.items()}
+    print()
+    print(format_table(
+        [
+            {"method": name, "us/evaluation": round(value, 1)}
+            for name, value in per_eval.items()
+        ],
+        title=f"PERF-3 — count-history maintenance over {len(tags)} tags",
+    ))
+    assert medians["bounded deques"] < medians["rescan+slice (seed)"]
 
 
 # -- indexed vs scanned candidate generation ---------------------------------
@@ -562,12 +702,75 @@ def _measure_checkpointing_section(docs, rounds: int) -> dict:
     }
 
 
+def _measure_checkpointing_delta_section(docs, rounds: int) -> dict:
+    """The ``checkpointing_delta`` section: journaled vs full durability.
+
+    Same cadence as the ``checkpointing`` section (a checkpoint every
+    CHECKPOINT_EVERY * CHUNK_DOCS documents), but the contestant writes a
+    base plus journal segments.  Besides the docs/s comparison the section
+    records that the delta-checkpointed rankings equal the plain replay's
+    and that the final base+journal folds back into the live snapshot.
+    """
+    from repro.persistence import read_checkpoint
+
+    with tempfile.TemporaryDirectory() as raw_dir:
+        directory = Path(raw_dir)
+        delta_engine = replay_batch_checkpointed(
+            docs, checkpoint_dir=directory, mode="delta")
+        assert ranking_signature(replay_batch_checkpointed(docs)) \
+            == ranking_signature(delta_engine)
+        # One extra segment covers the trailing partial chunk, so the
+        # fold-back check compares like with like.
+        delta_engine.save_delta_checkpoint(directory)
+        _, merged = read_checkpoint(directory)
+        assert merged == delta_engine.snapshot()
+        medians = interleaved_medians(
+            [
+                ("off", lambda: replay_batch_checkpointed(docs)),
+                ("on", lambda: replay_batch_checkpointed(
+                    docs, checkpoint_dir=directory, mode="delta")),
+            ],
+            rounds=rounds,
+        )
+        # Base state files only — MANIFEST.json is chain metadata, not
+        # snapshot payload.
+        base_bytes = sum(
+            path.stat().st_size
+            for pattern in ("engine-*.json", "shard-*.json")
+            for path in directory.glob(pattern))
+        journal_bytes = sum(
+            path.stat().st_size for path in directory.glob("*.delta"))
+        segments = len(list(directory.glob("engine-*.delta")))
+    checkpoints = (len(docs) // CHUNK_DOCS) // CHECKPOINT_EVERY
+    return {
+        "rankings_identical": True,
+        "journal_restores_live_snapshot": True,
+        "recorded": time.strftime("%Y-%m-%d"),
+        "checkpoint_every_docs": CHECKPOINT_EVERY * CHUNK_DOCS,
+        "full_every_ticks": FULL_EVERY,
+        "checkpoints_per_replay": checkpoints,
+        "journal_segments_per_replay": segments,
+        "base_bytes": base_bytes,
+        "journal_bytes": journal_bytes,
+        "off_docs_per_s": round(len(docs) / medians["off"]),
+        "on_docs_per_s": round(len(docs) / medians["on"]),
+        "overhead_pct": round(
+            (medians["on"] / medians["off"] - 1.0) * 100, 1),
+        # +1: the replay also writes the chain's initial (near-empty)
+        # base, so the total overhead spreads over checkpoints+1 writes.
+        "checkpoint_ms": round(
+            (medians["on"] - medians["off"]) / (checkpoints + 1) * 1000, 1),
+    }
+
+
 def update_sections(sections, rounds: int = 3) -> dict:
     """Re-record only ``sections`` of an existing ``BENCH_throughput.json``.
 
-    CI uses ``sharding`` here: the full baseline was recorded in a 1-core
-    container where the process backend can only lose, so the scaling rows
-    are refreshed on the multi-core CI runner and uploaded as an artifact.
+    CI uses ``sharding`` and ``checkpointing_delta`` here: the full
+    baseline was recorded in a 1-core container where the process backend
+    can only lose, so the scaling rows are refreshed on the multi-core CI
+    runner and uploaded as an artifact alongside the journaled-durability
+    numbers.
     """
     baseline = json.loads(BASELINE_PATH.read_text())
     docs = _bench_docs()
@@ -577,6 +780,9 @@ def update_sections(sections, rounds: int = 3) -> dict:
         elif section == "checkpointing":
             baseline["checkpointing"] = _measure_checkpointing_section(
                 docs, rounds)
+        elif section == "checkpointing_delta":
+            baseline["checkpointing_delta"] = \
+                _measure_checkpointing_delta_section(docs, rounds)
         else:
             raise SystemExit(f"unknown section {section!r}")
     BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
@@ -647,6 +853,8 @@ def record_baseline(rounds: int = 9) -> dict:
         "sharding": _measure_sharding_section(docs, max(3, rounds // 3)),
         "checkpointing": _measure_checkpointing_section(
             docs, max(3, rounds // 3)),
+        "checkpointing_delta": _measure_checkpointing_delta_section(
+            docs, max(3, rounds // 3)),
     }
     BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
     return baseline
@@ -656,7 +864,8 @@ if __name__ == "__main__":
     arguments = argparse.ArgumentParser(
         description="record the machine baseline in BENCH_throughput.json")
     arguments.add_argument(
-        "--section", action="append", choices=("sharding", "checkpointing"),
+        "--section", action="append",
+        choices=("sharding", "checkpointing", "checkpointing_delta"),
         help="re-record only this section of the existing baseline "
              "(repeatable); default: record everything")
     arguments.add_argument("--rounds", type=int, default=None,

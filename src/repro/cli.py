@@ -12,6 +12,9 @@ Examples::
     python -m repro.cli replay --dataset nyt --export /tmp/rankings.json
     python -m repro.cli replay --dataset tweets --shards 2 \
         --checkpoint-every 8 --checkpoint-dir /tmp/ckpt
+    python -m repro.cli replay --dataset tweets --shards 2 \
+        --checkpoint-every 8 --checkpoint-dir /tmp/ckpt \
+        --checkpoint-mode delta --full-every 16
     python -m repro.cli replay --resume /tmp/ckpt --shards 4
     python -m repro.cli compare --dataset shifts
     python -m repro.cli explore --dataset nyt --start-day 50 --end-day 80
@@ -116,15 +119,37 @@ def _checkpoint_cadence(engine, args: argparse.Namespace, extras: dict):
     the harness (None when no --checkpoint-every), the bare
     --checkpoint-dir end-of-replay save, and the written/rankings counters
     for reporting.
+
+    ``--checkpoint-mode delta`` turns the cadence into a base + journal
+    chain: the first tick (and every ``--full-every``-th) writes a full
+    checkpoint that re-bases the chain, every other tick appends a delta
+    segment proportional to the documents since the previous tick.
     """
     counts = {"rankings": 0, "written": 0}
+    delta_mode = args.checkpoint_mode == "delta"
+    full_every = args.full_every
+    if delta_mode and args.checkpoint_every:
+        # The chain's base is the replay-start state (for --resume: the
+        # just-restored state, which compacts any inherited journal), so
+        # every cadence tick until the next re-base appends a segment.
+        engine.save_checkpoint(args.checkpoint_dir, extras=extras,
+                               track_deltas=True)
+        counts["written"] = 1
 
     def after_ranking(ranking) -> None:
         # Called between documents, when the engine state is consistent;
         # see evaluation.harness.run_detector.
         counts["rankings"] += 1
         if counts["rankings"] % args.checkpoint_every == 0:
-            engine.save_checkpoint(args.checkpoint_dir, extras=extras)
+            if not delta_mode:
+                engine.save_checkpoint(args.checkpoint_dir, extras=extras)
+            elif counts["written"] % full_every == 0:
+                engine.save_checkpoint(
+                    args.checkpoint_dir, extras=extras, track_deltas=True
+                )
+            else:
+                # Manifest extras were recorded at the base/re-base tick.
+                engine.save_delta_checkpoint(args.checkpoint_dir)
             counts["written"] += 1
 
     def save_final() -> None:
@@ -150,6 +175,12 @@ def _export_rankings(path: str, rankings: Sequence) -> None:
 def _cmd_replay(args: argparse.Namespace) -> int:
     if args.checkpoint_every and not args.checkpoint_dir:
         raise SystemExit("--checkpoint-every requires --checkpoint-dir")
+    if args.checkpoint_mode == "delta" and not args.checkpoint_every:
+        raise SystemExit(
+            "--checkpoint-mode delta requires --checkpoint-every: a delta "
+            "journal only exists on a cadence (a one-off save is a full "
+            "checkpoint already)"
+        )
     if args.resume:
         return _cmd_replay_resume(args)
     corpus, schedule, config = _load_dataset(args.dataset, args.hours, args.years, args.seed)
@@ -351,6 +382,17 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--checkpoint-dir", default=None, metavar="DIR",
                         help="checkpoint directory; without --checkpoint-every "
                              "the end-of-replay state is saved once")
+    replay.add_argument("--checkpoint-mode", choices=("full", "delta"),
+                        default="full",
+                        help="cadence checkpoint format: 'full' re-serializes "
+                             "the whole window each tick; 'delta' writes a "
+                             "full base then appends journal segments "
+                             "proportional to the new documents")
+    replay.add_argument("--full-every", type=_positive_int, default=16,
+                        metavar="K",
+                        help="with --checkpoint-mode delta: write a fresh "
+                             "full base (compacting the journal) every K-th "
+                             "cadence tick")
     replay.add_argument("--resume", default=None, metavar="DIR",
                         help="resume from the checkpoint in DIR instead of "
                              "replaying from cold (engine config and dataset "

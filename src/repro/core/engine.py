@@ -14,7 +14,7 @@ profiles see the update immediately, without polling.
 
 from __future__ import annotations
 
-from dataclasses import asdict
+from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
@@ -33,7 +33,7 @@ from repro.persistence.codec import (
     ranking_to_state,
 )
 from repro.persistence.snapshot import SnapshotMismatchError, require_state
-from repro.persistence.store import write_checkpoint
+from repro.persistence.store import append_delta, write_checkpoint
 from repro.streams.item import StreamItem
 from repro.streams.operators import FunctionSink
 from repro.timeseries.predictors import make_predictor
@@ -41,6 +41,15 @@ from repro.windows.decay import ExponentialDecay
 from repro.windows.timeseries import TimeSeries
 
 RankingListener = Callable[[Ranking], None]
+
+
+@dataclass
+class _DeltaChain:
+    """Where an engine's journal chain lives and how far it has grown."""
+
+    directory: str
+    base_generation: int
+    newest_generation: int
 
 
 def make_tracker(config: EnBlogueConfig,
@@ -109,6 +118,11 @@ class DetectionEngineBase:
         self._current_seeds: List[str] = []
         self._next_evaluation: Optional[float] = None
         self._documents_processed = 0
+        # Delta-checkpoint chain: rankings published since the last drain
+        # (None = not recording) and the chain the next
+        # save_delta_checkpoint appends to.
+        self._delta_rankings: Optional[List[Ranking]] = None
+        self._delta_chain: Optional[_DeltaChain] = None
 
     # -- hooks ----------------------------------------------------------------
 
@@ -293,7 +307,8 @@ class DetectionEngineBase:
         raise NotImplementedError
 
     def save_checkpoint(
-        self, directory, extras: Optional[Mapping] = None
+        self, directory, extras: Optional[Mapping] = None,
+        track_deltas: bool = False,
     ) -> Path:
         """Persist :meth:`snapshot` into ``directory`` (see the store docs).
 
@@ -302,8 +317,101 @@ class DetectionEngineBase:
         restored engine continues from bit-identically.  ``extras`` lands
         in the checkpoint manifest (the CLI stores its dataset parameters
         there so ``--resume`` can rebuild the stream).
+
+        With ``track_deltas`` the checkpoint becomes the *base* of a delta
+        chain: the engine starts recording what changes, and subsequent
+        :meth:`save_delta_checkpoint` calls append journal segments that
+        cost kilobytes proportional to the new documents instead of
+        re-serialising the whole window.  Without it, any active recording
+        is stopped (the chain is re-based elsewhere or abandoned).
         """
-        return write_checkpoint(directory, self.snapshot(), extras)
+        generation = write_checkpoint(directory, self.snapshot(), extras)
+        if track_deltas:
+            self._begin_delta_tracking()
+            self._delta_chain = _DeltaChain(
+                directory=str(Path(directory).resolve()),
+                base_generation=generation,
+                newest_generation=generation,
+            )
+        else:
+            self._stop_delta_tracking()
+        return Path(directory)
+
+    def save_delta_checkpoint(self, directory) -> Path:
+        """Append a journal segment of everything since the last save.
+
+        Requires an active delta chain — a prior
+        ``save_checkpoint(directory, track_deltas=True)`` into the *same*
+        directory — and appends one CRC-framed segment per component at
+        the chain's next generation (one durability barrier, kilobytes
+        proportional to the new documents).  Restoring the directory
+        replays base + journal into exactly this engine's current state;
+        a crash mid-append costs at most this tick.  Manifest ``extras``
+        are recorded at base/re-base time and carry over unchanged.
+        """
+        if self._delta_chain is None:
+            raise SnapshotMismatchError(
+                "no delta baseline: call save_checkpoint(directory, "
+                "track_deltas=True) before save_delta_checkpoint"
+            )
+        chain = self._delta_chain
+        resolved = str(Path(directory).resolve())
+        if resolved != chain.directory:
+            raise SnapshotMismatchError(
+                f"delta checkpoints must extend their base chain: the "
+                f"baseline lives in {chain.directory}, not {resolved}"
+            )
+        try:
+            delta = self.delta_since(chain.newest_generation + 1)
+            generation = append_delta(
+                directory, delta,
+                expected_base=chain.base_generation,
+                expected_generation=chain.newest_generation,
+            )
+        except BaseException:
+            # The drain already emptied the component buffers, so this
+            # tick can never be re-journaled: a retried append would
+            # commit a segment with a silent hole.  Disarm the chain —
+            # the next save must re-base with a full checkpoint.
+            self._stop_delta_tracking()
+            raise
+        chain.newest_generation = generation
+        return Path(directory)
+
+    def _begin_delta_tracking(self) -> None:
+        """Arm delta recording in every stateful component (hook)."""
+        self._delta_rankings = []
+
+    def _stop_delta_tracking(self) -> None:
+        """Disarm delta recording and drop any buffered chain state (hook)."""
+        self._delta_rankings = None
+        self._delta_chain = None
+
+    def delta_since(self, generation: int) -> dict:
+        """Everything that changed since the last base/drain (hook)."""
+        raise NotImplementedError
+
+    def _base_delta(self, generation: int) -> dict:
+        """The boundary-bookkeeping delta shared by both engines.
+
+        Counters and seeds are absolute (they are tiny); rankings are the
+        ones published since the last drain, appended on apply under the
+        same ``max_ranking_history`` bound as :meth:`_publish`.
+        """
+        rankings = self._delta_rankings
+        if rankings is None:
+            raise SnapshotMismatchError(
+                "no delta baseline: call save_checkpoint(directory, "
+                "track_deltas=True) before delta_since"
+            )
+        self._delta_rankings = []
+        return {
+            "since": int(generation),
+            "documents_processed": self._documents_processed,
+            "current_seeds": list(self._current_seeds),
+            "next_evaluation": self._next_evaluation,
+            "rankings": [ranking_to_state(r) for r in rankings],
+        }
 
     def _base_snapshot(self) -> dict:
         """The boundary bookkeeping shared by both engines."""
@@ -338,6 +446,8 @@ class DetectionEngineBase:
         self._current_seeds = [str(seed) for seed in state["current_seeds"]]
         self._next_evaluation = optional_float(state["next_evaluation"])
         self._rankings = [ranking_from_state(r) for r in state["rankings"]]
+        # A restore invalidates any recorded-but-undrained delta chain.
+        self._stop_delta_tracking()
 
     # -- shared internals ------------------------------------------------------
 
@@ -355,6 +465,8 @@ class DetectionEngineBase:
     def _publish(self, ranking: Ranking) -> Ranking:
         """Record a new ranking (bounded history) and notify listeners."""
         self._rankings.append(ranking)
+        if self._delta_rankings is not None:
+            self._delta_rankings.append(ranking)
         limit = self.config.max_ranking_history
         if limit is not None and len(self._rankings) > limit:
             del self._rankings[: len(self._rankings) - limit]
@@ -437,6 +549,36 @@ class EnBlogue(DetectionEngineBase):
         self.tracker.restore(state["tracker"])
         self.detector.restore(state["detector"])
         self.ranking_builder.restore(state["builder"])
+
+    def _begin_delta_tracking(self) -> None:
+        super()._begin_delta_tracking()
+        self.tracker.begin_delta_tracking()
+        self.detector.begin_delta_tracking()
+        self.ranking_builder.begin_delta_tracking()
+
+    def _stop_delta_tracking(self) -> None:
+        super()._stop_delta_tracking()
+        self.tracker.end_delta_tracking()
+        self.detector.end_delta_tracking()
+        self.ranking_builder.end_delta_tracking()
+
+    def delta_since(self, generation: int) -> dict:
+        """Everything that changed since the last base snapshot/drain.
+
+        The journal-segment companion of :meth:`snapshot`:
+        :func:`repro.persistence.delta.apply_engine_delta` folds the
+        result onto the base snapshot dict and reproduces the current
+        :meth:`snapshot` exactly, which is what keeps a base + journal
+        restore bit-identical to an uninterrupted run.
+        """
+        return {
+            "kind": "enblogue-delta",
+            "version": 1,
+            **self._base_delta(generation),
+            "tracker": self.tracker.delta_since(generation),
+            "detector": self.detector.delta_since(generation),
+            "builder": self.ranking_builder.delta_since(generation),
+        }
 
     # -- internals -----------------------------------------------------------------------
 

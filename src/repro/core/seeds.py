@@ -92,7 +92,13 @@ class VolatilitySeedSelector(SeedSelector):
     def score(self, tag, count, window, history) -> float:
         past: List[float] = []
         if history and tag in history:
-            past = [float(v) for v in history[tag][-self.history_length:]]
+            # The per-tag series may be a list or a bounded deque (the
+            # trackers keep deques); convert before trimming — deques do
+            # not support slicing and both stay tiny (<= history_length
+            # of the tracker, a few dozen points).
+            past = [float(v) for v in history[tag]]
+            if len(past) > self.history_length:
+                past = past[-self.history_length:]
         series = past + [float(count)]
         if len(series) < 2:
             # Without any history volatility is undefined; fall back to a

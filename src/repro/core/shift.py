@@ -14,10 +14,11 @@ approximately 2 days."
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Set
 
 from repro.core.tracker import PairObservation
 from repro.core.types import TagPair
+from repro.persistence.codec import string_interner
 from repro.persistence.snapshot import require_compatible, require_state
 from repro.timeseries.predictors import MovingAveragePredictor, Predictor
 from repro.windows.decay import DecayedMaximum, ExponentialDecay
@@ -59,6 +60,9 @@ class ShiftDetector:
         #: targets *increases*, so the default only scores positive errors.
         self.penalize_drops = bool(penalize_drops)
         self._scores: Dict[TagPair, DecayedMaximum] = {}
+        # Pairs whose decayed maximum changed since the last delta drain;
+        # None when delta recording is inactive.
+        self._dirty: Optional[Set[TagPair]] = None
 
     # -- scoring ------------------------------------------------------------
 
@@ -119,6 +123,8 @@ class ShiftDetector:
             observation.pair, DecayedMaximum(self.decay)
         )
         score = tracker.update(observation.timestamp, error)
+        if self._dirty is not None:
+            self._dirty.add(observation.pair)
         return ShiftScore(
             pair=observation.pair,
             timestamp=observation.timestamp,
@@ -140,7 +146,18 @@ class ShiftDetector:
         return sorted(self._scores)
 
     def reset(self, pair: Optional[TagPair] = None) -> None:
-        """Forget the score of one pair, or of every pair."""
+        """Forget the score of one pair, or of every pair.
+
+        Not representable in a journal delta (which carries updates, not
+        deletions), so resetting while delta recording is active fails
+        loudly instead of silently corrupting a checkpoint chain.
+        """
+        if self._dirty is not None:
+            raise RuntimeError(
+                "cannot reset scores while delta recording is active: a "
+                "journal delta cannot express deletions; write a full "
+                "checkpoint (re-base) first"
+            )
         if pair is None:
             self._scores.clear()
         else:
@@ -185,3 +202,53 @@ class ShiftDetector:
             maximum.restore_state(value, last_update)
             scores[TagPair(str(first), str(second))] = maximum
         self._scores = scores
+        # Any buffered delta described the pre-restore state; drop it.
+        self._dirty = None
+
+    # -- incremental persistence --------------------------------------------
+
+    def begin_delta_tracking(self) -> None:
+        """Start (or re-arm, emptying the buffer) delta recording."""
+        self._dirty = set()
+
+    def end_delta_tracking(self) -> None:
+        """Stop recording and discard any buffered delta."""
+        self._dirty = None
+
+    def delta_since(self, generation: int) -> dict:
+        """The decayed maxima updated since the last base/drain.
+
+        Replace semantics: each row carries the pair's *absolute*
+        ``(value, last_update)`` state, so
+        :func:`repro.persistence.delta.apply_detector_delta` merges rows
+        into the base table without replaying updates.  Encoded lean for
+        the cadence hot path — tag names interned into a per-delta
+        ``tags`` table, rows grouped under their shared ``last_update``
+        timestamp (each dirty pair appears exactly once, under its final
+        one).  Requires :meth:`begin_delta_tracking`; recording stays
+        armed afterwards.
+        """
+        if self._dirty is None:
+            raise RuntimeError(
+                "delta tracking is not active: take a base snapshot and "
+                "call begin_delta_tracking() first"
+            )
+        intern, tags_table = string_interner()
+        groups: Dict[float, List[list]] = {}
+        for pair in sorted(self._dirty):
+            value, last_update = self._scores[pair].state()
+            groups.setdefault(last_update, []).append(
+                [intern(pair.first), intern(pair.second), value]
+            )
+        delta = {
+            "kind": "shift-detector-delta",
+            "version": 1,
+            "since": int(generation),
+            "tags": tags_table,
+            "scores": [
+                [last_update, rows]
+                for last_update, rows in sorted(groups.items())
+            ],
+        }
+        self._dirty = set()
+        return delta

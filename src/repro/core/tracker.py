@@ -26,12 +26,14 @@ path.
 from __future__ import annotations
 
 from collections import Counter, deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from itertools import islice
 from typing import Deque, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.core.candidates import CandidateIndex
 from repro.core.correlation import CorrelationMeasure, JaccardCorrelation, PairCounts
 from repro.core.types import TagPair, normalize_tag
+from repro.persistence.codec import string_interner
 from repro.persistence.snapshot import require_compatible, require_state
 from repro.windows.aggregates import TagFrequencyWindow
 from repro.windows.timeseries import TimeSeries
@@ -45,6 +47,14 @@ _EMPTY_FROZENSET: frozenset = frozenset()
 #: vocabulary so the memo stays tiny, but an adversarial stream must not be
 #: able to grow it without limit.
 _DECOMPOSE_CACHE_LIMIT = 65536
+
+#: How many of the oldest memo entries a full cache evicts at once.  An
+#: eighth keeps the amortized eviction cost per insert negligible while
+#: retaining 7/8 of the memo, so a vocabulary churn spike no longer
+#: cold-starts decomposition for the whole stream the way the previous
+#: clear-everything policy did; evicted-but-hot tag sets re-enter on
+#: their next occurrence at the cost of one recomputation.
+_DECOMPOSE_EVICT_BATCH = _DECOMPOSE_CACHE_LIMIT // 8
 
 
 @dataclass(frozen=True)
@@ -104,31 +114,76 @@ class DocumentDecomposer:
         )
         if key is not None:
             if len(self._cache) >= _DECOMPOSE_CACHE_LIMIT:
-                self._cache.clear()
+                # FIFO partial eviction: drop the oldest batch instead of
+                # clearing the memo wholesale.  dict iteration order is
+                # insertion order, so the victims are the stalest entries.
+                for stale in list(islice(self._cache, _DECOMPOSE_EVICT_BATCH)):
+                    del self._cache[stale]
             self._cache[key] = (ordered, pairs)
         return ordered, pairs
 
 
+def count_history_series(history_length: int) -> Deque[int]:
+    """A fresh per-tag count series: a deque bounded to ``history_length``.
+
+    The bound lives in the container so an append is the whole trim — no
+    length check, no slice — which is what lets
+    :func:`record_count_history` run in one pass over the tags.
+    """
+    return deque(maxlen=int(history_length))
+
+
 def record_count_history(
-    history: Dict[str, List[int]],
+    history: Dict[str, Deque[int]],
     snapshot: Mapping[str, int],
     history_length: int,
 ) -> None:
     """Fold one evaluation's per-tag count snapshot into ``history`` in place.
 
     Tags absent from the window record an explicit zero so volatility
-    reflects disappearance as well as growth; each tag's series is bounded
-    to the last ``history_length`` points.  The single rule behind the
+    reflects disappearance as well as growth; each tag's series is a
+    bounded :func:`count_history_series` deque, so the append itself trims
+    to the last ``history_length`` points — the per-evaluation rescan that
+    used to re-slice every tag's list is gone.  The single rule behind the
     volatility seed criterion, shared by the tracker and the sharded
     coordinator (whose global count history must evolve identically).
     """
     for tag, count in snapshot.items():
-        history.setdefault(tag, []).append(count)
-    for tag in list(history):
+        series = history.get(tag)
+        if series is None:
+            series = history[tag] = count_history_series(history_length)
+        series.append(count)
+    for tag, series in history.items():
         if tag not in snapshot:
-            history[tag].append(0)
-        if len(history[tag]) > history_length:
-            del history[tag][: -history_length]
+            series.append(0)
+
+
+#: Journal event kinds: a document's ordered tag set (its pair list and
+#: its tag-window entry are *derived* on apply — pairs are a pure function
+#: of the sorted tags, so shipping them would double the payload and the
+#: encode time of the hot cadence tick), versus a pre-decomposed pair
+#: event from the sharded ingestion path.
+_DELTA_DOC = 0
+_DELTA_PAIRS = 1
+
+
+@dataclass
+class _TrackerDelta:
+    """Everything a tracker appended since its last base snapshot/drain.
+
+    The event buffer aliases the exact tuples the live deques hold
+    (events are immutable), so recording costs one list append per
+    document and preserves the interleaving of document- and pair-fed
+    ingestion; the dirty-history map records how many points each sampled
+    pair's correlation series gained — the drain ships exactly that tail,
+    not the whole bounded ring.
+    """
+
+    events: List[Tuple[int, float, tuple]] = field(default_factory=list)
+    usage_events: List[Tuple[float, Tuple[Tuple[str, Tuple[str, ...]], ...]]] = \
+        field(default_factory=list)
+    dirty_histories: Dict[TagPair, int] = field(default_factory=dict)
+    count_rows: List[Dict[str, int]] = field(default_factory=list)
 
 
 class CorrelationTracker:
@@ -166,8 +221,11 @@ class CorrelationTracker:
         # Correlation histories per pair, appended at each evaluation;
         # bounded ring buffers so long runs cannot grow them without limit.
         self._histories: Dict[TagPair, TimeSeries] = {}
-        # Windowed tag-count history per tag (for the volatility seed criterion).
-        self._count_history: Dict[str, List[int]] = {}
+        # Windowed tag-count history per tag (for the volatility seed
+        # criterion); bounded deques, appended by record_count_history.
+        self._count_history: Dict[str, Deque[int]] = {}
+        # Delta recording (for journaled checkpoints); None when inactive.
+        self._delta: Optional[_TrackerDelta] = None
         # Memoising decomposer: tag sets recur constantly in real streams,
         # and building the O(k²) pair tuple dominates ingestion when computed
         # from scratch per document.
@@ -215,6 +273,8 @@ class CorrelationTracker:
         """
         timestamp, ordered = self._ingest(timestamp, tags, entities)
         self._tag_window.add_document(timestamp, ordered, prepared=True)
+        if self._delta is not None:
+            self._delta.events.append((_DELTA_DOC, timestamp, ordered))
         self._evict(timestamp)
 
     def observe_many(self, observations: Iterable[Observation]) -> int:
@@ -245,8 +305,11 @@ class CorrelationTracker:
             return 0
         # Commit phase: nothing below can fail on malformed input.
         track_usage = self.track_usage
+        buffer = self._delta
         for timestamp, ordered, pairs in prepared:
             self._pair_events.append((timestamp, pairs))
+            if buffer is not None:
+                buffer.events.append((_DELTA_DOC, timestamp, ordered))
             if track_usage:
                 self._record_usage(timestamp, ordered)
         self._documents_seen += len(prepared)
@@ -290,6 +353,11 @@ class CorrelationTracker:
         if not staged:
             return 0
         self._pair_events.extend(staged)
+        if self._delta is not None:
+            self._delta.events.extend(
+                (_DELTA_PAIRS, timestamp, pairs)
+                for timestamp, pairs in staged
+            )
         self._documents_seen += len(staged)
         self._latest = latest
         self._candidates.add_many(all_pairs)
@@ -390,6 +458,7 @@ class CorrelationTracker:
         # of pairs per boundary, so attribute and method-call overhead shows.
         measure_value = self.measure.value
         track_usage = self.track_usage
+        dirty = None if self._delta is None else self._delta.dirty_histories
         # Unsorted iteration: per-pair sampling is order-independent and the
         # ranking builder applies its own total order downstream.  The
         # postings entries carry the pair counts, so no lookups are needed.
@@ -408,6 +477,8 @@ class CorrelationTracker:
                 history = TimeSeries(maxlen=self.history_length)
                 self._histories[pair] = history
             history.append(timestamp, value)
+            if dirty is not None:
+                dirty[pair] = dirty.get(pair, 0) + 1
             observations.append(PairObservation(
                 pair=pair, timestamp=timestamp, correlation=value,
                 counts=counts, seed_tag=seed_tag,
@@ -512,12 +583,99 @@ class CorrelationTracker:
             for a, b, series in state["histories"]
         }
         self._count_history = {
-            str(tag): [int(value) for value in values]
+            str(tag): deque(
+                (int(value) for value in values), maxlen=self.history_length
+            )
             for tag, values in state["count_history"].items()
         }
         self._documents_seen = int(state["documents_seen"])
         latest = state["latest"]
         self._latest = None if latest is None else float(latest)
+        # Any buffered delta described the pre-restore state; drop it.
+        self._delta = None
+
+    # -- incremental persistence ----------------------------------------------
+
+    def begin_delta_tracking(self) -> None:
+        """Start (or re-arm, emptying the buffers) delta recording.
+
+        Call right after taking the base :meth:`snapshot`; everything the
+        tracker appends afterwards is buffered until :meth:`delta_since`
+        drains it.  Recording costs one list append per ingested document
+        plus a set add per sampled candidate — negligible next to the
+        statistics updates themselves.
+        """
+        self._delta = _TrackerDelta()
+
+    def end_delta_tracking(self) -> None:
+        """Stop recording and discard any buffered delta."""
+        self._delta = None
+
+    def delta_since(self, generation: int) -> dict:
+        """Drain the recorded changes since the last base/drain as a dict.
+
+        The companion of :meth:`snapshot` for journaled checkpoints: the
+        result carries only what arrived since the last drain — the
+        ingested events (a document event ships just the ordered tag set;
+        its pair list and tag-window entry are derived on apply), the
+        usage events, the points appended to each sampled pair's
+        correlation series (the exact tail, extended-and-retrimmed on
+        apply), the per-evaluation count-history rows, and the absolute
+        counters — and
+        :func:`repro.persistence.delta.apply_tracker_delta` folds it onto
+        the base snapshot to reproduce :meth:`snapshot` exactly.  Requires
+        :meth:`begin_delta_tracking`; recording stays armed afterwards.
+        """
+        buffer = self._delta
+        if buffer is None:
+            raise RuntimeError(
+                "delta tracking is not active: take a base snapshot and "
+                "call begin_delta_tracking() first"
+            )
+        # A cadence tick's cost is dominated by serializing this dict, so
+        # the encoding is deliberately lean: tag names are interned into
+        # one string table per delta ("tags", referenced by index
+        # everywhere else) and history points are grouped under their
+        # evaluation timestamp instead of repeating floats per pair.
+        intern, tags_table = string_interner()
+        events = [
+            [kind, timestamp,
+             [intern(tag) for tag in payload] if kind == _DELTA_DOC
+             else [[intern(pair.first), intern(pair.second)]
+                   for pair in payload]]
+            for kind, timestamp, payload in buffer.events
+        ]
+        history_groups: Dict[float, List[list]] = {}
+        for pair, appended in sorted(buffer.dirty_histories.items()):
+            timestamps, values = self._histories[pair].tail_points(appended)
+            first = intern(pair.first)
+            second = intern(pair.second)
+            for timestamp, value in zip(timestamps, values):
+                history_groups.setdefault(timestamp, []).append(
+                    [first, second, value]
+                )
+        delta = {
+            "kind": "correlation-tracker-delta",
+            "version": 1,
+            "since": int(generation),
+            "documents_seen": self._documents_seen,
+            "latest": self._latest,
+            "min_support": self._candidates.min_support,
+            "tag_window_latest": self._tag_window.latest_timestamp,
+            "tags": tags_table,
+            "events": events,
+            "usage_events": [
+                [timestamp, [[tag, list(cotags)] for tag, cotags in update]]
+                for timestamp, update in buffer.usage_events
+            ],
+            "histories": [
+                [timestamp, rows]
+                for timestamp, rows in sorted(history_groups.items())
+            ],
+            "count_rows": buffer.count_rows,
+        }
+        self._delta = _TrackerDelta()
+        return delta
 
     # -- internals ----------------------------------------------------------------
 
@@ -555,14 +713,21 @@ class CorrelationTracker:
             (tag, tuple(t for t in ordered if t != tag)) for tag in ordered
         )
         self._usage_events.append((timestamp, usage_update))
+        if self._delta is not None:
+            self._delta.usage_events.append((timestamp, usage_update))
         for tag, cotags in usage_update:
             counter = self._usage.setdefault(tag, Counter())
             for cotag in cotags:
                 counter[cotag] += 1
 
     def _record_count_history(self) -> None:
+        snapshot = self._tag_window.snapshot()
+        if self._delta is not None:
+            # The row is a fresh dict from the window; recording the
+            # reference is safe (record_count_history only reads it).
+            self._delta.count_rows.append(snapshot)
         record_count_history(
-            self._count_history, self._tag_window.snapshot(), self.history_length
+            self._count_history, snapshot, self.history_length
         )
 
     def _evict(self, now: float) -> None:

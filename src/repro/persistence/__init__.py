@@ -19,7 +19,13 @@ published rankings — is externalized behind one uniform protocol:
   CRC-32-checksummed and written atomically via write-then-rename with the
   manifest rename as the sole commit point (the previous checkpoint stays
   restorable through a crash), and distinct errors for corruption and for
-  format version mismatches.
+  format version mismatches.  Delta checkpoints
+  (:class:`~repro.persistence.snapshot.DeltaSnapshotable`,
+  :func:`~repro.persistence.store.append_delta`,
+  :mod:`~repro.persistence.delta`) extend a base with CRC-framed journal
+  segments (``engine-<gen>.delta``, ``shard-NNNN-<gen>.delta``) sized by
+  the documents since the previous tick; the reader folds the journal back
+  onto the base before any ``restore`` runs.
 * :func:`~repro.persistence.resume.load_engine` — rebuild an engine from a
   checkpoint directory, optionally re-partitioning a sharded checkpoint
   into a different shard count (the pair space is re-routed through the
@@ -32,6 +38,7 @@ backends.
 """
 
 from repro.persistence.snapshot import (
+    DeltaSnapshotable,
     Snapshotable,
     SnapshotCorruptionError,
     SnapshotError,
@@ -40,6 +47,7 @@ from repro.persistence.snapshot import (
 )
 from repro.persistence.store import (
     MANIFEST_NAME,
+    append_delta,
     read_checkpoint,
     read_manifest,
     write_checkpoint,
@@ -47,24 +55,32 @@ from repro.persistence.store import (
 
 __all__ = [
     "Snapshotable",
+    "DeltaSnapshotable",
     "SnapshotError",
     "SnapshotVersionError",
     "SnapshotCorruptionError",
     "SnapshotMismatchError",
     "MANIFEST_NAME",
     "write_checkpoint",
+    "append_delta",
     "read_checkpoint",
     "read_manifest",
+    "apply_engine_delta",
     "load_engine",
 ]
 
 
 def __getattr__(name):
-    # ``load_engine`` needs the engine classes, whose modules themselves use
-    # this package; importing it lazily keeps the package a leaf layer that
-    # core/ and sharding/ can depend on without a cycle.
+    # ``load_engine`` needs the engine classes and ``apply_engine_delta``
+    # the shared count-history rule from repro.core — modules that
+    # themselves use this package; importing them lazily keeps the package
+    # a leaf layer that core/ and sharding/ can depend on without a cycle.
     if name == "load_engine":
         from repro.persistence.resume import load_engine
 
         return load_engine
+    if name == "apply_engine_delta":
+        from repro.persistence.delta import apply_engine_delta
+
+        return apply_engine_delta
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

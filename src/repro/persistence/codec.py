@@ -11,10 +11,34 @@ live here — the stateful components encode themselves via their own
 
 from __future__ import annotations
 
-from typing import Any, List, Mapping, Optional, Sequence
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.types import EmergentTopic, Ranking, TagPair
 from repro.persistence.snapshot import SnapshotCorruptionError
+
+
+def string_interner() -> Tuple[Callable[[str], int], List[str]]:
+    """An ``(intern, table)`` pair for per-delta string tables.
+
+    Journal deltas reference every tag by index into one table per delta
+    (``intern`` returns the index, appending on first sight), which is
+    most of the difference between a cadence tick sized by the new
+    documents and one sized by their repeated tag strings.  The encoders
+    in the tracker and the shift detector share this one definition so
+    they cannot drift from the decoders in
+    :mod:`repro.persistence.delta`.
+    """
+    table: List[str] = []
+    index: Dict[str, int] = {}
+
+    def intern(value: str) -> int:
+        position = index.get(value)
+        if position is None:
+            position = index[value] = len(table)
+            table.append(value)
+        return position
+
+    return intern, table
 
 
 def pair_to_state(pair: TagPair) -> List[str]:

@@ -79,6 +79,22 @@ class ShardBackend:
         """Restore one snapshot per shard worker, in shard order."""
         raise NotImplementedError
 
+    def begin_delta_tracking(self) -> None:
+        """Arm delta recording in every shard worker (journal checkpoints)."""
+        raise NotImplementedError
+
+    def end_delta_tracking(self) -> None:
+        """Disarm delta recording in every shard worker."""
+        raise NotImplementedError
+
+    def collect_deltas(self, generation: int) -> List[dict]:
+        """Drain every shard worker's delta, in shard order.
+
+        A synchronisation point like ``collect_states``: the returned
+        deltas reflect every ingest chunk dispatched before the call.
+        """
+        raise NotImplementedError
+
     def close(self) -> None:
         raise NotImplementedError
 
@@ -131,6 +147,20 @@ class SerialBackend(ShardBackend):
         for worker, state in zip(self.workers, states):
             worker.restore(state)
 
+    def begin_delta_tracking(self) -> None:
+        self._ensure_open()
+        for worker in self.workers:
+            worker.begin_delta_tracking()
+
+    def end_delta_tracking(self) -> None:
+        self._ensure_open()
+        for worker in self.workers:
+            worker.end_delta_tracking()
+
+    def collect_deltas(self, generation: int) -> List[dict]:
+        self._ensure_open()
+        return [worker.delta_since(generation) for worker in self.workers]
+
     def close(self) -> None:
         self._closed = True
         self.workers = []
@@ -181,6 +211,26 @@ def _shard_loop(worker: ShardWorker, connection) -> None:
         elif operation == "collect_state":
             try:
                 connection.send(("ok", worker.snapshot()))
+            except Exception:
+                failure = traceback.format_exc()
+                connection.send(("error", failure))
+        elif operation == "begin_delta":
+            try:
+                worker.begin_delta_tracking()
+                connection.send(("ok", None))
+            except Exception:
+                failure = traceback.format_exc()
+                connection.send(("error", failure))
+        elif operation == "end_delta":
+            try:
+                worker.end_delta_tracking()
+                connection.send(("ok", None))
+            except Exception:
+                failure = traceback.format_exc()
+                connection.send(("error", failure))
+        elif operation == "collect_delta":
+            try:
+                connection.send(("ok", worker.delta_since(payload)))
             except Exception:
                 failure = traceback.format_exc()
                 connection.send(("error", failure))
@@ -271,6 +321,26 @@ class ProcessBackend(ShardBackend):
         for shard_id, (pipe, state) in enumerate(zip(self._pipes, states)):
             self._send(shard_id, pipe, ("restore_state", dict(state)))
         self._gather("restore_state")
+
+    def begin_delta_tracking(self) -> None:
+        self._ensure_open()
+        for shard_id, pipe in enumerate(self._pipes):
+            self._send(shard_id, pipe, ("begin_delta", None))
+        self._gather("begin_delta")
+
+    def end_delta_tracking(self) -> None:
+        self._ensure_open()
+        for shard_id, pipe in enumerate(self._pipes):
+            self._send(shard_id, pipe, ("end_delta", None))
+        self._gather("end_delta")
+
+    def collect_deltas(self, generation: int) -> List[dict]:
+        self._ensure_open()
+        # FIFO pipes: each drained delta observes every chunk dispatched
+        # before this call — the same ordering argument as collect_states.
+        for shard_id, pipe in enumerate(self._pipes):
+            self._send(shard_id, pipe, ("collect_delta", generation))
+        return self._gather("collect_delta")
 
     def _ensure_open(self) -> None:
         # Matches SerialBackend: using a closed (or crash-reaped) pool must

@@ -30,7 +30,8 @@ of it to drift.
 
 from __future__ import annotations
 
-from typing import List, Mapping, Optional, Union
+from collections import deque
+from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.core.config import EnBlogueConfig
 from repro.core.correlation import available_measures
@@ -39,7 +40,7 @@ from repro.core.tracker import DocumentDecomposer, record_count_history
 from repro.core.types import Ranking
 from repro.entity.tagger import EntityTagger
 from repro.persistence.codec import optional_float
-from repro.persistence.snapshot import require_state
+from repro.persistence.snapshot import SnapshotMismatchError, require_state
 from repro.sharding.backends import ShardBackend, make_backend
 from repro.sharding.partitioner import PairPartitioner
 from repro.sharding.reshard import reshard_worker_states
@@ -102,6 +103,10 @@ class ShardedEnBlogue(DetectionEngineBase):
         self._buffered_documents = 0
         self._latest: Optional[float] = None
         self._closed = False
+        # Delta-checkpoint buffers for the coordinator's own (tag-level)
+        # state; None when delta recording is inactive.
+        self._delta_tag_events: Optional[List[Tuple[float, Tuple[str, ...]]]] = None
+        self._delta_count_rows: Optional[List[Dict[str, int]]] = None
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -134,6 +139,8 @@ class ShardedEnBlogue(DetectionEngineBase):
             )
         ordered, pairs = self._decomposer.decompose(tags, entities)
         self._tag_window.add_document(timestamp, ordered, prepared=True)
+        if self._delta_tag_events is not None:
+            self._delta_tag_events.append((timestamp, ordered))
         self._latest = timestamp
         if pairs:
             buffers = self._buffers
@@ -200,7 +207,10 @@ class ShardedEnBlogue(DetectionEngineBase):
         self._restore_base(state)
         self._tag_window.restore_state(state["tag_window"])
         self._count_history = {
-            str(tag): [int(value) for value in values]
+            str(tag): deque(
+                (int(value) for value in values),
+                maxlen=self.config.history_length,
+            )
             for tag, values in state["count_history"].items()
         }
         self._latest = optional_float(state["latest"])
@@ -211,6 +221,68 @@ class ShardedEnBlogue(DetectionEngineBase):
         self.backend.restore_states(shard_states)
         self._buffers = [[] for _ in range(self.num_shards)]
         self._buffered_documents = 0
+
+    def _begin_delta_tracking(self) -> None:
+        # snapshot() already flushed, but a direct caller may not have:
+        # the shard deltas must start exactly at the base state.
+        self._flush()
+        super()._begin_delta_tracking()
+        self._delta_tag_events = []
+        self._delta_count_rows = []
+        self.backend.begin_delta_tracking()
+
+    def _stop_delta_tracking(self) -> None:
+        was_tracking = self._delta_rankings is not None
+        super()._stop_delta_tracking()
+        self._delta_tag_events = None
+        self._delta_count_rows = None
+        if was_tracking and not self._closed:
+            try:
+                self.backend.end_delta_tracking()
+            except Exception:
+                # Disarming is best-effort cleanup, often reached while
+                # unwinding a failed save — a dead backend has no worker
+                # buffers left to disarm, and raising here would mask the
+                # failure that brought us down this path.
+                pass
+
+    def delta_since(self, generation: int) -> dict:
+        """Coordinator + every shard's changes since the last base/drain.
+
+        Buffered chunks are flushed first so the drained shard deltas
+        observe every routed pair event (the FIFO argument of
+        ``collect_states``); the coordinator contributes its appended
+        tag-window events, the per-evaluation count-history rows, and the
+        shared boundary bookkeeping.  Folded back by
+        :func:`repro.persistence.delta.apply_engine_delta`.  The drain is
+        not transactional: if the backend fails mid-collect the buffered
+        tick is lost — ``save_delta_checkpoint`` disarms the chain on any
+        failure for exactly that reason.
+        """
+        self._ensure_open()
+        if self._delta_tag_events is None:
+            raise SnapshotMismatchError(
+                "no delta baseline: call save_checkpoint(directory, "
+                "track_deltas=True) before delta_since"
+            )
+        self._flush()
+        tag_events = self._delta_tag_events
+        count_rows = self._delta_count_rows
+        self._delta_tag_events = []
+        self._delta_count_rows = []
+        return {
+            "kind": "sharded-enblogue-delta",
+            "version": 1,
+            **self._base_delta(generation),
+            "latest": self._latest,
+            "tag_window_latest": self._tag_window.latest_timestamp,
+            "tag_events": [
+                [timestamp, list(tags)] for timestamp, tags in tag_events
+            ],
+            "count_rows": count_rows,
+            "builder": self.ranking_builder.delta_since(generation),
+            "shards": self.backend.collect_deltas(generation),
+        }
 
     # -- internals ------------------------------------------------------------
 
@@ -236,9 +308,11 @@ class ShardedEnBlogue(DetectionEngineBase):
         )
         self._tag_window.advance_to(timestamp)
         self._latest = timestamp
+        count_row = self._tag_window.snapshot()
+        if self._delta_count_rows is not None:
+            self._delta_count_rows.append(count_row)
         record_count_history(
-            self._count_history, self._tag_window.snapshot(),
-            self.config.history_length,
+            self._count_history, count_row, self.config.history_length,
         )
         topic_lists = self.backend.evaluate(
             timestamp,

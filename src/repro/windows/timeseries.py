@@ -131,6 +131,18 @@ class TimeSeries:
             return []
         return list(self._values[-n:])
 
+    def tail_points(self, n: int) -> Tuple[List[float], List[float]]:
+        """The last ``n`` points as ``(timestamps, values)`` lists.
+
+        The journal-delta encoding of a series: a bounded ring that took
+        ``n`` appends since a baseline is reproduced exactly by extending
+        the baseline with this tail and re-trimming to ``maxlen`` (when
+        ``n`` reaches ``maxlen`` the tail *is* the whole series).
+        """
+        if n <= 0:
+            return [], []
+        return list(self._timestamps[-n:]), list(self._values[-n:])
+
     def previous_values(self) -> List[float]:
         """Every value except the most recent one (empty when len < 2).
 

@@ -315,3 +315,87 @@ class TestMinPairSupportPropagation:
         with pytest.raises(ValueError):
             tracker.candidate_index.min_support = 0
         assert tracker.min_pair_support == 1
+
+
+class TestCountHistoryBound:
+    def test_series_bounded_without_rescan(self):
+        # Bounded deques replace the per-evaluation rescan-and-slice; the
+        # observable contract is unchanged: last history_length points.
+        tracker = CorrelationTracker(window_horizon=1000.0,
+                                     min_pair_support=1, history_length=3)
+        tracker.observe(1.0, ["s", "x"])
+        for step in range(2, 10):
+            tracker.evaluate(float(step), ["s"])
+        history = tracker.count_history()
+        assert history["s"] == [1, 1, 1]
+        assert all(len(series) <= 3 for series in history.values())
+
+    def test_disappeared_tag_records_explicit_zeros(self):
+        tracker = CorrelationTracker(window_horizon=5.0,
+                                     min_pair_support=1, history_length=4)
+        tracker.observe(1.0, ["s", "x"])
+        tracker.evaluate(2.0, ["s"])
+        tracker.evaluate(20.0, ["s"])  # window expired: counts drop to zero
+        history = tracker.count_history()
+        assert history["s"] == [1, 0]
+        assert history["x"] == [1, 0]
+
+    def test_count_history_returns_plain_lists(self):
+        # Consumers (seed selectors, JSON snapshots) slice and serialise
+        # the series; the public copy stays a list whatever the internal
+        # container is.
+        tracker = CorrelationTracker(window_horizon=100.0,
+                                     min_pair_support=1)
+        tracker.observe(1.0, ["s", "x"])
+        tracker.evaluate(2.0, ["s"])
+        assert all(type(series) is list
+                   for series in tracker.count_history().values())
+
+
+class TestDecomposerEviction:
+    def test_memo_never_exceeds_the_limit(self):
+        from repro.core.tracker import (
+            _DECOMPOSE_CACHE_LIMIT,
+            _DECOMPOSE_EVICT_BATCH,
+            DocumentDecomposer,
+        )
+
+        decomposer = DocumentDecomposer()
+        for index in range(_DECOMPOSE_CACHE_LIMIT + 100):
+            decomposer.decompose(frozenset({f"tag-{index}", "anchor"}))
+            assert len(decomposer._cache) <= _DECOMPOSE_CACHE_LIMIT
+        # Partial eviction: a churn spike drops one batch, not the memo.
+        assert len(decomposer._cache) \
+            >= _DECOMPOSE_CACHE_LIMIT - _DECOMPOSE_EVICT_BATCH
+
+    def test_eviction_is_fifo_and_keeps_recent_entries(self):
+        from repro.core.tracker import (
+            _DECOMPOSE_CACHE_LIMIT,
+            DocumentDecomposer,
+        )
+
+        decomposer = DocumentDecomposer()
+        oldest = frozenset({"tag-0", "anchor"})
+        newest = frozenset({f"tag-{_DECOMPOSE_CACHE_LIMIT - 1}", "anchor"})
+        for index in range(_DECOMPOSE_CACHE_LIMIT + 1):
+            decomposer.decompose(frozenset({f"tag-{index}", "anchor"}))
+        cache = decomposer._cache
+        assert (oldest, frozenset()) not in cache
+        assert (newest, frozenset()) in cache
+
+    def test_eviction_does_not_change_results(self):
+        from repro.core.tracker import DocumentDecomposer
+        import repro.core.tracker as tracker_module
+
+        decomposer = DocumentDecomposer()
+        anchor = frozenset({"b", "a", "c"})
+        expected = decomposer.decompose(anchor)
+        original_limit = tracker_module._DECOMPOSE_CACHE_LIMIT
+        # Shrink the limit so eviction actually fires in a short loop.
+        tracker_module._DECOMPOSE_CACHE_LIMIT = 16
+        try:
+            for index in range(64):
+                decomposer.decompose(frozenset({f"t{index}", "z"}))
+            assert decomposer.decompose(anchor) == expected
+        finally:
+            tracker_module._DECOMPOSE_CACHE_LIMIT = original_limit

@@ -1,0 +1,175 @@
+"""Property: base + journal chains round-trip bit-identically, always.
+
+For random document streams, random checkpoint cadences (full re-bases
+interleaved with delta segments at random cut points) and random shard
+counts, a directory written as a delta chain must restore — through the
+unchanged ``restore`` path, after the store folds the journal onto the
+base — into an engine whose continuation publishes exactly the ranking
+sequence of an uninterrupted run.  Two layers are pinned on every
+example: the folded state equals the live engine's ``snapshot()`` dict
+(so the journal loses nothing, bit for bit), and the resumed run's
+rankings equal the reference — including chains that span a mid-chain
+re-shard (resume into a different shard count, start a new chain, resume
+again).
+"""
+
+import tempfile
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import EnBlogueConfig
+from repro.core.engine import EnBlogue
+from repro.datasets.documents import Document
+from repro.persistence import load_engine, read_checkpoint
+from repro.sharding import ShardedEnBlogue
+
+tag_names = st.sampled_from(
+    ["alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"]
+)
+
+#: Random streams as (positive time delta, tag set) steps; cumulative sums
+#: give the non-decreasing timestamps every ingestion path requires.
+document_steps = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=40.0, allow_nan=False),
+        st.sets(tag_names, min_size=0, max_size=4),
+    ),
+    min_size=4,
+    max_size=50,
+)
+
+
+def build_docs(steps):
+    docs = []
+    timestamp = 0.0
+    for index, (delta, tags) in enumerate(steps):
+        timestamp += delta
+        docs.append(Document(
+            timestamp=timestamp, doc_id=f"doc-{index}", tags=frozenset(tags),
+        ))
+    return docs
+
+
+def config():
+    return EnBlogueConfig(
+        window_horizon=100.0,
+        evaluation_interval=25.0,
+        num_seeds=6,
+        min_seed_count=1,
+        min_pair_support=1,
+        min_history=2,
+        predictor="moving_average",
+        predictor_window=3,
+        history_length=6,
+    )
+
+
+def signature(engine):
+    return [
+        (ranking.timestamp, ranking.label, ranking.topics)
+        for ranking in engine.ranking_history()
+    ]
+
+
+def draw_cuts(data, count):
+    """A sorted run of cut points: base cut first, then delta-tick cuts."""
+    cuts = data.draw(
+        st.lists(st.integers(min_value=0, max_value=count),
+                 min_size=1, max_size=5),
+        label="cuts",
+    )
+    return sorted(cuts)
+
+
+def write_chain(engine, docs, directory, cuts):
+    """Replay up to each cut; base at the first, a journal segment after."""
+    previous = 0
+    for index, cut in enumerate(cuts):
+        engine.process_many(docs[previous:cut])
+        previous = cut
+        if index == 0:
+            engine.save_checkpoint(directory, track_deltas=True)
+        else:
+            engine.save_delta_checkpoint(directory)
+    return previous
+
+
+@settings(max_examples=25, deadline=None)
+@given(steps=document_steps, data=st.data())
+def test_single_engine_chain_restores_bit_identical(steps, data):
+    docs = build_docs(steps)
+    reference = EnBlogue(config())
+    reference.process_many(docs)
+    expected = signature(reference)
+
+    cuts = draw_cuts(data, len(docs))
+    with tempfile.TemporaryDirectory() as directory:
+        engine = EnBlogue(config())
+        cut = write_chain(engine, docs, directory, cuts)
+        _, merged = read_checkpoint(directory)
+        assert merged == engine.snapshot()
+        resumed, _ = load_engine(directory)
+        resumed.process_many(docs[cut:])
+        assert signature(resumed) == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(steps=document_steps, data=st.data())
+def test_sharded_chain_restores_bit_identical_across_shard_counts(steps, data):
+    docs = build_docs(steps)
+    reference = EnBlogue(config())
+    reference.process_many(docs)
+    expected = signature(reference)
+
+    cuts = draw_cuts(data, len(docs))
+    checkpoint_shards = data.draw(st.sampled_from([1, 2, 4]),
+                                  label="checkpoint_shards")
+    resume_shards = data.draw(st.sampled_from([1, 2, 4]),
+                              label="resume_shards")
+    with tempfile.TemporaryDirectory() as directory:
+        with ShardedEnBlogue(config(), num_shards=checkpoint_shards,
+                             backend="serial", chunk_size=7) as engine:
+            cut = write_chain(engine, docs, directory, cuts)
+            _, merged = read_checkpoint(directory)
+            assert merged == engine.snapshot()
+        resumed, _ = load_engine(directory, num_shards=resume_shards)
+        with resumed:
+            resumed.process_many(docs[cut:])
+            assert signature(resumed) == expected
+
+
+@settings(max_examples=15, deadline=None)
+@given(steps=document_steps, data=st.data())
+def test_chain_spanning_a_mid_chain_reshard(steps, data):
+    """Chain → resume re-sharded → new chain → resume again, still exact."""
+    docs = build_docs(steps)
+    reference = EnBlogue(config())
+    reference.process_many(docs)
+    expected = signature(reference)
+
+    first_shards = data.draw(st.sampled_from([1, 2, 4]), label="first_shards")
+    middle_shards = data.draw(st.sampled_from([1, 2, 4]),
+                              label="middle_shards")
+    final_shards = data.draw(st.sampled_from([1, 2, 4]), label="final_shards")
+    first_cuts = draw_cuts(data, len(docs) // 2)
+    handoff = first_cuts[-1]
+    second_cut = data.draw(
+        st.integers(min_value=handoff, max_value=len(docs)),
+        label="second_cut",
+    )
+    with tempfile.TemporaryDirectory() as directory:
+        with ShardedEnBlogue(config(), num_shards=first_shards,
+                             backend="serial", chunk_size=7) as engine:
+            write_chain(engine, docs, directory, first_cuts)
+        middle, _ = load_engine(directory, num_shards=middle_shards)
+        with middle:
+            # Restoring compacted base + journal; the new chain re-bases.
+            middle.process_many(docs[handoff:second_cut])
+            middle.save_checkpoint(directory, track_deltas=True)
+            middle.save_delta_checkpoint(directory)
+            _, merged = read_checkpoint(directory)
+            assert merged == middle.snapshot()
+        final, _ = load_engine(directory, num_shards=final_shards)
+        with final:
+            final.process_many(docs[second_cut:])
+            assert signature(final) == expected
