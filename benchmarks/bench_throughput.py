@@ -32,6 +32,7 @@ refresh the sharded scaling rows on a multi-core runner.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import os
 import statistics
@@ -367,6 +368,95 @@ def test_delta_checkpoint_overhead(heavy_tweets, tmp_path):
                                    f"cadence (every "
                                    f"{CHECKPOINT_EVERY * CHUNK_DOCS} docs)"))
     assert medians["delta"] < medians["full"]
+
+
+# -- the async serving layer ---------------------------------------------------
+
+
+def serve_replay(docs, checkpoint_dir=None, lockstep=False,
+                 chunk=CHUNK_DOCS):
+    """Replay ``docs`` through the asyncio serving layer.
+
+    Free-running mode submits chunks as fast as the bounded queue accepts
+    them — the serving docs/s figure.  ``lockstep`` instead drains the
+    service after every submit and records, for each chunk that produced
+    rankings, the seconds from ``submit`` to the frames being pushed to
+    the subscriber — the ingest→ranking-push latency (with a checkpoint
+    cadence this includes the journal segment written on the same tick,
+    which is exactly what a served cadence tick costs).
+
+    Returns ``(engine, frames, latencies, seconds)``.
+    """
+    from repro.persistence import CheckpointCadence
+    from repro.serving import DetectionService
+
+    async def scenario():
+        engine = EnBlogue(throughput_config("batch"))
+        cadence = None
+        if checkpoint_dir is not None:
+            cadence = CheckpointCadence(
+                engine, directory=checkpoint_dir, every=CHECKPOINT_EVERY,
+                mode="delta", full_every=FULL_EVERY,
+            )
+        service = DetectionService(engine, cadence=cadence)
+        await service.start()
+        subscription = service.subscribe(buffer_limit=1 << 16)
+        latencies = []
+        started = time.perf_counter()
+        pushed = 0
+        for start in range(0, len(docs), chunk):
+            submit_at = time.perf_counter()
+            await service.submit(docs[start:start + chunk])
+            if lockstep:
+                await service.drain()
+                if service.stats.rankings_published > pushed:
+                    latencies.append(time.perf_counter() - submit_at)
+                    pushed = service.stats.rankings_published
+        await service.stop()
+        elapsed = time.perf_counter() - started
+        frames = []
+        while (message := await subscription.next_message()) is not None:
+            frames.append(message.payload)
+        return engine, frames, latencies, elapsed
+
+    return asyncio.run(scenario())
+
+
+def test_served_rankings_match_batch_replay(heavy_tweets):
+    """The serving path is behaviour-preserving: pushed frames == replay."""
+    reference = replay_batch(heavy_tweets)
+    engine, frames, _, _ = serve_replay(heavy_tweets)
+    assert engine.ranking_history() == reference.ranking_history()
+    assert frames == reference.ranking_history()
+
+
+def test_serving_push_latency_and_checkpoint_overhead(heavy_tweets, tmp_path):
+    """Ingest→push latency with and without a concurrent delta cadence.
+
+    Results first: the delta-checkpointed serve's frames equal the plain
+    serve's.  No hard latency bound — the recorded ``serving`` baseline
+    section carries the measured milliseconds; a noisy CI runner only has
+    to produce positive latencies and a journal on disk.
+    """
+    _, plain_frames, plain_latencies, _ = serve_replay(
+        heavy_tweets, lockstep=True)
+    _, delta_frames, delta_latencies, _ = serve_replay(
+        heavy_tweets, checkpoint_dir=tmp_path, lockstep=True)
+    assert delta_frames == plain_frames
+    assert plain_latencies and delta_latencies
+    assert list(tmp_path.glob("*.delta")), \
+        "the serve-time delta cadence wrote no journal segments"
+    rows = [
+        {"path": name,
+         "p50 ingest->push ms": round(
+             statistics.median(values) * 1000, 1)}
+        for name, values in (("serve", plain_latencies),
+                             ("serve + delta ckpt", delta_latencies))
+    ]
+    print()
+    print(format_table(rows, title="PERF-4 — serving push latency "
+                                   f"({CHUNK_DOCS}-doc batches)"))
+    assert all(value > 0 for value in plain_latencies + delta_latencies)
 
 
 # -- count-history maintenance (micro) ----------------------------------------
@@ -763,6 +853,59 @@ def _measure_checkpointing_delta_section(docs, rounds: int) -> dict:
     }
 
 
+def _measure_serving_section(docs, rounds: int) -> dict:
+    """The ``serving`` section: the asyncio layer vs the bare batch path.
+
+    Records serving docs/s (free-running producer over the bounded queue)
+    with and without a concurrent delta checkpoint cadence, plus the
+    median ingest→ranking-push latency measured in lockstep (submit, wait
+    for the frames).  Frames are asserted identical to the plain batch
+    replay before anything is timed.
+    """
+    reference = ranking_signature(replay_batch(docs))
+    engine, frames, _, _ = serve_replay(docs)
+    assert ranking_signature(engine) == reference
+    assert [
+        (ranking.timestamp, [(topic.pair, topic.score) for topic in ranking])
+        for ranking in frames
+    ] == reference
+
+    with tempfile.TemporaryDirectory() as raw_dir:
+        directory = Path(raw_dir)
+        medians = interleaved_medians(
+            [
+                ("replay", lambda: replay_batch(docs)),
+                ("serve", lambda: serve_replay(docs)),
+                ("serve-delta-ckpt", lambda: serve_replay(
+                    docs, checkpoint_dir=directory)),
+            ],
+            rounds=rounds,
+        )
+        _, _, plain_latencies, _ = serve_replay(docs, lockstep=True)
+        with tempfile.TemporaryDirectory() as latency_dir:
+            _, _, ckpt_latencies, _ = serve_replay(
+                docs, checkpoint_dir=Path(latency_dir), lockstep=True)
+    return {
+        "rankings_identical": True,
+        "recorded": time.strftime("%Y-%m-%d"),
+        "cpu_cores": _cpu_cores(),
+        "chunk_docs": CHUNK_DOCS,
+        "checkpoint_every_rankings": CHECKPOINT_EVERY,
+        "replay_docs_per_s": round(len(docs) / medians["replay"]),
+        "serve_docs_per_s": round(len(docs) / medians["serve"]),
+        "serve_delta_ckpt_docs_per_s": round(
+            len(docs) / medians["serve-delta-ckpt"]),
+        "serve_vs_replay_overhead_pct": round(
+            (medians["serve"] / medians["replay"] - 1.0) * 100, 1),
+        "delta_ckpt_overhead_pct": round(
+            (medians["serve-delta-ckpt"] / medians["serve"] - 1.0) * 100, 1),
+        "push_latency_ms_p50": round(
+            statistics.median(plain_latencies) * 1000, 2),
+        "push_latency_ms_p50_with_delta_ckpt": round(
+            statistics.median(ckpt_latencies) * 1000, 2),
+    }
+
+
 def update_sections(sections, rounds: int = 3) -> dict:
     """Re-record only ``sections`` of an existing ``BENCH_throughput.json``.
 
@@ -783,6 +926,8 @@ def update_sections(sections, rounds: int = 3) -> dict:
         elif section == "checkpointing_delta":
             baseline["checkpointing_delta"] = \
                 _measure_checkpointing_delta_section(docs, rounds)
+        elif section == "serving":
+            baseline["serving"] = _measure_serving_section(docs, rounds)
         else:
             raise SystemExit(f"unknown section {section!r}")
     BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
@@ -855,6 +1000,7 @@ def record_baseline(rounds: int = 9) -> dict:
             docs, max(3, rounds // 3)),
         "checkpointing_delta": _measure_checkpointing_delta_section(
             docs, max(3, rounds // 3)),
+        "serving": _measure_serving_section(docs, max(3, rounds // 3)),
     }
     BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
     return baseline
@@ -865,7 +1011,8 @@ if __name__ == "__main__":
         description="record the machine baseline in BENCH_throughput.json")
     arguments.add_argument(
         "--section", action="append",
-        choices=("sharding", "checkpointing", "checkpointing_delta"),
+        choices=("sharding", "checkpointing", "checkpointing_delta",
+                 "serving"),
         help="re-record only this section of the existing baseline "
              "(repeatable); default: record everything")
     arguments.add_argument("--rounds", type=int, default=None,

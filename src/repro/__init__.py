@@ -26,14 +26,17 @@ from repro.core.personalization import PersonalizationEngine, UserProfile
 from repro.core.types import EmergentTopic, Ranking, TagPair
 from repro.persistence import load_engine
 from repro.portal.server import Portal
+from repro.serving import DetectionService, RankingServer
 from repro.sharding import ShardedEnBlogue
 from repro.streams.item import StreamItem
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "EnBlogue",
     "ShardedEnBlogue",
+    "DetectionService",
+    "RankingServer",
     "load_engine",
     "EnBlogueConfig",
     "news_archive_config",

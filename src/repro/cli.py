@@ -16,6 +16,10 @@ Examples::
         --checkpoint-every 8 --checkpoint-dir /tmp/ckpt \
         --checkpoint-mode delta --full-every 16
     python -m repro.cli replay --resume /tmp/ckpt --shards 4
+    python -m repro.cli serve --port 8000 --shards 2 --backend process \
+        --checkpoint-dir /tmp/serve-ckpt --checkpoint-every 4 \
+        --checkpoint-mode delta
+    python -m repro.cli serve --resume /tmp/serve-ckpt --port 8000
     python -m repro.cli compare --dataset shifts
     python -m repro.cli explore --dataset nyt --start-day 50 --end-day 80
 """
@@ -23,6 +27,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import asyncio
 import sys
 from typing import List, Optional, Sequence, Tuple
 
@@ -38,6 +43,7 @@ from repro.datasets.synthetic import correlation_shift_stream
 from repro.datasets.twitter import TweetStreamGenerator
 from repro.evaluation.harness import run_detector, run_experiment
 from repro.evaluation.reporting import format_table
+from repro.persistence.cadence import CheckpointCadence
 from repro.persistence.resume import load_engine
 from repro.portal.serialization import rankings_to_json
 from repro.sharding import ShardedEnBlogue, available_backends
@@ -112,58 +118,34 @@ def _checkpoint_extras(dataset: str, hours: int, years: float,
     return {"dataset": dataset, "hours": hours, "years": years, "seed": seed}
 
 
-def _checkpoint_cadence(engine, args: argparse.Namespace, extras: dict):
-    """The checkpoint policy shared by fresh replays and resumes.
+def _checkpoint_cadence(engine, args: argparse.Namespace,
+                        extras: dict) -> CheckpointCadence:
+    """The checkpoint policy shared by replays, resumes and ``serve``.
 
-    Returns ``(after_ranking, save_final, counts)``: the cadence hook for
-    the harness (None when no --checkpoint-every), the bare
-    --checkpoint-dir end-of-replay save, and the written/rankings counters
-    for reporting.
-
-    ``--checkpoint-mode delta`` turns the cadence into a base + journal
-    chain: the first tick (and every ``--full-every``-th) writes a full
-    checkpoint that re-bases the chain, every other tick appends a delta
-    segment proportional to the documents since the previous tick.
+    Built on the shared :class:`CheckpointCadence` (the serving layer
+    runs the very same class on its engine executor, so serve-time
+    checkpoints cannot drift from what ``--resume`` is tested against).
+    ``begin`` eagerly writes the delta chain's base — the replay-start
+    state (for ``--resume``: the just-restored state, which compacts any
+    inherited journal) — so every cadence tick until the next re-base
+    appends a segment.
     """
-    counts = {"rankings": 0, "written": 0}
-    delta_mode = args.checkpoint_mode == "delta"
-    full_every = args.full_every
-    if delta_mode and args.checkpoint_every:
-        # The chain's base is the replay-start state (for --resume: the
-        # just-restored state, which compacts any inherited journal), so
-        # every cadence tick until the next re-base appends a segment.
-        engine.save_checkpoint(args.checkpoint_dir, extras=extras,
-                               track_deltas=True)
-        counts["written"] = 1
-
-    def after_ranking(ranking) -> None:
-        # Called between documents, when the engine state is consistent;
-        # see evaluation.harness.run_detector.
-        counts["rankings"] += 1
-        if counts["rankings"] % args.checkpoint_every == 0:
-            if not delta_mode:
-                engine.save_checkpoint(args.checkpoint_dir, extras=extras)
-            elif counts["written"] % full_every == 0:
-                engine.save_checkpoint(
-                    args.checkpoint_dir, extras=extras, track_deltas=True
-                )
-            else:
-                # Manifest extras were recorded at the base/re-base tick.
-                engine.save_delta_checkpoint(args.checkpoint_dir)
-            counts["written"] += 1
-
-    def save_final() -> None:
-        if args.checkpoint_dir and not args.checkpoint_every:
-            engine.save_checkpoint(args.checkpoint_dir, extras=extras)
-            counts["written"] += 1
-
-    hook = after_ranking if args.checkpoint_every else None
-    return hook, save_final, counts
+    cadence = CheckpointCadence(
+        engine,
+        directory=args.checkpoint_dir,
+        every=args.checkpoint_every,
+        mode=args.checkpoint_mode,
+        full_every=args.full_every,
+        extras=extras,
+    )
+    cadence.begin()
+    return cadence
 
 
-def _report_checkpoints(counts: dict, directory) -> None:
-    if counts["written"]:
-        print(f"\nwrote {counts['written']} checkpoint(s) to {directory}")
+def _report_checkpoints(cadence: CheckpointCadence, directory) -> None:
+    if cadence.checkpoints_written:
+        print(f"\nwrote {cadence.checkpoints_written} checkpoint(s) "
+              f"to {directory}")
 
 
 def _export_rankings(path: str, rankings: Sequence) -> None:
@@ -190,20 +172,19 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         else f"enblogue[{engine.num_shards}x{args.backend}]"
 
     extras = _checkpoint_extras(args.dataset, args.hours, args.years, args.seed)
-    after_ranking, save_final, checkpoints = _checkpoint_cadence(
-        engine, args, extras)
+    cadence = _checkpoint_cadence(engine, args, extras)
 
     try:
         result = run_experiment(
             engine, corpus, schedule, name=name, k=config.top_k,
-            after_ranking=after_ranking,
+            after_ranking=cadence.hook(),
         )
-        save_final()
+        cadence.finalize()
     finally:
         if isinstance(engine, ShardedEnBlogue):
             engine.close()
     print(format_table([result.summary()], title=f"replay of {args.dataset!r}"))
-    _report_checkpoints(checkpoints, args.checkpoint_dir)
+    _report_checkpoints(cadence, args.checkpoint_dir)
     final = result.run.final_ranking()
     if final is not None:
         print()
@@ -271,18 +252,17 @@ def _cmd_replay_resume(args: argparse.Namespace) -> int:
 
     skip = engine.documents_processed
     remaining = list(corpus)[skip:]
-    after_ranking, save_final, checkpoints = _checkpoint_cadence(
-        engine, args, extras)
+    cadence = _checkpoint_cadence(engine, args, extras)
 
     try:
         # The one replay loop of the harness: collection, the cadence
         # hook's consistency guarantees and the replayed-anything guard on
         # the forced final evaluation all come with it.
         run = run_detector(
-            engine, remaining, name="resume", after_ranking=after_ranking,
+            engine, remaining, name="resume", after_ranking=cadence.hook(),
         )
         produced = run.rankings
-        save_final()
+        cadence.finalize()
     finally:
         if isinstance(engine, ShardedEnBlogue):
             engine.close()
@@ -292,12 +272,115 @@ def _cmd_replay_resume(args: argparse.Namespace) -> int:
     print(f"resumed {dataset!r} from {args.resume} ({shape}): "
           f"skipped {skip} checkpointed documents, replayed "
           f"{len(remaining)}, produced {len(produced)} rankings")
-    _report_checkpoints(checkpoints, args.checkpoint_dir)
+    _report_checkpoints(cadence, args.checkpoint_dir)
     if produced:
         print()
         print(produced[-1].describe(k=engine.config.top_k))
     if args.export:
         _export_rankings(args.export, produced)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Serve the engine over HTTP: live ingest, rankings, SSE stream.
+
+    Documents arrive over ``POST /ingest`` (a bounded queue pushes back on
+    producers), rankings leave over ``GET /rankings`` and the SSE stream
+    ``GET /rankings/stream``, and the checkpoint cadence — delta mode
+    included — rides the same event loop, writing between batches.
+    ``--resume`` restores engine and configuration from a checkpoint
+    directory and keeps serving the stream from where it stopped.
+    """
+    from repro.serving import DetectionService, RankingServer
+
+    if args.checkpoint_every and not args.checkpoint_dir:
+        raise SystemExit("--checkpoint-every requires --checkpoint-dir")
+    if args.checkpoint_mode == "delta" and not args.checkpoint_every:
+        raise SystemExit(
+            "--checkpoint-mode delta requires --checkpoint-every: a delta "
+            "journal only exists on a cadence"
+        )
+    if args.resume:
+        for flag in ("top_k", "measure", "predictor", "seeds"):
+            if getattr(args, flag) is not None:
+                raise SystemExit(
+                    f"--{flag.replace('_', '-')} cannot be combined with "
+                    f"--resume: the engine runs under the checkpoint's "
+                    f"configuration"
+                )
+        engine, manifest = load_engine(
+            args.resume, num_shards=args.shards, backend=args.backend,
+        )
+        extras = dict(manifest.get("extras", {}))
+    else:
+        config = news_archive_config() if args.preset == "news" \
+            else live_stream_config()
+        config = _apply_overrides(config, args)
+        engine = _make_engine(config, args)
+        extras = {"source": "serve"}
+
+    try:
+        return asyncio.run(_serve_async(
+            engine, args, extras, DetectionService, RankingServer,
+        ))
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        if isinstance(engine, ShardedEnBlogue):
+            engine.close()
+
+
+async def _serve_async(engine, args: argparse.Namespace, extras: dict,
+                       service_class, server_class) -> int:
+    cadence = None
+    if args.checkpoint_dir:
+        cadence = CheckpointCadence(
+            engine,
+            directory=args.checkpoint_dir,
+            every=args.checkpoint_every,
+            mode=args.checkpoint_mode,
+            full_every=args.full_every,
+            extras=extras,
+        )
+    service = service_class(
+        engine,
+        queue_capacity=args.queue_capacity,
+        buffer_limit=args.buffer_limit,
+        cadence=cadence,
+    )
+    await service.start()
+    server = server_class(service, host=args.host, port=args.port)
+    await server.start()
+
+    shape = "single" if isinstance(engine, EnBlogue) \
+        else f"{engine.num_shards}x{engine.backend.name}"
+    print(f"serving enblogue[{shape}] on http://{server.host}:{server.port} "
+          f"(POST /ingest, GET /rankings, GET /rankings/stream, GET /status)",
+          flush=True)
+
+    import signal
+
+    stopping = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stopping.set)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass
+    try:
+        await stopping.wait()
+    finally:
+        # Stop accepting first, then drain: every accepted batch is
+        # processed, its frames pushed to still-open SSE streams (which
+        # end on the fan-out's sentinel), and the end state checkpointed
+        # — only then are straggling connections reaped.
+        await server.close_listener()
+        await service.stop()
+        await server.stop()
+    status = service.status()
+    print(f"\nserved {status['documents_processed']} documents, "
+          f"published {status['rankings_published']} rankings, "
+          f"wrote {status['checkpoints_written']} checkpoint(s)")
     return 0
 
 
@@ -398,6 +481,58 @@ def build_parser() -> argparse.ArgumentParser:
                              "replaying from cold (engine config and dataset "
                              "parameters come from the checkpoint manifest)")
     replay.set_defaults(handler=_cmd_replay)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve the engine over HTTP: live ingest, rankings, SSE push")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8000,
+                       help="TCP port (0 picks an ephemeral port, printed "
+                            "on startup)")
+    serve.add_argument("--preset", choices=("live", "news"), default="live",
+                       help="configuration preset for a fresh engine "
+                            "(ignored with --resume)")
+    serve.add_argument("--top-k", type=int, default=None, help="ranking size")
+    serve.add_argument("--measure", default=None,
+                       help="correlation measure (jaccard, overlap, cosine, "
+                            "pmi, kl)")
+    serve.add_argument("--predictor", default=None,
+                       help="shift predictor (last, moving_average, ewma, "
+                            "linear, holt)")
+    serve.add_argument("--seeds", type=int, default=None,
+                       help="number of seed tags")
+    serve.add_argument("--shards", type=_positive_int, default=None,
+                       help="partition the pair space over N shards "
+                            "(default 1 = the single-process engine)")
+    serve.add_argument("--backend", choices=available_backends(),
+                       default="serial",
+                       help="shard execution backend (with --shards > 1)")
+    serve.add_argument("--queue-capacity", type=_positive_int, default=8,
+                       help="bound of the ingest queue, in batches; a full "
+                            "queue blocks POST /ingest responses "
+                            "(backpressure)")
+    serve.add_argument("--buffer-limit", type=_positive_int, default=64,
+                       help="per-subscriber SSE frame buffer; slow "
+                            "consumers drop oldest frames beyond it")
+    serve.add_argument("--checkpoint-every", type=_positive_int, default=None,
+                       metavar="N",
+                       help="checkpoint after every N published rankings "
+                            "(requires --checkpoint-dir)")
+    serve.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                       help="checkpoint directory; without "
+                            "--checkpoint-every the end state is saved "
+                            "once at shutdown")
+    serve.add_argument("--checkpoint-mode", choices=("full", "delta"),
+                       default="full",
+                       help="cadence checkpoint format (see replay)")
+    serve.add_argument("--full-every", type=_positive_int, default=16,
+                       metavar="K",
+                       help="with --checkpoint-mode delta: re-base the "
+                            "journal every K-th cadence tick")
+    serve.add_argument("--resume", default=None, metavar="DIR",
+                       help="restore engine and configuration from the "
+                            "checkpoint in DIR and continue serving")
+    serve.set_defaults(handler=_cmd_serve)
 
     compare = subparsers.add_parser("compare",
                                     help="compare enBlogue against the baselines")

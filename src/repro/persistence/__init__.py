@@ -37,6 +37,7 @@ shard count changes across the restore — which the test-suite pins on both
 backends.
 """
 
+from repro.persistence.cadence import CheckpointCadence
 from repro.persistence.snapshot import (
     DeltaSnapshotable,
     Snapshotable,
@@ -61,6 +62,7 @@ __all__ = [
     "SnapshotCorruptionError",
     "SnapshotMismatchError",
     "MANIFEST_NAME",
+    "CheckpointCadence",
     "write_checkpoint",
     "append_delta",
     "read_checkpoint",

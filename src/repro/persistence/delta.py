@@ -35,8 +35,8 @@ from repro.core.tracker import _DELTA_DOC, record_count_history
 from repro.persistence.snapshot import SnapshotMismatchError, require_state
 
 
-def _require_delta(state: Any, kind: str) -> Mapping[str, Any]:
-    return require_state(state, kind, 1)
+def _require_delta(state: Any, kind: str, version: int = 1) -> Mapping[str, Any]:
+    return require_state(state, kind, version)
 
 
 def _evict_events(events: List[list], latest, horizon: float) -> List[list]:
@@ -317,13 +317,21 @@ def apply_engine_delta(
         )
         return state
     if kind == "sharded-enblogue":
-        _require_delta(delta, "sharded-enblogue-delta")
+        # Version 2 interned the coordinator's tag events (one string
+        # table per delta, events reference it by index) — the same
+        # encoding the tracker deltas use; version-1 journals predate the
+        # table and are rejected by the envelope check below.
+        _require_delta(delta, "sharded-enblogue-delta", 2)
         _apply_base_bookkeeping(state, delta)
         latest = delta["latest"]
         state["latest"] = latest
+        table = delta["tags"]
         window = state["tag_window"]
         window_events = list(window["events"])
-        window_events.extend(delta["tag_events"])
+        window_events.extend(
+            [timestamp, [table[index] for index in indices]]
+            for timestamp, indices in delta["tag_events"]
+        )
         window["events"] = _evict_events(
             window_events, delta["tag_window_latest"], float(window["horizon"])
         )

@@ -14,7 +14,12 @@ session, and :class:`Portal` glues the enBlogue engine, the dispatcher and
 per-user personalization together.
 """
 
-from repro.portal.push import Channel, PushDispatcher, PushMessage
+from repro.portal.push import (
+    Channel,
+    ChannelClosedError,
+    PushDispatcher,
+    PushMessage,
+)
 from repro.portal.sessions import ClientSession
 from repro.portal.server import Portal
 from repro.portal.serialization import (
@@ -29,6 +34,7 @@ from repro.portal.serialization import (
 __all__ = [
     "PushMessage",
     "Channel",
+    "ChannelClosedError",
     "PushDispatcher",
     "ClientSession",
     "Portal",

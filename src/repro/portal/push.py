@@ -14,6 +14,16 @@ from typing import Any, Callable, Dict, List, Optional
 Subscriber = Callable[["PushMessage"], None]
 
 
+class ChannelClosedError(RuntimeError):
+    """Publish or subscribe on a closed channel/dispatcher.
+
+    Mirrors the shard backends' use-after-close contract: a closed
+    channel silently swallowing messages would let a shut-down serving
+    layer drop ranking pushes without anyone noticing, so the misuse
+    fails loudly at the call site instead.
+    """
+
+
 @dataclass(frozen=True)
 class PushMessage:
     """One message pushed to a channel."""
@@ -42,12 +52,28 @@ class Channel:
         self.history_limit = int(history_limit)
         self._subscribers: Dict[str, Subscriber] = {}
         self._history: List[PushMessage] = []
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     @property
     def subscriber_ids(self) -> List[str]:
         return sorted(self._subscribers)
 
+    def close(self) -> None:
+        """Close the channel (idempotent): drops subscribers, keeps history.
+
+        Further ``publish``/``subscribe`` calls raise
+        :class:`ChannelClosedError`; ``history()`` stays readable so late
+        consumers can still catch up on what was delivered.
+        """
+        self._closed = True
+        self._subscribers.clear()
+
     def subscribe(self, subscriber_id: str, callback: Subscriber) -> None:
+        self._ensure_open("subscribe to")
         self._subscribers[subscriber_id] = callback
 
     def unsubscribe(self, subscriber_id: str) -> None:
@@ -55,6 +81,7 @@ class Channel:
 
     def publish(self, message: PushMessage) -> int:
         """Deliver ``message`` to every subscriber; returns delivery count."""
+        self._ensure_open("publish on")
         self._history.append(message)
         if self.history_limit and len(self._history) > self.history_limit:
             del self._history[: len(self._history) - self.history_limit]
@@ -68,6 +95,12 @@ class Channel:
         """Recent messages (new subscribers can catch up without polling)."""
         return list(self._history)
 
+    def _ensure_open(self, action: str) -> None:
+        if self._closed:
+            raise ChannelClosedError(
+                f"cannot {action} channel {self.name!r}: it is closed"
+            )
+
 
 class PushDispatcher:
     """Routes published payloads to channel subscribers."""
@@ -76,11 +109,29 @@ class PushDispatcher:
         self.history_limit = int(history_limit)
         self._channels: Dict[str, Channel] = {}
         self._sequence = itertools.count()
+        self._closed = False
         self.messages_published = 0
         self.deliveries = 0
 
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Close the dispatcher and every channel it routes (idempotent).
+
+        Publishing (or creating/subscribing a channel) afterwards raises
+        :class:`ChannelClosedError` — the same fail-loudly contract as the
+        shard backends' use-after-close: a shut-down push path must never
+        silently drop ranking updates.
+        """
+        self._closed = True
+        for channel in self._channels.values():
+            channel.close()
+
     def channel(self, name: str) -> Channel:
         """Get or create a channel."""
+        self._ensure_open()
         if name not in self._channels:
             self._channels[name] = Channel(name, history_limit=self.history_limit)
         return self._channels[name]
@@ -111,3 +162,9 @@ class PushDispatcher:
         self.messages_published += 1
         self.deliveries += delivered
         return message
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ChannelClosedError(
+                "cannot use a closed push dispatcher"
+            )

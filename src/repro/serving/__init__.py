@@ -1,0 +1,53 @@
+"""The async serving layer: live ingestion, ranking push, checkpointing.
+
+The paper's premise is *live* emergent-topic detection — a ranking is
+only useful while the shift is happening — and this package is what turns
+the batch-replay engines into a servable system:
+
+* :class:`~repro.serving.service.DetectionService` — a bounded ingest
+  queue with backpressure, one consumer task draining micro-batches into
+  ``process_batch`` on a single-thread executor (the event loop never
+  blocks on the process backend), rankings published through the portal's
+  :class:`~repro.portal.push.PushDispatcher`, and an optional
+  :class:`~repro.persistence.cadence.CheckpointCadence` persisting the
+  engine between batches (delta mode rides the loop at journal-segment
+  cost).
+* :class:`~repro.serving.broadcast.AsyncFanout` /
+  :class:`~repro.serving.broadcast.Subscription` — per-subscriber bounded
+  frame buffers bridging dispatcher pushes to awaiting SSE/websocket
+  handlers (slow consumers drop oldest frames, never grow without bound).
+* :class:`~repro.serving.http.RankingServer` — ``POST /ingest``,
+  ``GET /rankings``, ``GET /rankings/stream`` (SSE) and ``GET /status``
+  on asyncio's stdlib primitives.
+* :mod:`~repro.serving.source` — pumps bridging the synchronous dataset
+  ``iter_batches``/stream :class:`~repro.streams.sources.Source` iterators
+  into the queue, pacing the producer by the queue's bound.
+
+The serving path replays the exact batch sequence through the same
+``process_batch`` the CLI uses, so served rankings are bit-identical to
+an offline replay of the same stream — pinned by ``tests/serving``.
+Reach it from the command line via ``python -m repro.cli serve``.
+"""
+
+from repro.serving.broadcast import AsyncFanout, Subscription
+from repro.serving.http import IngestDocument, RankingServer, parse_ingest_body
+from repro.serving.service import (
+    DetectionService,
+    ServiceClosedError,
+    ServingStats,
+)
+from repro.serving.source import pump_batches, pump_documents, pump_source
+
+__all__ = [
+    "AsyncFanout",
+    "Subscription",
+    "DetectionService",
+    "ServiceClosedError",
+    "ServingStats",
+    "RankingServer",
+    "IngestDocument",
+    "parse_ingest_body",
+    "pump_batches",
+    "pump_documents",
+    "pump_source",
+]

@@ -1,0 +1,161 @@
+"""Async fan-out of ranking pushes to SSE/websocket subscribers.
+
+The portal's :class:`~repro.portal.push.PushDispatcher` delivers messages
+by synchronous callback at publish time.  The serving layer publishes on
+it from the event-loop thread, and this module bridges those pushes into
+per-subscriber asyncio queues so any number of SSE connections can await
+frames concurrently.
+
+Backpressure on the subscriber side is *lossy by design*: a ranking
+stream is a sequence of full snapshots, so a slow consumer does not need
+every intermediate frame — its buffer is bounded and the oldest frame is
+dropped (and counted) when a new one arrives over a full buffer.  This is
+the opposite of the ingest side, where the bounded queue blocks producers
+instead of dropping documents.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import AsyncIterator, Dict, List, Optional
+
+from repro.portal.push import PushMessage
+
+#: Default per-subscriber frame buffer (frames, not bytes).
+DEFAULT_BUFFER_LIMIT = 64
+
+
+class Subscription:
+    """One subscriber's bounded frame buffer, awaitable from the loop.
+
+    Obtain via :meth:`AsyncFanout.subscribe`; consume with
+    :meth:`next_message` (``None`` marks the end of the stream) or by
+    async iteration.  ``dropped`` counts frames discarded because the
+    consumer fell more than ``buffer_limit`` frames behind.
+    """
+
+    def __init__(self, subscriber_id: str, buffer_limit: int):
+        if buffer_limit < 1:
+            raise ValueError("buffer_limit must be at least 1")
+        self.subscriber_id = subscriber_id
+        self.buffer_limit = int(buffer_limit)
+        self.dropped = 0
+        # The bound is enforced in deliver() rather than by the queue's
+        # maxsize, so the close sentinel always fits without evicting a
+        # frame the consumer is still entitled to.
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def pending(self) -> int:
+        """Frames currently buffered (bounded by ``buffer_limit``)."""
+        return self._queue.qsize() - (1 if self._closed else 0)
+
+    def deliver(self, message: PushMessage) -> None:
+        """Buffer one frame, dropping the oldest when the buffer is full."""
+        if self._closed:
+            return
+        if self._queue.qsize() >= self.buffer_limit:
+            try:
+                self._queue.get_nowait()
+                self.dropped += 1
+            except asyncio.QueueEmpty:  # pragma: no cover - tiny race
+                pass
+        self._queue.put_nowait(message)
+
+    def close(self) -> None:
+        """End the stream: consumers see ``None`` after the buffered frames."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put_nowait(None)
+
+    async def next_message(self) -> Optional[PushMessage]:
+        """The next buffered frame, or ``None`` once the stream ended."""
+        message = await self._queue.get()
+        if message is None:
+            # Keep the sentinel visible to any further next_message call.
+            self._queue.put_nowait(None)
+            return None
+        return message
+
+    def __aiter__(self) -> AsyncIterator[PushMessage]:
+        return self
+
+    async def __anext__(self) -> PushMessage:
+        message = await self.next_message()
+        if message is None:
+            raise StopAsyncIteration
+        return message
+
+
+class AsyncFanout:
+    """Bridges one dispatcher channel into per-subscriber asyncio queues.
+
+    Registers itself as an ordinary subscriber on the channel, so it
+    composes with the portal's synchronous sessions: both see every
+    publish.  All methods must run on the event-loop thread (the serving
+    layer publishes from there; engine work happens in an executor and
+    never touches the fan-out directly).
+    """
+
+    def __init__(self, dispatcher, channel: str,
+                 buffer_limit: int = DEFAULT_BUFFER_LIMIT):
+        self.dispatcher = dispatcher
+        self.channel = channel
+        self.buffer_limit = int(buffer_limit)
+        self._subscriptions: Dict[str, Subscription] = {}
+        self._ids = itertools.count()
+        self._closed = False
+        dispatcher.subscribe(channel, f"async-fanout[{channel}]", self._deliver)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def subscriber_count(self) -> int:
+        return len(self._subscriptions)
+
+    def subscribe(self, subscriber_id: Optional[str] = None,
+                  buffer_limit: Optional[int] = None) -> Subscription:
+        """Open a new bounded subscription (fails after :meth:`close`)."""
+        if self._closed:
+            raise RuntimeError(
+                f"cannot subscribe to channel {self.channel!r}: "
+                f"the fan-out is closed"
+            )
+        if subscriber_id is None:
+            subscriber_id = f"subscriber-{next(self._ids)}"
+        if subscriber_id in self._subscriptions:
+            raise ValueError(f"subscriber {subscriber_id!r} already exists")
+        subscription = Subscription(
+            subscriber_id, buffer_limit or self.buffer_limit
+        )
+        self._subscriptions[subscriber_id] = subscription
+        return subscription
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        """Close one subscription and stop delivering to it (idempotent)."""
+        self._subscriptions.pop(subscription.subscriber_id, None)
+        subscription.close()
+
+    def close(self) -> None:
+        """End every subscription's stream (idempotent).
+
+        Buffered frames stay readable; the ``None`` sentinel follows them.
+        The dispatcher channel itself is left to its owner.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for subscription in list(self._subscriptions.values()):
+            subscription.close()
+        self._subscriptions.clear()
+
+    def _deliver(self, message: PushMessage) -> None:
+        for subscription in list(self._subscriptions.values()):
+            subscription.deliver(message)

@@ -1,0 +1,264 @@
+"""The HTTP face of the serving layer: ingest, rankings, SSE stream.
+
+A deliberately small HTTP/1.1 server on asyncio's stdlib stream API (no
+new dependencies), exposing:
+
+* ``POST /ingest`` — a JSON array of documents
+  (``{"timestamp": ..., "tags": [...], "entities": [...], "text": ...}``)
+  enqueued as one batch.  The response is withheld until the bounded
+  ingest queue accepts the batch, so a producer that outruns shard
+  dispatch is slowed down by its own pending request — backpressure over
+  plain HTTP, no special protocol.
+* ``GET /rankings`` — the current top-k ranking as JSON (``null`` before
+  the first evaluation).
+* ``GET /rankings/stream`` — Server-Sent Events: one ``data:`` frame per
+  published ranking, ``id:`` carrying the dispatcher sequence number.
+  Slow consumers are bounded by the per-subscriber frame buffer (oldest
+  frames dropped — each frame is a full snapshot).
+* ``GET /status`` — the service's operational counters.
+
+Connections are ``Connection: close`` (one request per connection) except
+the SSE stream, which stays open until the client disconnects or the
+server stops.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, List, Optional, Tuple
+
+from repro.portal.serialization import ranking_to_dict
+from repro.serving.service import DetectionService, ServiceClosedError
+
+#: Cap on request bodies; an ingest batch should be chunks, not the
+#: whole archive in one request.
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+class IngestDocument:
+    """A minimally validated ingest payload, shaped for ``process_batch``."""
+
+    __slots__ = ("timestamp", "tags", "entities", "text")
+
+    def __init__(self, payload: dict):
+        if not isinstance(payload, dict):
+            raise ValueError("each document must be a JSON object")
+        if "timestamp" not in payload:
+            raise ValueError("each document needs a numeric 'timestamp'")
+        self.timestamp = float(payload["timestamp"])
+        tags = payload.get("tags", ()) or ()
+        if isinstance(tags, str):
+            raise ValueError("'tags' must be an array of strings")
+        self.tags = tuple(str(tag) for tag in tags)
+        entities = payload.get("entities", ()) or ()
+        if isinstance(entities, str):
+            raise ValueError("'entities' must be an array of strings")
+        self.entities = tuple(str(entity) for entity in entities)
+        self.text = str(payload.get("text", "") or "")
+
+
+def parse_ingest_body(body: bytes) -> List[IngestDocument]:
+    """Decode a ``POST /ingest`` body; raises ``ValueError`` on bad input."""
+    try:
+        payload = json.loads(body)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"request body is not valid JSON: {exc}") from exc
+    if isinstance(payload, dict):
+        payload = payload.get("documents")
+    if not isinstance(payload, list):
+        raise ValueError(
+            "request body must be a JSON array of documents (or an object "
+            "with a 'documents' array)"
+        )
+    return [IngestDocument(entry) for entry in payload]
+
+
+class RankingServer:
+    """Serve a :class:`DetectionService` over HTTP + SSE."""
+
+    def __init__(self, service: DetectionService,
+                 host: str = "127.0.0.1", port: int = 0):
+        self.service = service
+        self.host = host
+        self.port = int(port)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._streams: set = set()
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        # Port 0 asks the OS for an ephemeral port; expose the real one.
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def close_listener(self) -> None:
+        """Stop accepting new connections; open SSE streams keep running.
+
+        The first half of a clean shutdown: call this, then drain/stop
+        the service (whose fan-out close ends every stream with the
+        ``event: end`` sentinel *after* the drain's frames were pushed),
+        then :meth:`stop` to reap any straggler.
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def stop(self) -> None:
+        """Stop accepting and end every open SSE stream (idempotent)."""
+        await self.close_listener()
+        for task in list(self._streams):
+            task.cancel()
+        if self._streams:
+            await asyncio.gather(*self._streams, return_exceptions=True)
+            self._streams.clear()
+
+    # -- request handling ------------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                request = await self._read_request(reader)
+            except ValueError as exc:
+                # Unparsable Content-Length, oversized body: the client
+                # deserves a 400, not a dropped connection and an
+                # unretrieved task exception in the loop.
+                await self._respond_json(writer, 400, {"error": str(exc)})
+                return
+            if request is None:
+                return
+            method, path, headers, body = request
+            if method == "POST" and path == "/ingest":
+                await self._handle_ingest(writer, body)
+            elif method == "GET" and path == "/rankings":
+                await self._handle_rankings(writer)
+            elif method == "GET" and path == "/rankings/stream":
+                await self._handle_stream(writer)
+                return  # the stream owns the connection's lifetime
+            elif method == "GET" and path == "/status":
+                await self._respond_json(writer, 200, self.service.status())
+            else:
+                await self._respond_json(
+                    writer, 404, {"error": f"no route {method} {path}"}
+                )
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+        request_line = await reader.readline()
+        if not request_line:
+            return None
+        try:
+            method, target, _version = request_line.decode("latin-1").split()
+        except ValueError:
+            return None
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY_BYTES:
+            raise ValueError(f"request body exceeds {MAX_BODY_BYTES} bytes")
+        body = await reader.readexactly(length) if length else b""
+        path = target.split("?", 1)[0]
+        return method.upper(), path, headers, body
+
+    async def _handle_ingest(self, writer: asyncio.StreamWriter,
+                             body: bytes) -> None:
+        try:
+            documents = parse_ingest_body(body)
+        except ValueError as exc:
+            await self._respond_json(writer, 400, {"error": str(exc)})
+            return
+        try:
+            # This await is the backpressure: the response (and therefore
+            # the producer's next request) waits for queue capacity.
+            accepted = await self.service.submit(documents)
+        except ValueError as exc:
+            await self._respond_json(writer, 400, {"error": str(exc)})
+            return
+        except ServiceClosedError as exc:
+            await self._respond_json(writer, 503, {"error": str(exc)})
+            return
+        await self._respond_json(writer, 202, {
+            "accepted": accepted,
+            "queued_batches": self.service.queue_depth(),
+        })
+
+    async def _handle_rankings(self, writer: asyncio.StreamWriter) -> None:
+        ranking = await self.service.current_ranking()
+        payload = None if ranking is None else ranking_to_dict(ranking)
+        await self._respond_json(writer, 200, {"ranking": payload})
+
+    async def _handle_stream(self, writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        self._streams.add(task)
+        try:
+            subscription = self.service.subscribe()
+        except RuntimeError:
+            self._streams.discard(task)
+            await self._respond_json(
+                writer, 503, {"error": "ranking stream is closed"}
+            )
+            writer.close()
+            return
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: text/event-stream\r\n"
+            b"Cache-Control: no-cache\r\n"
+            b"Connection: close\r\n"
+            b"\r\n"
+            b": enblogue ranking stream\n\n"
+        )
+        try:
+            await writer.drain()
+            while True:
+                message = await subscription.next_message()
+                if message is None:
+                    writer.write(b"event: end\ndata: {}\n\n")
+                    await writer.drain()
+                    break
+                frame = json.dumps(
+                    ranking_to_dict(message.payload), sort_keys=True
+                )
+                writer.write(
+                    f"id: {message.sequence}\ndata: {frame}\n\n".encode("utf-8")
+                )
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            self.service.unsubscribe(subscription)
+            self._streams.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _respond_json(self, writer: asyncio.StreamWriter,
+                            status: int, payload: dict) -> None:
+        reasons = {200: "OK", 202: "Accepted", 400: "Bad Request",
+                   404: "Not Found", 503: "Service Unavailable"}
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {reasons.get(status, 'OK')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()

@@ -1,0 +1,320 @@
+"""The asyncio serving core: bounded ingest, one consumer, ranking push.
+
+:class:`DetectionService` wraps a detection engine (single or sharded)
+behind an event loop:
+
+* **Ingest** is a bounded :class:`asyncio.Queue` of document batches.
+  ``await submit(batch)`` blocks the producer when shard dispatch falls
+  behind — backpressure, not buffering without bound.
+* **One consumer task** drains batches into ``engine.process_batch`` via a
+  single-thread executor, so the loop never blocks on the process backend
+  and the engine is only ever touched from that one worker thread (the
+  engines are not thread-safe; serialization through the executor is the
+  whole synchronisation story).
+* **Ranking push**: every ranking a batch produces is published on the
+  portal's :class:`~repro.portal.push.PushDispatcher` (the same channel
+  the synchronous portal sessions use) and fanned out to async
+  subscribers through :class:`~repro.serving.broadcast.AsyncFanout` —
+  SSE/websocket handlers just await frames.
+* **Checkpointing** rides the same loop: a
+  :class:`~repro.persistence.cadence.CheckpointCadence` (typically delta
+  mode) runs on the engine executor between batches, so a snapshot never
+  observes a half-ingested batch and ingestion keeps accepting documents
+  (into the queue) while the journal segment fsyncs.
+
+Because the consumer replays the exact batch sequence through the same
+``process_batch`` the offline CLI uses, the rankings pushed to
+subscribers are **bit-identical** to a batch replay of the same document
+stream — the property the serving test-suite pins for shards 1/2 on both
+backends.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.persistence.cadence import CheckpointCadence
+from repro.portal.push import PushDispatcher
+from repro.portal.server import GLOBAL_CHANNEL
+from repro.serving.broadcast import (
+    DEFAULT_BUFFER_LIMIT,
+    AsyncFanout,
+    Subscription,
+)
+
+#: Default bound of the ingest queue, in batches (not documents): small
+#: enough that a stalled shard backend pushes back on producers within a
+#: few chunks, large enough to keep the consumer busy between awaits.
+DEFAULT_QUEUE_CAPACITY = 8
+
+
+class ServiceClosedError(RuntimeError):
+    """Submit after ``stop()``: the batch could never reach a shard."""
+
+
+@dataclass
+class ServingStats:
+    """Operational counters, updated on the event-loop thread."""
+
+    documents_submitted: int = 0
+    batches_submitted: int = 0
+    documents_processed: int = 0
+    batches_processed: int = 0
+    rankings_published: int = 0
+    checkpoints_written: int = 0
+    batch_errors: int = 0
+    publish_errors: int = 0
+    queue_high_watermark: int = 0
+    last_error: Optional[str] = None
+
+    def as_dict(self) -> dict:
+        return {
+            "documents_submitted": self.documents_submitted,
+            "batches_submitted": self.batches_submitted,
+            "documents_processed": self.documents_processed,
+            "batches_processed": self.batches_processed,
+            "rankings_published": self.rankings_published,
+            "checkpoints_written": self.checkpoints_written,
+            "batch_errors": self.batch_errors,
+            "publish_errors": self.publish_errors,
+            "queue_high_watermark": self.queue_high_watermark,
+            "last_error": self.last_error,
+        }
+
+
+class DetectionService:
+    """Non-blocking front end over a detection engine (see module docs).
+
+    ``cadence`` persists the engine on the ranking cadence it describes
+    (its writes run on the engine executor, between batches).  The
+    service owns neither the engine nor a passed-in dispatcher: ``stop``
+    quiesces the service and closes what it created (executor, fan-out,
+    its own dispatcher), while the engine is the caller's to close —
+    typically after a final checkpoint.
+    """
+
+    def __init__(
+        self,
+        engine,
+        queue_capacity: int = DEFAULT_QUEUE_CAPACITY,
+        dispatcher: Optional[PushDispatcher] = None,
+        channel: str = GLOBAL_CHANNEL,
+        buffer_limit: int = DEFAULT_BUFFER_LIMIT,
+        cadence: Optional[CheckpointCadence] = None,
+    ):
+        if queue_capacity < 1:
+            raise ValueError("queue_capacity must be at least 1")
+        self.engine = engine
+        self.queue_capacity = int(queue_capacity)
+        self._owns_dispatcher = dispatcher is None
+        self.dispatcher = dispatcher or PushDispatcher()
+        self.channel = channel
+        self.cadence = cadence
+        self.stats = ServingStats()
+        self._fanout = AsyncFanout(
+            self.dispatcher, channel, buffer_limit=buffer_limit
+        )
+        self._queue: asyncio.Queue = asyncio.Queue(maxsize=self.queue_capacity)
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="enblogue-serving"
+        )
+        self._consumer: Optional[asyncio.Task] = None
+        self._closed = False
+        self._last_submitted: Optional[float] = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Arm the checkpoint cadence and start the consumer task."""
+        if self._consumer is not None:
+            raise RuntimeError("service already started")
+        if self._closed:
+            raise ServiceClosedError("service is closed")
+        # A resumed engine already consumed part of the stream; submit()'s
+        # order validation must continue from its latest timestamp, not
+        # from None, or a stale producer would get a 202 for documents
+        # the consumer can only drop.
+        self._last_submitted = await self._run_on_engine(
+            self.engine._latest_timestamp
+        )
+        if self.cadence is not None:
+            await self._run_on_engine(self.cadence.begin)
+            self.stats.checkpoints_written = self.cadence.checkpoints_written
+        self._consumer = asyncio.ensure_future(self._consume())
+
+    async def stop(self, drain: bool = True) -> None:
+        """Shut down; with ``drain`` every accepted batch is processed first.
+
+        Draining is what makes shutdown *clean*: producers are refused
+        from now on (``submit`` raises :class:`ServiceClosedError`), the
+        consumer works through everything already accepted — no document
+        is lost or replayed — and subscribers receive every produced
+        frame before their streams end.  ``drain=False`` abandons queued
+        batches (the engine still finishes the batch it is on, so its
+        state stays batch-consistent).  Idempotent.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._consumer is not None:
+            if drain:
+                await self._queue.put(None)
+                await self._consumer
+            else:
+                self._consumer.cancel()
+                try:
+                    await self._consumer
+                except asyncio.CancelledError:
+                    pass
+        if self.cadence is not None:
+            # Persist the end state: documents accepted after the last
+            # cadence tick are live (not re-feedable from a dataset), so
+            # the shutdown writes one closing tick — or the one-off
+            # end-state save when no cadence was configured.  A failed
+            # write must not leave the rest of the shutdown undone.
+            try:
+                await self._run_on_engine(self.cadence.shutdown)
+            except Exception as exc:
+                self.stats.last_error = repr(exc)
+            self.stats.checkpoints_written = self.cadence.checkpoints_written
+        self._fanout.close()
+        if self._owns_dispatcher:
+            self.dispatcher.close()
+        self._executor.shutdown(wait=True)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- ingest ----------------------------------------------------------------
+
+    async def submit(self, documents: Sequence) -> int:
+        """Enqueue one batch; blocks (async) while the queue is full.
+
+        The batch's time order is validated *here*, against the last
+        enqueued timestamp, so an HTTP producer gets its 400 before the
+        batch is accepted rather than a silent drop in the consumer.
+        Returns the number of documents accepted.
+        """
+        if self._closed:
+            raise ServiceClosedError("service is closed")
+        batch = list(documents)
+        if not batch:
+            return 0
+        previous = self._last_submitted
+        for document in batch:
+            timestamp = float(getattr(document, "timestamp"))
+            if previous is not None and timestamp < previous:
+                raise ValueError(
+                    f"out-of-order document: {timestamp} < {previous}"
+                )
+            previous = timestamp
+        # Commit the high-water mark BEFORE parking on the queue: while
+        # this producer waits for capacity, a concurrent submit must
+        # validate against this batch, not against the pre-batch value —
+        # otherwise it could earn a 202 for documents the consumer can
+        # only drop.  (A producer cancelled mid-put leaves a phantom
+        # mark that conservatively rejects the gap; it never admits an
+        # out-of-order batch.)
+        self._last_submitted = previous
+        await self._queue.put(batch)
+        self.stats.documents_submitted += len(batch)
+        self.stats.batches_submitted += 1
+        self.stats.queue_high_watermark = max(
+            self.stats.queue_high_watermark, self._queue.qsize()
+        )
+        return len(batch)
+
+    def queue_depth(self) -> int:
+        """Batches currently waiting for the consumer."""
+        return self._queue.qsize()
+
+    async def drain(self) -> None:
+        """Wait until every batch accepted so far has been processed."""
+        await self._queue.join()
+
+    # -- results ---------------------------------------------------------------
+
+    def subscribe(self, subscriber_id: Optional[str] = None,
+                  buffer_limit: Optional[int] = None) -> Subscription:
+        """A bounded async subscription to the ranking stream."""
+        return self._fanout.subscribe(subscriber_id, buffer_limit)
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        self._fanout.unsubscribe(subscription)
+
+    async def current_ranking(self):
+        """The engine's latest ranking (runs on the engine executor)."""
+        return await self._run_on_engine(self.engine.current_ranking)
+
+    async def documents_processed(self) -> int:
+        return await self._run_on_engine(lambda: self.engine.documents_processed)
+
+    def status(self) -> dict:
+        """Operational counters for the HTTP status endpoint."""
+        return {
+            "closed": self._closed,
+            "queue_depth": self.queue_depth(),
+            "queue_capacity": self.queue_capacity,
+            "subscribers": self._fanout.subscriber_count(),
+            **self.stats.as_dict(),
+        }
+
+    # -- internals -------------------------------------------------------------
+
+    async def _run_on_engine(self, fn, *args):
+        """Run engine work on the single-thread executor (serialized)."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._executor, fn, *args)
+
+    async def _consume(self) -> None:
+        while True:
+            batch = await self._queue.get()
+            try:
+                if batch is None:
+                    return
+                await self._process(batch)
+            finally:
+                self._queue.task_done()
+
+    async def _process(self, batch: List) -> None:
+        try:
+            rankings = await self._run_on_engine(
+                self.engine.process_batch, batch
+            )
+        except Exception as exc:
+            # process_batch validates the whole chunk before touching any
+            # state, so a rejected batch leaves the engine unchanged and
+            # the stream serviceable; record and move on.
+            self.stats.batch_errors += 1
+            self.stats.last_error = repr(exc)
+            return
+        self.stats.documents_processed += len(batch)
+        self.stats.batches_processed += 1
+        # Push first (the frame is the product), persist second — the
+        # cadence write happens between batches either way.  A raising
+        # subscriber callback (or an externally closed dispatcher) must
+        # not kill the consumer: the engine already ingested the batch,
+        # and a dead consumer would keep 202-ing batches nothing drains.
+        for ranking in rankings:
+            try:
+                self.dispatcher.publish(
+                    self.channel, ranking, timestamp=ranking.timestamp
+                )
+            except Exception as exc:
+                self.stats.publish_errors += 1
+                self.stats.last_error = repr(exc)
+            else:
+                self.stats.rankings_published += 1
+        if self.cadence is not None and rankings:
+            try:
+                await self._run_on_engine(
+                    self.cadence.note_rankings, len(rankings)
+                )
+            except Exception as exc:
+                self.stats.batch_errors += 1
+                self.stats.last_error = repr(exc)
+            self.stats.checkpoints_written = self.cadence.checkpoints_written

@@ -1,0 +1,75 @@
+"""Bridging pull-driven sources into the serving layer's ingest queue.
+
+The datasets expose ``iter_batches`` generators and the streams layer
+exposes :class:`~repro.streams.sources.Source` DAG roots; both are
+synchronous, pull-driven iterators.  The pumps here walk them on the
+event loop and ``await submit(batch)`` per chunk, so the *source* is
+paced by the service's bounded queue: when shard dispatch falls behind,
+the pump parks on the queue and the underlying iterator simply is not
+advanced — backpressure propagates all the way to the producer without
+any unbounded buffering in between.
+
+The chunking work per batch is microseconds of pure-Python iteration, so
+running it on the loop thread is deliberate; the expensive half (engine
+ingestion) already lives on the service's executor.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Optional
+
+from repro.serving.service import DetectionService
+from repro.streams.sources import Source
+
+#: Default documents per submitted batch, matching the sharded engine's
+#: dispatch chunk so one submit becomes one backend dispatch.
+DEFAULT_BATCH_SIZE = 256
+
+
+async def pump_batches(service: DetectionService,
+                       batches: Iterable) -> int:
+    """Submit every batch of an iterable (e.g. a dataset ``iter_batches``).
+
+    Returns the number of documents submitted.  The iterable is advanced
+    lazily: a full ingest queue pauses it mid-stream.
+    """
+    submitted = 0
+    for batch in batches:
+        submitted += await service.submit(batch)
+    return submitted
+
+
+async def pump_documents(service: DetectionService, documents: Iterable,
+                         batch_size: int = DEFAULT_BATCH_SIZE) -> int:
+    """Chunk a flat document iterable and submit each chunk."""
+    if batch_size < 1:
+        raise ValueError("batch_size must be at least 1")
+    submitted = 0
+    chunk = []
+    for document in documents:
+        chunk.append(document)
+        if len(chunk) >= batch_size:
+            submitted += await service.submit(chunk)
+            chunk = []
+    if chunk:
+        submitted += await service.submit(chunk)
+    return submitted
+
+
+async def pump_source(service: DetectionService, source: Source,
+                      batch_size: int = DEFAULT_BATCH_SIZE,
+                      limit: Optional[int] = None) -> int:
+    """Feed a stream :class:`Source` into the service, chunked.
+
+    Consumes ``source.stream()`` directly (the source's own time-order
+    validation included) rather than ``source.run()``: the serving queue
+    replaces the DAG's push edges, and the service's engine stands where
+    the DAG sink would.  ``limit`` caps the documents taken.
+    """
+    items = source.stream()
+    if limit is not None:
+        # islice checks the count before advancing, so a live source is
+        # never asked for a document that would then be thrown away.
+        items = itertools.islice(items, int(limit))
+    return await pump_documents(service, items, batch_size=batch_size)

@@ -39,7 +39,7 @@ from repro.core.engine import DetectionEngineBase
 from repro.core.tracker import DocumentDecomposer, record_count_history
 from repro.core.types import Ranking
 from repro.entity.tagger import EntityTagger
-from repro.persistence.codec import optional_float
+from repro.persistence.codec import optional_float, string_interner
 from repro.persistence.snapshot import SnapshotMismatchError, require_state
 from repro.sharding.backends import ShardBackend, make_backend
 from repro.sharding.partitioner import PairPartitioner
@@ -270,14 +270,22 @@ class ShardedEnBlogue(DetectionEngineBase):
         count_rows = self._delta_count_rows
         self._delta_tag_events = []
         self._delta_count_rows = []
+        # Version 2: tag names are interned into one string table per
+        # delta ("tags", referenced by index in "tag_events") — the same
+        # lean encoding the tracker uses for its events, so a cadence
+        # tick's coordinator segment is sized by the distinct tags, not
+        # by every document repeating its tag strings.
+        intern, tags_table = string_interner()
         return {
             "kind": "sharded-enblogue-delta",
-            "version": 1,
+            "version": 2,
             **self._base_delta(generation),
             "latest": self._latest,
             "tag_window_latest": self._tag_window.latest_timestamp,
+            "tags": tags_table,
             "tag_events": [
-                [timestamp, list(tags)] for timestamp, tags in tag_events
+                [timestamp, [intern(tag) for tag in tags]]
+                for timestamp, tags in tag_events
             ],
             "count_rows": count_rows,
             "builder": self.ranking_builder.delta_since(generation),

@@ -237,3 +237,80 @@ class TestShardedChains:
         with final:
             final.process_many(docs[180:])
             assert signature(final) == reference
+
+
+class TestCoordinatorTagInterning:
+    """The coordinator's tag events use a per-delta string table.
+
+    Sharded deltas reference every tag by index into one ``tags`` table
+    (version 2 of the ``sharded-enblogue-delta`` payload) — the same lean
+    encoding the tracker uses for its events — so a cadence tick's
+    coordinator segment is sized by the *distinct* tags in the window,
+    not by every document repeating its tag strings.
+    """
+
+    def test_tag_events_reference_the_string_table(self, docs, tmp_path):
+        with ShardedEnBlogue(config(), num_shards=2, backend="serial",
+                             chunk_size=7) as engine:
+            engine.process_many(docs[:60])
+            engine.save_checkpoint(tmp_path, track_deltas=True)
+            engine.process_many(docs[60:140])
+            delta = engine.delta_since(2)
+        assert delta["version"] == 2
+        assert delta["tag_events"], "the window of docs must append events"
+        table = delta["tags"]
+        assert all(isinstance(tag, str) for tag in table)
+        assert len(set(table)) == len(table)  # each tag interned once
+        for _timestamp, indices in delta["tag_events"]:
+            assert all(isinstance(index, int) for index in indices)
+            assert all(0 <= index < len(table) for index in indices)
+
+    def test_size_regression_vs_raw_string_encoding(self, docs, tmp_path):
+        import json
+
+        with ShardedEnBlogue(config(), num_shards=2, backend="serial",
+                             chunk_size=7) as engine:
+            engine.process_many(docs[:60])
+            engine.save_checkpoint(tmp_path, track_deltas=True)
+            engine.process_many(docs[60:140])
+            delta = engine.delta_since(2)
+        table = delta["tags"]
+        raw_events = [
+            [timestamp, [table[index] for index in indices]]
+            for timestamp, indices in delta["tag_events"]
+        ]
+        interned_bytes = len(json.dumps(
+            {"tags": table, "tag_events": delta["tag_events"]}
+        ).encode())
+        raw_bytes = len(json.dumps({"tag_events": raw_events}).encode())
+        # The pin: interning must actually shrink the coordinator events
+        # (each distinct tag is paid once, every reference is an index).
+        assert interned_bytes < raw_bytes
+
+    def test_version_1_journals_are_rejected_not_misread(self, docs, tmp_path):
+        from repro.persistence.delta import apply_engine_delta
+        from repro.persistence.snapshot import SnapshotVersionError
+
+        with ShardedEnBlogue(config(), num_shards=2, backend="serial",
+                             chunk_size=7) as engine:
+            engine.process_many(docs[:60])
+            base = engine.snapshot()
+            engine.save_checkpoint(tmp_path, track_deltas=True)
+            engine.process_many(docs[60:100])
+            delta = engine.delta_since(2)
+        legacy = dict(delta)
+        legacy["version"] = 1  # a pre-interning journal's envelope
+        with pytest.raises(SnapshotVersionError):
+            apply_engine_delta(base, legacy)
+
+    def test_interned_delta_still_folds_bit_identically(self, docs, tmp_path):
+        # Belt over the chain suites: the fold of an interned delta
+        # reproduces snapshot() exactly through the public reader.
+        with ShardedEnBlogue(config(), num_shards=2, backend="serial",
+                             chunk_size=7) as engine:
+            engine.process_many(docs[:60])
+            engine.save_checkpoint(tmp_path, track_deltas=True)
+            engine.process_many(docs[60:140])
+            engine.save_delta_checkpoint(tmp_path)
+            _, merged = read_checkpoint(tmp_path)
+            assert merged == engine.snapshot()

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.portal.push import Channel, PushDispatcher, PushMessage
+from repro.portal.push import (
+    Channel,
+    ChannelClosedError,
+    PushDispatcher,
+    PushMessage,
+)
 
 
 class TestPushMessage:
@@ -90,3 +95,76 @@ class TestPushDispatcher:
     def test_channel_accessor_reuses_instance(self):
         dispatcher = PushDispatcher()
         assert dispatcher.channel("x") is dispatcher.channel("x")
+
+
+class TestUseAfterClose:
+    """Publish/subscribe after close raise — mirroring the shard backends.
+
+    A closed push path silently swallowing ranking updates would be the
+    portal-side twin of a closed backend returning empty rankings; both
+    fail loudly instead.
+    """
+
+    def test_publish_on_closed_channel_raises(self):
+        channel = Channel("news")
+        channel.close()
+        with pytest.raises(ChannelClosedError, match="'news'"):
+            channel.publish(PushMessage(channel="news", payload=1, sequence=0))
+
+    def test_subscribe_on_closed_channel_raises(self):
+        channel = Channel("news")
+        channel.close()
+        with pytest.raises(ChannelClosedError, match="subscribe"):
+            channel.subscribe("late", lambda message: None)
+
+    def test_close_drops_subscribers_but_keeps_history(self):
+        channel = Channel("news")
+        channel.subscribe("a", lambda message: None)
+        message = PushMessage(channel="news", payload="x", sequence=0)
+        channel.publish(message)
+        channel.close()
+        assert channel.closed
+        assert channel.subscriber_ids == []
+        assert channel.history() == [message]
+
+    def test_channel_close_is_idempotent(self):
+        channel = Channel("news")
+        channel.close()
+        channel.close()
+
+    def test_unsubscribe_after_close_is_a_noop(self):
+        channel = Channel("news")
+        channel.subscribe("a", lambda message: None)
+        channel.close()
+        channel.unsubscribe("a")
+
+    def test_publish_on_closed_dispatcher_raises(self):
+        dispatcher = PushDispatcher()
+        dispatcher.publish("topics", "one")
+        dispatcher.close()
+        with pytest.raises(ChannelClosedError):
+            dispatcher.publish("topics", "two")
+        assert dispatcher.messages_published == 1
+
+    def test_dispatcher_close_closes_every_channel(self):
+        dispatcher = PushDispatcher()
+        channel = dispatcher.channel("topics")
+        dispatcher.close()
+        assert dispatcher.closed
+        assert channel.closed
+        with pytest.raises(ChannelClosedError):
+            dispatcher.channel("fresh")
+        with pytest.raises(ChannelClosedError):
+            dispatcher.subscribe("topics", "late", lambda message: None)
+
+    def test_dispatcher_close_is_idempotent(self):
+        dispatcher = PushDispatcher()
+        dispatcher.channel("topics")
+        dispatcher.close()
+        dispatcher.close()
+
+    def test_unsubscribe_after_dispatcher_close_is_a_noop(self):
+        dispatcher = PushDispatcher()
+        dispatcher.subscribe("topics", "client", lambda message: None)
+        dispatcher.close()
+        dispatcher.unsubscribe("topics", "client")

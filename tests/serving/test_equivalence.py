@@ -1,0 +1,194 @@
+"""The serving acceptance bar: served rankings are bit-identical.
+
+Two pins:
+
+* Rankings pushed to a subscriber while serving equal a batch replay of
+  the same document stream under the same configuration — for shard
+  counts 1 and 2 on both the serial and the process backend.
+* A delta checkpoint taken *while serving* resumes into a continued run
+  whose rankings match the uninterrupted serve, with the journal chain
+  (base + segments) actually on disk.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.config import EnBlogueConfig
+from repro.core.engine import EnBlogue
+from repro.datasets.twitter import TweetStreamGenerator
+from repro.persistence import CheckpointCadence, load_engine
+from repro.serving import DetectionService
+from repro.sharding import ProcessBackend, ShardedEnBlogue
+
+HOUR = 3600.0
+
+
+def config(**overrides):
+    defaults = dict(
+        window_horizon=6 * HOUR,
+        evaluation_interval=HOUR,
+        num_seeds=10,
+        min_seed_count=1,
+        min_pair_support=1,
+        min_history=2,
+        predictor="moving_average",
+        predictor_window=3,
+    )
+    defaults.update(overrides)
+    return EnBlogueConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def docs():
+    corpus, _ = TweetStreamGenerator(
+        hours=18, tweets_per_hour=30, seed=23).generate()
+    return list(corpus)
+
+
+def chunks(items, size):
+    return [items[i:i + size] for i in range(0, len(items), size)]
+
+
+def make_engine(num_shards, backend):
+    if num_shards == 0:
+        return EnBlogue(config())
+    if backend == "process":
+        backend = ProcessBackend(start_method="fork")
+    return ShardedEnBlogue(config(), num_shards=num_shards, backend=backend)
+
+
+def close(engine):
+    if isinstance(engine, ShardedEnBlogue):
+        engine.close()
+
+
+def serve(engine, documents, chunk=64, cadence=None):
+    """Serve documents through a service; returns the subscriber's frames."""
+
+    async def scenario():
+        service = DetectionService(engine, cadence=cadence)
+        await service.start()
+        subscription = service.subscribe()
+        for batch in chunks(documents, chunk):
+            await service.submit(batch)
+        await service.stop()
+        frames = []
+        while (message := await subscription.next_message()) is not None:
+            frames.append(message.payload)
+        return frames
+
+    return asyncio.run(scenario())
+
+
+class TestServedRankingsBitIdentical:
+    @pytest.mark.parametrize("num_shards", [1, 2])
+    @pytest.mark.parametrize("backend", ["serial", "process"])
+    def test_sharded_serve_matches_batch_replay(self, docs, num_shards,
+                                                backend):
+        reference = EnBlogue(config())
+        reference.process_batch(docs)
+
+        engine = make_engine(num_shards, backend)
+        try:
+            frames = serve(engine, docs)
+        finally:
+            close(engine)
+        # Full EmergentTopic equality: every float must agree exactly.
+        assert frames == reference.ranking_history()
+
+    def test_single_engine_serve_matches_batch_replay(self, docs):
+        reference = EnBlogue(config())
+        reference.process_batch(docs)
+        frames = serve(EnBlogue(config()), docs)
+        assert frames == reference.ranking_history()
+
+
+class TestCheckpointWhileServing:
+    @pytest.mark.parametrize("num_shards,backend", [
+        (0, None),            # the single engine
+        (2, "serial"),
+        (2, "process"),
+    ])
+    def test_delta_checkpoint_resumes_into_matching_serve(
+        self, docs, tmp_path, num_shards, backend
+    ):
+        split = len(docs) // 2
+
+        # The uninterrupted serve over the whole stream.
+        uninterrupted = make_engine(num_shards, backend)
+        try:
+            all_frames = serve(uninterrupted, docs)
+        finally:
+            close(uninterrupted)
+
+        # Serve the first half with a delta cadence riding the loop.
+        first = make_engine(num_shards, backend)
+        cadence = CheckpointCadence(
+            first, directory=tmp_path, every=2, mode="delta", full_every=16,
+        )
+        try:
+            serve(first, docs[:split], cadence=cadence)
+        finally:
+            close(first)
+        assert cadence.checkpoints_written >= 2  # base + >= 1 tick
+        assert list(tmp_path.glob("*.delta")), \
+            "the serve-time cadence wrote no journal segments"
+
+        # Resume from the journal chain and serve the remainder.  The
+        # service's shutdown wrote a closing tick after the drain, so the
+        # checkpoint covers every accepted document — nothing served is
+        # lost even though the tail landed after the last cadence tick.
+        resumed, _manifest = load_engine(
+            tmp_path,
+            backend="serial" if backend != "process"
+            else ProcessBackend(start_method="fork"),
+        )
+        consumed = resumed.documents_processed
+        assert consumed == split
+        try:
+            resumed_frames = serve(resumed, docs[consumed:])
+        finally:
+            close(resumed)
+
+        # The continued serve reproduces the uninterrupted serve's tail.
+        assert resumed_frames == all_frames[-len(resumed_frames):]
+        assert len(resumed_frames) >= 2
+
+    def test_shutdown_checkpoint_without_cadence_saves_end_state(
+        self, docs, tmp_path
+    ):
+        engine = EnBlogue(config())
+        cadence = CheckpointCadence(engine, directory=tmp_path)
+        frames = serve(engine, docs[:256], cadence=cadence)
+        assert cadence.checkpoints_written == 1
+
+        resumed, _ = load_engine(tmp_path)
+        assert resumed.documents_processed == 256
+        assert resumed.ranking_history() == engine.ranking_history()
+        assert frames == engine.ranking_history()
+
+    def test_resumed_service_rejects_stale_batches_at_submit(
+        self, docs, tmp_path
+    ):
+        """A 202 must never be handed out for documents the consumer can
+        only drop: after a resume, submit() validates against the
+        engine's checkpointed stream position, not a fresh None."""
+        engine = EnBlogue(config())
+        cadence = CheckpointCadence(engine, directory=tmp_path)
+        serve(engine, docs[:128], cadence=cadence)
+        resumed, _ = load_engine(tmp_path)
+
+        async def scenario():
+            service = DetectionService(resumed)
+            await service.start()
+            with pytest.raises(ValueError, match="out-of-order"):
+                await service.submit(docs[:16])  # older than the resume point
+            accepted = await service.submit(docs[128:160])
+            await service.stop()
+            return accepted, service
+
+        accepted, service = asyncio.run(scenario())
+        assert accepted == 32
+        assert service.stats.batch_errors == 0
+        assert resumed.documents_processed == 160

@@ -1,0 +1,264 @@
+"""The HTTP face: ingest, rankings, SSE framing, status, error paths."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core.config import EnBlogueConfig
+from repro.core.engine import EnBlogue
+from repro.datasets.twitter import TweetStreamGenerator
+from repro.portal.serialization import ranking_to_dict
+from repro.serving import DetectionService, RankingServer, parse_ingest_body
+from repro.serving.http import IngestDocument
+
+HOUR = 3600.0
+
+
+def config(**overrides):
+    defaults = dict(
+        window_horizon=6 * HOUR,
+        evaluation_interval=HOUR,
+        num_seeds=10,
+        min_seed_count=1,
+        min_pair_support=1,
+        min_history=2,
+        predictor="moving_average",
+        predictor_window=3,
+    )
+    defaults.update(overrides)
+    return EnBlogueConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def docs():
+    corpus, _ = TweetStreamGenerator(
+        hours=12, tweets_per_hour=30, seed=11).generate()
+    return list(corpus)
+
+
+def doc_payload(document):
+    return {
+        "timestamp": document.timestamp,
+        "tags": sorted(document.tags),
+        "text": document.text,
+    }
+
+
+async def http_request(port, method, path, body=None):
+    """One HTTP/1.1 request against localhost; returns (status, json)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    payload = b"" if body is None else json.dumps(body).encode("utf-8")
+    head = (
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: localhost\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        f"Connection: close\r\n\r\n"
+    ).encode("latin-1")
+    writer.write(head + payload)
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    header_blob, _, body_blob = raw.partition(b"\r\n\r\n")
+    status = int(header_blob.split(b" ", 2)[1])
+    return status, json.loads(body_blob)
+
+
+async def read_sse_frames(port, count, collected):
+    """Read ``count`` data frames from the SSE stream into ``collected``."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(
+        b"GET /rankings/stream HTTP/1.1\r\nHost: localhost\r\n\r\n"
+    )
+    await writer.drain()
+    try:
+        while len(collected) < count:
+            line = await reader.readline()
+            if not line:
+                break
+            if line.startswith(b"data: "):
+                payload = json.loads(line[len(b"data: "):])
+                if payload:  # the end-of-stream frame is an empty object
+                    collected.append(payload)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+class TestParsing:
+    def test_parse_ingest_accepts_array_and_wrapped_forms(self):
+        raw = json.dumps([{"timestamp": 1.0, "tags": ["a", "b"]}])
+        wrapped = json.dumps(
+            {"documents": [{"timestamp": 1.0, "tags": ["a", "b"]}]}
+        )
+        for body in (raw, wrapped):
+            documents = parse_ingest_body(body.encode())
+            assert len(documents) == 1
+            assert documents[0].timestamp == 1.0
+            assert documents[0].tags == ("a", "b")
+
+    @pytest.mark.parametrize("body", [
+        b"not json",
+        b"{}",
+        b'[{"tags": ["a"]}]',              # no timestamp
+        b'[{"timestamp": 1, "tags": "a"}]',  # tags must be an array
+        b'["nope"]',
+    ])
+    def test_parse_ingest_rejects_malformed_bodies(self, body):
+        with pytest.raises(ValueError):
+            parse_ingest_body(body)
+
+    def test_ingest_document_shape_feeds_process_batch(self):
+        engine = EnBlogue(config())
+        documents = [
+            IngestDocument({"timestamp": float(hour * HOUR),
+                            "tags": ["alpha", "beta"]})
+            for hour in range(4)
+        ]
+        rankings = engine.process_batch(documents)
+        assert engine.documents_processed == 4
+        assert len(rankings) == 3
+
+
+class TestEndpoints:
+    def test_ingest_rankings_stream_and_status(self, docs):
+        async def scenario():
+            engine = EnBlogue(config())
+            service = DetectionService(engine)
+            await service.start()
+            server = RankingServer(service, port=0)
+            await server.start()
+            port = server.port
+
+            frames = []
+            reference = EnBlogue(config())
+            expected = len(reference.process_batch(docs[:256]))
+            reader_task = asyncio.ensure_future(
+                read_sse_frames(port, expected, frames)
+            )
+            await asyncio.sleep(0.05)  # let the stream subscribe first
+
+            status, body = await http_request(
+                port, "POST", "/ingest", [doc_payload(d) for d in docs[:256]]
+            )
+            assert status == 202
+            assert body["accepted"] == 256
+
+            await asyncio.wait_for(reader_task, timeout=10.0)
+            await service.drain()
+
+            status, body = await http_request(port, "GET", "/rankings")
+            assert status == 200
+
+            status, state = await http_request(port, "GET", "/status")
+            assert status == 200
+            assert state["documents_processed"] == 256
+
+            await server.stop()
+            await service.stop()
+            return engine, frames, body["ranking"]
+
+        engine, frames, current = asyncio.run(scenario())
+        reference = EnBlogue(config())
+        reference.process_batch(docs[:256])
+        # SSE frames round-trip through JSON bit-identically.
+        assert frames == [
+            ranking_to_dict(r) for r in reference.ranking_history()
+        ]
+        assert current == frames[-1]
+
+    def test_error_statuses(self, docs):
+        async def scenario():
+            engine = EnBlogue(config())
+            service = DetectionService(engine)
+            await service.start()
+            server = RankingServer(service, port=0)
+            await server.start()
+            port = server.port
+
+            results = {}
+            results["not_found"] = await http_request(port, "GET", "/nope")
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(b"POST /ingest HTTP/1.1\r\nHost: x\r\n"
+                         b"Content-Length: 8\r\n\r\nnot json")
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            results["bad_json"] = int(raw.split(b" ", 2)[1])
+
+            # An unparsable Content-Length is a 400, not a dropped
+            # connection with an unretrieved task exception in the loop.
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(b"POST /ingest HTTP/1.1\r\nHost: x\r\n"
+                         b"Content-Length: abc\r\n\r\n")
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            results["bad_length"] = int(raw.split(b" ", 2)[1])
+
+            await http_request(
+                port, "POST", "/ingest",
+                [doc_payload(d) for d in docs[10:20]],
+            )
+            results["out_of_order"] = await http_request(
+                port, "POST", "/ingest",
+                [doc_payload(d) for d in docs[:10]],
+            )
+
+            await service.stop()
+            results["closed"] = await http_request(
+                port, "POST", "/ingest", [doc_payload(docs[20])]
+            )
+            await server.stop()
+            return results
+
+        results = asyncio.run(scenario())
+        assert results["not_found"][0] == 404
+        assert results["bad_json"] == 400
+        assert results["bad_length"] == 400
+        assert results["out_of_order"][0] == 400
+        assert "out-of-order" in results["out_of_order"][1]["error"]
+        assert results["closed"][0] == 503
+
+    def test_rankings_null_before_first_evaluation(self):
+        async def scenario():
+            service = DetectionService(EnBlogue(config()))
+            await service.start()
+            server = RankingServer(service, port=0)
+            await server.start()
+            status, body = await http_request(server.port, "GET", "/rankings")
+            await server.stop()
+            await service.stop()
+            return status, body
+
+        status, body = asyncio.run(scenario())
+        assert status == 200
+        assert body["ranking"] is None
+
+    def test_stream_ends_cleanly_on_service_stop(self, docs):
+        async def scenario():
+            service = DetectionService(EnBlogue(config()))
+            await service.start()
+            server = RankingServer(service, port=0)
+            await server.start()
+            port = server.port
+
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(
+                b"GET /rankings/stream HTTP/1.1\r\nHost: x\r\n\r\n"
+            )
+            await writer.drain()
+            await asyncio.sleep(0.05)
+            await service.submit(docs[:128])
+            await service.stop()  # ends every subscription stream
+            raw = await asyncio.wait_for(reader.read(), timeout=10.0)
+            writer.close()
+            await server.stop()
+            return raw
+
+        raw = asyncio.run(scenario())
+        assert b"event: end" in raw
