@@ -728,6 +728,7 @@ def _measure_sharding_section(docs, rounds: int) -> dict:
     for num_shards in (1, 2, 4):
         assert ranking_signature(replay_sharded(docs, num_shards, "serial")) \
             == reference
+    assert ranking_signature(replay_sharded(docs, 4, "threads")) == reference
     assert ranking_signature(replay_sharded(docs, 4, "process")) == reference
     # The single engine runs inside the same interleaved rounds as the
     # sharded contestants so the recorded speedups compare like conditions
@@ -738,6 +739,7 @@ def _measure_sharding_section(docs, rounds: int) -> dict:
             ("serial-1", lambda: replay_sharded(docs, 1, "serial")),
             ("serial-2", lambda: replay_sharded(docs, 2, "serial")),
             ("serial-4", lambda: replay_sharded(docs, 4, "serial")),
+            ("threads-4", lambda: replay_sharded(docs, 4, "threads")),
             ("process-4", lambda: replay_sharded(docs, 4, "process")),
         ],
         rounds=rounds,
@@ -750,9 +752,80 @@ def _measure_sharding_section(docs, rounds: int) -> dict:
             f"{name}_docs_per_s": round(len(docs) / seconds)
             for name, seconds in sharded_medians.items()
         },
+        "threads_4_vs_single_speedup": round(
+            sharded_medians["single"] / sharded_medians["threads-4"], 2),
         "process_4_vs_single_speedup": round(
             sharded_medians["single"] / sharded_medians["process-4"], 2),
     }
+
+
+#: Evaluations timed per measurement round of the vectorized-evaluation
+#: section (each advances stream time by one second, so state mutation is
+#: realistic but the window barely moves across a whole measurement).
+EVALUATION_REPETITIONS = 20
+
+
+def _measure_evaluation_vectorized_section(rounds: int) -> dict:
+    """The ``evaluation_vectorized`` section: scalar vs numpy-batched.
+
+    Times ``evaluate_now`` — candidate sampling, shift scoring and top-k —
+    on identically-ingested engines whose only difference is the
+    evaluation path, at three candidate-set scales (the stream rate grows
+    the windowed pair count, which grows the per-seed candidate set).
+    Rankings are asserted bit-identical before anything is timed.
+    """
+    section = {
+        "rankings_identical": True,
+        "recorded": time.strftime("%Y-%m-%d"),
+        "evaluations_per_round": EVALUATION_REPETITIONS,
+    }
+    for scale, rate in (("1x", 100), ("4x", 400), ("16x", 1600)):
+        corpus, _ = TweetStreamGenerator(
+            hours=24, tweets_per_hour=rate, seed=43
+        ).generate()
+        docs = list(corpus)
+        scalar_engine = EnBlogue(
+            throughput_config("eval-scalar"), vectorize=False)
+        batched_engine = EnBlogue(
+            throughput_config("eval-vectorized"), vectorize=True)
+        assert scalar_engine.evaluation_path == "scalar"
+        assert batched_engine.evaluation_path == "vectorized"
+        scalar_engine.process_batch(docs)
+        batched_engine.process_batch(docs)
+        assert ranking_signature(scalar_engine) \
+            == ranking_signature(batched_engine)
+
+        clocks = {"scalar": docs[-1].timestamp,
+                  "vectorized": docs[-1].timestamp}
+
+        def evaluate(engine, name):
+            timestamp = clocks[name]
+            for _ in range(EVALUATION_REPETITIONS):
+                timestamp += 1.0
+                engine.evaluate_now(timestamp)
+            clocks[name] = timestamp
+
+        medians = interleaved_medians(
+            [
+                ("scalar", lambda: evaluate(scalar_engine, "scalar")),
+                ("vectorized",
+                 lambda: evaluate(batched_engine, "vectorized")),
+            ],
+            rounds=rounds,
+        )
+        candidates = len(batched_engine.tracker.candidate_index
+                         .iter_candidates(batched_engine.current_seeds))
+        scalar_us = medians["scalar"] / EVALUATION_REPETITIONS * 1e6
+        vectorized_us = medians["vectorized"] / EVALUATION_REPETITIONS * 1e6
+        section[f"scale_{scale}"] = {
+            "tweets_per_hour": rate,
+            "candidates_per_evaluation": candidates,
+            "scalar_us_per_evaluation": round(scalar_us, 1),
+            "vectorized_us_per_evaluation": round(vectorized_us, 1),
+            "vectorized_vs_scalar_speedup": round(
+                scalar_us / vectorized_us, 2),
+        }
+    return section
 
 
 def _measure_checkpointing_section(docs, rounds: int) -> dict:
@@ -928,6 +1001,9 @@ def update_sections(sections, rounds: int = 3) -> dict:
                 _measure_checkpointing_delta_section(docs, rounds)
         elif section == "serving":
             baseline["serving"] = _measure_serving_section(docs, rounds)
+        elif section == "evaluation_vectorized":
+            baseline["evaluation_vectorized"] = \
+                _measure_evaluation_vectorized_section(rounds)
         else:
             raise SystemExit(f"unknown section {section!r}")
     BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
@@ -1001,6 +1077,8 @@ def record_baseline(rounds: int = 9) -> dict:
         "checkpointing_delta": _measure_checkpointing_delta_section(
             docs, max(3, rounds // 3)),
         "serving": _measure_serving_section(docs, max(3, rounds // 3)),
+        "evaluation_vectorized": _measure_evaluation_vectorized_section(
+            max(3, rounds // 3)),
     }
     BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
     return baseline
@@ -1012,7 +1090,7 @@ if __name__ == "__main__":
     arguments.add_argument(
         "--section", action="append",
         choices=("sharding", "checkpointing", "checkpointing_delta",
-                 "serving"),
+                 "serving", "evaluation_vectorized"),
         help="re-record only this section of the existing baseline "
              "(repeatable); default: record everything")
     arguments.add_argument("--rounds", type=int, default=None,

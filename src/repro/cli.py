@@ -111,6 +111,15 @@ def _make_engine(config: EnBlogueConfig, args: argparse.Namespace):
     return ShardedEnBlogue(config, num_shards=shards, backend=args.backend)
 
 
+def _print_runtime(engine) -> None:
+    """One line naming the engine shape and the live evaluation path."""
+    info = engine.runtime_info()
+    print(
+        f"runtime: engine={info['engine']} backend={info['backend']} "
+        f"shards={info['shards']} evaluation_path={info['evaluation_path']}"
+    )
+
+
 def _checkpoint_extras(dataset: str, hours: int, years: float,
                        seed: int) -> dict:
     """Dataset parameters stored in the manifest so --resume can rebuild
@@ -170,6 +179,9 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     engine = _make_engine(config, args)
     name = "enblogue" if isinstance(engine, EnBlogue) \
         else f"enblogue[{engine.num_shards}x{args.backend}]"
+
+    if args.verbose:
+        _print_runtime(engine)
 
     extras = _checkpoint_extras(args.dataset, args.hours, args.years, args.seed)
     cadence = _checkpoint_cadence(engine, args, extras)
@@ -249,6 +261,9 @@ def _cmd_replay_resume(args: argparse.Namespace) -> int:
     years = float(extras.get("years", args.years))
     seed = int(extras.get("seed", args.seed))
     corpus, _, _ = _load_dataset(dataset, hours, years, seed)
+
+    if args.verbose:
+        _print_runtime(engine)
 
     skip = engine.documents_processed
     remaining = list(corpus)[skip:]
@@ -448,6 +463,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     replay = subparsers.add_parser("replay", help="replay a dataset through enBlogue")
     add_common(replay)
+    replay.add_argument("--verbose", action="store_true",
+                        help="print the engine shape and active evaluation "
+                             "path (vectorized or scalar) before replaying")
     replay.add_argument("--export", default=None,
                         help="write the produced rankings to this JSON file "
                              "(with --resume: only the post-resume rankings)")

@@ -12,26 +12,46 @@ information-theoretic measure, the two tags' co-tag usage distributions.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Type
+
+from repro.core.types import TagPair
 
 
 @dataclass(frozen=True)
 class PairCounts:
-    """Windowed counts for one tag pair."""
+    """Windowed counts for one tag pair.
+
+    ``pair`` is optional context for error messages: when the tracker
+    samples thousands of candidates, a validation failure must name the
+    canonical pair it came from or it is undebuggable.  The field is
+    excluded from equality/hashing — two count tuples compare equal
+    regardless of which pair produced them.
+    """
 
     count_a: int
     count_b: int
     count_both: int
     total_documents: int
+    pair: Optional[TagPair] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if min(self.count_a, self.count_b, self.count_both, self.total_documents) < 0:
-            raise ValueError("counts must be non-negative")
+            raise ValueError(f"counts must be non-negative{self._pair_context()}")
         if self.count_both > min(self.count_a, self.count_b):
-            raise ValueError("the intersection cannot exceed either tag count")
+            raise ValueError(
+                "the intersection cannot exceed either tag count"
+                f"{self._pair_context()}"
+            )
         if max(self.count_a, self.count_b) > self.total_documents:
-            raise ValueError("tag counts cannot exceed the document count")
+            raise ValueError(
+                "tag counts cannot exceed the document count"
+                f"{self._pair_context()}"
+            )
+
+    def _pair_context(self) -> str:
+        """`` for pair (a, b)`` when the canonical pair is known, else ``""``."""
+        return "" if self.pair is None else f" for pair {self.pair}"
 
     @property
     def union(self) -> int:
@@ -43,6 +63,11 @@ class CorrelationMeasure:
 
     #: Registry name, set by subclasses.
     name = "base"
+
+    #: Whether :mod:`repro.core.vectorized` carries a batched kernel that is
+    #: bit-identical to :meth:`value`.  Measures that need the per-tag usage
+    #: distributions (``kl``) stay scalar.
+    vectorizes = False
 
     def value(
         self,
@@ -63,6 +88,7 @@ class JaccardCorrelation(CorrelationMeasure):
     """Intersection over union of the two tags' document sets."""
 
     name = "jaccard"
+    vectorizes = True
 
     def value(self, counts: PairCounts, usage_a=None, usage_b=None) -> float:
         union = counts.union
@@ -80,6 +106,7 @@ class OverlapCorrelation(CorrelationMeasure):
     """
 
     name = "overlap"
+    vectorizes = True
 
     def value(self, counts: PairCounts, usage_a=None, usage_b=None) -> float:
         smaller = min(counts.count_a, counts.count_b)
@@ -92,6 +119,7 @@ class CosineCorrelation(CorrelationMeasure):
     """Cosine similarity of the two binary document-incidence vectors."""
 
     name = "cosine"
+    vectorizes = True
 
     def value(self, counts: PairCounts, usage_a=None, usage_b=None) -> float:
         denominator = math.sqrt(counts.count_a * counts.count_b)
@@ -109,6 +137,7 @@ class PmiCorrelation(CorrelationMeasure):
     """
 
     name = "pmi"
+    vectorizes = True
 
     def value(self, counts: PairCounts, usage_a=None, usage_b=None) -> float:
         if counts.total_documents == 0 or counts.count_both == 0:
@@ -183,6 +212,13 @@ _MEASURE_REGISTRY: Dict[str, Type[CorrelationMeasure]] = {
 def available_measures() -> List[str]:
     """Names accepted by :func:`make_measure`."""
     return sorted(_MEASURE_REGISTRY)
+
+
+def vectorizable_measures() -> List[str]:
+    """Measure names with a bit-identical batched kernel in ``vectorized``."""
+    return sorted(
+        name for name, cls in _MEASURE_REGISTRY.items() if cls.vectorizes
+    )
 
 
 def make_measure(name: str, **kwargs) -> CorrelationMeasure:

@@ -26,6 +26,7 @@ from repro.core.seeds import make_seed_selector
 from repro.core.shift import ShiftDetector, ShiftScore
 from repro.core.tracker import CorrelationTracker
 from repro.core.types import Ranking, TagPair, normalize_tag
+from repro.core.vectorized import make_fused_evaluator
 from repro.entity.tagger import EntityTagger
 from repro.persistence.codec import (
     optional_float,
@@ -52,14 +53,20 @@ class _DeltaChain:
     newest_generation: int
 
 
-def make_tracker(config: EnBlogueConfig,
-                 track_usage: Optional[bool] = None) -> CorrelationTracker:
+def make_tracker(
+    config: EnBlogueConfig,
+    track_usage: Optional[bool] = None,
+    vectorize: Optional[bool] = None,
+    counter_stripes: int = 1,
+) -> CorrelationTracker:
     """The correlation tracker a configuration prescribes.
 
     Shared by the :class:`EnBlogue` façade and the sharded engine's workers
     (which pass ``track_usage=False``: co-tag usage is a global statistic
     that cannot be maintained per shard), so both build identical stage (ii)
-    state.
+    state.  ``vectorize``/``counter_stripes`` are runtime choices (batched
+    sampling kernels, MRV-striped usage counters), not structural ones:
+    they never affect produced values or snapshot compatibility.
     """
     if track_usage is None:
         track_usage = config.correlation_measure == "kl"
@@ -70,6 +77,8 @@ def make_tracker(config: EnBlogueConfig,
         history_length=config.history_length,
         use_entities=config.use_entities,
         track_usage=track_usage,
+        vectorize=vectorize,
+        counter_stripes=counter_stripes,
     )
 
 
@@ -253,6 +262,16 @@ class DetectionEngineBase:
         return self._evaluate(timestamp)
 
     # -- results --------------------------------------------------------------
+
+    def runtime_info(self) -> Dict[str, object]:
+        """How this engine actually evaluates: engine kind, backend,
+        shard count and whether the scalar or the vectorized path is live.
+
+        The guard against *silent* fallback: surfaced by ``GET /status``
+        and ``replay --verbose`` so a missing numpy or an unsupported
+        measure is visible instead of quietly costing throughput.
+        """
+        raise NotImplementedError
 
     def current_ranking(self) -> Optional[Ranking]:
         """The most recently published ranking (None before the first one)."""
@@ -482,10 +501,31 @@ class EnBlogue(DetectionEngineBase):
         self,
         config: Optional[EnBlogueConfig] = None,
         entity_tagger: Optional[EntityTagger] = None,
+        vectorize: Optional[bool] = None,
     ):
         super().__init__(config, entity_tagger)
-        self.tracker = make_tracker(self.config)
+        self.tracker = make_tracker(self.config, vectorize=vectorize)
         self.detector = make_shift_detector(self.config)
+        # Fused batched evaluation (None → scalar path): built once; it
+        # mirrors tracker/detector state in columnar arrays and rebuilds
+        # lazily whenever the scalar state mutates behind its back.
+        self._fused = make_fused_evaluator(
+            self.tracker, self.detector, self.ranking_builder,
+            enabled=vectorize,
+        )
+
+    @property
+    def evaluation_path(self) -> str:
+        """``"vectorized"`` when the fused batched path is live."""
+        return "vectorized" if self._fused is not None else "scalar"
+
+    def runtime_info(self) -> Dict[str, object]:
+        return {
+            "engine": "single",
+            "backend": "inline",
+            "shards": 1,
+            "evaluation_path": self.evaluation_path,
+        }
 
     # -- hooks ----------------------------------------------------------------
 
@@ -587,6 +627,20 @@ class EnBlogue(DetectionEngineBase):
         self._current_seeds = self.seed_selector.select(
             window, history=self.tracker.count_history()
         )
+        if self._fused is not None:
+            # Same boundary protocol as tracker.evaluate (advance + count
+            # row), then one batched pass replaces the whole per-pair
+            # sample/predict/score/rank loop — bit-identically.
+            self.tracker.advance_to(timestamp)
+            self.tracker.record_count_history_row()
+            topics = self._fused.evaluate(
+                timestamp, self._current_seeds,
+                window.counts, window.document_count,
+            )
+            ranking = Ranking(
+                timestamp=timestamp, topics=topics, label=self.config.name
+            )
+            return self._publish(ranking)
         observations = self.tracker.evaluate(timestamp, self._current_seeds)
         shift_scores: List[ShiftScore] = []
         for observation in observations:

@@ -14,7 +14,7 @@ approximately 2 days."
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.core.tracker import PairObservation
 from repro.core.types import TagPair
@@ -63,6 +63,9 @@ class ShiftDetector:
         # Pairs whose decayed maximum changed since the last delta drain;
         # None when delta recording is inactive.
         self._dirty: Optional[Set[TagPair]] = None
+        # Bumped on every score mutation (update, restore, reset) so
+        # columnar mirrors (vectorized.FusedEvaluator) can detect staleness.
+        self._mutation_epoch = 0
 
     # -- scoring ------------------------------------------------------------
 
@@ -125,6 +128,7 @@ class ShiftDetector:
         score = tracker.update(observation.timestamp, error)
         if self._dirty is not None:
             self._dirty.add(observation.pair)
+        self._mutation_epoch += 1
         return ShiftScore(
             pair=observation.pair,
             timestamp=observation.timestamp,
@@ -145,6 +149,44 @@ class ShiftDetector:
     def scored_pairs(self) -> List[TagPair]:
         return sorted(self._scores)
 
+    @property
+    def mutation_epoch(self) -> int:
+        """Monotone counter of score mutations (staleness detection)."""
+        return self._mutation_epoch
+
+    def note_mutation(self) -> None:
+        """Record an external score mutation (bumps the epoch)."""
+        self._mutation_epoch += 1
+
+    @property
+    def score_map(self) -> Dict[TagPair, DecayedMaximum]:
+        """The live per-pair decayed maxima (read-only; do not mutate)."""
+        return self._scores
+
+    def record_scores(
+        self,
+        timestamp: float,
+        scored: Iterable[Tuple[TagPair, float]],
+    ) -> None:
+        """Adopt batch-computed decayed maxima (absolute values).
+
+        The write-back half of :meth:`update` for callers that computed the
+        decayed-maximum fold themselves (the fused evaluator): each pair's
+        tracker is set to ``(value, timestamp)``, delta dirtiness is
+        maintained, and the mutation epoch is bumped once.
+        """
+        scores = self._scores
+        dirty = self._dirty
+        decay = self.decay
+        for pair, value in scored:
+            maximum = scores.get(pair)
+            if maximum is None:
+                maximum = scores[pair] = DecayedMaximum(decay)
+            maximum.restore_state(value, timestamp)
+            if dirty is not None:
+                dirty.add(pair)
+        self._mutation_epoch += 1
+
     def reset(self, pair: Optional[TagPair] = None) -> None:
         """Forget the score of one pair, or of every pair.
 
@@ -162,6 +204,7 @@ class ShiftDetector:
             self._scores.clear()
         else:
             self._scores.pop(pair, None)
+        self._mutation_epoch += 1
 
     # -- persistence --------------------------------------------------------
 
@@ -204,6 +247,7 @@ class ShiftDetector:
         self._scores = scores
         # Any buffered delta described the pre-restore state; drop it.
         self._dirty = None
+        self._mutation_epoch += 1
 
     # -- incremental persistence --------------------------------------------
 

@@ -30,12 +30,14 @@ from dataclasses import dataclass, field
 from itertools import islice
 from typing import Deque, Dict, Iterable, List, Mapping, Optional, Tuple
 
+from repro.core import vectorized as _vectorized
 from repro.core.candidates import CandidateIndex
 from repro.core.correlation import CorrelationMeasure, JaccardCorrelation, PairCounts
 from repro.core.types import TagPair, normalize_tag
 from repro.persistence.codec import string_interner
 from repro.persistence.snapshot import require_compatible, require_state
 from repro.windows.aggregates import TagFrequencyWindow
+from repro.windows.striped import StripedCounter
 from repro.windows.timeseries import TimeSeries
 
 #: One prepared document: ``(timestamp, tags, entities)``.
@@ -197,6 +199,8 @@ class CorrelationTracker:
         history_length: int = 24,
         use_entities: bool = True,
         track_usage: bool = False,
+        vectorize: Optional[bool] = None,
+        counter_stripes: int = 1,
     ):
         if window_horizon <= 0:
             raise ValueError("window_horizon must be positive")
@@ -204,11 +208,20 @@ class CorrelationTracker:
             raise ValueError("min_pair_support must be at least 1")
         if history_length < 2:
             raise ValueError("history_length must be at least 2")
+        if counter_stripes < 1:
+            raise ValueError("counter_stripes must be at least 1")
         self.window_horizon = float(window_horizon)
         self.measure = measure or JaccardCorrelation()
         self.history_length = int(history_length)
         self.use_entities = bool(use_entities)
         self.track_usage = bool(track_usage)
+        self.counter_stripes = int(counter_stripes)
+        # Batched sampling kernels: auto-detected (numpy present, measure
+        # carries a bit-identical kernel) unless forced off.  Not a
+        # structural parameter — snapshots restore across either path.
+        self._vectorize_sampling = _vectorized.sampling_supported(
+            self.measure, vectorize
+        )
 
         self._tag_window = TagFrequencyWindow(window_horizon)
         # Windowed pair co-occurrences: a deque of (timestamp, pairs-of-doc)
@@ -216,8 +229,10 @@ class CorrelationTracker:
         self._pair_events: Deque[Tuple[float, Tuple[TagPair, ...]]] = deque()
         self._candidates = CandidateIndex(min_support=min_pair_support)
         # Windowed co-tag usage per tag (only when the measure needs it).
+        # With counter_stripes > 1 each per-tag counter is MRV-striped so
+        # concurrent writer threads do not serialize on one hot dict.
         self._usage_events: Deque[Tuple[float, Tuple[Tuple[str, Tuple[str, ...]], ...]]] = deque()
-        self._usage: Dict[str, Counter] = {}
+        self._usage: Dict[str, Mapping[str, int]] = {}
         # Correlation histories per pair, appended at each evaluation;
         # bounded ring buffers so long runs cannot grow them without limit.
         self._histories: Dict[TagPair, TimeSeries] = {}
@@ -232,6 +247,9 @@ class CorrelationTracker:
         self._decomposer = DocumentDecomposer(use_entities=self.use_entities)
         self._documents_seen = 0
         self._latest: Optional[float] = None
+        # Bumped on every history mutation (sampling, restore) so columnar
+        # mirrors (vectorized.FusedEvaluator) can detect staleness lazily.
+        self._history_epoch = 0
 
     # -- ingestion ------------------------------------------------------------
 
@@ -251,6 +269,25 @@ class CorrelationTracker:
     def candidate_index(self) -> CandidateIndex:
         """The incremental seed-postings index behind candidate generation."""
         return self._candidates
+
+    @property
+    def sampling_path(self) -> str:
+        """``"vectorized"`` or ``"scalar"`` — how :meth:`_sample` computes."""
+        return "vectorized" if self._vectorize_sampling else "scalar"
+
+    @property
+    def history_epoch(self) -> int:
+        """Monotone counter of history mutations (staleness detection)."""
+        return self._history_epoch
+
+    def note_history_mutation(self) -> None:
+        """Record an external history mutation (bumps the epoch)."""
+        self._history_epoch += 1
+
+    @property
+    def history_map(self) -> Dict[TagPair, TimeSeries]:
+        """The live per-pair correlation histories (read-only; do not mutate)."""
+        return self._histories
 
     @property
     def min_pair_support(self) -> int:
@@ -403,6 +440,7 @@ class CorrelationTracker:
             count_b=self.tag_count(pair.second),
             count_both=self.pair_count(pair),
             total_documents=self.document_count(),
+            pair=pair,
         )
 
     def correlation(self, pair: TagPair) -> float:
@@ -453,6 +491,10 @@ class CorrelationTracker:
         tag_counts: Mapping[str, int],
         total_documents: int,
     ) -> List[PairObservation]:
+        if self._vectorize_sampling:
+            return self._sample_vectorized(
+                timestamp, seeds, tag_counts, total_documents
+            )
         observations: List[PairObservation] = []
         # Local bindings for the per-pair loop: evaluation samples hundreds
         # of pairs per boundary, so attribute and method-call overhead shows.
@@ -468,6 +510,7 @@ class CorrelationTracker:
                 count_b=tag_counts.get(pair.second, 0),
                 count_both=pair_count,
                 total_documents=total_documents,
+                pair=pair,
             )
             usage_a = self._usage.get(pair.first) if track_usage else None
             usage_b = self._usage.get(pair.second) if track_usage else None
@@ -483,7 +526,99 @@ class CorrelationTracker:
                 pair=pair, timestamp=timestamp, correlation=value,
                 counts=counts, seed_tag=seed_tag,
             ))
+        self._history_epoch += 1
         return observations
+
+    def _sample_vectorized(
+        self,
+        timestamp: float,
+        seeds: Iterable[str],
+        tag_counts: Mapping[str, int],
+        total_documents: int,
+    ) -> List[PairObservation]:
+        """The measure kernel over the whole candidate set at once.
+
+        Counts are validated and scored in batch; the per-candidate
+        PairCounts/PairObservation construction and the history appends
+        then replay the scalar loop with the kernel's values, which are
+        bit-identical by construction (property-tested).
+        """
+        np = _vectorized.np
+        candidates = self._candidates.iter_candidates(seeds)
+        count = len(candidates)
+        if count == 0:
+            self._history_epoch += 1
+            return []
+        count_a = np.fromiter(
+            (tag_counts.get(pair.first, 0) for pair, _, _ in candidates),
+            dtype=np.int64, count=count,
+        )
+        count_b = np.fromiter(
+            (tag_counts.get(pair.second, 0) for pair, _, _ in candidates),
+            dtype=np.int64, count=count,
+        )
+        count_both = np.fromiter(
+            (pair_count for _, _, pair_count in candidates),
+            dtype=np.int64, count=count,
+        )
+        _vectorized.validate_pair_counts(
+            candidates, count_a, count_b, count_both, total_documents
+        )
+        values = _vectorized.measure_candidates(
+            self.measure, count_a, count_b, count_both, total_documents
+        ).tolist()
+        observations: List[PairObservation] = []
+        histories = self._histories
+        dirty = None if self._delta is None else self._delta.dirty_histories
+        count_a = count_a.tolist()
+        count_b = count_b.tolist()
+        for index, (pair, seed_tag, pair_count) in enumerate(candidates):
+            counts = PairCounts(
+                count_a=count_a[index],
+                count_b=count_b[index],
+                count_both=pair_count,
+                total_documents=total_documents,
+                pair=pair,
+            )
+            value = values[index]
+            history = histories.get(pair)
+            if history is None:
+                history = TimeSeries(maxlen=self.history_length)
+                histories[pair] = history
+            history.append(timestamp, value)
+            if dirty is not None:
+                dirty[pair] = dirty.get(pair, 0) + 1
+            observations.append(PairObservation(
+                pair=pair, timestamp=timestamp, correlation=value,
+                counts=counts, seed_tag=seed_tag,
+            ))
+        self._history_epoch += 1
+        return observations
+
+    def record_sampled_values(
+        self,
+        timestamp: float,
+        sampled: Iterable[Tuple[TagPair, float]],
+    ) -> None:
+        """Append one evaluation's sampled correlations to the histories.
+
+        The write-back half of :meth:`_sample` for callers that computed
+        the values themselves (the fused evaluator): appends each value to
+        the pair's bounded series, maintains delta dirty counts, and bumps
+        the history epoch once.
+        """
+        histories = self._histories
+        dirty = None if self._delta is None else self._delta.dirty_histories
+        history_length = self.history_length
+        for pair, value in sampled:
+            history = histories.get(pair)
+            if history is None:
+                history = TimeSeries(maxlen=history_length)
+                histories[pair] = history
+            history.append(timestamp, value)
+            if dirty is not None:
+                dirty[pair] = dirty.get(pair, 0) + 1
+        self._history_epoch += 1
 
     def history(self, pair: TagPair) -> TimeSeries:
         """Correlation history of ``pair`` (empty series when never observed)."""
@@ -495,6 +630,15 @@ class CorrelationTracker:
     def count_history(self) -> Dict[str, List[int]]:
         """Windowed count history per tag (for the volatility seed selector)."""
         return {tag: list(values) for tag, values in self._count_history.items()}
+
+    def record_count_history_row(self) -> None:
+        """Record the current per-tag counts into the count history.
+
+        Public wrapper over the row-recording half of :meth:`evaluate`, for
+        callers (the fused evaluator's engine path) that sample correlations
+        outside the tracker but must keep the volatility history identical.
+        """
+        self._record_count_history()
 
     # -- persistence ----------------------------------------------------------
 
@@ -565,7 +709,7 @@ class CorrelationTracker:
         usage_events: Deque[
             Tuple[float, Tuple[Tuple[str, Tuple[str, ...]], ...]]
         ] = deque()
-        usage: Dict[str, Counter] = {}
+        usage: Dict[str, Mapping[str, int]] = {}
         for timestamp, update in state["usage_events"]:
             prepared = tuple(
                 (str(tag), tuple(str(cotag) for cotag in cotags))
@@ -573,9 +717,10 @@ class CorrelationTracker:
             )
             usage_events.append((float(timestamp), prepared))
             for tag, cotags in prepared:
-                counter = usage.setdefault(tag, Counter())
-                for cotag in cotags:
-                    counter[cotag] += 1
+                counter = usage.get(tag)
+                if counter is None:
+                    counter = usage[tag] = self._make_usage_counter()
+                counter.update(cotags)
         self._usage_events = usage_events
         self._usage = usage
         self._histories = {
@@ -593,6 +738,7 @@ class CorrelationTracker:
         self._latest = None if latest is None else float(latest)
         # Any buffered delta described the pre-restore state; drop it.
         self._delta = None
+        self._history_epoch += 1
 
     # -- incremental persistence ----------------------------------------------
 
@@ -707,6 +853,12 @@ class CorrelationTracker:
         self._latest = timestamp
         return timestamp, ordered
 
+    def _make_usage_counter(self):
+        """A fresh per-tag co-tag counter, striped when configured."""
+        if self.counter_stripes == 1:
+            return Counter()
+        return StripedCounter(self.counter_stripes)
+
     def _record_usage(self, timestamp: float, ordered: Tuple[str, ...]) -> None:
         """Update the windowed co-tag usage distributions for one document."""
         usage_update = tuple(
@@ -715,10 +867,12 @@ class CorrelationTracker:
         self._usage_events.append((timestamp, usage_update))
         if self._delta is not None:
             self._delta.usage_events.append((timestamp, usage_update))
+        usage = self._usage
         for tag, cotags in usage_update:
-            counter = self._usage.setdefault(tag, Counter())
-            for cotag in cotags:
-                counter[cotag] += 1
+            counter = usage.get(tag)
+            if counter is None:
+                counter = usage[tag] = self._make_usage_counter()
+            counter.update(cotags)
 
     def _record_count_history(self) -> None:
         snapshot = self._tag_window.snapshot()

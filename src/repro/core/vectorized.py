@@ -1,0 +1,775 @@
+"""Vectorized evaluation hot path: batched, bit-identical scoring.
+
+The cadence loop's cost is dominated by per-pair scalar work: every
+evaluation walks the candidate set computing correlation + shift score one
+pair at a time, and then re-reads the decayed score of *every* pair the
+detector has ever scored to admit dormant topics into the ranking.  This
+module rebuilds that pipeline as array math over a columnar pair-state view
+— parallel numpy arrays for history tails, history lengths and decayed
+scores, keyed by a stable pair→row interning table — while keeping every
+published number **bit-identical** to the scalar path:
+
+* integer count arithmetic (unions, minima, products) is exact in int64 and
+  conversions to float64 are exact below 2**53, so the measure divisions
+  round identically to their scalar counterparts;
+* ``np.log``/``np.exp`` are *not* used — on this platform they differ from
+  ``math.log``/``math.exp`` in the last ulp for a fraction of inputs.  The
+  PMI kernel takes ``math.log`` per masked candidate, and decay factors are
+  computed with ``math.exp`` once per *unique* elapsed time (evaluation
+  boundaries are shared by construction, so the unique set is tiny) and
+  gathered back;
+* predictor kernels replay the scalar recurrences column by column in the
+  exact same operation order (sums accumulate oldest→newest, EWMA/Holt
+  recurrences step per column), grouping rows by usable-history length so
+  every row sees precisely the slice the scalar predictor saw;
+* the top-k cut thresholds on ``min_score`` (strict, as the scalar
+  builder), takes a tie-inclusive superset via ``np.partition``, and then
+  applies the canonical ``topic_sort_key`` total order in Python — the same
+  comparisons, just over k-ish topics instead of every scored pair.
+
+The scalar dictionaries (the tracker's per-pair :class:`TimeSeries`
+histories, the detector's :class:`DecayedMaximum` table) remain the source
+of truth for persistence: the fused evaluator appends/updates them through
+the owning components and keeps its columnar mirrors in sync incrementally.
+Mutations that happen *outside* the fused path (a scalar evaluation, a
+checkpoint restore, a score reset) bump an epoch counter on the owning
+component; a stamp mismatch triggers a lazy full rebuild of the mirrors, so
+mixing paths is always correct, merely slower for one evaluation.
+
+Numpy is optional: every consumer gates on :data:`NUMPY_AVAILABLE` and the
+scalar path stays first-class.  Set the environment variable
+``REPRO_DISABLE_VECTORIZED`` (to any non-empty value) to force the scalar
+path without code changes.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.correlation import (
+    CorrelationMeasure,
+    CosineCorrelation,
+    JaccardCorrelation,
+    OverlapCorrelation,
+    PairCounts,
+    PmiCorrelation,
+    vectorizable_measures,
+)
+from repro.core.types import EmergentTopic, TagPair
+from repro.timeseries.predictors import (
+    EwmaPredictor,
+    HoltPredictor,
+    LastValuePredictor,
+    LinearTrendPredictor,
+    MovingAveragePredictor,
+    Predictor,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.core.ranking import RankingBuilder
+    from repro.core.shift import ShiftDetector
+    from repro.core.tracker import CorrelationTracker
+
+try:  # pragma: no cover - exercised by the no-numpy CI job
+    import numpy as np
+
+    NUMPY_AVAILABLE = True
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    np = None  # type: ignore[assignment]
+    NUMPY_AVAILABLE = False
+
+#: Environment switch forcing the scalar path (any non-empty value).
+DISABLE_ENV_VAR = "REPRO_DISABLE_VECTORIZED"
+
+#: One candidate triple as produced by ``CandidateIndex.iter_candidates``.
+Candidate = Tuple[TagPair, str, int]
+
+
+def vectorization_disabled() -> bool:
+    """Whether the environment forces the scalar path."""
+    return bool(os.environ.get(DISABLE_ENV_VAR))
+
+
+# ---------------------------------------------------------------------------
+# Measure kernels
+# ---------------------------------------------------------------------------
+#
+# Each kernel mirrors one CorrelationMeasure.value expression by expression
+# over int64 count arrays.  Inputs are pre-validated (validate_pair_counts),
+# so guards only handle the zero-denominator cases the scalar code handles.
+
+
+def _kernel_jaccard(measure, count_a, count_b, count_both, total_documents):
+    union = count_a + count_b - count_both
+    out = np.zeros(len(count_a), dtype=np.float64)
+    nonzero = union != 0
+    np.divide(count_both, union, out=out, where=nonzero)
+    return out
+
+
+def _kernel_overlap(measure, count_a, count_b, count_both, total_documents):
+    smaller = np.minimum(count_a, count_b)
+    out = np.zeros(len(count_a), dtype=np.float64)
+    nonzero = smaller != 0
+    np.divide(count_both, smaller, out=out, where=nonzero)
+    return out
+
+
+def _kernel_cosine(measure, count_a, count_b, count_both, total_documents):
+    # int64 product is exact (window counts are far below 2**31), the cast
+    # to float64 is exact below 2**53, and sqrt is correctly rounded in
+    # both math.sqrt and np.sqrt — verified identical on this platform.
+    denominator = np.sqrt((count_a * count_b).astype(np.float64))
+    out = np.zeros(len(count_a), dtype=np.float64)
+    nonzero = denominator != 0
+    np.divide(count_both, denominator, out=out, where=nonzero)
+    return out
+
+
+def _kernel_pmi(measure, count_a, count_b, count_both, total_documents):
+    out = np.zeros(len(count_a), dtype=np.float64)
+    if total_documents == 0:
+        return out
+    # count_both > 0 implies count_a > 0 and count_b > 0 (the intersection
+    # bound), so the scalar p_a == 0 / p_b == 0 guards are subsumed.
+    mask = count_both > 0
+    if not mask.any():
+        return out
+    total = float(total_documents)
+    p_a = count_a[mask] / total
+    p_b = count_b[mask] / total
+    p_ab = count_both[mask] / total
+    ratio = p_ab / (p_a * p_b)
+    # math.log, not np.log: they disagree in the last ulp on this platform.
+    # The masked candidate set is small (hundreds), so the Python loop is
+    # noise next to the savings of the batched arithmetic above.
+    results: List[float] = []
+    for r, joint in zip(ratio.tolist(), p_ab.tolist()):
+        pmi = math.log(r)
+        normaliser = -math.log(joint)
+        if normaliser == 0:
+            results.append(1.0)
+        else:
+            results.append(max(0.0, pmi / normaliser))
+    out[mask] = results
+    return out
+
+
+_MEASURE_KERNELS: Dict[type, object] = {
+    JaccardCorrelation: _kernel_jaccard,
+    OverlapCorrelation: _kernel_overlap,
+    CosineCorrelation: _kernel_cosine,
+    PmiCorrelation: _kernel_pmi,
+}
+
+
+def measure_supported(measure: CorrelationMeasure) -> bool:
+    """Whether ``measure`` has a bit-identical batched kernel.
+
+    Keyed by exact type: a subclass overriding :meth:`value` would silently
+    diverge from the registered kernel, so it falls back to scalar.
+    """
+    return type(measure) in _MEASURE_KERNELS
+
+
+def validate_pair_counts(
+    candidates: Sequence[Candidate],
+    count_a,
+    count_b,
+    count_both,
+    total_documents: int,
+) -> None:
+    """Batched :class:`PairCounts` validation naming the offending pair.
+
+    Mirrors ``PairCounts.__post_init__`` over the whole candidate set; on a
+    violation the scalar dataclass is constructed for the first offending
+    candidate so the raised message (including the canonical pair context)
+    is exactly the scalar path's.
+    """
+    bad = (
+        (count_a < 0)
+        | (count_b < 0)
+        | (count_both < 0)
+        | (count_both > np.minimum(count_a, count_b))
+        | (np.maximum(count_a, count_b) > total_documents)
+    )
+    if total_documents < 0:
+        bad = bad | True
+    if bad.any():
+        index = int(np.nonzero(bad)[0][0])
+        PairCounts(
+            count_a=int(count_a[index]),
+            count_b=int(count_b[index]),
+            count_both=int(count_both[index]),
+            total_documents=int(total_documents),
+            pair=candidates[index][0],
+        )
+        raise AssertionError(
+            "vectorized validation flagged counts the scalar validation "
+            "accepts"
+        )
+
+
+def measure_candidates(
+    measure: CorrelationMeasure,
+    count_a,
+    count_b,
+    count_both,
+    total_documents: int,
+):
+    """Batched ``max(0.0, measure.value(...))`` over pre-validated counts."""
+    kernel = _MEASURE_KERNELS.get(type(measure))
+    if kernel is None:
+        raise ValueError(
+            f"measure {measure.name!r} has no vectorized kernel; "
+            f"vectorizable measures: {vectorizable_measures()}"
+        )
+    return np.maximum(0.0, kernel(
+        measure, count_a, count_b, count_both, total_documents
+    ))
+
+
+# ---------------------------------------------------------------------------
+# Predictor kernels
+# ---------------------------------------------------------------------------
+#
+# Each kernel receives a right-aligned matrix ``previous`` of the values
+# preceding the current observation (row i's usable[i] values occupy the
+# *last* usable[i] columns) and replays the scalar predictor's recurrence
+# column by column.  Rows are grouped by usable length so every row sees
+# exactly the slice the scalar predictor saw; within a group the per-column
+# array operations perform the same IEEE operations in the same order as
+# the scalar loop, which is what keeps the forecasts bit-identical.
+
+
+def _predict_last(predictor, previous, usable):
+    return previous[:, -1].copy()
+
+
+def _predict_moving_average(predictor, previous, usable):
+    columns = previous.shape[1]
+    counts = np.minimum(predictor.window, usable)
+    out = np.empty(len(usable), dtype=np.float64)
+    for count in np.unique(counts).tolist():
+        rows = counts == count
+        block = previous[rows, columns - count:]
+        total = np.zeros(block.shape[0], dtype=np.float64)
+        for column in range(count):  # oldest→newest, as sum() iterates
+            total = total + block[:, column]
+        out[rows] = total / count
+    return out
+
+
+def _predict_ewma(predictor, previous, usable):
+    columns = previous.shape[1]
+    alpha = predictor.alpha
+    complement = 1 - alpha
+    out = np.empty(len(usable), dtype=np.float64)
+    for length in np.unique(usable).tolist():
+        rows = usable == length
+        block = previous[rows, columns - length:]
+        estimate = block[:, 0].copy()
+        for column in range(1, length):
+            estimate = alpha * block[:, column] + complement * estimate
+        out[rows] = estimate
+    return out
+
+
+def _predict_linear(predictor, previous, usable):
+    columns = previous.shape[1]
+    counts = np.minimum(predictor.window, usable)
+    out = np.empty(len(usable), dtype=np.float64)
+    for count in np.unique(counts).tolist():
+        rows = counts == count
+        block = previous[rows, columns - count:]
+        xs = list(range(count))
+        mean_x = sum(xs) / count
+        mean_y = np.zeros(block.shape[0], dtype=np.float64)
+        for column in range(count):
+            mean_y = mean_y + block[:, column]
+        mean_y = mean_y / count
+        denominator = sum((x - mean_x) ** 2 for x in xs)
+        if denominator == 0:
+            out[rows] = mean_y
+            continue
+        numerator = np.zeros(block.shape[0], dtype=np.float64)
+        for column in range(count):
+            numerator = numerator + (xs[column] - mean_x) * (
+                block[:, column] - mean_y
+            )
+        slope = numerator / denominator
+        intercept = mean_y - slope * mean_x
+        out[rows] = intercept + slope * count
+    return out
+
+
+def _predict_holt(predictor, previous, usable):
+    columns = previous.shape[1]
+    alpha = predictor.alpha
+    beta = predictor.beta
+    alpha_complement = 1 - alpha
+    beta_complement = 1 - beta
+    out = np.empty(len(usable), dtype=np.float64)
+    for length in np.unique(usable).tolist():
+        rows = usable == length
+        block = previous[rows, columns - length:]
+        level = block[:, 0].copy()
+        trend = block[:, 1] - block[:, 0]
+        for column in range(1, length):
+            previous_level = level
+            level = alpha * block[:, column] + alpha_complement * (
+                level + trend
+            )
+            trend = beta * (level - previous_level) + beta_complement * trend
+        out[rows] = level + trend
+    return out
+
+
+_PREDICTOR_KERNELS: Dict[type, object] = {
+    LastValuePredictor: _predict_last,
+    MovingAveragePredictor: _predict_moving_average,
+    EwmaPredictor: _predict_ewma,
+    LinearTrendPredictor: _predict_linear,
+    HoltPredictor: _predict_holt,
+}
+
+#: Registry names of the predictors with a bit-identical batched kernel.
+VECTORIZED_PREDICTOR_NAMES = frozenset(
+    {"last", "moving_average", "ewma", "linear", "holt"}
+)
+
+
+def predictor_supported(predictor: Predictor) -> bool:
+    """Whether ``predictor`` has a bit-identical batched kernel.
+
+    Keyed by exact type, as :func:`measure_supported`.
+    """
+    return type(predictor) in _PREDICTOR_KERNELS
+
+
+def predict_batch(predictor: Predictor, previous, usable):
+    """Batched one-step forecasts over a right-aligned history matrix.
+
+    ``previous`` holds, right-aligned, the values preceding the current
+    observation; ``usable[i]`` is row i's history length.  Every row must
+    already satisfy the predictor's ``min_history`` — gating is the
+    caller's job (the detector's gate also involves its own minimum).
+    """
+    kernel = _PREDICTOR_KERNELS.get(type(predictor))
+    if kernel is None:
+        raise ValueError(
+            f"predictor {type(predictor).__name__} has no vectorized kernel"
+        )
+    return kernel(predictor, previous, usable)
+
+
+# ---------------------------------------------------------------------------
+# Decay factors
+# ---------------------------------------------------------------------------
+
+
+def decay_factors(decay_rate: float, elapsed):
+    """``exp(-decay_rate * elapsed)`` per element, bit-identical to math.exp.
+
+    ``np.exp`` disagrees with ``math.exp`` in the last ulp for ~5% of
+    inputs on this platform, so the factor is computed with ``math.exp``
+    once per *unique* elapsed value and gathered back.  Elapsed times are
+    differences of evaluation-boundary timestamps, which pairs share by
+    construction, so the unique set stays tiny (typically a few dozen)
+    regardless of how many pairs are scored.
+    """
+    unique, inverse = np.unique(elapsed, return_inverse=True)
+    factors = np.fromiter(
+        (math.exp(-decay_rate * value) for value in unique.tolist()),
+        dtype=np.float64,
+        count=len(unique),
+    )
+    return factors[inverse]
+
+
+# ---------------------------------------------------------------------------
+# The fused evaluator
+# ---------------------------------------------------------------------------
+
+
+class FusedEvaluator:
+    """Columnar mirror of tracker histories + detector scores, evaluated
+    in one batched pass per cadence boundary.
+
+    One evaluation performs, over the whole candidate set at once: gather
+    counts → validate → measure kernel → history append (columnar mirror
+    *and* the tracker's scalar :class:`TimeSeries`, which stays the
+    persistence source of truth) → predictor kernel → prediction errors →
+    decayed-maximum update (columnar mirror *and* the detector's scalar
+    table) → global top-k over every known score.  The returned topic list
+    is bit-identical to the scalar
+    ``detector.update`` / ``RankingBuilder.top_topics`` pipeline.
+
+    The mirrors are invalidated by epoch stamps: any history/score mutation
+    outside this evaluator (scalar sampling, restore, reset) bumps the
+    owning component's epoch, and the next :meth:`evaluate` rebuilds from
+    the scalar dictionaries before proceeding.
+    """
+
+    #: Initial row capacity of the columnar arrays.
+    _INITIAL_CAPACITY = 1024
+
+    def __init__(
+        self,
+        tracker: "CorrelationTracker",
+        detector: "ShiftDetector",
+        builder: "RankingBuilder",
+    ):
+        if not NUMPY_AVAILABLE:
+            raise RuntimeError("FusedEvaluator requires numpy")
+        if not measure_supported(tracker.measure):
+            raise ValueError(
+                f"measure {tracker.measure.name!r} has no vectorized kernel"
+            )
+        if not predictor_supported(detector.predictor):
+            raise ValueError(
+                f"predictor {type(detector.predictor).__name__} has no "
+                "vectorized kernel"
+            )
+        self._tracker = tracker
+        self._detector = detector
+        self._builder = builder
+        self._history_columns = int(tracker.history_length)
+        self._pair_rows: Dict[TagPair, int] = {}
+        self._pairs: List[TagPair] = []
+        self._allocate(self._INITIAL_CAPACITY)
+        # Stamps: None forces a rebuild on the next evaluation.
+        self._history_stamp: Optional[int] = None
+        self._score_stamp: Optional[int] = None
+
+    # -- columnar storage -----------------------------------------------------
+
+    def _allocate(self, capacity: int) -> None:
+        columns = self._history_columns
+        self._hist = np.zeros((capacity, columns), dtype=np.float64)
+        self._hist_len = np.zeros(capacity, dtype=np.int64)
+        self._score_value = np.zeros(capacity, dtype=np.float64)
+        self._score_last = np.zeros(capacity, dtype=np.float64)
+        self._score_known = np.zeros(capacity, dtype=bool)
+
+    def _grow(self, needed: int) -> None:
+        capacity = len(self._hist_len)
+        if needed <= capacity:
+            return
+        new_capacity = max(needed, capacity * 2)
+        hist = np.zeros(
+            (new_capacity, self._history_columns), dtype=np.float64
+        )
+        hist[:capacity] = self._hist
+        self._hist = hist
+        for name in ("_hist_len", "_score_value", "_score_last"):
+            old = getattr(self, name)
+            grown = np.zeros(new_capacity, dtype=old.dtype)
+            grown[:capacity] = old
+            setattr(self, name, grown)
+        known = np.zeros(new_capacity, dtype=bool)
+        known[:capacity] = self._score_known
+        self._score_known = known
+
+    def _row_for(self, pair: TagPair) -> int:
+        row = self._pair_rows.get(pair)
+        if row is None:
+            row = len(self._pairs)
+            self._grow(row + 1)
+            self._pair_rows[pair] = row
+            self._pairs.append(pair)
+        return row
+
+    @property
+    def row_count(self) -> int:
+        """Interned pairs (mirror rows currently in use)."""
+        return len(self._pairs)
+
+    def _rebuild(self) -> None:
+        """Rebuild the mirrors from the scalar source-of-truth dicts."""
+        tracker = self._tracker
+        detector = self._detector
+        self._pair_rows = {}
+        self._pairs = []
+        histories = tracker.history_map
+        scores = detector.score_map
+        needed = len(set(histories) | set(scores))
+        self._allocate(max(self._INITIAL_CAPACITY, needed))
+        columns = self._history_columns
+        for pair, series in histories.items():
+            row = self._row_for(pair)
+            values = series.tail(columns)
+            if values:
+                self._hist[row, columns - len(values):] = values
+            self._hist_len[row] = len(values)
+        for pair, maximum in scores.items():
+            row = self._row_for(pair)
+            value, last_update = maximum.state()
+            if last_update is None:
+                # Never updated: scalar value_at() reads it as 0.0.
+                continue
+            self._score_value[row] = value
+            self._score_last[row] = last_update
+            self._score_known[row] = True
+        self._history_stamp = tracker.history_epoch
+        self._score_stamp = detector.mutation_epoch
+
+    # -- evaluation -----------------------------------------------------------
+
+    def evaluate(
+        self,
+        timestamp: float,
+        seeds,
+        tag_counts,
+        total_documents: int,
+    ) -> List[EmergentTopic]:
+        """One cadence boundary, batched; returns the sorted top-k topics.
+
+        The caller must already have advanced the tracker's window to
+        ``timestamp`` (both engines do, mirroring the scalar entry points).
+        State divergence on *error* paths is possible — array validation
+        raises before any history is appended, where the scalar loop
+        appends candidates preceding the offending one — but the raised
+        message is identical and a tracker holding invalid windowed counts
+        is unreachable through ingestion.
+        """
+        from repro.core.ranking import topic_sort_key
+
+        tracker = self._tracker
+        detector = self._detector
+        builder = self._builder
+        if (
+            self._history_stamp != tracker.history_epoch
+            or self._score_stamp != detector.mutation_epoch
+        ):
+            self._rebuild()
+        timestamp = float(timestamp)
+        decay_rate = detector.decay.decay_rate
+        candidates = tracker.candidate_index.iter_candidates(seeds)
+        count = len(candidates)
+        fresh_rows: Dict[int, int] = {}
+        values_list: List[float] = []
+        predicted_list: List[float] = []
+        errors_list: List[float] = []
+        try:
+            if count:
+                (
+                    fresh_rows, values_list, predicted_list, errors_list
+                ) = self._score_candidates(
+                    timestamp, candidates, tag_counts, total_documents,
+                    decay_rate,
+                )
+        except BaseException:
+            # A partial batch leaves the mirrors out of step with the
+            # scalar dicts; force a rebuild before the next evaluation.
+            self._history_stamp = None
+            self._score_stamp = None
+            raise
+        # Global top-k over every known score (candidates updated above
+        # carry last_update == timestamp, so their factor is exactly 1.0).
+        used = len(self._pairs)
+        known = np.nonzero(self._score_known[:used])[0]
+        if known.size == 0:
+            return []
+        last_updates = self._score_last[known]
+        elapsed = timestamp - last_updates
+        stale = elapsed < 0
+        if stale.any():
+            offending = float(last_updates[np.nonzero(stale)[0][0]])
+            raise ValueError(
+                f"cannot evaluate in the past: {timestamp} < {offending}"
+            )
+        current = self._score_value[known] * decay_factors(
+            decay_rate, elapsed
+        )
+        admitted = current > builder.min_score
+        rows = known[admitted]
+        scores = current[admitted]
+        top_k = builder.top_k
+        if scores.size > top_k:
+            # Tie-inclusive superset: keep everything >= the k-th largest
+            # score, then let the canonical sort cut exactly k below.
+            kth = np.partition(scores, scores.size - top_k)[
+                scores.size - top_k
+            ]
+            keep = scores >= kth
+            rows = rows[keep]
+            scores = scores[keep]
+        pairs = self._pairs
+        topics: List[EmergentTopic] = []
+        for row, score in zip(rows.tolist(), scores.tolist()):
+            index = fresh_rows.get(row)
+            if index is None:
+                topics.append(EmergentTopic(
+                    pair=pairs[row], score=score, timestamp=timestamp,
+                ))
+            else:
+                topics.append(EmergentTopic(
+                    pair=pairs[row],
+                    score=score,
+                    correlation=values_list[index],
+                    predicted_correlation=predicted_list[index],
+                    prediction_error=errors_list[index],
+                    seed_tag=candidates[index][1],
+                    timestamp=timestamp,
+                ))
+        topics.sort(key=topic_sort_key)
+        return topics[:top_k]
+
+    def _score_candidates(
+        self,
+        timestamp: float,
+        candidates: List[Candidate],
+        tag_counts,
+        total_documents: int,
+        decay_rate: float,
+    ) -> Tuple[Dict[int, int], List[float], List[float], List[float]]:
+        """Measure, append, predict and score the candidate set in batch."""
+        tracker = self._tracker
+        detector = self._detector
+        count = len(candidates)
+        count_a = np.fromiter(
+            (tag_counts.get(pair.first, 0) for pair, _, _ in candidates),
+            dtype=np.int64, count=count,
+        )
+        count_b = np.fromiter(
+            (tag_counts.get(pair.second, 0) for pair, _, _ in candidates),
+            dtype=np.int64, count=count,
+        )
+        count_both = np.fromiter(
+            (pair_count for _, _, pair_count in candidates),
+            dtype=np.int64, count=count,
+        )
+        validate_pair_counts(
+            candidates, count_a, count_b, count_both, total_documents
+        )
+        values = measure_candidates(
+            tracker.measure, count_a, count_b, count_both, total_documents
+        )
+        values_list = values.tolist()
+        rows = np.fromiter(
+            (self._row_for(pair) for pair, _, _ in candidates),
+            dtype=np.int64, count=count,
+        )
+        # History: the predictor sees the values *preceding* the current
+        # observation.  Rows are right-aligned, so dropping the first
+        # column yields exactly previous_values() after the append — the
+        # whole old row while it is short, the last H-1 values once full.
+        columns = self._history_columns
+        old_block = self._hist[rows]
+        lengths = self._hist_len[rows]
+        usable = np.minimum(lengths, columns - 1)
+        previous = old_block[:, 1:]
+        # Append: shift left one, place the fresh value in the last column.
+        self._hist[rows, :-1] = previous
+        self._hist[rows, -1] = values
+        self._hist_len[rows] = np.minimum(lengths + 1, columns)
+        tracker.record_sampled_values(
+            timestamp,
+            zip((pair for pair, _, _ in candidates), values_list),
+        )
+        self._history_stamp = tracker.history_epoch
+        # Predict + error, gated exactly as ShiftDetector._usable_history:
+        # too-short histories forecast 0.0 with error 0.0.
+        gate_limit = max(detector.min_history, detector.predictor.min_history)
+        gate = usable >= gate_limit
+        predicted = np.zeros(count, dtype=np.float64)
+        if gate.any():
+            predicted[gate] = predict_batch(
+                detector.predictor, previous[gate], usable[gate]
+            )
+        raw = values - predicted
+        if detector.penalize_drops:
+            errors = np.abs(raw)
+        else:
+            errors = np.maximum(0.0, raw)
+        errors = np.where(gate, errors, 0.0)
+        # Decayed-maximum update for the candidate rows.
+        last_updates = self._score_last[rows]
+        known = self._score_known[rows]
+        elapsed = timestamp - last_updates
+        stale = known & (elapsed < 0)
+        if stale.any():
+            offending = float(last_updates[np.nonzero(stale)[0][0]])
+            raise ValueError(
+                f"cannot evaluate in the past: {timestamp} < {offending}"
+            )
+        decayed = np.zeros(count, dtype=np.float64)
+        if known.any():
+            decayed[known] = self._score_value[rows[known]] * decay_factors(
+                decay_rate, elapsed[known]
+            )
+        new_scores = np.maximum(decayed, errors)
+        self._score_value[rows] = new_scores
+        self._score_last[rows] = timestamp
+        self._score_known[rows] = True
+        detector.record_scores(
+            timestamp,
+            zip((pair for pair, _, _ in candidates), new_scores.tolist()),
+        )
+        self._score_stamp = detector.mutation_epoch
+        fresh_rows = {row: index for index, row in enumerate(rows.tolist())}
+        return fresh_rows, values_list, predicted.tolist(), errors.tolist()
+
+
+# ---------------------------------------------------------------------------
+# Construction helpers
+# ---------------------------------------------------------------------------
+
+
+def sampling_supported(
+    measure: CorrelationMeasure, enabled: Optional[bool] = None
+) -> bool:
+    """Whether the tracker's sampling loop may use the measure kernels."""
+    if enabled is False:
+        return False
+    if not NUMPY_AVAILABLE:
+        return False
+    if enabled is None and vectorization_disabled():
+        return False
+    return measure_supported(measure)
+
+
+def make_fused_evaluator(
+    tracker: "CorrelationTracker",
+    detector: "ShiftDetector",
+    builder: "RankingBuilder",
+    enabled: Optional[bool] = None,
+) -> Optional[FusedEvaluator]:
+    """A :class:`FusedEvaluator` when the configuration supports one.
+
+    ``enabled=None`` (the default) auto-detects: numpy importable, the
+    measure and predictor carry kernels, and :data:`DISABLE_ENV_VAR` is
+    unset.  ``enabled=False`` forces the scalar path; ``enabled=True``
+    requests the vectorized path, overriding the environment switch but
+    still returning ``None`` when numpy or a kernel is missing (the scalar
+    fallback stays first-class rather than raising).
+    """
+    if enabled is False:
+        return None
+    if not NUMPY_AVAILABLE:
+        return None
+    if enabled is None and vectorization_disabled():
+        return None
+    if not measure_supported(tracker.measure):
+        return None
+    if not predictor_supported(detector.predictor):
+        return None
+    return FusedEvaluator(tracker, detector, builder)
+
+
+def config_vectorizes(config) -> bool:
+    """Whether a configuration's engines will evaluate vectorized.
+
+    Pure function of the configuration and the environment — accurate for
+    remote shard workers too, since process workers inherit both the
+    interpreter (numpy availability) and the environment variables.
+    """
+    if not NUMPY_AVAILABLE or vectorization_disabled():
+        return False
+    return (
+        config.correlation_measure in vectorizable_measures()
+        and config.predictor in VECTORIZED_PREDICTOR_NAMES
+    )

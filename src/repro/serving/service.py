@@ -124,6 +124,11 @@ class DetectionService:
         self._consumer: Optional[asyncio.Task] = None
         self._closed = False
         self._last_submitted: Optional[float] = None
+        # Captured once, before any serving traffic: engine topology and
+        # the active evaluation path are fixed for the engine's lifetime,
+        # and status() must not call into shard backends concurrently
+        # with evaluations running on the engine executor.
+        self._runtime_info = dict(engine.runtime_info())
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -260,6 +265,7 @@ class DetectionService:
             "queue_depth": self.queue_depth(),
             "queue_capacity": self.queue_capacity,
             "subscribers": self._fanout.subscriber_count(),
+            **self._runtime_info,
             **self.stats.as_dict(),
         }
 

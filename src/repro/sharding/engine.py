@@ -38,6 +38,7 @@ from repro.core.correlation import available_measures
 from repro.core.engine import DetectionEngineBase
 from repro.core.tracker import DocumentDecomposer, record_count_history
 from repro.core.types import Ranking
+from repro.core.vectorized import config_vectorizes
 from repro.entity.tagger import EntityTagger
 from repro.persistence.codec import optional_float, string_interner
 from repro.persistence.snapshot import SnapshotMismatchError, require_state
@@ -66,6 +67,7 @@ class ShardedEnBlogue(DetectionEngineBase):
         backend: Union[str, ShardBackend] = "serial",
         chunk_size: int = 256,
         entity_tagger: Optional[EntityTagger] = None,
+        vectorize: Optional[bool] = None,
     ):
         super().__init__(config, entity_tagger)
         if self.config.correlation_measure == "kl":
@@ -87,15 +89,25 @@ class ShardedEnBlogue(DetectionEngineBase):
         if isinstance(backend, str):
             backend = make_backend(backend)
         self.backend = backend
+        self._vectorize = vectorize
         self.backend.start(
-            [ShardWorker(shard_id, self.config)
+            [ShardWorker(shard_id, self.config, vectorize=vectorize)
              for shard_id in range(self.num_shards)]
         )
 
         self._decomposer = DocumentDecomposer(
             use_entities=self.config.use_entities
         )
-        self._tag_window = TagFrequencyWindow(self.config.window_horizon)
+        # Under the threads backend the global tag window is the one hot
+        # dict shared across coordinator and shard threads (checkpoint and
+        # status reads race ingestion), so its counts are MRV-striped;
+        # merged() sums integers, keeping the broadcast counts bit-exact.
+        window_stripes = (
+            self.num_shards if self.backend.name == "threads" else 1
+        )
+        self._tag_window = TagFrequencyWindow(
+            self.config.window_horizon, stripes=window_stripes
+        )
         self._count_history: dict = {}
         self._buffers: List[List[ShardEvent]] = [
             [] for _ in range(self.num_shards)
@@ -159,6 +171,33 @@ class ShardedEnBlogue(DetectionEngineBase):
         """Per-shard summary counters (events, live pairs, scored pairs)."""
         self._flush()
         return self.backend.stats()
+
+    def runtime_info(self) -> dict:
+        """Engine topology plus the evaluation path the shards actually run.
+
+        Prefers asking a live shard (authoritative after restores or env
+        overrides inside worker processes); falls back to deriving the
+        answer from the config when the backend is closed or unreachable.
+        """
+        path: Optional[str] = None
+        if not self._closed:
+            try:
+                stats = self.backend.stats()
+                path = stats[0].get("evaluation_path") if stats else None
+            except Exception:
+                path = None
+        if path is None:
+            vectorized = (
+                self._vectorize is not False
+                and config_vectorizes(self.config)
+            )
+            path = "vectorized" if vectorized else "scalar"
+        return {
+            "engine": "sharded",
+            "backend": self.backend.name,
+            "shards": self.num_shards,
+            "evaluation_path": path,
+        }
 
     # -- persistence ----------------------------------------------------------
 

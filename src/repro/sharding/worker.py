@@ -20,13 +20,14 @@ dataclasses), so they pickle cleanly into worker processes.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Mapping, Tuple
+from typing import Iterable, List, Mapping, Optional, Tuple
 
 from repro.core.config import EnBlogueConfig
 from repro.core.engine import make_shift_detector, make_tracker
 from repro.core.ranking import RankingBuilder
 from repro.core.shift import ShiftScore
 from repro.core.types import EmergentTopic, TagPair
+from repro.core.vectorized import make_fused_evaluator
 from repro.persistence.snapshot import require_compatible, require_state
 
 #: One pair-restricted document event: ``(timestamp, pairs-of-this-shard)``.
@@ -36,7 +37,12 @@ ShardEvent = Tuple[float, Tuple[TagPair, ...]]
 class ShardWorker:
     """Pair-restricted tracker + shift detector + local top-k for one shard."""
 
-    def __init__(self, shard_id: int, config: EnBlogueConfig):
+    def __init__(
+        self,
+        shard_id: int,
+        config: EnBlogueConfig,
+        vectorize: Optional[bool] = None,
+    ):
         if shard_id < 0:
             raise ValueError("shard_id must be non-negative")
         self.shard_id = int(shard_id)
@@ -44,9 +50,22 @@ class ShardWorker:
         # Usage tracking is off: co-tag usage distributions are computed over
         # whole documents, which shards never see — the coordinator rejects
         # the one measure ("kl") that needs them.
-        self.tracker = make_tracker(config, track_usage=False)
+        self.tracker = make_tracker(
+            config, track_usage=False, vectorize=vectorize
+        )
         self.detector = make_shift_detector(config)
         self.builder = RankingBuilder(top_k=config.top_k)
+        # Fused batched evaluation over this shard's pair slice (None →
+        # scalar path); columnar mirrors pickle with the worker and rebuild
+        # lazily after a restore.
+        self._fused = make_fused_evaluator(
+            self.tracker, self.detector, self.builder, enabled=vectorize
+        )
+
+    @property
+    def evaluation_path(self) -> str:
+        """``"vectorized"`` when the fused batched path is live."""
+        return "vectorized" if self._fused is not None else "scalar"
 
     # -- ingestion ------------------------------------------------------------
 
@@ -79,6 +98,13 @@ class ShardWorker:
         :func:`~repro.core.ranking.topic_sort_key`, ready for the
         coordinator's k-way merge.
         """
+        if self._fused is not None:
+            # Same boundary protocol as sample_candidates (advance + evict),
+            # then one batched pass over the shard's candidate slice.
+            self.tracker.advance_to(timestamp)
+            return self._fused.evaluate(
+                timestamp, seeds, tag_counts, total_documents
+            )
         observations = self.tracker.sample_candidates(
             timestamp, seeds, tag_counts, total_documents
         )
@@ -170,4 +196,5 @@ class ShardWorker:
             "events": self.tracker.documents_seen,
             "live_pairs": self.live_pairs(),
             "scored_pairs": len(self.detector.scored_pairs()),
+            "evaluation_path": self.evaluation_path,
         }

@@ -9,10 +9,11 @@ approximate counterparts based on synopses live in :mod:`repro.sketches`.
 from __future__ import annotations
 
 from collections import Counter, deque
-from typing import Deque, Dict, Iterable, List, Optional, Tuple
+from typing import Deque, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.persistence.snapshot import require_compatible, require_state
 from repro.windows.sliding import TimeSlidingWindow
+from repro.windows.striped import StripedCounter
 
 
 class SlidingSum:
@@ -103,12 +104,21 @@ class TagFrequencyWindow:
     tracks the total number of documents in the window.
     """
 
-    def __init__(self, horizon: float):
+    def __init__(self, horizon: float, stripes: int = 1):
         if horizon <= 0:
             raise ValueError("window horizon must be positive")
+        if stripes < 1:
+            raise ValueError("stripes must be at least 1")
         self.horizon = float(horizon)
+        self.stripes = int(stripes)
         self._events: Deque[Tuple[float, Tuple[str, ...]]] = deque()
-        self._counts: Counter = Counter()
+        # MRV striping for the hot per-tag tallies: with one writer the
+        # plain Counter is strictly faster, so stripes=1 keeps it; the
+        # threads shard backend opts into per-thread stripes merged on
+        # read (integer sums, so totals stay bit-identical).
+        self._counts: Union[Counter, StripedCounter] = (
+            Counter() if self.stripes == 1 else StripedCounter(self.stripes)
+        )
         self._documents = 0
         self._latest: Optional[float] = None
 
@@ -123,13 +133,17 @@ class TagFrequencyWindow:
 
     @property
     def counts(self) -> Counter:
-        """Live view of the per-tag counts (read-only; do not mutate).
+        """The per-tag counts as one ``Counter`` (read-only; do not mutate).
 
         Hot loops (the tracker's evaluation samples hundreds of pairs per
         boundary) read this directly instead of paying two method calls per
-        tag via :meth:`count`.
+        tag via :meth:`count`.  With ``stripes == 1`` this is the live
+        counter itself; a striped window returns the exact merged sum of
+        its stripes (one merge per evaluation, not per tag).
         """
-        return self._counts
+        if self.stripes == 1:
+            return self._counts
+        return self._counts.merged()
 
     def add_document(self, timestamp: float, tags: Iterable[str],
                      prepared: bool = False) -> None:
@@ -144,8 +158,7 @@ class TagFrequencyWindow:
             )
         unique_tags = tags if prepared else tuple(sorted(set(tags)))
         self._events.append((timestamp, unique_tags))
-        for tag in unique_tags:
-            self._counts[tag] += 1
+        self._counts.update(unique_tags)
         self._documents += 1
         self._latest = timestamp
         self._evict(timestamp)
@@ -259,7 +272,12 @@ class TagFrequencyWindow:
             events.append((float(timestamp), unique_tags))
             counts.update(unique_tags)
         self._events = events
-        self._counts = counts
+        if self.stripes == 1:
+            self._counts = counts
+        else:
+            striped = StripedCounter(self.stripes)
+            striped.seed(counts)
+            self._counts = striped
         self._documents = len(events)
         latest = state["latest"]
         self._latest = None if latest is None else float(latest)

@@ -1,0 +1,144 @@
+"""MRV-style striped counters for hot shared tallies.
+
+The two hottest shared dictionaries of the pipeline — the tag-frequency
+window's per-tag counts and the tracker's co-tag usage counters — are
+written on every ingested document.  Under the ``threads`` shard backend a
+single :class:`collections.Counter` guarded by one lock would serialize all
+writers on one hot dict; the Multi-Record-Values idea (split one hot value
+into per-worker records, merge on read) removes that: each writer thread
+lands its increments in its own stripe under a stripe-local lock, and
+readers sum the stripes.
+
+Counts are integers, so the merge is exact — a striped counter reports
+*bit-identical* totals to the plain ``Counter`` it replaces, which is what
+lets :class:`~repro.windows.aggregates.TagFrequencyWindow` switch between
+the two representations without perturbing a single correlation value.
+
+Reads are proportionally more expensive (one dict merge per read), so the
+default everywhere stays ``stripes=1`` — a plain ``Counter`` — and striping
+is opted into where concurrent writers exist.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+from typing import Iterable, Iterator, List, Mapping, Tuple
+
+
+class StripedCounter:
+    """A ``Counter`` split into per-thread stripes, merged on read.
+
+    Writes (``update``, ``subtract``, ``__setitem__``) pick a stripe from
+    the calling thread's identity and mutate it under that stripe's lock,
+    so concurrent writers on different stripes never contend.  Reads
+    (``__getitem__``, ``get``, ``items``, ``merged``) sum the stripes;
+    integer sums are associative and exact, so the merged view equals the
+    single-counter history of the same operations.
+
+    Read-modify-write sequences (``counter[k] -= 1`` followed by a delete)
+    are *not* atomic across threads — the callers in this repository
+    perform them only from the owning coordinator thread, exactly as they
+    did against the plain ``Counter``.
+    """
+
+    def __init__(self, stripes: int = 2):
+        if stripes < 1:
+            raise ValueError("stripes must be at least 1")
+        self._counters: List[Counter] = [Counter() for _ in range(stripes)]
+        self._locks: List[threading.Lock] = [
+            threading.Lock() for _ in range(stripes)
+        ]
+
+    @property
+    def stripes(self) -> int:
+        return len(self._counters)
+
+    def _stripe(self) -> int:
+        # Thread identity spreads concurrent writers across stripes; any
+        # assignment is *correct* (the merge is a plain integer sum), this
+        # one just keeps a steady writer on a steady stripe.
+        return threading.get_ident() % len(self._counters)
+
+    # -- writes ---------------------------------------------------------------
+
+    def update(self, keys: Iterable[str]) -> None:
+        """Count every element of ``keys`` (Counter.update semantics)."""
+        index = self._stripe()
+        with self._locks[index]:
+            self._counters[index].update(keys)
+
+    def subtract(self, keys: Iterable[str]) -> None:
+        """Subtract one per element of ``keys`` (Counter.subtract semantics)."""
+        index = self._stripe()
+        with self._locks[index]:
+            self._counters[index].subtract(keys)
+
+    def increment(self, key: str, amount: int = 1) -> None:
+        index = self._stripe()
+        with self._locks[index]:
+            self._counters[index][key] += amount
+
+    def __setitem__(self, key: str, value: int) -> None:
+        """Set the *merged* total of ``key`` to ``value``.
+
+        Clears the key from every stripe and records the total in the
+        calling thread's stripe; used by the read-modify-write eviction
+        paths, which only ever run on the owning thread.
+        """
+        for index, lock in enumerate(self._locks):
+            with lock:
+                self._counters[index].pop(key, None)
+        self.increment(key, value)
+
+    def __delitem__(self, key: str) -> None:
+        for index, lock in enumerate(self._locks):
+            with lock:
+                self._counters[index].pop(key, None)
+
+    def seed(self, counts: Mapping[str, int]) -> None:
+        """Adopt ``counts`` wholesale (restore path); lands in one stripe."""
+        for index, lock in enumerate(self._locks):
+            with lock:
+                self._counters[index].clear()
+        with self._locks[0]:
+            self._counters[0].update(counts)
+
+    # -- reads ----------------------------------------------------------------
+
+    def merged(self) -> Counter:
+        """One exact ``Counter`` summing every stripe."""
+        totals: Counter = Counter()
+        for index, lock in enumerate(self._locks):
+            with lock:
+                totals.update(self._counters[index])
+        return totals
+
+    def __getitem__(self, key: str) -> int:
+        return self.get(key, 0)
+
+    def get(self, key: str, default: int = 0) -> int:
+        total = 0
+        present = False
+        for index, lock in enumerate(self._locks):
+            with lock:
+                counter = self._counters[index]
+                if key in counter:
+                    present = True
+                    total += counter[key]
+        return total if present else default
+
+    def __contains__(self, key: str) -> bool:
+        return any(key in counter for counter in self._counters)
+
+    def items(self) -> Iterator[Tuple[str, int]]:
+        return iter(self.merged().items())
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.merged())
+
+    def __len__(self) -> int:
+        return len(self.merged())
+
+    def __bool__(self) -> bool:
+        return any(self._counters)

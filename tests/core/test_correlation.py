@@ -12,6 +12,7 @@ from repro.core.correlation import (
     available_measures,
     make_measure,
 )
+from repro.core.types import TagPair
 
 
 def counts(a, b, both, total):
@@ -121,3 +122,35 @@ class TestRegistry:
             measure = make_measure(name)
             value = measure.value(counts(20, 10, 7, 100))
             assert 0.0 <= value <= 1.0
+
+
+class TestPairContextInErrors:
+    """Validation failures during sampling name the canonical pair."""
+
+    def test_negative_counts_name_the_pair(self):
+        with pytest.raises(ValueError,
+                           match=r"non-negative for pair \(alpha, zeta\)"):
+            PairCounts(count_a=-1, count_b=5, count_both=0,
+                       total_documents=100, pair=TagPair("zeta", "alpha"))
+
+    def test_intersection_bound_names_the_pair(self):
+        with pytest.raises(ValueError,
+                           match=r"either tag count for pair \(a, b\)"):
+            PairCounts(count_a=2, count_b=2, count_both=3,
+                       total_documents=100, pair=TagPair("a", "b"))
+
+    def test_document_bound_names_the_pair(self):
+        with pytest.raises(ValueError,
+                           match=r"document count for pair \(a, b\)"):
+            PairCounts(count_a=200, count_b=5, count_both=5,
+                       total_documents=100, pair=TagPair("a", "b"))
+
+    def test_pairless_counts_omit_the_context(self):
+        with pytest.raises(ValueError) as excinfo:
+            counts(-1, 5, 0, 100)
+        assert "for pair" not in str(excinfo.value)
+
+    def test_pair_annotation_does_not_affect_equality(self):
+        annotated = PairCounts(count_a=10, count_b=5, count_both=3,
+                               total_documents=100, pair=TagPair("a", "b"))
+        assert annotated == counts(10, 5, 3, 100)

@@ -1,0 +1,221 @@
+"""Unit tests for the vectorized evaluation hot path's switches and errors.
+
+The bit-identity of the kernels themselves is property-tested in
+``tests/property/test_vectorized_properties.py``; here we pin the
+dispatch contract — auto-detection, the ``REPRO_DISABLE_VECTORIZED``
+environment switch, kernel-less measures falling back to scalar — and
+the error paths (batched validation raising the scalar pair-named
+message, stale timestamps rejected).
+"""
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.core.config import EnBlogueConfig
+from repro.core.correlation import (
+    JaccardCorrelation,
+    KlDivergenceCorrelation,
+    PmiCorrelation,
+)
+from repro.core.engine import EnBlogue
+from repro.core.ranking import RankingBuilder
+from repro.core.shift import ShiftDetector
+from repro.core.tracker import CorrelationTracker
+from repro.core.types import TagPair
+from repro.core.vectorized import (
+    DISABLE_ENV_VAR,
+    NUMPY_AVAILABLE,
+    VECTORIZED_PREDICTOR_NAMES,
+    config_vectorizes,
+    make_fused_evaluator,
+    measure_candidates,
+    measure_supported,
+    sampling_supported,
+    validate_pair_counts,
+)
+
+pytestmark = pytest.mark.skipif(
+    not NUMPY_AVAILABLE, reason="vectorized path requires numpy"
+)
+
+HOUR = 3600.0
+
+
+def config(**overrides):
+    defaults = dict(
+        window_horizon=6 * HOUR,
+        evaluation_interval=HOUR,
+        num_seeds=10,
+        min_seed_count=1,
+        min_pair_support=1,
+        min_history=2,
+        predictor="moving_average",
+        predictor_window=3,
+    )
+    defaults.update(overrides)
+    return EnBlogueConfig(**defaults)
+
+
+def parts(tracker=None):
+    tracker = tracker or CorrelationTracker(window_horizon=HOUR)
+    return tracker, ShiftDetector(), RankingBuilder()
+
+
+class TestDispatchSwitches:
+    def test_auto_detection_builds_the_evaluator(self, monkeypatch):
+        monkeypatch.delenv(DISABLE_ENV_VAR, raising=False)
+        assert make_fused_evaluator(*parts()) is not None
+
+    def test_enabled_false_forces_scalar(self):
+        assert make_fused_evaluator(*parts(), enabled=False) is None
+
+    def test_env_var_disables_auto_detection(self, monkeypatch):
+        monkeypatch.setenv(DISABLE_ENV_VAR, "1")
+        assert make_fused_evaluator(*parts()) is None
+        assert not sampling_supported(JaccardCorrelation())
+        assert not config_vectorizes(config())
+
+    def test_enabled_true_overrides_the_env_var(self, monkeypatch):
+        monkeypatch.setenv(DISABLE_ENV_VAR, "1")
+        assert make_fused_evaluator(*parts(), enabled=True) is not None
+        assert sampling_supported(JaccardCorrelation(), enabled=True)
+
+    def test_kernel_less_measure_falls_back_to_scalar(self):
+        assert not measure_supported(KlDivergenceCorrelation())
+        tracker = CorrelationTracker(
+            window_horizon=HOUR, measure=KlDivergenceCorrelation(),
+            track_usage=True,
+        )
+        assert make_fused_evaluator(*parts(tracker)) is None
+        assert tracker.sampling_path == "scalar"
+
+    def test_subclassed_measure_falls_back_to_scalar(self):
+        # A subclass may override value(); the exact-type kernel registry
+        # must not silently apply the parent's kernel.
+        class Tweaked(JaccardCorrelation):
+            def value(self, counts, usage_a=None, usage_b=None):
+                return 0.5
+
+        assert not measure_supported(Tweaked())
+        assert make_fused_evaluator(
+            *parts(CorrelationTracker(window_horizon=HOUR, measure=Tweaked()))
+        ) is None
+
+    def test_config_vectorizes_checks_measure_and_predictor(self, monkeypatch):
+        monkeypatch.delenv(DISABLE_ENV_VAR, raising=False)
+        assert config_vectorizes(config())
+        assert not config_vectorizes(config(correlation_measure="kl"))
+        assert "moving_average" in VECTORIZED_PREDICTOR_NAMES
+
+    def test_engine_reports_its_evaluation_path(self, monkeypatch):
+        monkeypatch.delenv(DISABLE_ENV_VAR, raising=False)
+        assert EnBlogue(config()).evaluation_path == "vectorized"
+        assert EnBlogue(config(), vectorize=False).evaluation_path == "scalar"
+        monkeypatch.setenv(DISABLE_ENV_VAR, "1")
+        assert EnBlogue(config()).evaluation_path == "scalar"
+
+    def test_engine_runtime_info(self):
+        info = EnBlogue(config()).runtime_info()
+        assert info["engine"] == "single"
+        assert info["backend"] == "inline"
+        assert info["shards"] == 1
+        assert info["evaluation_path"] in ("vectorized", "scalar")
+
+
+class TestBatchedValidation:
+    def test_bad_counts_raise_the_scalar_pair_named_message(self):
+        candidates = [
+            (TagPair("a", "b"), "a", 3),
+            (TagPair("a", "c"), "a", 2),
+        ]
+        with pytest.raises(ValueError,
+                           match=r"either tag count for pair \(a, c\)"):
+            validate_pair_counts(
+                candidates,
+                np.array([3, 1], dtype=np.int64),
+                np.array([4, 1], dtype=np.int64),
+                np.array([2, 2], dtype=np.int64),  # second exceeds both
+                10,
+            )
+
+    def test_negative_total_raises(self):
+        candidates = [(TagPair("a", "b"), "a", 1)]
+        with pytest.raises(ValueError, match=r"for pair \(a, b\)"):
+            validate_pair_counts(
+                candidates,
+                np.array([0], dtype=np.int64),
+                np.array([0], dtype=np.int64),
+                np.array([0], dtype=np.int64),
+                -1,
+            )
+
+    def test_valid_counts_pass(self):
+        candidates = [(TagPair("a", "b"), "a", 2)]
+        validate_pair_counts(
+            candidates,
+            np.array([3], dtype=np.int64),
+            np.array([4], dtype=np.int64),
+            np.array([2], dtype=np.int64),
+            10,
+        )
+
+    def test_kernel_less_measure_rejected_by_measure_candidates(self):
+        with pytest.raises(ValueError, match="no vectorized kernel"):
+            measure_candidates(
+                KlDivergenceCorrelation(),
+                np.array([1], dtype=np.int64),
+                np.array([1], dtype=np.int64),
+                np.array([1], dtype=np.int64),
+                10,
+            )
+
+    def test_batched_values_match_scalar_measure(self):
+        measure = PmiCorrelation()
+        count_a = np.array([5, 3, 7], dtype=np.int64)
+        count_b = np.array([4, 3, 2], dtype=np.int64)
+        count_both = np.array([2, 0, 2], dtype=np.int64)
+        values = measure_candidates(measure, count_a, count_b, count_both, 20)
+        from repro.core.correlation import PairCounts
+        for index in range(3):
+            scalar = measure.value(PairCounts(
+                count_a=int(count_a[index]),
+                count_b=int(count_b[index]),
+                count_both=int(count_both[index]),
+                total_documents=20,
+            ))
+            assert float(values[index]) == scalar
+
+
+class TestStaleEvaluationRejected:
+    def test_evaluating_before_the_stream_head_raises(self):
+        # Same guard (and wording) as the scalar path: stream time is
+        # monotone, so a backwards evaluation fails at the tracker.
+        engine = EnBlogue(config(), vectorize=True)
+        assert engine.evaluation_path == "vectorized"
+        from repro.datasets.documents import Document
+        for t in range(8):
+            engine.process(Document(
+                timestamp=t * HOUR, doc_id=f"d{t}",
+                tags=frozenset({"a", "b"}),
+            ))
+        with pytest.raises(ValueError, match="cannot advance backwards"):
+            engine.evaluate_now(0.0)
+
+    def test_scores_from_the_future_raise_in_the_batch(self):
+        # A decayed maximum stamped *after* the evaluation timestamp (a
+        # corrupted restore) must fail loudly, exactly like the scalar
+        # DecayedMaximum would, instead of decaying by exp(+x).
+        engine = EnBlogue(config(), vectorize=True)
+        from repro.datasets.documents import Document
+        for t in range(8):
+            engine.process(Document(
+                timestamp=t * HOUR, doc_id=f"d{t}",
+                tags=frozenset({"a", "b", "c"}),
+            ))
+        future = 100 * HOUR
+        engine.detector.record_scores(
+            future, [(TagPair("a", "b"), 0.25)]
+        )
+        with pytest.raises(ValueError, match="cannot evaluate in the past"):
+            engine.evaluate_now(9 * HOUR)

@@ -73,6 +73,33 @@ class TestReplayCommand:
         assert "enblogue[2xprocess]" in output
         assert "ranking at t=" in output
 
+    def test_sharded_replay_threads_backend_matches_single(self, capsys):
+        main(["replay", "--dataset", "tweets", "--hours", "18", "--seed", "7"])
+        single_ranking = capsys.readouterr().out.split("ranking at t=")[1]
+        exit_code = main(["replay", "--dataset", "tweets", "--hours", "18",
+                          "--seed", "7", "--shards", "4",
+                          "--backend", "threads"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "enblogue[4xthreads]" in output
+        assert output.split("ranking at t=")[1] == single_ranking
+
+    def test_replay_verbose_reports_runtime(self, capsys):
+        exit_code = main(["replay", "--dataset", "tweets", "--hours", "12",
+                          "--seed", "7", "--shards", "2",
+                          "--backend", "threads", "--verbose"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "runtime: engine=sharded backend=threads shards=2" in output
+        assert "evaluation_path=" in output
+
+    def test_replay_quiet_omits_runtime_line(self, capsys):
+        exit_code = main(["replay", "--dataset", "tweets", "--hours", "12",
+                          "--seed", "7"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "runtime:" not in output
+
 
 class TestCompareCommand:
     def test_compare_on_shift_workload(self, capsys):

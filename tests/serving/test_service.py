@@ -88,6 +88,16 @@ class TestServeReplay:
         assert status["closed"] is True
         assert status["queue_depth"] == 0
 
+    def test_status_reports_engine_runtime(self, docs):
+        engine = EnBlogue(config())
+        service, _ = run(serve_all(engine, docs))
+        status = service.status()
+        assert status["engine"] == "single"
+        assert status["backend"] == "inline"
+        assert status["shards"] == 1
+        assert status["evaluation_path"] == engine.evaluation_path
+        assert status["evaluation_path"] in ("vectorized", "scalar")
+
     def test_current_ranking_is_the_latest_frame(self, docs):
         async def scenario():
             engine = EnBlogue(config())

@@ -281,7 +281,7 @@ class TestEngineSurface:
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(ValueError, match="unknown shard backend"):
-            make_backend("threads")
+            make_backend("fibers")
 
     def test_evaluate_now_requires_documents(self):
         with ShardedEnBlogue(config(), num_shards=2) as sharded:

@@ -1,0 +1,177 @@
+"""The threads shard backend: equivalence, error surfacing and lifecycle.
+
+Mirrors the process-backend suite: same sticky-ingest-failure contract,
+same loud use-after-close behaviour, plus the thread-specific guarantees —
+zero serialization (workers receive the coordinator's live objects) and a
+striped coordinator tag window whose merged counts stay exact.
+"""
+
+import pytest
+
+from repro.core.config import EnBlogueConfig
+from repro.core.engine import EnBlogue
+from repro.core.types import TagPair
+from repro.datasets.documents import Document
+from repro.datasets.twitter import TweetStreamGenerator
+from repro.sharding import ShardedEnBlogue, make_backend
+from repro.sharding.backends import ShardExecutionError, ThreadBackend
+from repro.sharding.worker import ShardWorker
+
+HOUR = 3600.0
+
+
+def config(**overrides):
+    defaults = dict(
+        window_horizon=6 * HOUR,
+        evaluation_interval=HOUR,
+        num_seeds=10,
+        min_seed_count=1,
+        min_pair_support=1,
+        min_history=2,
+        predictor="moving_average",
+        predictor_window=3,
+    )
+    defaults.update(overrides)
+    return EnBlogueConfig(**defaults)
+
+
+def signature(engine):
+    return [
+        (ranking.timestamp, ranking.label, ranking.topics)
+        for ranking in engine.ranking_history()
+    ]
+
+
+def doc(t, tags):
+    return Document(timestamp=float(t), doc_id=f"doc-{t}", tags=frozenset(tags))
+
+
+@pytest.fixture(scope="module")
+def tweet_docs():
+    corpus, _ = TweetStreamGenerator(hours=24, tweets_per_hour=60,
+                                     seed=7).generate()
+    return list(corpus)
+
+
+def single_reference(docs, cfg):
+    engine = EnBlogue(cfg)
+    engine.process_batch(docs)
+    engine.evaluate_now()
+    return engine
+
+
+class TestThreadBackendEquivalence:
+    @pytest.mark.parametrize("num_shards", [1, 2, 4])
+    def test_twitter_stream_rankings_bit_identical(self, tweet_docs, num_shards):
+        cfg = config()
+        reference = single_reference(tweet_docs, cfg)
+        with ShardedEnBlogue(cfg, num_shards=num_shards,
+                             backend="threads", chunk_size=128) as sharded:
+            sharded.process_batch(tweet_docs)
+            sharded.evaluate_now()
+            assert signature(sharded) == signature(reference)
+
+    def test_checkpoint_restore_mid_stream_stays_identical(self, tweet_docs):
+        docs = tweet_docs[:600]
+        cfg = config()
+        reference = single_reference(docs, cfg)
+        cut = len(docs) // 2
+        with ShardedEnBlogue(cfg, num_shards=2, backend="threads") as first:
+            first.process_batch(docs[:cut])
+            state = first.snapshot()
+        with ShardedEnBlogue(cfg, num_shards=2, backend="threads") as second:
+            second.restore(state)
+            second.process_batch(docs[cut:])
+            second.evaluate_now()
+            final = second.ranking_history()[-1]
+        assert final == reference.ranking_history()[-1]
+
+
+class TestThreadBackendLifecycle:
+    def test_registered_with_make_backend(self):
+        backend = make_backend("threads")
+        assert isinstance(backend, ThreadBackend)
+        assert backend.name == "threads"
+
+    def test_worker_failure_is_sticky_and_surfaces_at_evaluation(self):
+        # An out-of-order chunk poisons the worker; the fire-and-forget
+        # ingest defers the error to the next synchronisation point.
+        backend = ThreadBackend()
+        backend.start([ShardWorker(0, config())])
+        try:
+            backend.ingest([[(10.0, (TagPair("a", "b"),))]])
+            backend.ingest([[(5.0, (TagPair("a", "c"),))]])
+            with pytest.raises(ShardExecutionError,
+                               match="shard 0 failed during evaluate"):
+                backend.evaluate(11.0, ["a"], {"a": 2, "b": 1, "c": 1}, 2)
+        finally:
+            backend.close()
+
+    def test_failed_gather_tears_the_pool_down(self):
+        backend = ThreadBackend()
+        backend.start([ShardWorker(0, config()), ShardWorker(1, config())])
+        backend.ingest([[(10.0, (TagPair("a", "b"),))], []])
+        backend.ingest([[(5.0, (TagPair("a", "c"),))], []])
+        with pytest.raises(ShardExecutionError, match="shard 0"):
+            backend.stats()
+        # The gather closed the backend; further use raises, not hangs.
+        assert backend._threads == []
+        with pytest.raises(ShardExecutionError, match="closed"):
+            backend.stats()
+
+    def test_close_is_idempotent(self):
+        with ShardedEnBlogue(config(), num_shards=2,
+                             backend="threads") as sharded:
+            sharded.process(doc(0, ["a", "b"]))
+            sharded.close()
+        sharded.close()
+
+    def test_use_after_close_raises_instead_of_publishing_empty(self):
+        sharded = ShardedEnBlogue(config(), num_shards=2, backend="threads")
+        sharded.process(doc(0, ["a", "b"]))
+        sharded.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            sharded.process(doc(10, ["a", "c"]))
+        with pytest.raises(RuntimeError, match="closed"):
+            sharded.evaluate_now(10.0)
+        assert sharded.ranking_history() == []
+
+    def test_workers_receive_live_objects_not_copies(self):
+        # Zero-copy contract: the exact event tuples posted by the
+        # coordinator reach the worker without pickling.
+        witnessed = []
+
+        class Recording(ShardWorker):
+            def ingest(self, events):
+                witnessed.extend(id(event) for event in events)
+                return super().ingest(events)
+
+        backend = ThreadBackend()
+        backend.start([Recording(0, config())])
+        try:
+            event = (10.0, (TagPair("a", "b"),))
+            backend.ingest([[event]])
+            backend.stats()  # synchronisation barrier
+            assert witnessed == [id(event)]
+        finally:
+            backend.close()
+
+    def test_shard_stats_report_evaluation_path(self, tweet_docs):
+        with ShardedEnBlogue(config(), num_shards=2,
+                             backend="threads") as sharded:
+            sharded.process_batch(tweet_docs[:200])
+            stats = sharded.shard_stats()
+            assert [entry["shard_id"] for entry in stats] == [0, 1]
+            assert all(
+                entry["evaluation_path"] in ("vectorized", "scalar")
+                for entry in stats
+            )
+
+    def test_runtime_info_names_backend_and_path(self):
+        with ShardedEnBlogue(config(), num_shards=2,
+                             backend="threads") as sharded:
+            info = sharded.runtime_info()
+        assert info["engine"] == "sharded"
+        assert info["backend"] == "threads"
+        assert info["shards"] == 2
+        assert info["evaluation_path"] in ("vectorized", "scalar")
