@@ -9,6 +9,7 @@ Examples::
 
     python -m repro.cli replay --dataset tweets --hours 48 --top-k 5
     python -m repro.cli replay --dataset tweets --shards 4 --backend process
+    python -m repro.cli replay --dataset tweets --metrics
     python -m repro.cli replay --dataset nyt --export /tmp/rankings.json
     python -m repro.cli replay --dataset tweets --shards 2 \
         --checkpoint-every 8 --checkpoint-dir /tmp/ckpt
@@ -43,6 +44,7 @@ from repro.datasets.synthetic import correlation_shift_stream
 from repro.datasets.twitter import TweetStreamGenerator
 from repro.evaluation.harness import run_detector, run_experiment
 from repro.evaluation.reporting import format_table
+from repro.observability import Observability, format_stage_table
 from repro.persistence.cadence import CheckpointCadence
 from repro.persistence.resume import load_engine
 from repro.portal.serialization import rankings_to_json
@@ -103,12 +105,14 @@ def _apply_overrides(config: EnBlogueConfig, args: argparse.Namespace) -> EnBlog
     return config.with_overrides(**overrides) if overrides else config
 
 
-def _make_engine(config: EnBlogueConfig, args: argparse.Namespace):
+def _make_engine(config: EnBlogueConfig, args: argparse.Namespace,
+                 observability: Optional[Observability] = None):
     """The single engine, or the sharded one when --shards/--backend ask for it."""
     shards = args.shards or 1
     if shards <= 1 and args.backend == "serial":
-        return EnBlogue(config)
-    return ShardedEnBlogue(config, num_shards=shards, backend=args.backend)
+        return EnBlogue(config, observability=observability)
+    return ShardedEnBlogue(config, num_shards=shards, backend=args.backend,
+                           observability=observability)
 
 
 def _print_runtime(engine) -> None:
@@ -127,8 +131,32 @@ def _checkpoint_extras(dataset: str, hours: int, years: float,
     return {"dataset": dataset, "hours": hours, "years": years, "seed": seed}
 
 
-def _checkpoint_cadence(engine, args: argparse.Namespace,
-                        extras: dict) -> CheckpointCadence:
+def _metrics_extras_provider(observability: Optional[Observability]):
+    """An ``extras_provider`` persisting the metric state per checkpoint.
+
+    Metrics ride the manifest's ``extras`` (not the engine snapshot), so
+    a resumed process continues its counters instead of starting the
+    story over — and checkpoints written without observability stay
+    byte-for-byte what they always were.
+    """
+    if observability is None or not observability.enabled:
+        return None
+    return lambda: {"metrics": observability.snapshot()}
+
+
+def _restore_metrics(observability: Optional[Observability],
+                     manifest: dict) -> None:
+    """Continue the checkpointed metric story, if one was recorded."""
+    if observability is None or not observability.enabled:
+        return
+    snapshot = manifest.get("extras", {}).get("metrics")
+    if snapshot:
+        observability.restore(snapshot)
+
+
+def _checkpoint_cadence(engine, args: argparse.Namespace, extras: dict,
+                        observability: Optional[Observability] = None,
+                        ) -> CheckpointCadence:
     """The checkpoint policy shared by replays, resumes and ``serve``.
 
     Built on the shared :class:`CheckpointCadence` (the serving layer
@@ -146,6 +174,7 @@ def _checkpoint_cadence(engine, args: argparse.Namespace,
         mode=args.checkpoint_mode,
         full_every=args.full_every,
         extras=extras,
+        extras_provider=_metrics_extras_provider(observability),
     )
     cadence.begin()
     return cadence
@@ -176,7 +205,8 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         return _cmd_replay_resume(args)
     corpus, schedule, config = _load_dataset(args.dataset, args.hours, args.years, args.seed)
     config = _apply_overrides(config, args)
-    engine = _make_engine(config, args)
+    observability = Observability() if args.metrics else None
+    engine = _make_engine(config, args, observability=observability)
     name = "enblogue" if isinstance(engine, EnBlogue) \
         else f"enblogue[{engine.num_shards}x{args.backend}]"
 
@@ -184,7 +214,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         _print_runtime(engine)
 
     extras = _checkpoint_extras(args.dataset, args.hours, args.years, args.seed)
-    cadence = _checkpoint_cadence(engine, args, extras)
+    cadence = _checkpoint_cadence(engine, args, extras, observability)
 
     try:
         result = run_experiment(
@@ -196,6 +226,9 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         if isinstance(engine, ShardedEnBlogue):
             engine.close()
     print(format_table([result.summary()], title=f"replay of {args.dataset!r}"))
+    if observability is not None:
+        print()
+        print(format_stage_table(observability.registry))
     _report_checkpoints(cadence, args.checkpoint_dir)
     final = result.run.final_ranking()
     if final is not None:
@@ -246,9 +279,12 @@ def _cmd_replay_resume(args: argparse.Namespace) -> int:
     the documents past the checkpoint are replayed.  ``--export`` writes
     the rankings produced *after* the resume point.
     """
+    observability = Observability() if args.metrics else None
     engine, manifest = load_engine(
         args.resume, num_shards=args.shards, backend=args.backend,
+        observability=observability,
     )
+    _restore_metrics(observability, manifest)
     extras = manifest.get("extras", {})
     try:
         _require_no_resume_overrides(args, extras, _RESUME_FALLBACK_DEFAULTS)
@@ -267,7 +303,7 @@ def _cmd_replay_resume(args: argparse.Namespace) -> int:
 
     skip = engine.documents_processed
     remaining = list(corpus)[skip:]
-    cadence = _checkpoint_cadence(engine, args, extras)
+    cadence = _checkpoint_cadence(engine, args, extras, observability)
 
     try:
         # The one replay loop of the harness: collection, the cadence
@@ -287,6 +323,9 @@ def _cmd_replay_resume(args: argparse.Namespace) -> int:
     print(f"resumed {dataset!r} from {args.resume} ({shape}): "
           f"skipped {skip} checkpointed documents, replayed "
           f"{len(remaining)}, produced {len(produced)} rankings")
+    if observability is not None:
+        print()
+        print(format_stage_table(observability.registry))
     _report_checkpoints(cadence, args.checkpoint_dir)
     if produced:
         print()
@@ -315,6 +354,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "--checkpoint-mode delta requires --checkpoint-every: a delta "
             "journal only exists on a cadence"
         )
+    # Serving always runs instrumented: /metrics and /trace are part of
+    # the HTTP surface, and the ≤2% overhead is the price of admission.
+    observability = Observability()
     if args.resume:
         for flag in ("top_k", "measure", "predictor", "seeds"):
             if getattr(args, flag) is not None:
@@ -325,18 +367,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 )
         engine, manifest = load_engine(
             args.resume, num_shards=args.shards, backend=args.backend,
+            observability=observability,
         )
+        _restore_metrics(observability, manifest)
         extras = dict(manifest.get("extras", {}))
+        extras.pop("metrics", None)  # superseded by the extras_provider
     else:
         config = news_archive_config() if args.preset == "news" \
             else live_stream_config()
         config = _apply_overrides(config, args)
-        engine = _make_engine(config, args)
+        engine = _make_engine(config, args, observability=observability)
         extras = {"source": "serve"}
 
     try:
         return asyncio.run(_serve_async(
             engine, args, extras, DetectionService, RankingServer,
+            observability=observability,
         ))
     except KeyboardInterrupt:
         return 0
@@ -346,7 +392,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 async def _serve_async(engine, args: argparse.Namespace, extras: dict,
-                       service_class, server_class) -> int:
+                       service_class, server_class,
+                       observability: Optional[Observability] = None) -> int:
     cadence = None
     if args.checkpoint_dir:
         cadence = CheckpointCadence(
@@ -356,12 +403,14 @@ async def _serve_async(engine, args: argparse.Namespace, extras: dict,
             mode=args.checkpoint_mode,
             full_every=args.full_every,
             extras=extras,
+            extras_provider=_metrics_extras_provider(observability),
         )
     service = service_class(
         engine,
         queue_capacity=args.queue_capacity,
         buffer_limit=args.buffer_limit,
         cadence=cadence,
+        observability=observability,
     )
     await service.start()
     server = server_class(service, host=args.host, port=args.port)
@@ -370,7 +419,8 @@ async def _serve_async(engine, args: argparse.Namespace, extras: dict,
     shape = "single" if isinstance(engine, EnBlogue) \
         else f"{engine.num_shards}x{engine.backend.name}"
     print(f"serving enblogue[{shape}] on http://{server.host}:{server.port} "
-          f"(POST /ingest, GET /rankings, GET /rankings/stream, GET /status)",
+          f"(POST /ingest, GET /rankings, GET /rankings/stream, GET /status, "
+          f"GET /metrics, GET /trace)",
           flush=True)
 
     import signal
@@ -466,6 +516,10 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--verbose", action="store_true",
                         help="print the engine shape and active evaluation "
                              "path (vectorized or scalar) before replaying")
+    replay.add_argument("--metrics", action="store_true",
+                        help="run instrumented (metrics registry + stage "
+                             "tracer) and print a per-stage timing table "
+                             "after the replay")
     replay.add_argument("--export", default=None,
                         help="write the produced rankings to this JSON file "
                              "(with --resume: only the post-resume rankings)")

@@ -28,6 +28,7 @@ from repro.core.tracker import CorrelationTracker
 from repro.core.types import Ranking, TagPair, normalize_tag
 from repro.core.vectorized import make_fused_evaluator
 from repro.entity.tagger import EntityTagger
+from repro.observability import NOOP, Observability
 from repro.persistence.codec import (
     optional_float,
     ranking_from_state,
@@ -111,6 +112,7 @@ class DetectionEngineBase:
         self,
         config: Optional[EnBlogueConfig] = None,
         entity_tagger: Optional[EntityTagger] = None,
+        observability: Optional[Observability] = None,
     ):
         self.config = config or EnBlogueConfig()
         self.seed_selector = make_seed_selector(
@@ -121,6 +123,18 @@ class DetectionEngineBase:
         self.ranking_builder = RankingBuilder(top_k=self.config.top_k)
         self.personalization = PersonalizationEngine()
         self.entity_tagger = entity_tagger
+        # Observability is runtime wiring, never stream state: the NOOP
+        # default costs one no-op call per instrumented site and zero
+        # allocations per event, metrics never enter snapshot()/restore()
+        # (the serving CLI persists them through manifest extras instead),
+        # and rankings are bit-identical with instrumentation on or off.
+        self.observability = observability or NOOP
+        registry = self.observability.registry
+        self._metric_documents = registry.counter(
+            "repro_core_documents_total")
+        self._metric_batches = registry.counter("repro_core_batches_total")
+        self._metric_rankings = registry.counter("repro_core_rankings_total")
+        self._metric_evaluation_seconds = None
 
         self._rankings: List[Ranking] = []
         self._listeners: List[RankingListener] = []
@@ -146,6 +160,33 @@ class DetectionEngineBase:
     def _evaluate(self, timestamp: float) -> Ranking:
         """Re-select seeds, score candidates and publish a new ranking."""
         raise NotImplementedError
+
+    # -- observability ---------------------------------------------------------
+
+    def _bind_evaluation_metric(self, path: str) -> None:
+        """Bind the evaluation histogram child for this engine's live path.
+
+        Called by subclasses once they know whether the scalar or the
+        vectorized evaluator is active — the label is how a silent
+        fallback shows up on ``GET /metrics``.
+        """
+        self._metric_evaluation_seconds = self.observability.registry \
+            .histogram("repro_core_evaluation_seconds").labels(path=path)
+
+    def _timed_evaluate(self, timestamp: float) -> Ranking:
+        """:meth:`_evaluate` with its wall time fed to the histogram."""
+        if not self.observability.enabled:
+            return self._evaluate(timestamp)
+        clock = self.observability.clock
+        start = clock()
+        ranking = self._evaluate(timestamp)
+        if self._metric_evaluation_seconds is not None:
+            self._metric_evaluation_seconds.observe(clock() - start)
+        return ranking
+
+    def shard_health(self) -> List[dict]:
+        """Per-shard health records; empty for unsharded engines."""
+        return []
 
     # -- ingestion ------------------------------------------------------------
 
@@ -178,11 +219,12 @@ class DetectionEngineBase:
         # Catch up on evaluation boundaries crossed by a jump in stream time
         # (replayed archives can have quiet stretches spanning many periods).
         while timestamp >= self._next_evaluation:
-            ranking = self._evaluate(self._next_evaluation)
+            ranking = self._timed_evaluate(self._next_evaluation)
             self._next_evaluation += self.config.evaluation_interval
 
         self._ingest_document(timestamp, tags, entities)
         self._documents_processed += 1
+        self._metric_documents.inc()
         return ranking
 
     def process_many(self, documents: Iterable) -> List[Ranking]:
@@ -213,22 +255,39 @@ class DetectionEngineBase:
         observations = self._prepare_batch(documents)
         produced: List[Ranking] = []
         pending: List[tuple] = []
-        for observation in observations:
-            timestamp = observation[0]
-            if self._next_evaluation is None:
-                self._next_evaluation = timestamp + interval
-            if timestamp >= self._next_evaluation:
-                if pending:
-                    self._documents_processed += \
-                        self._ingest_observations(pending)
-                    pending = []
-                while timestamp >= self._next_evaluation:
-                    produced.append(self._evaluate(self._next_evaluation))
-                    self._next_evaluation += interval
-            pending.append(observation)
-        if pending:
-            self._documents_processed += self._ingest_observations(pending)
+        # The trace id derives from documents_processed at batch start —
+        # checkpointed state, so a resumed run reproduces the same ids.
+        with self.observability.tracer.trace(
+                self._documents_processed) as root:
+            root.set(documents=len(observations))
+            for observation in observations:
+                timestamp = observation[0]
+                if self._next_evaluation is None:
+                    self._next_evaluation = timestamp + interval
+                if timestamp >= self._next_evaluation:
+                    if pending:
+                        self._ingest_pending(pending)
+                        pending = []
+                    while timestamp >= self._next_evaluation:
+                        produced.append(
+                            self._timed_evaluate(self._next_evaluation)
+                        )
+                        self._next_evaluation += interval
+                pending.append(observation)
+            if pending:
+                self._ingest_pending(pending)
+            self._metric_batches.inc()
+            if produced:
+                root.set(rankings=len(produced))
         return produced
+
+    def _ingest_pending(self, pending: List[tuple]) -> None:
+        """Feed one boundary-free run, under an ``ingest`` span."""
+        with self.observability.tracer.span("ingest") as span:
+            ingested = self._ingest_observations(pending)
+            span.set(documents=ingested)
+        self._documents_processed += ingested
+        self._metric_documents.inc(ingested)
 
     def _prepare_batch(self, documents: Iterable) -> List[tuple]:
         """Prepare a chunk and validate its time order against the stream."""
@@ -259,7 +318,7 @@ class DetectionEngineBase:
             timestamp = self._latest_timestamp()
         if timestamp is None:
             raise ValueError("no documents processed yet")
-        return self._evaluate(timestamp)
+        return self._timed_evaluate(timestamp)
 
     # -- results --------------------------------------------------------------
 
@@ -344,7 +403,10 @@ class DetectionEngineBase:
         re-serialising the whole window.  Without it, any active recording
         is stopped (the chain is re-based elsewhere or abandoned).
         """
-        generation = write_checkpoint(directory, self.snapshot(), extras)
+        generation = write_checkpoint(
+            directory, self.snapshot(), extras,
+            observer=self.observability.store_observer("full"),
+        )
         if track_deltas:
             self._begin_delta_tracking()
             self._delta_chain = _DeltaChain(
@@ -386,6 +448,7 @@ class DetectionEngineBase:
                 directory, delta,
                 expected_base=chain.base_generation,
                 expected_generation=chain.newest_generation,
+                observer=self.observability.store_observer("delta"),
             )
         except BaseException:
             # The drain already emptied the component buffers, so this
@@ -489,8 +552,12 @@ class DetectionEngineBase:
         limit = self.config.max_ranking_history
         if limit is not None and len(self._rankings) > limit:
             del self._rankings[: len(self._rankings) - limit]
-        for listener in self._listeners:
-            listener(ranking)
+        self._metric_rankings.inc()
+        if self._listeners:
+            with self.observability.tracer.span("publish") as span:
+                span.set(topics=len(ranking.topics))
+                for listener in self._listeners:
+                    listener(ranking)
         return ranking
 
 
@@ -502,8 +569,9 @@ class EnBlogue(DetectionEngineBase):
         config: Optional[EnBlogueConfig] = None,
         entity_tagger: Optional[EntityTagger] = None,
         vectorize: Optional[bool] = None,
+        observability: Optional[Observability] = None,
     ):
-        super().__init__(config, entity_tagger)
+        super().__init__(config, entity_tagger, observability=observability)
         self.tracker = make_tracker(self.config, vectorize=vectorize)
         self.detector = make_shift_detector(self.config)
         # Fused batched evaluation (None → scalar path): built once; it
@@ -513,6 +581,7 @@ class EnBlogue(DetectionEngineBase):
             self.tracker, self.detector, self.ranking_builder,
             enabled=vectorize,
         )
+        self._bind_evaluation_metric(self.evaluation_path)
 
     @property
     def evaluation_path(self) -> str:
@@ -623,33 +692,47 @@ class EnBlogue(DetectionEngineBase):
     # -- internals -----------------------------------------------------------------------
 
     def _evaluate(self, timestamp: float) -> Ranking:
+        tracer = self.observability.tracer
         window = self.tracker.tag_window
-        self._current_seeds = self.seed_selector.select(
-            window, history=self.tracker.count_history()
-        )
+        with tracer.span("seed_select") as span:
+            self._current_seeds = self.seed_selector.select(
+                window, history=self.tracker.count_history()
+            )
+            span.set(seeds=len(self._current_seeds))
         if self._fused is not None:
             # Same boundary protocol as tracker.evaluate (advance + count
             # row), then one batched pass replaces the whole per-pair
             # sample/predict/score/rank loop — bit-identically.
-            self.tracker.advance_to(timestamp)
-            self.tracker.record_count_history_row()
-            topics = self._fused.evaluate(
-                timestamp, self._current_seeds,
-                window.counts, window.document_count,
-            )
+            with tracer.span("evaluate_vectorized") as span:
+                self.tracker.advance_to(timestamp)
+                self.tracker.record_count_history_row()
+                topics = self._fused.evaluate(
+                    timestamp, self._current_seeds,
+                    window.counts, window.document_count,
+                )
+                span.set(topics=len(topics))
             ranking = Ranking(
                 timestamp=timestamp, topics=topics, label=self.config.name
             )
             return self._publish(ranking)
-        observations = self.tracker.evaluate(timestamp, self._current_seeds)
-        shift_scores: List[ShiftScore] = []
-        for observation in observations:
-            # The tracker already appended the current value; the predictor
-            # must only see the values that precede it.
-            previous = self.tracker.history(observation.pair).previous_values()
-            shift_scores.append(self.detector.update(observation, previous))
-        ranking = self.ranking_builder.build(
-            timestamp, shift_scores, detector=self.detector,
-            label=self.config.name,
-        )
+        with tracer.span("candidates") as span:
+            observations = self.tracker.evaluate(
+                timestamp, self._current_seeds
+            )
+            span.set(pairs=len(observations))
+        with tracer.span("score"):
+            shift_scores: List[ShiftScore] = []
+            for observation in observations:
+                # The tracker already appended the current value; the
+                # predictor must only see the values that precede it.
+                previous = self.tracker.history(
+                    observation.pair).previous_values()
+                shift_scores.append(
+                    self.detector.update(observation, previous)
+                )
+        with tracer.span("rank"):
+            ranking = self.ranking_builder.build(
+                timestamp, shift_scores, detector=self.detector,
+                label=self.config.name,
+            )
         return self._publish(ranking)

@@ -1,0 +1,170 @@
+"""Exporters: Prometheus text, NDJSON trace dumps, the CLI stage table.
+
+Three views over the same registry/tracer:
+
+* :func:`render_prometheus` — the text exposition format served by
+  ``GET /metrics`` (``# HELP``/``# TYPE`` per family, cumulative
+  ``_bucket{le=...}``/``_sum``/``_count`` for histograms).  Families are
+  rendered even when they have no samples yet, so scrapers — and the CI
+  required-families check — see the full naming contract from the first
+  scrape.
+* :func:`render_trace_ndjson` — one JSON line per trace (a per-batch
+  span tree), served by ``GET /trace?last=N``.
+* :func:`format_stage_table` — the per-stage time table ``replay
+  --metrics`` prints at exit, aggregated from the tracer's
+  ``repro_pipeline_stage_seconds`` histogram.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Mapping, Optional, Tuple
+
+from repro.observability.tracing import STAGE_METRIC
+
+#: Content type of the Prometheus text exposition format, version 0.0.4.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+NDJSON_CONTENT_TYPE = "application/x-ndjson"
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace("\n", r"\n").replace('"', r'\"')
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(key: Tuple[Tuple[str, str], ...],
+                   extra: Optional[Tuple[str, str]] = None) -> str:
+    pairs = list(key)
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    rendered = ",".join(
+        f'{name}="{_escape_label_value(value)}"' for name, value in pairs
+    )
+    return "{" + rendered + "}"
+
+
+def render_prometheus(registry) -> str:
+    """The registry in Prometheus text exposition format."""
+    lines: List[str] = []
+    for family in registry.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        if family.kind in ("counter", "gauge"):
+            for key, child in family.samples():
+                lines.append(
+                    f"{family.name}{_format_labels(key)} "
+                    f"{_format_value(child.value)}"
+                )
+        else:  # histogram
+            for key, child in family.samples():
+                cumulative, total_sum, count = child.merged()
+                bounds = list(child.buckets) + [float("inf")]
+                for bound, cumulated in zip(bounds, cumulative):
+                    labels = _format_labels(
+                        key, extra=("le", _format_value(bound))
+                    )
+                    lines.append(
+                        f"{family.name}_bucket{labels} "
+                        f"{_format_value(cumulated)}"
+                    )
+                lines.append(
+                    f"{family.name}_sum{_format_labels(key)} "
+                    f"{_format_value(total_sum)}"
+                )
+                lines.append(
+                    f"{family.name}_count{_format_labels(key)} "
+                    f"{_format_value(count)}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def render_trace_ndjson(tracer, last: Optional[int] = None) -> str:
+    """The tracer's most recent traces, one JSON object per line."""
+    lines = [
+        json.dumps(trace, sort_keys=True)
+        for trace in tracer.traces(last=last)
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def format_stage_table(registry, title: str = "stage times") -> str:
+    """A fixed-width per-stage time table from the stage histogram.
+
+    Stages sort by total time spent, so the table reads as "where did
+    this replay's wall time go".  Returns a note instead of a table when
+    nothing was recorded (e.g. a replay too short to cross a boundary).
+    """
+    family = registry.get(STAGE_METRIC)
+    samples = [] if family is None else family.samples()
+    rows: List[Tuple[str, int, float]] = []
+    for key, child in samples:
+        labels = dict(key)
+        _cumulative, total_sum, count = child.merged()
+        if count:
+            rows.append((labels.get("stage", "?"), int(count), total_sum))
+    if not rows:
+        return f"{title}: no stages recorded"
+    rows.sort(key=lambda row: row[2], reverse=True)
+    name_width = max(len("stage"), max(len(row[0]) for row in rows))
+    lines = [
+        title,
+        f"{'stage':<{name_width}}  {'calls':>8}  {'total ms':>10}  "
+        f"{'mean µs':>10}",
+    ]
+    for name, count, total in rows:
+        mean_us = (total / count) * 1e6 if count else 0.0
+        lines.append(
+            f"{name:<{name_width}}  {count:>8}  {total * 1e3:>10.2f}  "
+            f"{mean_us:>10.1f}"
+        )
+    return "\n".join(lines)
+
+
+def parse_prometheus_families(text: str) -> Mapping[str, str]:
+    """Family name → kind from ``# TYPE`` lines (scrape-validation helper).
+
+    Raises ``ValueError`` on structurally malformed exposition text: a
+    sample line that does not parse, or a sample for a family that never
+    declared its ``# TYPE``.  Used by the CI smoke check and the tests;
+    not a full parser, but strict enough to catch a broken renderer.
+    """
+    families = {}
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in (
+                    "counter", "gauge", "histogram"):
+                raise ValueError(f"malformed TYPE line: {line!r}")
+            families[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        name = line.split("{", 1)[0].split(" ", 1)[0]
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in families:
+                base = name[: -len(suffix)]
+                break
+        if base not in families:
+            raise ValueError(f"sample {name!r} has no TYPE declaration")
+        value = line.rsplit(" ", 1)[-1]
+        if value != "+Inf":
+            float(value)  # raises ValueError when malformed
+    return families

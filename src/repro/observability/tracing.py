@@ -1,0 +1,285 @@
+"""Stage tracing: bounded ring-buffer spans over the pipeline's hot joints.
+
+A :class:`StageTracer` records *spans* — named, timed intervals with
+parent/child structure — around the pipeline's stage boundaries: batch
+ingest, per-shard dispatch, candidate generation, scalar-vs-vectorized
+evaluation, k-way merge, ranking publish, SSE fan-out and checkpoint
+ticks.  Spans live in a bounded in-memory deque (oldest traces fall off),
+grouped into *traces* by a trace id.
+
+Determinism is load-bearing: trace ids derive from the engine's batch
+sequence (its ``documents_processed`` count at batch start — state that
+is checkpointed and restored), never from wall clocks or randomness, so
+the trace a batch gets after a checkpoint→resume equals the trace the
+uninterrupted run would have given it.  Span timing comes from the
+injected clock (``time.perf_counter`` by default), which frozen-clock
+tests replace.
+
+Spans recorded outside any active trace (a cadence checkpoint between
+batches, an SSE fan-out on the event loop) open an implicit auxiliary
+trace of their own, so nothing is silently dropped.
+
+The tracer doubles as the stage-time aggregator: when built over a
+registry, every completed span lands its duration in the
+``repro_pipeline_stage_seconds`` histogram labeled by stage name — the
+source of the ``replay --metrics`` stage table and the stage families on
+``GET /metrics``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+#: Bound of the span ring buffer.  A batch trace holds a handful of
+#: spans, so ~4k spans keep a few hundred recent batches inspectable.
+DEFAULT_SPAN_CAPACITY = 4096
+
+#: Name of the one histogram family every span's duration feeds.
+STAGE_METRIC = "repro_pipeline_stage_seconds"
+
+
+class Span:
+    """One completed (or active) stage interval."""
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "name", "start",
+                 "duration", "attrs")
+
+    def __init__(self, trace_id: str, span_id: int, parent_id: Optional[int],
+                 name: str, start: float):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start = start
+        self.duration = 0.0
+        self.attrs: Dict[str, object] = {}
+
+    def set(self, **attrs) -> None:
+        """Attach attributes to the span (batch sizes, paths, modes)."""
+        self.attrs.update(attrs)
+
+    def to_dict(self) -> dict:
+        payload = {
+            "span_id": self.span_id,
+            "name": self.name,
+            "start": self.start,
+            "duration_us": round(self.duration * 1e6, 3),
+        }
+        if self.parent_id is not None:
+            payload["parent_id"] = self.parent_id
+        if self.attrs:
+            payload["attrs"] = dict(self.attrs)
+        return payload
+
+
+class _TraceState(threading.local):
+    """Per-thread active trace: id, next span id, open-span stack."""
+
+    def __init__(self):
+        self.trace_id: Optional[str] = None
+        self.next_span_id = 0
+        self.stack: List[Span] = []
+
+
+class _SpanContext:
+    """Context manager closing one span (and, for roots, its trace)."""
+
+    __slots__ = ("_tracer", "_span", "_owns_trace")
+
+    def __init__(self, tracer: "StageTracer", span: Span, owns_trace: bool):
+        self._tracer = tracer
+        self._span = span
+        self._owns_trace = owns_trace
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, exc_value, exc_traceback) -> None:
+        self._tracer._finish(self._span, self._owns_trace)
+
+
+class StageTracer:
+    """Record spans into a bounded ring buffer; export per-batch trees."""
+
+    enabled = True
+
+    def __init__(self, clock=None, capacity: int = DEFAULT_SPAN_CAPACITY,
+                 registry=None):
+        self.clock = clock or time.perf_counter
+        self._spans: Deque[Span] = deque(maxlen=int(capacity))
+        self._lock = threading.Lock()
+        self._state = _TraceState()
+        # Auxiliary traces (spans outside a batch) number themselves from
+        # a process-local counter: deterministic within a run, and kept
+        # out of the per-batch ids the determinism tests pin.
+        self._aux_sequence = 0
+        self._stage = None
+        if registry is not None and registry.enabled:
+            self._stage = registry.histogram(
+                STAGE_METRIC,
+                help="Wall time per pipeline stage, labeled by stage name.",
+            )
+            self._stage_children: Dict[str, object] = {}
+
+    # -- recording -------------------------------------------------------------
+
+    def trace(self, sequence, name: str = "batch") -> _SpanContext:
+        """Open a trace (and its root span) for one batch.
+
+        ``sequence`` is the batch's deterministic sequence number — the
+        engine passes ``documents_processed`` at batch start, which a
+        checkpoint restores, so resumed runs reproduce the same ids.
+        """
+        state = self._state
+        trace_id = f"batch-{int(sequence):012d}" \
+            if not isinstance(sequence, str) else sequence
+        owns = state.trace_id is None
+        if owns:
+            state.trace_id = trace_id
+            state.next_span_id = 0
+        span = self._open(name)
+        return _SpanContext(self, span, owns)
+
+    def span(self, name: str) -> _SpanContext:
+        """Open a child span of the current trace.
+
+        Outside any trace the span opens its own auxiliary trace, so
+        stages that run between batches (checkpoint ticks, fan-out) are
+        still captured.
+        """
+        state = self._state
+        owns = state.trace_id is None
+        if owns:
+            with self._lock:
+                self._aux_sequence += 1
+                sequence = self._aux_sequence
+            state.trace_id = f"aux-{name}-{sequence:08d}"
+            state.next_span_id = 0
+        span = self._open(name)
+        return _SpanContext(self, span, owns)
+
+    def _open(self, name: str) -> Span:
+        state = self._state
+        parent = state.stack[-1] if state.stack else None
+        span = Span(
+            trace_id=state.trace_id,
+            span_id=state.next_span_id,
+            parent_id=None if parent is None else parent.span_id,
+            name=name,
+            start=self.clock(),
+        )
+        state.next_span_id += 1
+        state.stack.append(span)
+        return span
+
+    def _finish(self, span: Span, owns_trace: bool) -> None:
+        span.duration = self.clock() - span.start
+        state = self._state
+        if state.stack and state.stack[-1] is span:
+            state.stack.pop()
+        if owns_trace:
+            state.trace_id = None
+            state.stack = []
+        with self._lock:
+            self._spans.append(span)
+        if self._stage is not None:
+            child = self._stage_children.get(span.name)
+            if child is None:
+                child = self._stage.labels(stage=span.name)
+                self._stage_children[span.name] = child
+            child.observe(span.duration)
+
+    # -- export ----------------------------------------------------------------
+
+    def traces(self, last: Optional[int] = None) -> List[dict]:
+        """The most recent traces as span trees, oldest first.
+
+        Each entry is ``{"trace_id": ..., "spans": [tree, ...]}`` where a
+        tree node carries ``name``/``start``/``duration_us``/``attrs``
+        and nested ``children``.  ``last`` caps how many traces return.
+        """
+        with self._lock:
+            spans = list(self._spans)
+        grouped: Dict[str, List[Span]] = {}
+        order: List[str] = []
+        for span in spans:
+            if span.trace_id not in grouped:
+                grouped[span.trace_id] = []
+                order.append(span.trace_id)
+            grouped[span.trace_id].append(span)
+        if last is not None and last >= 0:
+            order = order[len(order) - min(last, len(order)):]
+        result = []
+        for trace_id in order:
+            result.append({
+                "trace_id": trace_id,
+                "spans": _assemble(grouped[trace_id]),
+            })
+        return result
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+
+def _assemble(spans: List[Span]) -> List[dict]:
+    """Nest a trace's flat spans into trees by ``parent_id``."""
+    nodes = {span.span_id: span.to_dict() for span in spans}
+    roots: List[dict] = []
+    for span in spans:
+        node = nodes[span.span_id]
+        parent = None if span.parent_id is None \
+            else nodes.get(span.parent_id)
+        if parent is None:
+            roots.append(node)
+        else:
+            parent.setdefault("children", []).append(node)
+    return roots
+
+
+class _NullSpan:
+    """Shared inert span: ``set`` discards, nothing is recorded."""
+
+    __slots__ = ()
+
+    def set(self, **attrs) -> None:
+        pass
+
+
+class _NullSpanContext:
+    __slots__ = ()
+
+    def __enter__(self):
+        return NULL_SPAN
+
+    def __exit__(self, exc_type, exc_value, exc_traceback) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+class NullTracer:
+    """The zero-cost default: context managers are shared no-op singletons."""
+
+    enabled = False
+    clock = staticmethod(time.perf_counter)
+
+    def trace(self, sequence, name: str = "batch") -> _NullSpanContext:
+        return _NULL_SPAN_CONTEXT
+
+    def span(self, name: str) -> _NullSpanContext:
+        return _NULL_SPAN_CONTEXT
+
+    def traces(self, last: Optional[int] = None) -> list:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()

@@ -37,6 +37,7 @@ class CheckpointCadence:
         mode: str = "full",
         full_every: int = 16,
         extras: Optional[Mapping] = None,
+        extras_provider: Optional[Callable[[], Mapping]] = None,
     ):
         if mode not in ("full", "delta"):
             raise ValueError(f"mode must be 'full' or 'delta', got {mode!r}")
@@ -58,6 +59,10 @@ class CheckpointCadence:
         self.mode = mode
         self.full_every = int(full_every)
         self.extras = dict(extras or {})
+        # Live metadata merged into the manifest extras at every write
+        # (the serving CLI rides its metrics snapshot along here so a
+        # resumed server's counters continue instead of resetting).
+        self.extras_provider = extras_provider
         self.rankings_seen = 0
         self.checkpoints_written = 0
 
@@ -72,7 +77,7 @@ class CheckpointCadence:
         """
         if self.directory is not None and self.every and self.mode == "delta":
             self.engine.save_checkpoint(
-                self.directory, extras=self.extras, track_deltas=True
+                self.directory, extras=self._extras(), track_deltas=True
             )
             self.checkpoints_written += 1
 
@@ -104,7 +109,7 @@ class CheckpointCadence:
         stream states, the forced final evaluation is not.
         """
         if self.directory is not None and not self.every:
-            self.engine.save_checkpoint(self.directory, extras=self.extras)
+            self.engine.save_checkpoint(self.directory, extras=self._extras())
             self.checkpoints_written += 1
             return True
         return False
@@ -139,13 +144,46 @@ class CheckpointCadence:
 
     # -- internals -------------------------------------------------------------
 
+    def _extras(self) -> Mapping:
+        """Static extras merged with the provider's live ones, if any."""
+        extras = dict(self.extras)
+        if self.extras_provider is not None:
+            try:
+                extras.update(self.extras_provider() or {})
+            except Exception:
+                # Extras are metadata; a broken provider must not fail a
+                # checkpoint whose state half is perfectly writable.
+                pass
+        return extras
+
     def _write_tick(self) -> None:
+        observability = getattr(self.engine, "observability", None)
+        if observability is None or not observability.enabled:
+            self._write_tick_inner()
+            return
+        is_full = (
+            self.mode == "full"
+            or self.checkpoints_written % self.full_every == 0
+        )
+        mode = "full" if is_full else "delta"
+        clock = observability.clock
+        with observability.tracer.span(f"checkpoint_{mode}"):
+            started = clock()
+            self._write_tick_inner()
+            elapsed = clock() - started
+        registry = observability.registry
+        registry.histogram("repro_persistence_checkpoint_seconds") \
+            .labels(mode=mode).observe(elapsed)
+        registry.counter("repro_persistence_checkpoints_total") \
+            .labels(mode=mode).inc()
+
+    def _write_tick_inner(self) -> None:
         if self.mode == "full":
-            self.engine.save_checkpoint(self.directory, extras=self.extras)
+            self.engine.save_checkpoint(self.directory, extras=self._extras())
         elif self.checkpoints_written % self.full_every == 0:
             # Re-base: a fresh full checkpoint compacts the journal.
             self.engine.save_checkpoint(
-                self.directory, extras=self.extras, track_deltas=True
+                self.directory, extras=self._extras(), track_deltas=True
             )
         else:
             # Manifest extras were recorded at the base/re-base tick.

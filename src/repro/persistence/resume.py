@@ -28,6 +28,7 @@ def load_engine(
     num_shards: Optional[int] = None,
     backend: Optional[Union[str, ShardBackend]] = None,
     chunk_size: Optional[int] = None,
+    observability=None,
 ) -> Tuple[DetectionEngineBase, Dict[str, Any]]:
     """Restore the engine checkpointed in ``directory``.
 
@@ -39,7 +40,8 @@ def load_engine(
     and ``chunk_size`` the dispatch chunk (default: the checkpointed one).
     A single-engine checkpoint ignores ``backend``/``chunk_size`` and
     rejects ``num_shards`` other than 1 — its tracker holds tag-level
-    state that cannot be partitioned by pair.
+    state that cannot be partitioned by pair.  ``observability`` is
+    runtime wiring handed to the restored engine, never checkpoint state.
     """
     manifest, state = read_checkpoint(directory)
     try:
@@ -58,7 +60,7 @@ def load_engine(
                 "(usage distributions, count history) that is not "
                 "partitioned by pair; resume it with EnBlogue instead"
             )
-        engine = EnBlogue(config)
+        engine = EnBlogue(config, observability=observability)
         engine.restore(state)
         return engine, manifest
 
@@ -69,6 +71,7 @@ def load_engine(
             num_shards=target_shards,
             backend="serial" if backend is None else backend,
             chunk_size=chunk_size or int(state.get("chunk_size") or 256),
+            observability=observability,
         )
         try:
             engine.restore(state)

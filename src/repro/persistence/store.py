@@ -51,6 +51,7 @@ from __future__ import annotations
 import json
 import os
 import re
+import time
 import zlib
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Tuple
@@ -203,6 +204,7 @@ def write_checkpoint(
     directory,
     state: Mapping[str, Any],
     extras: Optional[Mapping[str, Any]] = None,
+    observer=None,
 ) -> int:
     """Persist an engine snapshot into ``directory``; returns its generation.
 
@@ -215,6 +217,11 @@ def write_checkpoint(
     Writing into a directory that already holds a checkpoint never touches
     the committed generation's files: the previous checkpoint stays
     restorable until the new manifest lands, and is pruned afterwards.
+
+    ``observer`` (optional) is called twice — ``("serialize", seconds)``
+    after the encode half and ``("fsync", seconds)`` after the
+    write+commit half — splitting the tick's cost into its CPU and its
+    durability component; ``None`` (the default) keeps the path untimed.
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
@@ -222,6 +229,8 @@ def write_checkpoint(
 
     engine_state = dict(state)
     shard_states = engine_state.pop("shards", None)
+
+    started = time.perf_counter() if observer is not None else 0.0
 
     files: Dict[str, Dict[str, Any]] = {}
     payloads: List[Tuple[Path, bytes]] = []
@@ -255,15 +264,25 @@ def write_checkpoint(
         "files": files,
         "extras": dict(extras or {}),
     }
+    manifest_payload = _encode(manifest)
+
+    if observer is not None:
+        now = time.perf_counter()
+        observer("serialize", now - started)
+        started = now
 
     for path, payload in payloads:
         _atomic_write(path, payload)
     # The manifest commits the checkpoint: readers start from it, so until
     # this rename lands they keep seeing the previous complete checkpoint.
-    _atomic_write(directory / MANIFEST_NAME, _encode(manifest))
+    _atomic_write(directory / MANIFEST_NAME, manifest_payload)
     # One directory fsync persists every rename above; it must land before
     # the prune may remove the previous generation.
     _fsync_directory(directory)
+
+    if observer is not None:
+        observer("fsync", time.perf_counter() - started)
+
     _prune_stale(directory, generation)
     return generation
 
@@ -394,6 +413,7 @@ def append_delta(
     delta_state: Mapping[str, Any],
     expected_base: Optional[int] = None,
     expected_generation: Optional[int] = None,
+    observer=None,
 ) -> int:
     """Append one journal segment to the checkpoint in ``directory``.
 
@@ -424,6 +444,9 @@ def append_delta(
     free generation must match the caller's record (i.e. nobody re-based
     or extended the chain since), otherwise
     :class:`SnapshotMismatchError`.  Returns the new generation.
+
+    ``observer`` splits the tick into its encode and its write+barrier
+    half exactly as in :func:`write_checkpoint`.
     """
     directory = Path(directory)
     manifest = read_manifest(directory)
@@ -457,6 +480,8 @@ def append_delta(
             f"chain cannot change the shard count (re-shard on restore)"
         )
 
+    started = time.perf_counter() if observer is not None else 0.0
+
     payloads: List[Tuple[Path, bytes]] = []
     if shard_deltas is not None:
         for shard_id, shard_delta in enumerate(shard_deltas):
@@ -469,10 +494,19 @@ def append_delta(
         _frame(_encode(engine_delta)),
     ))
 
+    if observer is not None:
+        now = time.perf_counter()
+        observer("serialize", now - started)
+        started = now
+
     for path, payload in payloads:
         _atomic_write(path, payload, durable=False)
     # The tick's one durability barrier (see the docstring).
     _fsync_directory(directory)
+
+    if observer is not None:
+        observer("fsync", time.perf_counter() - started)
+
     return generation
 
 

@@ -17,8 +17,10 @@ the batch-replay engines into a servable system:
   frame buffers bridging dispatcher pushes to awaiting SSE/websocket
   handlers (slow consumers drop oldest frames, never grow without bound).
 * :class:`~repro.serving.http.RankingServer` — ``POST /ingest``,
-  ``GET /rankings``, ``GET /rankings/stream`` (SSE) and ``GET /status``
-  on asyncio's stdlib primitives.
+  ``GET /rankings``, ``GET /rankings/stream`` (SSE), ``GET /status``
+  (with per-shard health; 503 when a shard worker is dead),
+  ``GET /metrics`` (Prometheus text) and ``GET /trace`` (NDJSON span
+  trees) on asyncio's stdlib primitives.
 * :mod:`~repro.serving.source` — pumps bridging the synchronous dataset
   ``iter_batches``/stream :class:`~repro.streams.sources.Source` iterators
   into the queue, pacing the producer by the queue's bound.
@@ -36,7 +38,12 @@ from repro.serving.service import (
     ServiceClosedError,
     ServingStats,
 )
-from repro.serving.source import pump_batches, pump_documents, pump_source
+from repro.serving.source import (
+    SourceProducerError,
+    pump_batches,
+    pump_documents,
+    pump_source,
+)
 
 __all__ = [
     "AsyncFanout",
@@ -44,6 +51,7 @@ __all__ = [
     "DetectionService",
     "ServiceClosedError",
     "ServingStats",
+    "SourceProducerError",
     "RankingServer",
     "IngestDocument",
     "parse_ingest_body",

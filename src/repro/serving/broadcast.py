@@ -55,17 +55,24 @@ class Subscription:
         """Frames currently buffered (bounded by ``buffer_limit``)."""
         return self._queue.qsize() - (1 if self._closed else 0)
 
-    def deliver(self, message: PushMessage) -> None:
-        """Buffer one frame, dropping the oldest when the buffer is full."""
+    def deliver(self, message: PushMessage) -> bool:
+        """Buffer one frame, dropping the oldest when the buffer is full.
+
+        Returns whether an older frame was evicted to make room (the
+        fan-out counts these as dropped-frame metric events).
+        """
         if self._closed:
-            return
+            return False
+        evicted = False
         if self._queue.qsize() >= self.buffer_limit:
             try:
                 self._queue.get_nowait()
                 self.dropped += 1
+                evicted = True
             except asyncio.QueueEmpty:  # pragma: no cover - tiny race
                 pass
         self._queue.put_nowait(message)
+        return evicted
 
     def close(self) -> None:
         """End the stream: consumers see ``None`` after the buffered frames."""
@@ -104,13 +111,29 @@ class AsyncFanout:
     """
 
     def __init__(self, dispatcher, channel: str,
-                 buffer_limit: int = DEFAULT_BUFFER_LIMIT):
+                 buffer_limit: int = DEFAULT_BUFFER_LIMIT,
+                 observability=None):
         self.dispatcher = dispatcher
         self.channel = channel
         self.buffer_limit = int(buffer_limit)
         self._subscriptions: Dict[str, Subscription] = {}
         self._ids = itertools.count()
         self._closed = False
+        # Fan-out metrics (None when no enabled bundle was handed over):
+        # frames delivered, frames evicted off full buffers, open
+        # subscriptions as a live gauge.
+        self._observability = observability
+        if observability is not None and observability.enabled:
+            registry = observability.registry
+            self._metric_frames = registry.counter(
+                "repro_serving_sse_frames_total")
+            self._metric_dropped = registry.counter(
+                "repro_serving_sse_dropped_frames_total")
+            registry.gauge("repro_serving_subscribers") \
+                .set_function(self.subscriber_count)
+        else:
+            self._metric_frames = None
+            self._metric_dropped = None
         dispatcher.subscribe(channel, f"async-fanout[{channel}]", self._deliver)
 
     @property
@@ -157,5 +180,24 @@ class AsyncFanout:
         self._subscriptions.clear()
 
     def _deliver(self, message: PushMessage) -> None:
-        for subscription in list(self._subscriptions.values()):
-            subscription.deliver(message)
+        subscriptions = list(self._subscriptions.values())
+        if self._metric_frames is None:
+            for subscription in subscriptions:
+                subscription.deliver(message)
+            return
+        if not subscriptions:
+            # Nothing to deliver: skip the span so idle publishes don't
+            # crowd batch traces out of the bounded trace ring.
+            return
+        delivered = 0
+        dropped = 0
+        with self._observability.tracer.span("sse_fanout") as span:
+            for subscription in subscriptions:
+                if subscription.deliver(message):
+                    dropped += 1
+                delivered += 1
+            span.set(subscribers=delivered, dropped=dropped)
+        if delivered:
+            self._metric_frames.inc(delivered)
+        if dropped:
+            self._metric_dropped.inc(dropped)

@@ -15,7 +15,12 @@ new dependencies), exposing:
   published ranking, ``id:`` carrying the dispatcher sequence number.
   Slow consumers are bounded by the per-subscriber frame buffer (oldest
   frames dropped — each frame is a full snapshot).
-* ``GET /status`` — the service's operational counters.
+* ``GET /status`` — the service's operational counters plus per-shard
+  health; answers 503 (with the same body) when any shard worker is dead.
+* ``GET /metrics`` — the service's metrics registry in the Prometheus
+  text exposition format.
+* ``GET /trace?last=N`` — the most recent pipeline stage traces as
+  NDJSON, one per-batch span tree per line.
 
 Connections are ``Connection: close`` (one request per connection) except
 the SSE stream, which stays open until the client disconnects or the
@@ -27,9 +32,19 @@ from __future__ import annotations
 import asyncio
 import json
 from typing import Dict, List, Optional, Tuple
+from urllib.parse import parse_qs
 
+from repro.observability import (
+    NDJSON_CONTENT_TYPE,
+    PROMETHEUS_CONTENT_TYPE,
+    render_prometheus,
+    render_trace_ndjson,
+)
 from repro.portal.serialization import ranking_to_dict
 from repro.serving.service import DetectionService, ServiceClosedError
+
+#: Default number of traces ``GET /trace`` returns without a ``last=N``.
+DEFAULT_TRACE_LAST = 16
 
 #: Cap on request bodies; an ingest batch should be chunks, not the
 #: whole archive in one request.
@@ -129,7 +144,7 @@ class RankingServer:
                 return
             if request is None:
                 return
-            method, path, headers, body = request
+            method, path, query, headers, body = request
             if method == "POST" and path == "/ingest":
                 await self._handle_ingest(writer, body)
             elif method == "GET" and path == "/rankings":
@@ -138,7 +153,20 @@ class RankingServer:
                 await self._handle_stream(writer)
                 return  # the stream owns the connection's lifetime
             elif method == "GET" and path == "/status":
-                await self._respond_json(writer, 200, self.service.status())
+                status = self.service.status()
+                # A dead shard worker makes the node unfit for ingest:
+                # surface it as 503 so load balancers and probes fail
+                # over, with the structured body naming the shard.
+                code = 200 if status.get("healthy", True) else 503
+                await self._respond_json(writer, code, status)
+            elif method == "GET" and path == "/metrics":
+                await self._respond_text(
+                    writer, 200,
+                    render_prometheus(self.service.observability.registry),
+                    PROMETHEUS_CONTENT_TYPE,
+                )
+            elif method == "GET" and path == "/trace":
+                await self._handle_trace(writer, query)
             else:
                 await self._respond_json(
                     writer, 404, {"error": f"no route {method} {path}"}
@@ -154,7 +182,7 @@ class RankingServer:
 
     async def _read_request(
         self, reader: asyncio.StreamReader
-    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+    ) -> Optional[Tuple[str, str, str, Dict[str, str], bytes]]:
         request_line = await reader.readline()
         if not request_line:
             return None
@@ -173,8 +201,8 @@ class RankingServer:
         if length > MAX_BODY_BYTES:
             raise ValueError(f"request body exceeds {MAX_BODY_BYTES} bytes")
         body = await reader.readexactly(length) if length else b""
-        path = target.split("?", 1)[0]
-        return method.upper(), path, headers, body
+        path, _, query = target.partition("?")
+        return method.upper(), path, query, headers, body
 
     async def _handle_ingest(self, writer: asyncio.StreamWriter,
                              body: bytes) -> None:
@@ -249,14 +277,51 @@ class RankingServer:
             except (ConnectionResetError, BrokenPipeError):
                 pass
 
+    async def _handle_trace(self, writer: asyncio.StreamWriter,
+                            query: str) -> None:
+        last = DEFAULT_TRACE_LAST
+        raw = parse_qs(query).get("last", [None])[0]
+        if raw is not None:
+            try:
+                last = int(raw)
+                if last < 0:
+                    raise ValueError
+            except ValueError:
+                await self._respond_json(
+                    writer, 400,
+                    {"error": f"'last' must be a non-negative integer, "
+                              f"got {raw!r}"},
+                )
+                return
+        await self._respond_text(
+            writer, 200,
+            render_trace_ndjson(
+                self.service.observability.tracer, last=last
+            ),
+            NDJSON_CONTENT_TYPE,
+        )
+
+    _REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
+                404: "Not Found", 503: "Service Unavailable"}
+
     async def _respond_json(self, writer: asyncio.StreamWriter,
                             status: int, payload: dict) -> None:
-        reasons = {200: "OK", 202: "Accepted", 400: "Bad Request",
-                   404: "Not Found", 503: "Service Unavailable"}
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        await self._respond_bytes(writer, status, body, "application/json")
+
+    async def _respond_text(self, writer: asyncio.StreamWriter,
+                            status: int, text: str,
+                            content_type: str) -> None:
+        await self._respond_bytes(
+            writer, status, text.encode("utf-8"), content_type
+        )
+
+    async def _respond_bytes(self, writer: asyncio.StreamWriter,
+                             status: int, body: bytes,
+                             content_type: str) -> None:
         head = (
-            f"HTTP/1.1 {status} {reasons.get(status, 'OK')}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"HTTP/1.1 {status} {self._REASONS.get(status, 'OK')}\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: close\r\n\r\n"
         ).encode("latin-1")

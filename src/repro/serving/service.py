@@ -33,9 +33,9 @@ from __future__ import annotations
 
 import asyncio
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+from repro.observability import Observability
 from repro.persistence.cadence import CheckpointCadence
 from repro.portal.push import PushDispatcher
 from repro.portal.server import GLOBAL_CHANNEL
@@ -55,34 +55,78 @@ class ServiceClosedError(RuntimeError):
     """Submit after ``stop()``: the batch could never reach a shard."""
 
 
-@dataclass
 class ServingStats:
-    """Operational counters, updated on the event-loop thread."""
+    """Operational counters, updated on the event-loop thread.
 
-    documents_submitted: int = 0
-    batches_submitted: int = 0
-    documents_processed: int = 0
-    batches_processed: int = 0
-    rankings_published: int = 0
-    checkpoints_written: int = 0
-    batch_errors: int = 0
-    publish_errors: int = 0
-    queue_high_watermark: int = 0
-    last_error: Optional[str] = None
+    The counters live in a metrics registry, so ``GET /status`` (which
+    reads these attributes) and ``GET /metrics`` (which scrapes the
+    registry) can never disagree — there is one set of numbers.  Reads
+    keep the old dataclass surface (``stats.rankings_published`` is an
+    ``int``); writes go through :meth:`add`/:meth:`set`/:meth:`set_max`.
+    Restored registries carry these forward, so a resumed server's
+    counters continue monotonically.
+    """
+
+    #: Attribute name → counter family backing it.
+    _COUNTERS = {
+        "documents_submitted": "repro_serving_documents_submitted_total",
+        "batches_submitted": "repro_serving_batches_submitted_total",
+        "documents_processed": "repro_serving_documents_processed_total",
+        "batches_processed": "repro_serving_batches_processed_total",
+        "rankings_published": "repro_serving_rankings_published_total",
+        "batch_errors": "repro_serving_batch_errors_total",
+        "publish_errors": "repro_serving_publish_errors_total",
+        "source_errors": "repro_serving_source_errors_total",
+    }
+
+    #: Attribute name → gauge family backing it (absolute values).
+    _GAUGES = {
+        "checkpoints_written": "repro_serving_checkpoints_written",
+        "queue_high_watermark": "repro_serving_queue_high_watermark",
+    }
+
+    def __init__(self, registry=None):
+        if registry is None:
+            registry = Observability().registry
+        self._counters = {
+            attr: registry.counter(name)
+            for attr, name in self._COUNTERS.items()
+        }
+        self._gauges = {
+            attr: registry.gauge(name)
+            for attr, name in self._GAUGES.items()
+        }
+        self.last_error: Optional[str] = None
+
+    def add(self, name: str, amount: int = 1) -> None:
+        self._counters[name].inc(amount)
+
+    def set(self, name: str, value: int) -> None:
+        self._gauges[name].set(value)
+
+    def set_max(self, name: str, value: int) -> None:
+        self._gauges[name].set_max(value)
+
+    def __getattr__(self, name: str):
+        # Only reached when normal lookup fails — i.e. for the metric-
+        # backed read-only attributes; plain fields (last_error) and the
+        # metric dicts resolve before this.
+        counters = self.__dict__.get("_counters") or {}
+        if name in counters:
+            return int(counters[name].value)
+        gauges = self.__dict__.get("_gauges") or {}
+        if name in gauges:
+            return int(gauges[name].value)
+        raise AttributeError(name)
 
     def as_dict(self) -> dict:
-        return {
-            "documents_submitted": self.documents_submitted,
-            "batches_submitted": self.batches_submitted,
-            "documents_processed": self.documents_processed,
-            "batches_processed": self.batches_processed,
-            "rankings_published": self.rankings_published,
-            "checkpoints_written": self.checkpoints_written,
-            "batch_errors": self.batch_errors,
-            "publish_errors": self.publish_errors,
-            "queue_high_watermark": self.queue_high_watermark,
-            "last_error": self.last_error,
-        }
+        payload = {attr: int(child.value)
+                   for attr, child in self._counters.items()}
+        payload.update(
+            (attr, int(child.value)) for attr, child in self._gauges.items()
+        )
+        payload["last_error"] = self.last_error
+        return payload
 
 
 class DetectionService:
@@ -104,6 +148,7 @@ class DetectionService:
         channel: str = GLOBAL_CHANNEL,
         buffer_limit: int = DEFAULT_BUFFER_LIMIT,
         cadence: Optional[CheckpointCadence] = None,
+        observability: Optional[Observability] = None,
     ):
         if queue_capacity < 1:
             raise ValueError("queue_capacity must be at least 1")
@@ -113,11 +158,26 @@ class DetectionService:
         self.dispatcher = dispatcher or PushDispatcher()
         self.channel = channel
         self.cadence = cadence
-        self.stats = ServingStats()
+        # The service always runs with an enabled registry: its stats ARE
+        # metrics (that is what keeps /status and /metrics in agreement),
+        # and the per-event cost is a striped-counter add.  An engine that
+        # already carries an enabled bundle shares it, so one registry
+        # spans the whole stack and /metrics covers every layer.
+        if observability is None or not observability.enabled:
+            engine_bundle = getattr(engine, "observability", None)
+            if engine_bundle is not None and engine_bundle.enabled:
+                observability = engine_bundle
+            else:
+                observability = Observability()
+        self.observability = observability
+        self.stats = ServingStats(observability.registry)
         self._fanout = AsyncFanout(
-            self.dispatcher, channel, buffer_limit=buffer_limit
+            self.dispatcher, channel, buffer_limit=buffer_limit,
+            observability=observability,
         )
         self._queue: asyncio.Queue = asyncio.Queue(maxsize=self.queue_capacity)
+        self.observability.registry.gauge("repro_serving_queue_depth") \
+            .set_function(self._queue.qsize)
         self._executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="enblogue-serving"
         )
@@ -147,7 +207,9 @@ class DetectionService:
         )
         if self.cadence is not None:
             await self._run_on_engine(self.cadence.begin)
-            self.stats.checkpoints_written = self.cadence.checkpoints_written
+            self.stats.set(
+                "checkpoints_written", self.cadence.checkpoints_written
+            )
         self._consumer = asyncio.ensure_future(self._consume())
 
     async def stop(self, drain: bool = True) -> None:
@@ -184,7 +246,9 @@ class DetectionService:
                 await self._run_on_engine(self.cadence.shutdown)
             except Exception as exc:
                 self.stats.last_error = repr(exc)
-            self.stats.checkpoints_written = self.cadence.checkpoints_written
+            self.stats.set(
+                "checkpoints_written", self.cadence.checkpoints_written
+            )
         self._fanout.close()
         if self._owns_dispatcher:
             self.dispatcher.close()
@@ -226,11 +290,9 @@ class DetectionService:
         # out-of-order batch.)
         self._last_submitted = previous
         await self._queue.put(batch)
-        self.stats.documents_submitted += len(batch)
-        self.stats.batches_submitted += 1
-        self.stats.queue_high_watermark = max(
-            self.stats.queue_high_watermark, self._queue.qsize()
-        )
+        self.stats.add("documents_submitted", len(batch))
+        self.stats.add("batches_submitted")
+        self.stats.set_max("queue_high_watermark", self._queue.qsize())
         return len(batch)
 
     def queue_depth(self) -> int:
@@ -259,15 +321,36 @@ class DetectionService:
         return await self._run_on_engine(lambda: self.engine.documents_processed)
 
     def status(self) -> dict:
-        """Operational counters for the HTTP status endpoint."""
+        """Operational counters for the HTTP status endpoint.
+
+        Includes per-shard health (processed pair events, queue depth,
+        last dispatch latency, liveness) — read without a backend sync
+        point, so it is safe from the event loop even while a shard is
+        wedged.  ``healthy: False`` (any shard not alive) is what the
+        HTTP layer turns into a 503.
+        """
+        try:
+            shards = list(self.engine.shard_health())
+        except Exception:
+            shards = []
+        healthy = all(record.get("alive", True) for record in shards)
         return {
             "closed": self._closed,
+            "healthy": healthy,
             "queue_depth": self.queue_depth(),
             "queue_capacity": self.queue_capacity,
             "subscribers": self._fanout.subscriber_count(),
             **self._runtime_info,
             **self.stats.as_dict(),
+            # "shards" (from runtime_info) is the count; this is the
+            # per-shard detail (pair events, queue depth, last dispatch).
+            "shard_health": shards,
         }
+
+    def note_source_error(self, error: BaseException) -> None:
+        """Record a producer-iterator failure (see ``serving.source``)."""
+        self.stats.add("source_errors")
+        self.stats.last_error = repr(error)
 
     # -- internals -------------------------------------------------------------
 
@@ -295,11 +378,11 @@ class DetectionService:
             # process_batch validates the whole chunk before touching any
             # state, so a rejected batch leaves the engine unchanged and
             # the stream serviceable; record and move on.
-            self.stats.batch_errors += 1
+            self.stats.add("batch_errors")
             self.stats.last_error = repr(exc)
             return
-        self.stats.documents_processed += len(batch)
-        self.stats.batches_processed += 1
+        self.stats.add("documents_processed", len(batch))
+        self.stats.add("batches_processed")
         # Push first (the frame is the product), persist second — the
         # cadence write happens between batches either way.  A raising
         # subscriber callback (or an externally closed dispatcher) must
@@ -311,16 +394,18 @@ class DetectionService:
                     self.channel, ranking, timestamp=ranking.timestamp
                 )
             except Exception as exc:
-                self.stats.publish_errors += 1
+                self.stats.add("publish_errors")
                 self.stats.last_error = repr(exc)
             else:
-                self.stats.rankings_published += 1
+                self.stats.add("rankings_published")
         if self.cadence is not None and rankings:
             try:
                 await self._run_on_engine(
                     self.cadence.note_rankings, len(rankings)
                 )
             except Exception as exc:
-                self.stats.batch_errors += 1
+                self.stats.add("batch_errors")
                 self.stats.last_error = repr(exc)
-            self.stats.checkpoints_written = self.cadence.checkpoints_written
+            self.stats.set(
+                "checkpoints_written", self.cadence.checkpoints_written
+            )

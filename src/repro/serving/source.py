@@ -12,19 +12,57 @@ any unbounded buffering in between.
 The chunking work per batch is microseconds of pure-Python iteration, so
 running it on the loop thread is deliberate; the expensive half (engine
 ingestion) already lives on the service's executor.
+
+Producer failures are *terminal but distinguishable*: the pumps advance
+their iterators with an explicit ``next()`` so normal exhaustion
+(``StopIteration`` → the pump returns its count) never shares a code
+path with a producer that *raised* — the latter is counted on the
+service (``repro_serving_source_errors_total``), logged with its
+traceback, and re-raised as :class:`SourceProducerError` after the
+cleanly produced tail has been submitted.
 """
 
 from __future__ import annotations
 
 import itertools
+import logging
 from typing import Iterable, Optional
 
 from repro.serving.service import DetectionService
 from repro.streams.sources import Source
 
+logger = logging.getLogger(__name__)
+
 #: Default documents per submitted batch, matching the sharded engine's
 #: dispatch chunk so one submit becomes one backend dispatch.
 DEFAULT_BATCH_SIZE = 256
+
+
+class SourceProducerError(RuntimeError):
+    """The producer iterator raised mid-pump — not normal exhaustion.
+
+    Carries the original exception as its ``__cause__``.  Everything the
+    producer yielded before failing was already submitted; the count of
+    those documents is in :attr:`submitted`.
+    """
+
+    def __init__(self, message: str, submitted: int):
+        super().__init__(message)
+        self.submitted = submitted
+
+
+def _producer_failed(service: DetectionService, exc: BaseException,
+                     submitted: int) -> "SourceProducerError":
+    """Count, log and wrap a producer failure (the caller raises it)."""
+    service.note_source_error(exc)
+    logger.exception(
+        "ingest producer failed after %d submitted document(s)", submitted
+    )
+    return SourceProducerError(
+        f"ingest producer raised after {submitted} submitted "
+        f"document(s): {exc!r}",
+        submitted=submitted,
+    )
 
 
 async def pump_batches(service: DetectionService,
@@ -32,22 +70,44 @@ async def pump_batches(service: DetectionService,
     """Submit every batch of an iterable (e.g. a dataset ``iter_batches``).
 
     Returns the number of documents submitted.  The iterable is advanced
-    lazily: a full ingest queue pauses it mid-stream.
+    lazily: a full ingest queue pauses it mid-stream.  A producer that
+    raises terminates the pump with :class:`SourceProducerError`.
     """
+    iterator = iter(batches)
     submitted = 0
-    for batch in batches:
+    while True:
+        try:
+            batch = next(iterator)
+        except StopIteration:
+            return submitted
+        except Exception as exc:
+            raise _producer_failed(service, exc, submitted) from exc
         submitted += await service.submit(batch)
-    return submitted
 
 
 async def pump_documents(service: DetectionService, documents: Iterable,
                          batch_size: int = DEFAULT_BATCH_SIZE) -> int:
-    """Chunk a flat document iterable and submit each chunk."""
+    """Chunk a flat document iterable and submit each chunk.
+
+    A producer that raises terminates the pump with
+    :class:`SourceProducerError` — after the documents it cleanly
+    produced have been submitted (they are real stream state; dropping
+    them would lose documents the next pump cannot re-produce).
+    """
     if batch_size < 1:
         raise ValueError("batch_size must be at least 1")
+    iterator = iter(documents)
     submitted = 0
     chunk = []
-    for document in documents:
+    while True:
+        try:
+            document = next(iterator)
+        except StopIteration:
+            break
+        except Exception as exc:
+            if chunk:
+                submitted += await service.submit(chunk)
+            raise _producer_failed(service, exc, submitted) from exc
         chunk.append(document)
         if len(chunk) >= batch_size:
             submitted += await service.submit(chunk)
@@ -65,7 +125,9 @@ async def pump_source(service: DetectionService, source: Source,
     Consumes ``source.stream()`` directly (the source's own time-order
     validation included) rather than ``source.run()``: the serving queue
     replaces the DAG's push edges, and the service's engine stands where
-    the DAG sink would.  ``limit`` caps the documents taken.
+    the DAG sink would.  ``limit`` caps the documents taken.  A source
+    whose generator raises ends the pump with
+    :class:`SourceProducerError`, never with a silent early return.
     """
     items = source.stream()
     if limit is not None:

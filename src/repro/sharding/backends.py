@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import multiprocessing
 import threading
+import time
 import traceback
 from collections import deque
 from typing import Deque, List, Mapping, Optional, Sequence, Tuple
@@ -52,13 +53,129 @@ class ShardExecutionError(RuntimeError):
     """A shard worker failed; carries the worker-side traceback text."""
 
 
+#: Counter families a shard failure lands in, by failure kind.
+_FAILURE_METRICS = {
+    "ingest": "repro_sharding_ingest_failures_total",
+    "failure": "repro_sharding_worker_failures_total",
+    "dead": "repro_sharding_dead_workers_total",
+}
+
+
 class ShardBackend:
-    """Interface: execute shard workers and the scatter-gather protocol."""
+    """Interface: execute shard workers and the scatter-gather protocol.
+
+    Every backend also keeps *coordinator-side* per-shard health records —
+    pair events dispatched, dispatch count, last dispatch latency, sticky
+    ingest failure — as plain dicts, so :meth:`health` works (and stays
+    non-blocking) with or without an observability bundle attached.  When
+    :meth:`bind_observability` hands one over, the same events additionally
+    feed the ``repro_sharding_*`` metric families.
+    """
 
     name = "base"
 
+    _observability = None
+    _health_records: Optional[List[dict]] = None
+    _metric_dispatch: Optional[List] = None
+    _metric_events: Optional[List] = None
+    _clock = staticmethod(time.perf_counter)
+
     def start(self, workers: Sequence[ShardWorker]) -> None:
         raise NotImplementedError
+
+    # -- health / metrics ------------------------------------------------------
+
+    def bind_observability(self, observability) -> None:
+        """Attach an observability bundle; per-shard metrics mirror health."""
+        self._observability = observability
+        if observability is not None:
+            self._clock = observability.clock
+        self._bind_metrics()
+
+    def health(self) -> List[dict]:
+        """Per-shard health, without synchronising with the workers.
+
+        Unlike :meth:`stats` (a sync point that round-trips every worker),
+        this reads only coordinator-side records plus liveness and queue
+        depth — safe to call from a serving event loop even while a shard
+        is wedged.  ``alive: False`` is what flips ``GET /status`` to 503.
+        """
+        records = self._health_records or []
+        health = []
+        for shard_id, record in enumerate(records):
+            entry = dict(record)
+            entry["alive"] = self._shard_alive(shard_id)
+            entry["queue_depth"] = self._shard_queue_depth(shard_id)
+            health.append(entry)
+        return health
+
+    def _init_health(self, shards: int) -> None:
+        self._health_records = [
+            {
+                "shard": shard_id,
+                "pair_events": 0,
+                "dispatches": 0,
+                "last_dispatch_us": 0.0,
+                "ingest_failed": False,
+            }
+            for shard_id in range(shards)
+        ]
+        self._bind_metrics()
+
+    def _bind_metrics(self) -> None:
+        observability = self._observability
+        records = self._health_records
+        if observability is None or not observability.enabled \
+                or records is None:
+            self._metric_dispatch = None
+            self._metric_events = None
+            return
+        registry = observability.registry
+        dispatch = registry.histogram("repro_sharding_dispatch_seconds")
+        events = registry.counter("repro_sharding_pair_events_total")
+        self._metric_dispatch = [
+            dispatch.labels(shard=str(shard_id))
+            for shard_id in range(len(records))
+        ]
+        self._metric_events = [
+            events.labels(shard=str(shard_id))
+            for shard_id in range(len(records))
+        ]
+        # Queue depth is a live read at scrape time, not a maintained
+        # count — always exact, never drifts (0 for non-mailbox backends).
+        depth = registry.gauge("repro_sharding_queue_depth")
+        for shard_id in range(len(records)):
+            depth.labels(shard=str(shard_id)).set_function(
+                lambda sid=shard_id: self._shard_queue_depth(sid)
+            )
+
+    def _record_dispatch(self, shard_id: int, events: int,
+                         seconds: float) -> None:
+        records = self._health_records
+        if records is not None and 0 <= shard_id < len(records):
+            record = records[shard_id]
+            record["pair_events"] += events
+            record["dispatches"] += 1
+            record["last_dispatch_us"] = round(seconds * 1e6, 3)
+        if self._metric_dispatch is not None:
+            self._metric_dispatch[shard_id].observe(seconds)
+            self._metric_events[shard_id].inc(events)
+
+    def _record_failure(self, shard_id: int, kind: str) -> None:
+        records = self._health_records
+        if kind == "ingest" and records is not None \
+                and 0 <= shard_id < len(records):
+            records[shard_id]["ingest_failed"] = True
+        observability = self._observability
+        if observability is not None and observability.enabled:
+            observability.registry.counter(_FAILURE_METRICS[kind]) \
+                .labels(shard=str(shard_id)).inc()
+
+    def _shard_alive(self, shard_id: int) -> bool:
+        return not getattr(self, "_closed", False)
+
+    def _shard_queue_depth(self, shard_id: int) -> int:
+        return 0
 
     def ingest(self, chunks: Sequence[List[ShardEvent]]) -> None:
         """Dispatch one chunk of pair events per shard (empty chunks skipped)."""
@@ -129,12 +246,23 @@ class SerialBackend(ShardBackend):
     def start(self, workers: Sequence[ShardWorker]) -> None:
         self.workers = list(workers)
         self._closed = False
+        self._init_health(len(self.workers))
 
     def ingest(self, chunks: Sequence[List[ShardEvent]]) -> None:
         self._ensure_open()
-        for worker, events in zip(self.workers, chunks):
+        clock = self._clock
+        for shard_id, (worker, events) in enumerate(
+                zip(self.workers, chunks)):
             if events:
-                worker.ingest(events)
+                start = clock()
+                try:
+                    worker.ingest(events)
+                except Exception:
+                    # In-process workers fail synchronously (no sticky
+                    # deferral): record, then let the error propagate.
+                    self._record_failure(shard_id, "ingest")
+                    raise
+                self._record_dispatch(shard_id, len(events), clock() - start)
 
     def evaluate(self, timestamp, seeds, tag_counts, total_documents):
         self._ensure_open()
@@ -295,12 +423,19 @@ class ProcessBackend(ShardBackend):
             child_end.close()
             self._pipes.append(parent_end)
             self._processes.append(process)
+        self._init_health(len(self._processes))
 
     def ingest(self, chunks: Sequence[List[ShardEvent]]) -> None:
         self._ensure_open()
+        clock = self._clock
         for shard_id, (pipe, events) in enumerate(zip(self._pipes, chunks)):
             if events:
+                # Dispatch latency here is the pickle+pipe.send cost — the
+                # coordinator-side price of the process protocol, which is
+                # exactly what the threads backend eliminates.
+                start = clock()
                 self._send(shard_id, pipe, ("ingest", events))
+                self._record_dispatch(shard_id, len(events), clock() - start)
 
     def evaluate(self, timestamp, seeds, tag_counts, total_documents):
         self._ensure_open()
@@ -364,6 +499,7 @@ class ProcessBackend(ShardBackend):
         except (BrokenPipeError, EOFError, OSError) as exc:
             # The worker process died (OOM kill, crash): tear the rest of
             # the pool down instead of leaking it, and surface shard context.
+            self._record_failure(shard_id, "dead")
             self.close()
             raise ShardExecutionError(
                 f"shard {shard_id} process died before "
@@ -376,17 +512,28 @@ class ProcessBackend(ShardBackend):
             try:
                 status, value = pipe.recv()
             except (EOFError, OSError) as exc:
+                self._record_failure(shard_id, "dead")
                 self.close()
                 raise ShardExecutionError(
                     f"shard {shard_id} process died during {operation}: {exc!r}"
                 ) from exc
             if status != "ok":
+                # Sticky worker-side failures (an ingest that blew up
+                # earlier) surface here, at the sync point.
+                self._record_failure(shard_id, "failure")
                 self.close()
                 raise ShardExecutionError(
                     f"shard {shard_id} failed during {operation}:\n{value}"
                 )
             results.append(value)
         return results
+
+    def _shard_alive(self, shard_id: int) -> bool:
+        return (
+            not self._closed
+            and shard_id < len(self._processes)
+            and self._processes[shard_id].is_alive()
+        )
 
     def close(self) -> None:
         self._closed = True
@@ -445,7 +592,8 @@ class _ThreadChannel:
             return self._items.popleft()
 
 
-def _shard_thread_loop(worker: ShardWorker, channel: _ThreadChannel) -> None:
+def _shard_thread_loop(worker: ShardWorker, channel: _ThreadChannel,
+                       on_ingest_failure=None) -> None:
     """Request loop of one shard thread; mirrors :func:`_shard_loop`.
 
     The deque replaces the pipe — same FIFO ordering argument, so a
@@ -453,6 +601,9 @@ def _shard_thread_loop(worker: ShardWorker, channel: _ThreadChannel) -> None:
     and payloads arrive by reference instead of by pickle.  Ingest
     failures are sticky exactly as in the process loop: remembered and
     reported at every subsequent reply until the backend is torn down.
+    ``on_ingest_failure`` (optional) fires once, the moment the failure
+    turns sticky — in-process threads can count the event immediately
+    instead of waiting for a sync point like the process protocol must.
     """
     failure: Optional[str] = None
     while True:
@@ -467,6 +618,11 @@ def _shard_thread_loop(worker: ShardWorker, channel: _ThreadChannel) -> None:
                     worker.ingest(payload)
                 except Exception:
                     failure = traceback.format_exc()
+                    if on_ingest_failure is not None:
+                        try:
+                            on_ingest_failure()
+                        except Exception:  # pragma: no cover - belt-and-braces
+                            pass
             continue
         if reply is None:  # pragma: no cover - protocol misuse guard
             continue
@@ -521,23 +677,40 @@ class ThreadBackend(ShardBackend):
 
     def start(self, workers: Sequence[ShardWorker]) -> None:
         self._closed = False
-        for worker in workers:
+        for shard_id, worker in enumerate(workers):
             channel = _ThreadChannel()
             thread = threading.Thread(
                 target=_shard_thread_loop,
                 args=(worker, channel),
+                kwargs={
+                    "on_ingest_failure":
+                        self._make_ingest_failure_callback(shard_id),
+                },
                 name=f"enblogue-shard-{worker.shard_id}",
                 daemon=True,
             )
             thread.start()
             self._channels.append(channel)
             self._threads.append(thread)
+        self._init_health(len(self._threads))
+
+    def _make_ingest_failure_callback(self, shard_id: int):
+        def on_ingest_failure() -> None:
+            self._record_failure(shard_id, "ingest")
+
+        return on_ingest_failure
 
     def ingest(self, chunks: Sequence[List[ShardEvent]]) -> None:
         self._ensure_open()
-        for channel, events in zip(self._channels, chunks):
+        clock = self._clock
+        for shard_id, (channel, events) in enumerate(
+                zip(self._channels, chunks)):
             if events:
+                # Dispatch here is a deque append — the zero-copy half the
+                # backend exists for; the histogram proves it stays flat.
+                start = clock()
                 channel.post("ingest", events)
+                self._record_dispatch(shard_id, len(events), clock() - start)
 
     def evaluate(self, timestamp, seeds, tag_counts, total_documents):
         self._ensure_open()
@@ -611,11 +784,13 @@ class ThreadBackend(ShardBackend):
         ):
             while not reply.event.wait(timeout=1.0):
                 if not thread.is_alive():
+                    self._record_failure(shard_id, "dead")
                     self.close()
                     raise ShardExecutionError(
                         f"shard {shard_id} thread died during {operation}"
                     )
             if reply.status != "ok":
+                self._record_failure(shard_id, "failure")
                 self.close()
                 raise ShardExecutionError(
                     f"shard {shard_id} failed during {operation}:\n"
@@ -623,6 +798,18 @@ class ThreadBackend(ShardBackend):
                 )
             results.append(reply.value)
         return results
+
+    def _shard_alive(self, shard_id: int) -> bool:
+        return (
+            not self._closed
+            and shard_id < len(self._threads)
+            and self._threads[shard_id].is_alive()
+        )
+
+    def _shard_queue_depth(self, shard_id: int) -> int:
+        if shard_id >= len(self._channels):
+            return 0
+        return len(self._channels[shard_id]._items)
 
 
 _BACKENDS = {

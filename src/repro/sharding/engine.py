@@ -68,8 +68,9 @@ class ShardedEnBlogue(DetectionEngineBase):
         chunk_size: int = 256,
         entity_tagger: Optional[EntityTagger] = None,
         vectorize: Optional[bool] = None,
+        observability=None,
     ):
-        super().__init__(config, entity_tagger)
+        super().__init__(config, entity_tagger, observability=observability)
         if self.config.correlation_measure == "kl":
             supported = [m for m in available_measures() if m != "kl"]
             raise ValueError(
@@ -93,6 +94,15 @@ class ShardedEnBlogue(DetectionEngineBase):
         self.backend.start(
             [ShardWorker(shard_id, self.config, vectorize=vectorize)
              for shard_id in range(self.num_shards)]
+        )
+        # Bound after start so the per-shard metric children exist; the
+        # evaluation-path label mirrors runtime_info's config-derived
+        # answer (asking a live shard here would add a sync point).
+        self.backend.bind_observability(self.observability)
+        self._bind_evaluation_metric(
+            "vectorized"
+            if vectorize is not False and config_vectorizes(self.config)
+            else "scalar"
         )
 
         self._decomposer = DocumentDecomposer(
@@ -339,9 +349,17 @@ class ShardedEnBlogue(DetectionEngineBase):
     def _flush(self) -> None:
         """Dispatch the buffered per-shard chunks to the backend."""
         if any(self._buffers):
-            self.backend.ingest(self._buffers)
+            with self.observability.tracer.span("dispatch") as span:
+                span.set(
+                    events=sum(len(chunk) for chunk in self._buffers)
+                )
+                self.backend.ingest(self._buffers)
             self._buffers = [[] for _ in range(self.num_shards)]
         self._buffered_documents = 0
+
+    def shard_health(self) -> List[dict]:
+        """Per-shard health from the backend, without a sync point."""
+        return self.backend.health()
 
     def _evaluate(self, timestamp: float) -> Ranking:
         # Mirrors EnBlogue._evaluate step for step.  Seeds are selected from
@@ -350,9 +368,12 @@ class ShardedEnBlogue(DetectionEngineBase):
         # count history recorded at previous boundaries.
         self._ensure_open()
         self._flush()
-        self._current_seeds = self.seed_selector.select(
-            self._tag_window, history=self._count_history
-        )
+        tracer = self.observability.tracer
+        with tracer.span("seed_select") as span:
+            self._current_seeds = self.seed_selector.select(
+                self._tag_window, history=self._count_history
+            )
+            span.set(seeds=len(self._current_seeds))
         self._tag_window.advance_to(timestamp)
         self._latest = timestamp
         count_row = self._tag_window.snapshot()
@@ -361,13 +382,16 @@ class ShardedEnBlogue(DetectionEngineBase):
         record_count_history(
             self._count_history, count_row, self.config.history_length,
         )
-        topic_lists = self.backend.evaluate(
-            timestamp,
-            self._current_seeds,
-            self._tag_window.counts,
-            self._tag_window.document_count,
-        )
-        ranking = self.ranking_builder.merge(
-            timestamp, topic_lists, label=self.config.name
-        )
+        with tracer.span("shard_evaluate") as span:
+            topic_lists = self.backend.evaluate(
+                timestamp,
+                self._current_seeds,
+                self._tag_window.counts,
+                self._tag_window.document_count,
+            )
+            span.set(shards=len(topic_lists))
+        with tracer.span("merge"):
+            ranking = self.ranking_builder.merge(
+                timestamp, topic_lists, label=self.config.name
+            )
         return self._publish(ranking)

@@ -1,0 +1,207 @@
+"""GET /metrics and GET /trace, plus the 503 contract on dead shards."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core.config import EnBlogueConfig
+from repro.core.engine import EnBlogue
+from repro.datasets.twitter import TweetStreamGenerator
+from repro.observability import (
+    NDJSON_CONTENT_TYPE,
+    PROMETHEUS_CONTENT_TYPE,
+    Observability,
+    parse_prometheus_families,
+)
+from repro.serving import DetectionService, RankingServer
+
+HOUR = 3600.0
+
+
+def config(**overrides):
+    defaults = dict(
+        window_horizon=6 * HOUR,
+        evaluation_interval=HOUR,
+        num_seeds=10,
+        min_seed_count=1,
+        min_pair_support=1,
+        min_history=2,
+        predictor="moving_average",
+        predictor_window=3,
+    )
+    defaults.update(overrides)
+    return EnBlogueConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def docs():
+    corpus, _ = TweetStreamGenerator(
+        hours=12, tweets_per_hour=30, seed=11).generate()
+    return list(corpus)
+
+
+async def raw_request(port, method, path, body=None):
+    """One request; returns (status, headers, body bytes)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    payload = b"" if body is None else json.dumps(body).encode("utf-8")
+    writer.write((
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: localhost\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        f"Connection: close\r\n\r\n"
+    ).encode("latin-1") + payload)
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    header_blob, _, body_blob = raw.partition(b"\r\n\r\n")
+    lines = header_blob.decode("latin-1").split("\r\n")
+    status = int(lines[0].split(" ", 2)[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, headers, body_blob
+
+
+async def serve_ingested(docs, count=256):
+    """A started service+server with ``count`` documents processed."""
+    engine = EnBlogue(config(), observability=Observability())
+    # The service adopts the engine's enabled bundle: one registry for
+    # the whole stack, exactly like the CLI's serve wiring.
+    service = DetectionService(engine)
+    await service.start()
+    server = RankingServer(service, port=0)
+    await server.start()
+    await service.submit(docs[:count])
+    await service.drain()
+    return engine, service, server
+
+
+async def teardown(service, server):
+    await server.stop()
+    await service.stop()
+
+
+class TestMetricsEndpoint:
+    def test_scrape_is_valid_and_covers_the_pipeline(self, docs):
+        async def scenario():
+            _engine, service, server = await serve_ingested(docs)
+            status, headers, body = await raw_request(
+                server.port, "GET", "/metrics")
+            await teardown(service, server)
+            return status, headers, body.decode("utf-8")
+
+        status, headers, text = asyncio.run(scenario())
+        assert status == 200
+        assert headers["content-type"] == PROMETHEUS_CONTENT_TYPE
+        families = parse_prometheus_families(text)  # raises when malformed
+        # Every layer of the pipeline reports under the one contract.
+        for required in (
+            "repro_core_documents_total",
+            "repro_core_evaluation_seconds",
+            "repro_pipeline_stage_seconds",
+            "repro_sharding_dispatch_seconds",
+            "repro_serving_documents_processed_total",
+            "repro_serving_sse_frames_total",
+            "repro_persistence_checkpoint_seconds",
+        ):
+            assert required in families, required
+        # /status and /metrics read the same counters, so the scrape
+        # carries real values, not just declarations.
+        assert "repro_core_documents_total 256" in text
+        assert "repro_serving_documents_processed_total 256" in text
+        assert 'repro_core_evaluation_seconds_count{path="' in text
+
+    def test_status_and_metrics_agree(self, docs):
+        async def scenario():
+            _engine, service, server = await serve_ingested(docs)
+            metrics_status, _headers, body = await raw_request(
+                server.port, "GET", "/metrics")
+            status_code, _headers, status_body = await raw_request(
+                server.port, "GET", "/status")
+            await teardown(service, server)
+            return body.decode("utf-8"), json.loads(status_body)
+
+        text, status = asyncio.run(scenario())
+        expected = status["documents_processed"]
+        assert f"repro_serving_documents_processed_total {expected}" in text
+        assert f"repro_serving_rankings_published_total " \
+               f"{status['rankings_published']}" in text
+
+
+class TestTraceEndpoint:
+    def test_trace_returns_wellformed_ndjson_span_trees(self, docs):
+        async def scenario():
+            _engine, service, server = await serve_ingested(docs, count=200)
+            # Two more batches so /trace holds several per-batch trees
+            # and the ``last=`` cap has something to cut.
+            for start in (200, 230):
+                await service.submit(docs[start:start + 30])
+            await service.drain()
+            status, headers, body = await raw_request(
+                server.port, "GET", "/trace?last=50")
+            capped_status, _h, capped = await raw_request(
+                server.port, "GET", "/trace?last=2")
+            await teardown(service, server)
+            return status, headers, body, capped_status, capped
+
+        status, headers, body, capped_status, capped = asyncio.run(scenario())
+        assert status == 200 and capped_status == 200
+        assert headers["content-type"] == NDJSON_CONTENT_TYPE
+        traces = [json.loads(line)
+                  for line in body.decode("utf-8").strip().splitlines()]
+        assert traces, "ingest must leave per-batch traces behind"
+        batches = [t for t in traces if t["trace_id"].startswith("batch-")]
+        assert batches
+        for trace in traces:
+            assert set(trace) == {"trace_id", "spans"}
+            for span in trace["spans"]:
+                assert {"span_id", "name", "start",
+                        "duration_us"} <= set(span)
+        # The batch root span carries the stage tree under it.
+        root = batches[0]["spans"][0]
+        child_names = {child["name"]
+                       for child in root.get("children", [])}
+        assert "ingest" in child_names
+        assert len(capped.decode("utf-8").strip().splitlines()) == 2
+
+    def test_trace_rejects_malformed_last(self, docs):
+        async def scenario():
+            _engine, service, server = await serve_ingested(docs, count=8)
+            results = []
+            for query in ("last=-1", "last=abc"):
+                status, _headers, _body = await raw_request(
+                    server.port, "GET", f"/trace?{query}")
+                results.append(status)
+            await teardown(service, server)
+            return results
+
+        assert asyncio.run(scenario()) == [400, 400]
+
+
+class TestShardHealth:
+    def test_status_turns_503_when_a_shard_dies(self, docs):
+        async def scenario():
+            engine, service, server = await serve_ingested(docs, count=64)
+            healthy_status, _h, _b = await raw_request(
+                server.port, "GET", "/status")
+            # Simulate a dead worker; the serving layer only reads the
+            # health records, so the injection point is the engine API.
+            engine.shard_health = lambda: [
+                {"shard": 0, "alive": True, "pair_events": 10},
+                {"shard": 1, "alive": False, "pair_events": 0},
+            ]
+            dead_status, _h, body = await raw_request(
+                server.port, "GET", "/status")
+            await teardown(service, server)
+            return healthy_status, dead_status, json.loads(body)
+
+        healthy_status, dead_status, body = asyncio.run(scenario())
+        assert healthy_status == 200
+        assert dead_status == 503
+        assert body["healthy"] is False
+        dead = [record for record in body["shard_health"]
+                if not record["alive"]]
+        assert dead and dead[0]["shard"] == 1
