@@ -102,6 +102,10 @@ def _apply_overrides(config: EnBlogueConfig, args: argparse.Namespace) -> EnBlog
         overrides["predictor"] = args.predictor
     if args.seeds is not None:
         overrides["num_seeds"] = args.seeds
+    if getattr(args, "tracking", None) is not None:
+        overrides["tracking"] = args.tracking
+    if getattr(args, "promote_support", None) is not None:
+        overrides["promote_support"] = args.promote_support
     return config.with_overrides(**overrides) if overrides else config
 
 
@@ -120,7 +124,8 @@ def _print_runtime(engine) -> None:
     info = engine.runtime_info()
     print(
         f"runtime: engine={info['engine']} backend={info['backend']} "
-        f"shards={info['shards']} evaluation_path={info['evaluation_path']}"
+        f"shards={info['shards']} evaluation_path={info['evaluation_path']} "
+        f"tracking={info.get('tracking', 'exact')}"
     )
 
 
@@ -251,7 +256,8 @@ def _require_no_resume_overrides(args: argparse.Namespace,
     parser default and the manifest (explicitly re-passing the recorded
     value is a harmless no-op).
     """
-    for flag in ("top_k", "measure", "predictor", "seeds"):
+    for flag in ("top_k", "measure", "predictor", "seeds",
+                 "tracking", "promote_support"):
         if getattr(args, flag) is not None:
             raise SystemExit(
                 f"--{flag.replace('_', '-')} cannot be combined with "
@@ -358,7 +364,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     # the HTTP surface, and the ≤2% overhead is the price of admission.
     observability = Observability()
     if args.resume:
-        for flag in ("top_k", "measure", "predictor", "seeds"):
+        for flag in ("top_k", "measure", "predictor", "seeds",
+                     "tracking", "promote_support"):
             if getattr(args, flag) is not None:
                 raise SystemExit(
                     f"--{flag.replace('_', '-')} cannot be combined with "
@@ -510,6 +517,18 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--predictor", default=None,
                          help="shift predictor (last, moving_average, ewma, linear, holt)")
         sub.add_argument("--seeds", type=int, default=None, help="number of seed tags")
+        sub.add_argument("--tracking", choices=("exact", "tiered"),
+                         default=None,
+                         help="pair-tracking mode: 'exact' keeps every live "
+                              "pair; 'tiered' absorbs cold pairs in a "
+                              "Count-Min + Bloom sketch tier and promotes "
+                              "only pairs reaching --promote-support")
+        sub.add_argument("--promote-support", type=int, default=None,
+                         metavar="K",
+                         help="with --tracking tiered: sketched windowed "
+                              "support at which a pair is promoted into "
+                              "exact tracking (0 or 1 degenerate to the "
+                              "exact engine)")
 
     replay = subparsers.add_parser("replay", help="replay a dataset through enBlogue")
     add_common(replay)
@@ -573,6 +592,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "linear, holt)")
     serve.add_argument("--seeds", type=int, default=None,
                        help="number of seed tags")
+    serve.add_argument("--tracking", choices=("exact", "tiered"),
+                       default=None,
+                       help="pair-tracking mode (see replay)")
+    serve.add_argument("--promote-support", type=int, default=None,
+                       metavar="K",
+                       help="with --tracking tiered: promotion threshold "
+                            "(see replay)")
     serve.add_argument("--shards", type=_positive_int, default=None,
                        help="partition the pair space over N shards "
                             "(default 1 = the single-process engine)")

@@ -28,17 +28,24 @@ from __future__ import annotations
 from collections import Counter, deque
 from dataclasses import dataclass, field
 from itertools import islice
-from typing import Deque, Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import (
+    TYPE_CHECKING, Deque, Dict, Iterable, List, Mapping, Optional, Tuple,
+)
 
 from repro.core import vectorized as _vectorized
 from repro.core.candidates import CandidateIndex
 from repro.core.correlation import CorrelationMeasure, JaccardCorrelation, PairCounts
 from repro.core.types import TagPair, normalize_tag
 from repro.persistence.codec import string_interner
-from repro.persistence.snapshot import require_compatible, require_state
+from repro.persistence.snapshot import (
+    SnapshotMismatchError, require_compatible, require_state,
+)
 from repro.windows.aggregates import TagFrequencyWindow
 from repro.windows.striped import StripedCounter
 from repro.windows.timeseries import TimeSeries
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sketches.tier import SketchTier
 
 #: One prepared document: ``(timestamp, tags, entities)``.
 Observation = Tuple[float, Iterable[str], Iterable[str]]
@@ -201,6 +208,7 @@ class CorrelationTracker:
         track_usage: bool = False,
         vectorize: Optional[bool] = None,
         counter_stripes: int = 1,
+        tier: Optional["SketchTier"] = None,
     ):
         if window_horizon <= 0:
             raise ValueError("window_horizon must be positive")
@@ -222,6 +230,12 @@ class CorrelationTracker:
         self._vectorize_sampling = _vectorized.sampling_supported(
             self.measure, vectorize
         )
+
+        # Optional sketch tier in front of the exact pair state: when set,
+        # every document's pairs pass through its admission filter before
+        # any exact statistic is touched, so cold pairs never occupy the
+        # pair-event window or the postings index.
+        self._tier = tier
 
         self._tag_window = TagFrequencyWindow(window_horizon)
         # Windowed pair co-occurrences: a deque of (timestamp, pairs-of-doc)
@@ -269,6 +283,11 @@ class CorrelationTracker:
     def candidate_index(self) -> CandidateIndex:
         """The incremental seed-postings index behind candidate generation."""
         return self._candidates
+
+    @property
+    def tier(self):
+        """The sketch admission tier, or ``None`` in exact mode."""
+        return self._tier
 
     @property
     def sampling_path(self) -> str:
@@ -336,14 +355,19 @@ class CorrelationTracker:
                 )
             latest = timestamp
             ordered, pairs = self._decompose(tags, entities)
-            all_pairs.extend(pairs)
             prepared.append((timestamp, ordered, pairs))
         if not prepared:
             return 0
-        # Commit phase: nothing below can fail on malformed input.
+        # Commit phase: nothing below can fail on malformed input.  Tier
+        # admission runs here, per document in stream order, so a rejected
+        # chunk leaves the sketches untouched too.
         track_usage = self.track_usage
+        tier = self._tier
         buffer = self._delta
         for timestamp, ordered, pairs in prepared:
+            if tier is not None and pairs:
+                pairs = tier.filter_pairs(timestamp, pairs)
+            all_pairs.extend(pairs)
             self._pair_events.append((timestamp, pairs))
             if buffer is not None:
                 buffer.events.append((_DELTA_DOC, timestamp, ordered))
@@ -435,10 +459,16 @@ class CorrelationTracker:
 
     def pair_counts_for(self, pair: TagPair) -> PairCounts:
         """The windowed counts driving the correlation of ``pair``."""
+        count_a = self.tag_count(pair.first)
+        count_b = self.tag_count(pair.second)
         return PairCounts(
-            count_a=self.tag_count(pair.first),
-            count_b=self.tag_count(pair.second),
-            count_both=self.pair_count(pair),
+            count_a=count_a,
+            count_b=count_b,
+            # In exact mode the intersection can never exceed either tag
+            # count (pair and tag windows evict under the same horizon);
+            # a sketch tier's back-filled promotion can, so clamp to the
+            # feasible region the measures are defined over.
+            count_both=min(self.pair_count(pair), count_a, count_b),
             total_documents=self.document_count(),
             pair=pair,
         )
@@ -505,10 +535,16 @@ class CorrelationTracker:
         # ranking builder applies its own total order downstream.  The
         # postings entries carry the pair counts, so no lookups are needed.
         for pair, seed_tag, pair_count in self._candidates.iter_candidates(seeds):
+            count_a = tag_counts.get(pair.first, 0)
+            count_b = tag_counts.get(pair.second, 0)
             counts = PairCounts(
-                count_a=tag_counts.get(pair.first, 0),
-                count_b=tag_counts.get(pair.second, 0),
-                count_both=pair_count,
+                count_a=count_a,
+                count_b=count_b,
+                # Exact tracking keeps count_both <= min(count_a, count_b)
+                # by construction; a sketch tier's back-filled promotion
+                # (sketched support, stamped at promotion time) can exceed
+                # it, so clamp to the feasible region.
+                count_both=min(pair_count, count_a, count_b),
                 total_documents=total_documents,
                 pair=pair,
             )
@@ -561,6 +597,9 @@ class CorrelationTracker:
             (pair_count for _, _, pair_count in candidates),
             dtype=np.int64, count=count,
         )
+        # Same clamp as the scalar loop: a sketch tier's back-filled
+        # promotion can push the windowed pair count past a tag count.
+        count_both = np.minimum(count_both, np.minimum(count_a, count_b))
         _vectorized.validate_pair_counts(
             candidates, count_a, count_b, count_both, total_documents
         )
@@ -572,11 +611,12 @@ class CorrelationTracker:
         dirty = None if self._delta is None else self._delta.dirty_histories
         count_a = count_a.tolist()
         count_b = count_b.tolist()
+        count_both = count_both.tolist()
         for index, (pair, seed_tag, pair_count) in enumerate(candidates):
             counts = PairCounts(
                 count_a=count_a[index],
                 count_b=count_b[index],
-                count_both=pair_count,
+                count_both=count_both[index],
                 total_documents=total_documents,
                 pair=pair,
             )
@@ -649,8 +689,17 @@ class CorrelationTracker:
         the windowed pair events with the postings index, the co-tag usage
         events, the per-pair correlation histories and the count history —
         so a restored tracker continues bit-identically.  The decomposition
-        memo is deliberately absent: it is a cache, rebuilt on demand.
+        memo is deliberately absent: it is a cache, rebuilt on demand.  A
+        sketch tier, when present, rides along under ``"tier"`` (absent in
+        exact mode, keeping exact-mode snapshots byte-stable).
         """
+        if self._tier is not None:
+            state = self._snapshot_exact()
+            state["tier"] = self._tier.snapshot()
+            return state
+        return self._snapshot_exact()
+
+    def _snapshot_exact(self) -> dict:
         return {
             "kind": "correlation-tracker",
             "version": 1,
@@ -700,6 +749,15 @@ class CorrelationTracker:
             },
             state,
         )
+        tier_state = state.get("tier")
+        if (tier_state is None) != (self._tier is None):
+            raise SnapshotMismatchError(
+                "correlation-tracker snapshot tracking mode does not match: "
+                f"snapshot is {'tiered' if tier_state is not None else 'exact'}, "
+                f"tracker is {'tiered' if self._tier is not None else 'exact'}"
+            )
+        if self._tier is not None:
+            self._tier.restore(tier_state)
         self._tag_window.restore_state(state["tag_window"])
         self._candidates.restore(state["candidates"])
         self._pair_events = deque(
@@ -844,6 +902,8 @@ class CorrelationTracker:
                 f"out-of-order document: {timestamp} < {self._latest}"
             )
         ordered, pairs = self._decompose(tags, entities)
+        if self._tier is not None and pairs:
+            pairs = self._tier.filter_pairs(timestamp, pairs)
         self._pair_events.append((timestamp, pairs))
         for pair in pairs:
             self._candidates.add(pair)

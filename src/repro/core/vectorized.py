@@ -642,6 +642,10 @@ class FusedEvaluator:
             (pair_count for _, _, pair_count in candidates),
             dtype=np.int64, count=count,
         )
+        # Same clamp as the tracker's sampling paths: a sketch tier's
+        # back-filled promotion can push a windowed pair count past a tag
+        # count; exact tracking never does, so this is a no-op there.
+        count_both = np.minimum(count_both, np.minimum(count_a, count_b))
         validate_pair_counts(
             candidates, count_a, count_b, count_both, total_documents
         )

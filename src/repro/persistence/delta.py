@@ -33,6 +33,7 @@ from typing import Any, Dict, List, Mapping, Tuple
 
 from repro.core.tracker import _DELTA_DOC, record_count_history
 from repro.persistence.snapshot import SnapshotMismatchError, require_state
+from repro.sketches.tier import SketchTier
 
 
 def _require_delta(state: Any, kind: str, version: int = 1) -> Mapping[str, Any]:
@@ -179,6 +180,15 @@ def apply_tracker_delta(
     latest = delta["latest"]
     table = delta["tags"]
 
+    # A tiered tracker journals raw documents; re-running admission from
+    # the base snapshot's tier reproduces both the admitted weighted pair
+    # stream and the advanced tier state, exactly as the live run did.
+    tier_state = state.get("tier")
+    tier = (
+        SketchTier.from_snapshot(tier_state)
+        if tier_state is not None else None
+    )
+
     events = list(state["pair_events"])
     window = state["tag_window"]
     window_events = list(window["events"])
@@ -186,11 +196,16 @@ def apply_tracker_delta(
         if kind == _DELTA_DOC:
             tags = [table[index] for index in payload]
             window_events.append([timestamp, tags])
-            events.append([timestamp, [
-                [tags[i], tags[j]]
+            pairs = [
+                (tags[i], tags[j])
                 for i in range(len(tags))
                 for j in range(i + 1, len(tags))
-            ]])
+            ]
+            if tier is not None and pairs:
+                pairs = tier.filter_pairs(timestamp, pairs)
+            events.append(
+                [timestamp, [[first, second] for first, second in pairs]]
+            )
         else:
             events.append([timestamp, [
                 [table[first_idx], table[second_idx]]
@@ -223,6 +238,8 @@ def apply_tracker_delta(
     )
     state["documents_seen"] = int(delta["documents_seen"])
     state["latest"] = latest
+    if tier is not None:
+        state["tier"] = tier.snapshot()
     return state
 
 
@@ -336,6 +353,21 @@ def apply_engine_delta(
             window_events, delta["tag_window_latest"], float(window["horizon"])
         )
         window["latest"] = delta["tag_window_latest"]
+        # A tiered coordinator's shard deltas already carry the admitted
+        # weighted pairs (shard workers are tier-less), so admission is
+        # re-run here only to advance the coordinator's tier state — the
+        # returned weights are deliberately discarded.
+        tier_state = state.get("tier")
+        if tier_state is not None:
+            tier = SketchTier.from_snapshot(tier_state)
+            for timestamp, indices in delta["tag_events"]:
+                if len(indices) < 2:
+                    continue
+                tags = [table[index] for index in indices]
+                for i in range(len(tags)):
+                    for j in range(i + 1, len(tags)):
+                        tier.admit(timestamp, tags[i], tags[j])
+            state["tier"] = tier.snapshot()
         config = state.get("config") or {}
         state["count_history"] = _replay_count_rows(
             state["count_history"], delta["count_rows"],

@@ -22,9 +22,13 @@ new dependencies), exposing:
 * ``GET /trace?last=N`` — the most recent pipeline stage traces as
   NDJSON, one per-batch span tree per line.
 
-Connections are ``Connection: close`` (one request per connection) except
-the SSE stream, which stays open until the client disconnects or the
-server stops.
+Non-SSE connections are persistent: HTTP/1.1 requests keep the
+connection open (and pipelined pollers reuse it) unless the client sends
+``Connection: close``; HTTP/1.0 clients get one request per connection
+unless they ask for ``Connection: keep-alive``.  Every response carries
+an exact ``Content-Length``, which is what makes reuse safe without
+chunked encoding.  The SSE stream is the exception either way: it owns
+its connection until the client disconnects or the server stops.
 """
 
 from __future__ import annotations
@@ -134,43 +138,68 @@ class RankingServer:
     async def _handle(self, reader: asyncio.StreamReader,
                       writer: asyncio.StreamWriter) -> None:
         try:
-            try:
-                request = await self._read_request(reader)
-            except ValueError as exc:
-                # Unparsable Content-Length, oversized body: the client
-                # deserves a 400, not a dropped connection and an
-                # unretrieved task exception in the loop.
-                await self._respond_json(writer, 400, {"error": str(exc)})
-                return
-            if request is None:
-                return
-            method, path, query, headers, body = request
-            if method == "POST" and path == "/ingest":
-                await self._handle_ingest(writer, body)
-            elif method == "GET" and path == "/rankings":
-                await self._handle_rankings(writer)
-            elif method == "GET" and path == "/rankings/stream":
-                await self._handle_stream(writer)
-                return  # the stream owns the connection's lifetime
-            elif method == "GET" and path == "/status":
-                status = self.service.status()
-                # A dead shard worker makes the node unfit for ingest:
-                # surface it as 503 so load balancers and probes fail
-                # over, with the structured body naming the shard.
-                code = 200 if status.get("healthy", True) else 503
-                await self._respond_json(writer, code, status)
-            elif method == "GET" and path == "/metrics":
-                await self._respond_text(
-                    writer, 200,
-                    render_prometheus(self.service.observability.registry),
-                    PROMETHEUS_CONTENT_TYPE,
-                )
-            elif method == "GET" and path == "/trace":
-                await self._handle_trace(writer, query)
-            else:
-                await self._respond_json(
-                    writer, 404, {"error": f"no route {method} {path}"}
-                )
+            # One iteration per request on a kept-alive connection; the
+            # exact Content-Length on every response is what keeps the
+            # request boundary unambiguous across iterations.
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except ValueError as exc:
+                    # Unparsable Content-Length, oversized body: the client
+                    # deserves a 400, not a dropped connection and an
+                    # unretrieved task exception in the loop.  The request
+                    # framing is lost, so this connection cannot be reused.
+                    await self._respond_json(writer, 400, {"error": str(exc)})
+                    return
+                if request is None:
+                    return
+                method, path, query, headers, body, version = request
+                connection = headers.get("connection", "").lower()
+                # HTTP/1.1 defaults to persistent connections; HTTP/1.0
+                # only keeps alive on explicit request.
+                if version == "HTTP/1.0":
+                    keep_alive = connection == "keep-alive"
+                else:
+                    keep_alive = connection != "close"
+                if method == "POST" and path == "/ingest":
+                    keep_alive = await self._handle_ingest(
+                        writer, body, keep_alive
+                    )
+                elif method == "GET" and path == "/rankings":
+                    keep_alive = await self._handle_rankings(
+                        writer, keep_alive
+                    )
+                elif method == "GET" and path == "/rankings/stream":
+                    await self._handle_stream(writer)
+                    return  # the stream owns the connection's lifetime
+                elif method == "GET" and path == "/status":
+                    status = self.service.status()
+                    # A dead shard worker makes the node unfit for ingest:
+                    # surface it as 503 so load balancers and probes fail
+                    # over, with the structured body naming the shard.
+                    code = 200 if status.get("healthy", True) else 503
+                    keep_alive = await self._respond_json(
+                        writer, code, status, keep_alive
+                    )
+                elif method == "GET" and path == "/metrics":
+                    keep_alive = await self._respond_text(
+                        writer, 200,
+                        render_prometheus(self.service.observability.registry),
+                        PROMETHEUS_CONTENT_TYPE,
+                        keep_alive,
+                    )
+                elif method == "GET" and path == "/trace":
+                    keep_alive = await self._handle_trace(
+                        writer, query, keep_alive
+                    )
+                else:
+                    keep_alive = await self._respond_json(
+                        writer, 404,
+                        {"error": f"no route {method} {path}"},
+                        keep_alive,
+                    )
+                if not keep_alive:
+                    return
         except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
             pass
         finally:
@@ -182,12 +211,12 @@ class RankingServer:
 
     async def _read_request(
         self, reader: asyncio.StreamReader
-    ) -> Optional[Tuple[str, str, str, Dict[str, str], bytes]]:
+    ) -> Optional[Tuple[str, str, str, Dict[str, str], bytes, str]]:
         request_line = await reader.readline()
         if not request_line:
             return None
         try:
-            method, target, _version = request_line.decode("latin-1").split()
+            method, target, version = request_line.decode("latin-1").split()
         except ValueError:
             return None
         headers: Dict[str, str] = {}
@@ -202,34 +231,36 @@ class RankingServer:
             raise ValueError(f"request body exceeds {MAX_BODY_BYTES} bytes")
         body = await reader.readexactly(length) if length else b""
         path, _, query = target.partition("?")
-        return method.upper(), path, query, headers, body
+        return method.upper(), path, query, headers, body, version.upper()
 
     async def _handle_ingest(self, writer: asyncio.StreamWriter,
-                             body: bytes) -> None:
+                             body: bytes, keep_alive: bool = False) -> bool:
         try:
             documents = parse_ingest_body(body)
         except ValueError as exc:
-            await self._respond_json(writer, 400, {"error": str(exc)})
-            return
+            return await self._respond_json(writer, 400, {"error": str(exc)},
+                                            keep_alive)
         try:
             # This await is the backpressure: the response (and therefore
             # the producer's next request) waits for queue capacity.
             accepted = await self.service.submit(documents)
         except ValueError as exc:
-            await self._respond_json(writer, 400, {"error": str(exc)})
-            return
+            return await self._respond_json(writer, 400, {"error": str(exc)},
+                                            keep_alive)
         except ServiceClosedError as exc:
-            await self._respond_json(writer, 503, {"error": str(exc)})
-            return
-        await self._respond_json(writer, 202, {
+            return await self._respond_json(writer, 503, {"error": str(exc)},
+                                            keep_alive)
+        return await self._respond_json(writer, 202, {
             "accepted": accepted,
             "queued_batches": self.service.queue_depth(),
-        })
+        }, keep_alive)
 
-    async def _handle_rankings(self, writer: asyncio.StreamWriter) -> None:
+    async def _handle_rankings(self, writer: asyncio.StreamWriter,
+                               keep_alive: bool = False) -> bool:
         ranking = await self.service.current_ranking()
         payload = None if ranking is None else ranking_to_dict(ranking)
-        await self._respond_json(writer, 200, {"ranking": payload})
+        return await self._respond_json(writer, 200, {"ranking": payload},
+                                        keep_alive)
 
     async def _handle_stream(self, writer: asyncio.StreamWriter) -> None:
         task = asyncio.current_task()
@@ -278,7 +309,7 @@ class RankingServer:
                 pass
 
     async def _handle_trace(self, writer: asyncio.StreamWriter,
-                            query: str) -> None:
+                            query: str, keep_alive: bool = False) -> bool:
         last = DEFAULT_TRACE_LAST
         raw = parse_qs(query).get("last", [None])[0]
         if raw is not None:
@@ -287,43 +318,52 @@ class RankingServer:
                 if last < 0:
                     raise ValueError
             except ValueError:
-                await self._respond_json(
+                return await self._respond_json(
                     writer, 400,
                     {"error": f"'last' must be a non-negative integer, "
                               f"got {raw!r}"},
+                    keep_alive,
                 )
-                return
-        await self._respond_text(
+        return await self._respond_text(
             writer, 200,
             render_trace_ndjson(
                 self.service.observability.tracer, last=last
             ),
             NDJSON_CONTENT_TYPE,
+            keep_alive,
         )
 
     _REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
                 404: "Not Found", 503: "Service Unavailable"}
 
     async def _respond_json(self, writer: asyncio.StreamWriter,
-                            status: int, payload: dict) -> None:
+                            status: int, payload: dict,
+                            keep_alive: bool = False) -> bool:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
-        await self._respond_bytes(writer, status, body, "application/json")
+        return await self._respond_bytes(
+            writer, status, body, "application/json", keep_alive
+        )
 
     async def _respond_text(self, writer: asyncio.StreamWriter,
-                            status: int, text: str,
-                            content_type: str) -> None:
-        await self._respond_bytes(
-            writer, status, text.encode("utf-8"), content_type
+                            status: int, text: str, content_type: str,
+                            keep_alive: bool = False) -> bool:
+        return await self._respond_bytes(
+            writer, status, text.encode("utf-8"), content_type, keep_alive
         )
 
     async def _respond_bytes(self, writer: asyncio.StreamWriter,
-                             status: int, body: bytes,
-                             content_type: str) -> None:
+                             status: int, body: bytes, content_type: str,
+                             keep_alive: bool = False) -> bool:
+        # Error responses close even on HTTP/1.1: clients that hit them
+        # read to EOF, and a stuck connection is worse than a re-dial.
+        keep_alive = keep_alive and status < 400
+        connection = "keep-alive" if keep_alive else "close"
         head = (
             f"HTTP/1.1 {status} {self._REASONS.get(status, 'OK')}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
-            f"Connection: close\r\n\r\n"
+            f"Connection: {connection}\r\n\r\n"
         ).encode("latin-1")
         writer.write(head + body)
         await writer.drain()
+        return keep_alive

@@ -35,7 +35,11 @@ from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.core.config import EnBlogueConfig
 from repro.core.correlation import available_measures
-from repro.core.engine import DetectionEngineBase
+from repro.core.engine import (
+    DetectionEngineBase,
+    bind_tier_gauges,
+    make_sketch_tier,
+)
 from repro.core.tracker import DocumentDecomposer, record_count_history
 from repro.core.types import Ranking
 from repro.core.vectorized import config_vectorizes
@@ -47,6 +51,7 @@ from repro.sharding.partitioner import PairPartitioner
 from repro.sharding.reshard import reshard_worker_states
 from repro.sharding.worker import ShardEvent, ShardWorker
 from repro.windows.aggregates import TagFrequencyWindow
+from repro.windows.striped import StripedCountHistory
 
 
 class ShardedEnBlogue(DetectionEngineBase):
@@ -118,7 +123,23 @@ class ShardedEnBlogue(DetectionEngineBase):
         self._tag_window = TagFrequencyWindow(
             self.config.window_horizon, stripes=window_stripes
         )
-        self._count_history: dict = {}
+        # The count history is appended one row per boundary but read by
+        # checkpoint/status threads mid-append under the threads backend,
+        # so it gets the same striped treatment as the tag window there.
+        self._count_history = (
+            StripedCountHistory(
+                self.config.history_length, stripes=window_stripes
+            )
+            if self.backend.name == "threads"
+            else {}
+        )
+        # Admission runs once, globally, before pairs are partitioned:
+        # a per-shard sketch could not be re-split on an N-to-M restore,
+        # and the admitted weighted pair stream is what keeps the shard
+        # workers' exact state identical to the single tiered engine's.
+        self._tier = make_sketch_tier(self.config)
+        if self._tier is not None:
+            bind_tier_gauges(self.observability, self._tier)
         self._buffers: List[List[ShardEvent]] = [
             [] for _ in range(self.num_shards)
         ]
@@ -164,6 +185,8 @@ class ShardedEnBlogue(DetectionEngineBase):
         if self._delta_tag_events is not None:
             self._delta_tag_events.append((timestamp, ordered))
         self._latest = timestamp
+        if pairs and self._tier is not None:
+            pairs = self._tier.filter_pairs(timestamp, pairs)
         if pairs:
             buffers = self._buffers
             for shard_id, event in self.partitioner.split_event(timestamp, pairs):
@@ -207,6 +230,8 @@ class ShardedEnBlogue(DetectionEngineBase):
             "backend": self.backend.name,
             "shards": self.num_shards,
             "evaluation_path": path,
+            "tracking": "tiered" if self._tier is not None else "exact",
+            "promote_support": self.config.promote_support,
         }
 
     # -- persistence ----------------------------------------------------------
@@ -224,7 +249,7 @@ class ShardedEnBlogue(DetectionEngineBase):
         """
         self._ensure_open()
         self._flush()
-        return {
+        state = {
             "kind": self.SNAPSHOT_KIND,
             "version": 1,
             **self._base_snapshot(),
@@ -239,6 +264,9 @@ class ShardedEnBlogue(DetectionEngineBase):
             "builder": self.ranking_builder.snapshot(),
             "shards": self.backend.collect_states(),
         }
+        if self._tier is not None:
+            state["tier"] = self._tier.snapshot()
+        return state
 
     def restore(self, state: Mapping) -> None:
         """Adopt a :meth:`snapshot`'s state; continuation is bit-identical.
@@ -254,14 +282,25 @@ class ShardedEnBlogue(DetectionEngineBase):
         require_state(state, self.SNAPSHOT_KIND, 1)
         self._ensure_open()
         self._restore_base(state)
-        self._tag_window.restore_state(state["tag_window"])
-        self._count_history = {
-            str(tag): deque(
-                (int(value) for value in values),
-                maxlen=self.config.history_length,
+        tier_state = state.get("tier")
+        if (tier_state is None) != (self._tier is None):
+            raise SnapshotMismatchError(
+                "tracking-mode mismatch: the snapshot and this engine "
+                "disagree on whether a sketch tier is present"
             )
-            for tag, values in state["count_history"].items()
-        }
+        if tier_state is not None:
+            self._tier.restore(tier_state)
+        self._tag_window.restore_state(state["tag_window"])
+        if isinstance(self._count_history, StripedCountHistory):
+            self._count_history.seed(state["count_history"])
+        else:
+            self._count_history = {
+                str(tag): deque(
+                    (int(value) for value in values),
+                    maxlen=self.config.history_length,
+                )
+                for tag, values in state["count_history"].items()
+            }
         self._latest = optional_float(state["latest"])
         self.ranking_builder.restore(state["builder"])
         shard_states = state["shards"]
@@ -379,9 +418,12 @@ class ShardedEnBlogue(DetectionEngineBase):
         count_row = self._tag_window.snapshot()
         if self._delta_count_rows is not None:
             self._delta_count_rows.append(count_row)
-        record_count_history(
-            self._count_history, count_row, self.config.history_length,
-        )
+        if isinstance(self._count_history, StripedCountHistory):
+            self._count_history.record_row(count_row)
+        else:
+            record_count_history(
+                self._count_history, count_row, self.config.history_length,
+            )
         with tracer.span("shard_evaluate") as span:
             topic_lists = self.backend.evaluate(
                 timestamp,

@@ -11,6 +11,7 @@ from repro.sketches.hashing import HashFamily
 from repro.sketches.countmin import CountMinSketch, WindowedCountMinSketch
 from repro.sketches.bloom import BloomFilter
 from repro.sketches.sampling import ReservoirSample
+from repro.sketches.tier import SketchTier
 
 __all__ = [
     "HashFamily",
@@ -18,4 +19,5 @@ __all__ = [
     "WindowedCountMinSketch",
     "BloomFilter",
     "ReservoirSample",
+    "SketchTier",
 ]

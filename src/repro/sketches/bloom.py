@@ -49,9 +49,12 @@ class BloomFilter:
             self.add(key)
 
     def __contains__(self, key: str) -> bool:
-        return all(
-            self._get_bit(value % self.size) for value in self._hashes.hashes(key)
-        )
+        # Hash lazily: a miss usually fails on the first probe, and the
+        # membership-heavy sketch-tier admission path leans on that.
+        for index in range(self.hash_count):
+            if not self._get_bit(self._hashes.hash(key, index) % self.size):
+                return False
+        return True
 
     def estimated_false_positive_rate(self) -> float:
         """False-positive probability given the current fill level."""
@@ -59,6 +62,64 @@ class BloomFilter:
             return 0.0
         fill = 1.0 - math.exp(-self.hash_count * self._count / self.size)
         return fill ** self.hash_count
+
+    def merge(self, other: "BloomFilter") -> None:
+        """Fold ``other`` into this filter (parameters and seed must match).
+
+        Membership afterwards is the union: any key in either input filter
+        tests positive in the merged one (ORed bit arrays), and the add
+        counter — the fill-level input — sums.
+        """
+        if (self.capacity, self.error_rate) != (other.capacity, other.error_rate):
+            raise ValueError("cannot merge bloom filters with different parameters")
+        if self._hashes.seed != other._hashes.seed:
+            raise ValueError("cannot merge bloom filters with different hash seeds")
+        for index, byte in enumerate(other._bits):
+            self._bits[index] |= byte
+        self._count += other._count
+
+    SNAPSHOT_KIND = "bloom-filter"
+    SNAPSHOT_VERSION = 1
+
+    def snapshot(self) -> dict:
+        """Exact-width serialization: the bit array is recorded verbatim."""
+        return {
+            "kind": self.SNAPSHOT_KIND,
+            "version": self.SNAPSHOT_VERSION,
+            "capacity": self.capacity,
+            "error_rate": self.error_rate,
+            "seed": self._hashes.seed,
+            "count": self._count,
+            "bits": self._bits.hex(),
+        }
+
+    def restore(self, state: dict) -> None:
+        if state.get("kind") != self.SNAPSHOT_KIND:
+            raise ValueError(f"not a bloom snapshot: {state.get('kind')!r}")
+        if state.get("version") != self.SNAPSHOT_VERSION:
+            raise ValueError(
+                f"unsupported bloom snapshot version {state.get('version')!r}"
+            )
+        if (state["capacity"], state["error_rate"]) \
+                != (self.capacity, self.error_rate):
+            raise ValueError("snapshot parameters do not match the filter's")
+        if state["seed"] != self._hashes.seed:
+            raise ValueError("snapshot hash seed does not match the filter's")
+        bits = bytearray.fromhex(state["bits"])
+        if len(bits) != len(self._bits):
+            raise ValueError("snapshot bit array does not match the filter size")
+        self._bits = bits
+        self._count = int(state["count"])
+
+    @classmethod
+    def from_snapshot(cls, state: dict) -> "BloomFilter":
+        bloom = cls(
+            capacity=state["capacity"],
+            error_rate=state["error_rate"],
+            seed=state["seed"],
+        )
+        bloom.restore(state)
+        return bloom
 
     def _set_bit(self, index: int) -> None:
         self._bits[index // 8] |= 1 << (index % 8)

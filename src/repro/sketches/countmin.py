@@ -55,13 +55,24 @@ class CountMinSketch:
         """Total weight added to the sketch."""
         return self._total
 
-    def add(self, key: str, count: int = 1) -> None:
+    def add(self, key: str, count: int = 1) -> int:
+        """Add ``count`` to ``key``; return the post-add estimate.
+
+        The returned value equals ``estimate(key)`` immediately after the
+        add, computed from the same row/column walk — callers on hot paths
+        (the sketch tier's admission) avoid hashing the key twice.
+        """
         if count < 0:
             raise ValueError("counts must be non-negative")
+        minimum = None
         for row in range(self.depth):
             column = self._hashes.hash(key, row) % self.width
-            self._table[row][column] += count
+            cell = self._table[row][column] + count
+            self._table[row][column] = cell
+            if minimum is None or cell < minimum:
+                minimum = cell
         self._total += count
+        return minimum
 
     def estimate(self, key: str) -> int:
         """Estimated count for ``key`` (never an underestimate)."""
@@ -80,6 +91,51 @@ class CountMinSketch:
             for column in range(self.width):
                 self._table[row][column] += other._table[row][column]
         self._total += other._total
+
+    SNAPSHOT_KIND = "count-min"
+    SNAPSHOT_VERSION = 1
+
+    def snapshot(self) -> dict:
+        """Exact-width serialization: the table is recorded cell for cell,
+        so a restored sketch answers every estimate identically."""
+        return {
+            "kind": self.SNAPSHOT_KIND,
+            "version": self.SNAPSHOT_VERSION,
+            "width": self.width,
+            "depth": self.depth,
+            "seed": self._hashes.seed,
+            "total": self._total,
+            "table": [list(row) for row in self._table],
+        }
+
+    def restore(self, state: dict) -> None:
+        if state.get("kind") != self.SNAPSHOT_KIND:
+            raise ValueError(f"not a count-min snapshot: {state.get('kind')!r}")
+        if state.get("version") != self.SNAPSHOT_VERSION:
+            raise ValueError(
+                f"unsupported count-min snapshot version {state.get('version')!r}"
+            )
+        if (state["width"], state["depth"]) != (self.width, self.depth):
+            raise ValueError(
+                "snapshot dimensions "
+                f"{state['width']}x{state['depth']} do not match the sketch's "
+                f"{self.width}x{self.depth}"
+            )
+        if state["seed"] != self._hashes.seed:
+            raise ValueError("snapshot hash seed does not match the sketch's")
+        table = state["table"]
+        if len(table) != self.depth or any(len(row) != self.width for row in table):
+            raise ValueError("snapshot table does not match the declared dimensions")
+        self._table = [list(row) for row in table]
+        self._total = int(state["total"])
+
+    @classmethod
+    def from_snapshot(cls, state: dict) -> "CountMinSketch":
+        sketch = cls(
+            width=state["width"], depth=state["depth"], seed=state["seed"]
+        )
+        sketch.restore(state)
+        return sketch
 
 
 class WindowedCountMinSketch:

@@ -22,14 +22,19 @@ class HashFamily:
             raise ValueError("seed must be non-negative")
         self.count = int(count)
         self.seed = int(seed)
+        # The per-function salts never change; building them once keeps the
+        # hot sketch paths (one blake2b per row per update) allocation-free.
+        self._salts = [
+            f"{self.seed}:{index}".encode("utf-8")[:16]
+            for index in range(self.count)
+        ]
 
     def hash(self, key: str, index: int) -> int:
         """Value of the ``index``-th hash function on ``key``."""
         if not 0 <= index < self.count:
             raise IndexError(f"hash function index {index} out of range")
-        salt = f"{self.seed}:{index}".encode("utf-8")
         digest = hashlib.blake2b(
-            key.encode("utf-8"), salt=salt[:16], digest_size=8
+            key.encode("utf-8"), salt=self._salts[index], digest_size=8
         ).digest()
         return int.from_bytes(digest, "big")
 

@@ -1,0 +1,276 @@
+"""The sketch tier of the two-tier pair tracker.
+
+The exact :class:`~repro.core.tracker.CorrelationTracker` keeps every live
+pair, so its memory grows with the square of the tag vocabulary.  The
+sketch tier sits in front of it and absorbs the long tail of cold pairs at
+O(1) memory per update: every pair occurrence is counted in a Count-Min
+sketch guarded by a Bloom "seen" filter, and only occurrences of pairs
+whose sketched windowed support has reached ``promote_support`` pass
+through to the exact tracker.
+
+Windowing works by epoch rotation.  Stream time is divided into epochs of
+one ``window_horizon`` each; the tier keeps sketches for the current and
+the previous epoch, so together they always cover at least the last
+window.  When time crosses an epoch boundary the previous epoch's
+sketches are dropped and the current ones take their place — that is the
+demotion policy: a promoted pair whose occurrences age out of the exact
+window disappears from the exact tier through normal eviction, and its
+sketched support decays with the epoch rotation, so it must re-earn
+promotion.
+
+The estimate never undercounts the true windowed support.  A key's first
+occurrence in an epoch pair may be *absorbed* — recorded only in the
+Bloom filter, not the sketch — but from then on the key is Bloom-known
+and every occurrence is counted, so at most one occurrence per key is
+missing from the two live sketches; the membership bit adds it back.
+Bloom false positives can only skip the absorption (counting the first
+occurrence too) or add a phantom +1, both of which keep the estimate an
+overestimate — exactly the bias promotion wants: no genuinely hot pair
+is ever held back, a cold pair is at worst promoted early.
+
+On promotion the crossing occurrence is *back-filled* with weight
+``promote_support``: the exact tier records the pair as if it had seen
+``promote_support`` occurrences at the crossing timestamp.  Because the
+sketched estimate never undercounts, the true support at the crossing is
+at most ``promote_support``, so back-filling never undercounts either and
+overcounts by at most ``promote_support - 1``.
+
+Everything is deterministic given the stream and the configured
+dimensions, so the tier participates in the repo's bit-identity
+discipline: snapshots serialize the sketches exact-width, and delta
+replay re-drives the same admissions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.sketches.bloom import BloomFilter
+from repro.sketches.countmin import CountMinSketch
+
+#: Separator between the two tags inside a sketch key — a control
+#: character no normalized tag contains.
+_KEY_SEPARATOR = "\x1f"
+
+#: Distinct hash seeds so the Bloom bits and the Count-Min columns of the
+#: same key are uncorrelated.
+_CMS_SEED = 1
+_BLOOM_SEED = 2
+
+
+class SketchTier:
+    """Count-Min + Bloom admission filter in front of the exact tracker."""
+
+    SNAPSHOT_KIND = "sketch-tier"
+    SNAPSHOT_VERSION = 1
+
+    def __init__(
+        self,
+        window_horizon: float,
+        promote_support: int,
+        width: int = 8192,
+        depth: int = 4,
+        bloom_capacity: Optional[int] = None,
+        bloom_error_rate: float = 0.01,
+    ):
+        if window_horizon <= 0:
+            raise ValueError("window_horizon must be positive")
+        if promote_support < 0:
+            raise ValueError("promote_support must be non-negative")
+        if width <= 0 or depth <= 0:
+            raise ValueError("sketch width and depth must be positive")
+        self.window_horizon = float(window_horizon)
+        self.promote_support = int(promote_support)
+        self.width = int(width)
+        self.depth = int(depth)
+        self.bloom_capacity = (
+            int(bloom_capacity) if bloom_capacity is not None
+            else max(1024, 4 * self.width)
+        )
+        self.bloom_error_rate = float(bloom_error_rate)
+        self._epoch: Optional[int] = None
+        self._current = self._fresh_epoch()
+        self._previous = self._fresh_epoch()
+        #: Crossing admissions: occurrences that promoted their pair.
+        self.promotions = 0
+        #: Occurrences of already-promoted pairs passed through at weight 1.
+        self.admissions = 0
+        #: Occurrences absorbed by the sketch tier (weight 0).
+        self.filtered = 0
+
+    def _fresh_epoch(self) -> Tuple[CountMinSketch, BloomFilter]:
+        return (
+            CountMinSketch(width=self.width, depth=self.depth, seed=_CMS_SEED),
+            BloomFilter(
+                capacity=self.bloom_capacity,
+                error_rate=self.bloom_error_rate,
+                seed=_BLOOM_SEED,
+            ),
+        )
+
+    # -- admission -----------------------------------------------------------
+
+    def admit(self, timestamp: float, first: str, second: str) -> int:
+        """Process one occurrence of the pair; return its exact-tier weight.
+
+        ``0`` means the occurrence stays in the sketch tier.  ``1`` is an
+        occurrence of an already-promoted pair.  ``promote_support`` is the
+        back-filled crossing occurrence that promotes the pair.
+        """
+        key = first + _KEY_SEPARATOR + second
+        self._rotate(timestamp)
+        sketch, bloom = self._current
+        previous_sketch, previous_bloom = self._previous
+        in_current = key in bloom
+        if in_current or (len(previous_bloom) and key in previous_bloom):
+            # The membership bit stands in for the one occurrence per key
+            # that epoch absorption may have kept out of the sketches.
+            estimate = sketch.add(key) + 1
+            if previous_sketch.total:
+                estimate += previous_sketch.estimate(key)
+            if not in_current:
+                bloom.add(key)
+        else:
+            bloom.add(key)
+            estimate = 1
+        if estimate < self.promote_support:
+            self.filtered += 1
+            return 0
+        if estimate - 1 < self.promote_support:
+            # The estimate crossed the threshold on this occurrence (adding
+            # one occurrence raises it by exactly one): promote with the
+            # back-fill weight.  max(..., 1) keeps thresholds 0 and 1
+            # degenerate to the exact engine (weight 1 per occurrence).
+            self.promotions += 1
+            return max(self.promote_support, 1)
+        self.admissions += 1
+        return 1
+
+    def filter_pairs(self, timestamp: float, pairs: Sequence) -> tuple:
+        """Admission over a document's pairs, in order.
+
+        Returns the admitted pairs, with a crossing pair replicated to its
+        back-fill weight so downstream counting needs no special case.
+        """
+        admitted: List = []
+        for pair in pairs:
+            # Serves both the live TagPair objects and the plain
+            # [first, second] pairs the journal replay derives.
+            first = getattr(pair, "first", None)
+            if first is None:
+                first, second = pair
+            else:
+                second = pair.second
+            weight = self.admit(timestamp, first, second)
+            if weight == 1:
+                admitted.append(pair)
+            elif weight > 1:
+                admitted.extend([pair] * weight)
+        return tuple(admitted)
+
+    def _rotate(self, timestamp: float) -> None:
+        if timestamp < 0:
+            raise ValueError("timestamp must be non-negative")
+        epoch = int(timestamp // self.window_horizon)
+        if self._epoch is None:
+            self._epoch = epoch
+            return
+        if epoch == self._epoch:
+            return
+        if epoch < self._epoch:
+            raise ValueError("timestamps must be non-decreasing")
+        if epoch == self._epoch + 1:
+            self._previous = self._current
+        else:
+            # A gap larger than one epoch ages both sketch generations out.
+            self._previous = self._fresh_epoch()
+        self._current = self._fresh_epoch()
+        self._epoch = epoch
+
+    # -- introspection -------------------------------------------------------
+
+    def estimated_support(self, first: str, second: str) -> int:
+        """Sketched windowed support of the pair (never an underestimate)."""
+        key = first + _KEY_SEPARATOR + second
+        sketch, bloom = self._current
+        previous_sketch, previous_bloom = self._previous
+        if key in bloom or key in previous_bloom:
+            return sketch.estimate(key) + previous_sketch.estimate(key) + 1
+        return 0
+
+    @property
+    def tracked_keys(self) -> int:
+        """Occupancy proxy: Bloom-known keys across the two live epochs."""
+        return len(self._current[1]) + len(self._previous[1])
+
+    @property
+    def sketched_total(self) -> int:
+        """Total occurrence weight held by the two live sketches."""
+        return self._current[0].total + self._previous[0].total
+
+    @property
+    def error_bound(self) -> float:
+        """Count-Min overcount bound ``(e / width) * N`` over the live total."""
+        return math.e / self.width * self.sketched_total
+
+    # -- persistence ---------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        return {
+            "kind": self.SNAPSHOT_KIND,
+            "version": self.SNAPSHOT_VERSION,
+            "window_horizon": self.window_horizon,
+            "promote_support": self.promote_support,
+            "width": self.width,
+            "depth": self.depth,
+            "bloom_capacity": self.bloom_capacity,
+            "bloom_error_rate": self.bloom_error_rate,
+            "epoch": self._epoch,
+            "promotions": self.promotions,
+            "admissions": self.admissions,
+            "filtered": self.filtered,
+            "current": [self._current[0].snapshot(), self._current[1].snapshot()],
+            "previous": [self._previous[0].snapshot(), self._previous[1].snapshot()],
+        }
+
+    def restore(self, state: dict) -> None:
+        if state.get("kind") != self.SNAPSHOT_KIND:
+            raise ValueError(f"not a sketch-tier snapshot: {state.get('kind')!r}")
+        if state.get("version") != self.SNAPSHOT_VERSION:
+            raise ValueError(
+                f"unsupported sketch-tier snapshot version {state.get('version')!r}"
+            )
+        for field in ("window_horizon", "promote_support", "width", "depth",
+                      "bloom_capacity", "bloom_error_rate"):
+            if state[field] != getattr(self, field):
+                raise ValueError(
+                    f"sketch-tier snapshot {field}={state[field]!r} does not "
+                    f"match the configured {getattr(self, field)!r}"
+                )
+        epoch = state["epoch"]
+        self._epoch = int(epoch) if epoch is not None else None
+        self.promotions = int(state["promotions"])
+        self.admissions = int(state["admissions"])
+        self.filtered = int(state["filtered"])
+        self._current = (
+            CountMinSketch.from_snapshot(state["current"][0]),
+            BloomFilter.from_snapshot(state["current"][1]),
+        )
+        self._previous = (
+            CountMinSketch.from_snapshot(state["previous"][0]),
+            BloomFilter.from_snapshot(state["previous"][1]),
+        )
+
+    @classmethod
+    def from_snapshot(cls, state: dict) -> "SketchTier":
+        tier = cls(
+            window_horizon=state["window_horizon"],
+            promote_support=state["promote_support"],
+            width=state["width"],
+            depth=state["depth"],
+            bloom_capacity=state["bloom_capacity"],
+            bloom_error_rate=state["bloom_error_rate"],
+        )
+        tier.restore(state)
+        return tier

@@ -22,8 +22,9 @@ is opted into where concurrent writers exist.
 from __future__ import annotations
 
 import threading
-from collections import Counter
-from typing import Iterable, Iterator, List, Mapping, Tuple
+import zlib
+from collections import Counter, deque
+from typing import Deque, Dict, Iterable, Iterator, List, Mapping, Tuple
 
 
 class StripedCounter:
@@ -142,3 +143,128 @@ class StripedCounter:
 
     def __bool__(self) -> bool:
         return any(self._counters)
+
+
+class StripedCountHistory:
+    """The coordinator's per-tag count-history deques, striped by tag.
+
+    The sharded coordinator appends one row to the count history at every
+    evaluation boundary while — under the ``threads`` backend — checkpoint
+    and status threads read it concurrently.  One dict under one lock would
+    hold every reader for the full row append (one entry per live tag);
+    here each tag's series lives in exactly one stripe (stable CRC-32
+    routing, the same family as the pair partitioner), and
+    :meth:`record_row` takes the stripe locks one at a time, so readers of
+    other stripes proceed while one stripe's row lands.
+
+    The merged view is a plain dict union — stripes partition the tag
+    space, no key lives twice — so reads are *bit-identical* to the plain
+    ``dict`` of deques this replaces, which is what lets the seed
+    selectors and the snapshot path swap the representation freely.
+    """
+
+    def __init__(self, history_length: int, stripes: int = 2):
+        if stripes < 1:
+            raise ValueError("stripes must be at least 1")
+        if history_length < 1:
+            raise ValueError("history_length must be at least 1")
+        self.history_length = int(history_length)
+        self._maps: List[Dict[str, Deque[int]]] = [
+            {} for _ in range(stripes)
+        ]
+        self._locks: List[threading.Lock] = [
+            threading.Lock() for _ in range(stripes)
+        ]
+
+    @property
+    def stripes(self) -> int:
+        return len(self._maps)
+
+    def _stripe(self, tag: str) -> int:
+        # Stable content routing: a tag's whole series stays in one
+        # stripe, so a read never merges partial series across stripes.
+        return zlib.crc32(tag.encode("utf-8")) % len(self._maps)
+
+    # -- writes ---------------------------------------------------------------
+
+    def record_row(self, snapshot: Mapping[str, int]) -> None:
+        """Fold one evaluation's per-tag count row in, stripe by stripe.
+
+        Applies the :func:`repro.core.tracker.record_count_history` rule —
+        present tags append their count, absent tags append an explicit
+        zero, bounded deques trim — to each stripe under its own lock.
+        """
+        per_stripe: List[List[Tuple[str, int]]] = [
+            [] for _ in self._maps
+        ]
+        for tag, count in snapshot.items():
+            per_stripe[self._stripe(tag)].append((tag, count))
+        for index, lock in enumerate(self._locks):
+            with lock:
+                series_map = self._maps[index]
+                for tag, count in per_stripe[index]:
+                    series = series_map.get(tag)
+                    if series is None:
+                        series = series_map[tag] = deque(
+                            maxlen=self.history_length
+                        )
+                    series.append(count)
+                for tag, series in series_map.items():
+                    if tag not in snapshot:
+                        series.append(0)
+
+    def seed(self, history: Mapping[str, Iterable[int]]) -> None:
+        """Adopt ``history`` wholesale (the restore path)."""
+        for lock in self._locks:
+            lock.acquire()
+        try:
+            for series_map in self._maps:
+                series_map.clear()
+            for tag, values in history.items():
+                name = str(tag)
+                self._maps[self._stripe(name)][name] = deque(
+                    (int(value) for value in values),
+                    maxlen=self.history_length,
+                )
+        finally:
+            for lock in self._locks:
+                lock.release()
+
+    # -- reads ----------------------------------------------------------------
+
+    def merged(self) -> Dict[str, Tuple[int, ...]]:
+        """One plain dict of immutable series, consistent per stripe."""
+        totals: Dict[str, Tuple[int, ...]] = {}
+        for index, lock in enumerate(self._locks):
+            with lock:
+                for tag, series in self._maps[index].items():
+                    totals[tag] = tuple(series)
+        return totals
+
+    def __getitem__(self, tag: str) -> Tuple[int, ...]:
+        index = self._stripe(tag)
+        with self._locks[index]:
+            return tuple(self._maps[index][tag])
+
+    def get(self, tag: str, default=None):
+        index = self._stripe(tag)
+        with self._locks[index]:
+            series = self._maps[index].get(tag)
+            return tuple(series) if series is not None else default
+
+    def __contains__(self, tag: str) -> bool:
+        index = self._stripe(tag)
+        with self._locks[index]:
+            return tag in self._maps[index]
+
+    def items(self) -> Iterator[Tuple[str, Tuple[int, ...]]]:
+        return iter(self.merged().items())
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.merged())
+
+    def __len__(self) -> int:
+        return sum(len(series_map) for series_map in self._maps)
+
+    def __bool__(self) -> bool:
+        return any(self._maps)

@@ -1,0 +1,130 @@
+"""Two-tier sketch-backed tracking through the single engine.
+
+Pins the tentpole's contract: ``promote_support`` of 0 or 1 degenerates
+bit-identically to the exact engine, a nonzero threshold bounds the
+exact tier's live-pair population, and the tier surfaces through
+``runtime_info`` and the metrics registry.
+"""
+
+import pytest
+
+from repro.core.config import live_stream_config
+from repro.core.engine import EnBlogue, make_sketch_tier
+from repro.datasets.twitter import TweetStreamGenerator
+from repro.observability import Observability
+
+
+def stream(hours=12, tweets_per_hour=40, seed=11):
+    corpus, _ = TweetStreamGenerator(
+        hours=hours, tweets_per_hour=tweets_per_hour, seed=seed
+    ).generate()
+    return list(corpus)
+
+
+def ranking_signature(engine):
+    return [
+        [(topic.pair, topic.score) for topic in ranking.topics]
+        for ranking in engine.ranking_history()
+    ]
+
+
+def replay(config, docs, **kwargs):
+    engine = EnBlogue(config, **kwargs)
+    for document in docs:
+        engine.process(document)
+    engine.evaluate_now()
+    return engine
+
+
+BASE = live_stream_config()
+
+
+class TestDegenerateThresholds:
+    def test_no_tier_below_promote_support_two(self):
+        assert make_sketch_tier(BASE) is None
+        assert make_sketch_tier(
+            BASE.with_overrides(tracking="tiered", promote_support=0)
+        ) is None
+        assert make_sketch_tier(
+            BASE.with_overrides(tracking="tiered", promote_support=1)
+        ) is None
+        assert make_sketch_tier(
+            BASE.with_overrides(tracking="tiered", promote_support=2)
+        ) is not None
+
+    @pytest.mark.parametrize("threshold", [0, 1])
+    def test_rankings_bit_identical_to_exact(self, threshold):
+        docs = stream()
+        exact = replay(BASE, docs)
+        tiered = replay(
+            BASE.with_overrides(
+                tracking="tiered", promote_support=threshold
+            ),
+            docs,
+        )
+        assert ranking_signature(tiered) == ranking_signature(exact)
+        assert tiered.tracker.snapshot() == exact.tracker.snapshot()
+
+
+class TestNonzeroThreshold:
+    def test_live_pairs_reduced(self):
+        docs = stream()
+        exact = replay(BASE, docs)
+        tiered = replay(
+            BASE.with_overrides(tracking="tiered", promote_support=4), docs
+        )
+        assert len(tiered.tracker.candidate_index) < len(
+            exact.tracker.candidate_index
+        )
+        tier = tiered.tracker.tier
+        assert tier is not None
+        assert tier.filtered > 0
+        assert tier.promotions > 0
+
+    def test_promoted_pairs_still_rank(self):
+        docs = stream()
+        tiered = replay(
+            BASE.with_overrides(tracking="tiered", promote_support=3), docs
+        )
+        assert any(ranking.topics for ranking in tiered.ranking_history())
+
+
+class TestSurface:
+    def test_runtime_info_names_the_mode(self):
+        exact = EnBlogue(BASE)
+        info = exact.runtime_info()
+        assert info["tracking"] == "exact"
+        assert info["promote_support"] == 0
+
+        tiered = EnBlogue(
+            BASE.with_overrides(tracking="tiered", promote_support=3)
+        )
+        info = tiered.runtime_info()
+        assert info["tracking"] == "tiered"
+        assert info["promote_support"] == 3
+
+    def test_tier_gauges_live_on_the_registry(self):
+        observability = Observability()
+        engine = EnBlogue(
+            BASE.with_overrides(tracking="tiered", promote_support=3),
+            observability=observability,
+        )
+        for document in stream(hours=6):
+            engine.process(document)
+        registry = observability.registry
+        tier = engine.tracker.tier
+        assert registry.gauge(
+            "repro_tracking_sketched_keys"
+        ).value == tier.tracked_keys
+        assert registry.gauge(
+            "repro_tracking_filtered_occurrences"
+        ).value == tier.filtered
+        assert registry.gauge(
+            "repro_tracking_promotions"
+        ).value == tier.promotions
+
+    def test_describe_carries_the_mode(self):
+        config = BASE.with_overrides(tracking="tiered", promote_support=5)
+        described = config.describe()
+        assert described["tracking"] == "tiered"
+        assert described["promote_support"] == 5

@@ -1,0 +1,119 @@
+"""Checkpoint, journal and resume semantics of tiered tracking.
+
+The sketch tier rides the base snapshot; journal segments carry raw
+documents, and the fold re-runs admission from the base tier — so a
+chain restore must continue bit-identically to the uninterrupted run,
+on both engines, including a shard-count change at resume time.
+"""
+
+from repro.core.config import live_stream_config
+from repro.core.engine import EnBlogue
+from repro.datasets.twitter import TweetStreamGenerator
+from repro.persistence.resume import load_engine
+from repro.sharding import ShardedEnBlogue
+
+TIERED = live_stream_config().with_overrides(
+    tracking="tiered", promote_support=3
+)
+
+
+def stream(hours=12, seed=11):
+    corpus, _ = TweetStreamGenerator(
+        hours=hours, tweets_per_hour=40, seed=seed
+    ).generate()
+    return list(corpus)
+
+
+def ranking_signature(engine):
+    return [
+        [(topic.pair, topic.score) for topic in ranking.topics]
+        for ranking in engine.ranking_history()
+    ]
+
+
+def checkpointed_run(engine, docs, directory, delta_every=200):
+    """Process ``docs``, arming a delta chain halfway through."""
+    half = len(docs) // 2
+    for index, document in enumerate(docs):
+        engine.process(document)
+        if index == half:
+            engine.save_checkpoint(directory, track_deltas=True)
+        elif index > half and index % delta_every == 0:
+            engine.save_delta_checkpoint(directory)
+    engine.save_delta_checkpoint(directory)
+
+
+class TestSingleEngine:
+    def test_full_checkpoint_resume_is_bit_identical(self, tmp_path):
+        docs = stream()
+        uninterrupted = EnBlogue(TIERED)
+        for document in docs:
+            uninterrupted.process(document)
+        uninterrupted.evaluate_now()
+        expected = ranking_signature(uninterrupted)
+
+        first = EnBlogue(TIERED)
+        half = len(docs) // 2
+        for document in docs[:half]:
+            first.process(document)
+        first.save_checkpoint(tmp_path)
+
+        resumed, _ = load_engine(tmp_path)
+        assert resumed.runtime_info()["tracking"] == "tiered"
+        for document in docs[resumed.documents_processed:]:
+            resumed.process(document)
+        resumed.evaluate_now()
+        assert ranking_signature(resumed) == expected
+
+    def test_delta_chain_resume_is_bit_identical(self, tmp_path):
+        docs = stream()
+        uninterrupted = EnBlogue(TIERED)
+        for document in docs:
+            uninterrupted.process(document)
+        uninterrupted.evaluate_now()
+        expected = ranking_signature(uninterrupted)
+
+        first = EnBlogue(TIERED)
+        checkpointed_run(first, docs, tmp_path)
+
+        resumed, _ = load_engine(tmp_path)
+        for document in docs[resumed.documents_processed:]:
+            resumed.process(document)
+        resumed.evaluate_now()
+        assert ranking_signature(resumed) == expected
+
+    def test_folded_tier_state_matches_live(self, tmp_path):
+        docs = stream()
+        live = EnBlogue(TIERED)
+        checkpointed_run(live, docs, tmp_path)
+        resumed, _ = load_engine(tmp_path)
+        assert resumed.tracker.tier.snapshot() == \
+            live.tracker.tier.snapshot()
+
+
+class TestShardedEngine:
+    def test_delta_chain_resume_into_more_shards(self, tmp_path):
+        docs = stream()
+        uninterrupted = ShardedEnBlogue(TIERED, num_shards=2, chunk_size=32)
+        try:
+            for document in docs:
+                uninterrupted.process(document)
+            uninterrupted.evaluate_now()
+            expected = ranking_signature(uninterrupted)
+        finally:
+            uninterrupted.close()
+
+        first = ShardedEnBlogue(TIERED, num_shards=2, chunk_size=32)
+        try:
+            checkpointed_run(first, docs, tmp_path)
+        finally:
+            first.close()
+
+        resumed, _ = load_engine(tmp_path, num_shards=4)
+        try:
+            for document in docs[resumed.documents_processed:]:
+                resumed.process(document)
+            resumed.evaluate_now()
+            assert ranking_signature(resumed) == expected
+        finally:
+            resumed.close()

@@ -1,0 +1,80 @@
+"""Hypothesis properties for the sketch tier's degenerate thresholds.
+
+``promote_support`` of 0 or 1 means "admit on first sight" — the tier
+must vanish entirely and the engine must be bit-identical to exact
+tracking on *any* stream, not just the curated fixtures.
+"""
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import EnBlogueConfig
+from repro.core.engine import EnBlogue
+
+CONFIG = EnBlogueConfig(
+    window_horizon=50.0,
+    evaluation_interval=10.0,
+    num_seeds=5,
+    min_seed_count=1,
+    min_pair_support=1,
+    min_history=2,
+    predictor="moving_average",
+    predictor_window=3,
+)
+
+
+@dataclass(frozen=True)
+class Document:
+    timestamp: float
+    tags: Tuple[str, ...]
+
+
+tag_sets = st.lists(
+    st.sampled_from(["a", "b", "c", "d", "e", "f"]),
+    min_size=1, max_size=4, unique=True,
+)
+
+streams = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=200.0, allow_nan=False),
+        tag_sets,
+    ),
+    min_size=1, max_size=60,
+).map(lambda rows: [
+    Document(timestamp, tuple(tags))
+    for timestamp, tags in sorted(rows, key=lambda row: row[0])
+])
+
+
+def signature(engine):
+    return [
+        [(topic.pair, topic.score) for topic in ranking.topics]
+        for ranking in engine.ranking_history()
+    ]
+
+
+def replay(config, docs):
+    engine = EnBlogue(config)
+    for document in docs:
+        engine.process(document)
+    engine.evaluate_now()
+    return engine
+
+
+class TestDegenerateTierProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(docs=streams, threshold=st.sampled_from([0, 1]))
+    def test_thresholds_below_two_match_exact_bit_for_bit(
+        self, docs, threshold
+    ):
+        exact = replay(CONFIG, docs)
+        tiered = replay(
+            CONFIG.with_overrides(
+                tracking="tiered", promote_support=threshold
+            ),
+            docs,
+        )
+        assert signature(tiered) == signature(exact)
+        assert tiered.tracker.snapshot() == exact.tracker.snapshot()

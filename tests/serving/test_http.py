@@ -65,6 +65,40 @@ async def http_request(port, method, path, body=None):
     return status, json.loads(body_blob)
 
 
+async def send_on_connection(reader, writer, method, path, body=None,
+                             version="HTTP/1.1", connection=None):
+    """Send one request on an open connection; read one framed response.
+
+    Returns ``(status, headers, json_body)`` without closing the socket,
+    parsing exactly Content-Length body bytes so the connection stays
+    usable for the next request.
+    """
+    payload = b"" if body is None else json.dumps(body).encode("utf-8")
+    lines = [
+        f"{method} {path} {version}",
+        "Host: localhost",
+        f"Content-Length: {len(payload)}",
+    ]
+    if connection is not None:
+        lines.append(f"Connection: {connection}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    writer.write(head + payload)
+    await writer.drain()
+
+    status_line = await reader.readline()
+    status = int(status_line.split(b" ", 2)[1])
+    headers = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0"))
+    body_blob = await reader.readexactly(length) if length else b""
+    return status, headers, json.loads(body_blob) if body_blob else None
+
+
 async def read_sse_frames(port, count, collected):
     """Read ``count`` data frames from the SSE stream into ``collected``."""
     reader, writer = await asyncio.open_connection("127.0.0.1", port)
@@ -223,6 +257,122 @@ class TestEndpoints:
         assert results["out_of_order"][0] == 400
         assert "out-of-order" in results["out_of_order"][1]["error"]
         assert results["closed"][0] == 503
+
+    def test_keep_alive_serves_sequential_requests(self, docs):
+        async def scenario():
+            engine = EnBlogue(config())
+            service = DetectionService(engine)
+            await service.start()
+            server = RankingServer(service, port=0)
+            await server.start()
+            port = server.port
+
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            try:
+                status, headers, _ = await send_on_connection(
+                    reader, writer, "POST", "/ingest",
+                    [doc_payload(d) for d in docs[:64]],
+                )
+                assert status == 202
+                assert headers["connection"] == "keep-alive"
+                await service.drain()
+                # Same socket, second and third requests.
+                status, headers, state = await send_on_connection(
+                    reader, writer, "GET", "/status"
+                )
+                assert status == 200
+                assert headers["connection"] == "keep-alive"
+                assert state["documents_processed"] == 64
+                status, _, body = await send_on_connection(
+                    reader, writer, "GET", "/rankings"
+                )
+                assert status == 200
+                assert "ranking" in body
+            finally:
+                writer.close()
+                await writer.wait_closed()
+            await server.stop()
+            await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_connection_close_is_honored(self):
+        async def scenario():
+            service = DetectionService(EnBlogue(config()))
+            await service.start()
+            server = RankingServer(service, port=0)
+            await server.start()
+
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            status, headers, _ = await send_on_connection(
+                reader, writer, "GET", "/status", connection="close"
+            )
+            assert status == 200
+            assert headers["connection"] == "close"
+            assert await reader.read() == b""  # server closed its side
+            writer.close()
+            await server.stop()
+            await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_http_1_0_defaults_to_close(self):
+        async def scenario():
+            service = DetectionService(EnBlogue(config()))
+            await service.start()
+            server = RankingServer(service, port=0)
+            await server.start()
+            port = server.port
+
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            _, headers, _ = await send_on_connection(
+                reader, writer, "GET", "/status", version="HTTP/1.0"
+            )
+            assert headers["connection"] == "close"
+            assert await reader.read() == b""
+            writer.close()
+
+            # An explicit keep-alive request opts the 1.0 client in.
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            _, headers, _ = await send_on_connection(
+                reader, writer, "GET", "/status", version="HTTP/1.0",
+                connection="keep-alive",
+            )
+            assert headers["connection"] == "keep-alive"
+            status, _, _ = await send_on_connection(
+                reader, writer, "GET", "/status", version="HTTP/1.0",
+                connection="keep-alive",
+            )
+            assert status == 200
+            writer.close()
+            await server.stop()
+            await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_error_response_closes_the_connection(self):
+        async def scenario():
+            service = DetectionService(EnBlogue(config()))
+            await service.start()
+            server = RankingServer(service, port=0)
+            await server.start()
+
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            status, headers, _ = await send_on_connection(
+                reader, writer, "GET", "/nope", connection="keep-alive"
+            )
+            assert status == 404
+            assert headers["connection"] == "close"
+            assert await reader.read() == b""
+            writer.close()
+            await server.stop()
+            await service.stop()
+
+        asyncio.run(scenario())
 
     def test_rankings_null_before_first_evaluation(self):
         async def scenario():

@@ -1,0 +1,143 @@
+"""Tiered tracking under the sharded engine.
+
+Admission runs once, globally, in the coordinator, so a tiered sharded
+run must publish the exact ranking sequence of the tiered single engine
+— for every shard count and backend — and a tiered checkpoint must
+restore into a different shard count without perturbing a value.
+"""
+
+import pytest
+
+from repro.core.config import live_stream_config
+from repro.core.engine import EnBlogue
+from repro.datasets.twitter import TweetStreamGenerator
+from repro.persistence.resume import load_engine
+from repro.persistence.snapshot import SnapshotMismatchError
+from repro.sharding import ShardedEnBlogue
+
+TIERED = live_stream_config().with_overrides(
+    tracking="tiered", promote_support=3
+)
+
+
+def stream(hours=12, seed=11):
+    corpus, _ = TweetStreamGenerator(
+        hours=hours, tweets_per_hour=40, seed=seed
+    ).generate()
+    return list(corpus)
+
+
+def ranking_signature(engine):
+    return [
+        [(topic.pair, topic.score) for topic in ranking.topics]
+        for ranking in engine.ranking_history()
+    ]
+
+
+def replay_single(config, docs):
+    engine = EnBlogue(config)
+    for document in docs:
+        engine.process(document)
+    engine.evaluate_now()
+    return ranking_signature(engine)
+
+
+def replay_sharded(config, docs, num_shards, backend="serial",
+                   chunk_size=32):
+    engine = ShardedEnBlogue(
+        config, num_shards=num_shards, backend=backend,
+        chunk_size=chunk_size,
+    )
+    try:
+        for document in docs:
+            engine.process(document)
+        engine.evaluate_now()
+        return ranking_signature(engine)
+    finally:
+        engine.close()
+
+
+class TestTieredParity:
+    @pytest.mark.parametrize("num_shards", [1, 2, 4])
+    def test_serial_matches_single(self, num_shards):
+        docs = stream()
+        assert replay_sharded(
+            TIERED, docs, num_shards
+        ) == replay_single(TIERED, docs)
+
+    def test_threads_matches_single(self):
+        docs = stream()
+        assert replay_sharded(
+            TIERED, docs, 2, backend="threads"
+        ) == replay_single(TIERED, docs)
+
+    def test_runtime_info_names_the_mode(self):
+        engine = ShardedEnBlogue(TIERED, num_shards=2)
+        try:
+            info = engine.runtime_info()
+            assert info["tracking"] == "tiered"
+            assert info["promote_support"] == 3
+        finally:
+            engine.close()
+
+
+class TestTieredCheckpoint:
+    def test_n_to_m_resume_is_bit_identical(self, tmp_path):
+        docs = stream()
+        expected = replay_sharded(TIERED, docs, 2)
+
+        first = ShardedEnBlogue(TIERED, num_shards=2, chunk_size=32)
+        half = len(docs) // 2
+        try:
+            for document in docs[:half]:
+                first.process(document)
+            first.save_checkpoint(tmp_path)
+        finally:
+            first.close()
+
+        resumed, _ = load_engine(tmp_path, num_shards=4)
+        try:
+            skip = resumed.documents_processed
+            for document in docs[skip:]:
+                resumed.process(document)
+            resumed.evaluate_now()
+            assert ranking_signature(resumed) == expected
+        finally:
+            resumed.close()
+
+    def test_tier_state_rides_the_snapshot(self):
+        docs = stream(hours=6)
+        engine = ShardedEnBlogue(TIERED, num_shards=2, chunk_size=32)
+        try:
+            for document in docs:
+                engine.process(document)
+            state = engine.snapshot()
+        finally:
+            engine.close()
+        assert state["tier"]["kind"] == "sketch-tier"
+        assert state["tier"]["promote_support"] == 3
+
+    def test_mode_mismatch_is_rejected(self):
+        docs = stream(hours=6)
+        tiered = ShardedEnBlogue(TIERED, num_shards=2, chunk_size=32)
+        try:
+            for document in docs:
+                tiered.process(document)
+            state = tiered.snapshot()
+        finally:
+            tiered.close()
+        exact = ShardedEnBlogue(live_stream_config(), num_shards=2)
+        try:
+            with pytest.raises(SnapshotMismatchError):
+                exact.restore(state)
+        finally:
+            exact.close()
+
+    def test_exact_snapshot_has_no_tier_key(self):
+        engine = ShardedEnBlogue(live_stream_config(), num_shards=2)
+        try:
+            for document in stream(hours=3):
+                engine.process(document)
+            assert "tier" not in engine.snapshot()
+        finally:
+            engine.close()

@@ -1,0 +1,141 @@
+"""Unit tests for the sketch admission tier (Count-Min + Bloom front)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sketches.tier import SketchTier
+
+
+def make_tier(promote_support=3, horizon=100.0, **kwargs):
+    kwargs.setdefault("width", 256)
+    kwargs.setdefault("depth", 4)
+    return SketchTier(
+        window_horizon=horizon, promote_support=promote_support, **kwargs
+    )
+
+
+class TestAdmission:
+    def test_cold_pair_is_filtered(self):
+        tier = make_tier(promote_support=3)
+        assert tier.admit(0.0, "a", "b") == 0
+        assert tier.filtered == 1
+        assert tier.promotions == 0
+
+    def test_crossing_pair_promotes_with_backfill_weight(self):
+        tier = make_tier(promote_support=3)
+        assert tier.admit(0.0, "a", "b") == 0
+        assert tier.admit(1.0, "a", "b") == 0
+        # Third occurrence: sketched support reaches 3 -> promote with
+        # the back-fill weight K.
+        assert tier.admit(2.0, "a", "b") == 3
+        assert tier.promotions == 1
+        # Every later occurrence is admitted at weight 1.
+        assert tier.admit(3.0, "a", "b") == 1
+        assert tier.admissions == 1
+
+    def test_distinct_pairs_do_not_interfere(self):
+        tier = make_tier(promote_support=2)
+        assert tier.admit(0.0, "a", "b") == 0
+        assert tier.admit(0.0, "c", "d") == 0
+        assert tier.admit(1.0, "a", "b") == 2
+        assert tier.admit(1.0, "c", "d") == 2
+
+    def test_epoch_rotation_forgets_stale_support(self):
+        tier = make_tier(promote_support=2, horizon=100.0)
+        assert tier.admit(0.0, "a", "b") == 0
+        # Two full epochs later both the current and the previous sketch
+        # of the first occurrence are gone: the pair starts cold again.
+        assert tier.admit(250.0, "a", "b") == 0
+        assert tier.admit(260.0, "a", "b") == 2
+
+    def test_support_spans_adjacent_epochs(self):
+        tier = make_tier(promote_support=2, horizon=100.0)
+        assert tier.admit(90.0, "a", "b") == 0
+        # Next epoch: the previous epoch's occurrence still counts.
+        assert tier.admit(110.0, "a", "b") == 2
+
+    def test_rejects_time_going_backwards(self):
+        tier = make_tier()
+        tier.admit(150.0, "a", "b")
+        with pytest.raises(ValueError):
+            tier.admit(10.0, "a", "b")
+
+    def test_rejects_negative_timestamp(self):
+        tier = make_tier()
+        with pytest.raises(ValueError):
+            tier.admit(-1.0, "a", "b")
+
+
+class TestFilterPairs:
+    class Pair:
+        def __init__(self, first, second):
+            self.first = first
+            self.second = second
+
+    def test_replicates_backfill_weight(self):
+        tier = make_tier(promote_support=3)
+        pair = self.Pair("a", "b")
+        assert tier.filter_pairs(0.0, [pair]) == ()
+        assert tier.filter_pairs(1.0, [pair]) == ()
+        assert tier.filter_pairs(2.0, [pair]) == (pair, pair, pair)
+        assert tier.filter_pairs(3.0, [pair]) == (pair,)
+
+    def test_accepts_plain_tuples(self):
+        tier = make_tier(promote_support=2)
+        assert tier.filter_pairs(0.0, [("a", "b")]) == ()
+        assert tier.filter_pairs(1.0, [("a", "b")]) == (("a", "b"), ("a", "b"))
+
+
+class TestIntrospection:
+    def test_counters_and_occupancy(self):
+        tier = make_tier(promote_support=2)
+        tier.admit(0.0, "a", "b")
+        tier.admit(0.0, "c", "d")
+        tier.admit(1.0, "a", "b")
+        assert tier.tracked_keys == 2
+        assert tier.sketched_total >= 1
+        assert tier.error_bound >= 0.0
+
+    def test_estimated_support_unknown_pair_is_zero(self):
+        tier = make_tier()
+        tier.admit(0.0, "a", "b")
+        assert tier.estimated_support("x", "y") == 0
+
+
+class TestTierOverestimateInvariant:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=6),
+                st.integers(min_value=0, max_value=99),
+            ),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_sketched_support_never_undercounts(self, raw):
+        # Timestamps sorted non-decreasing, all within one epoch: the
+        # tier's sketched support must be >= true - 1 for every pair
+        # (the first occurrence is absorbed by the Bloom filter only;
+        # hashing collisions and Bloom false positives only inflate).
+        events = sorted(
+            (float(ts), f"a{pair_id}", f"b{pair_id}")
+            for pair_id, ts in raw
+        )
+        tier = make_tier(promote_support=1000, horizon=100.0)
+        true = {}
+        for timestamp, first, second in events:
+            tier.admit(timestamp, first, second)
+            true[(first, second)] = true.get((first, second), 0) + 1
+        for (first, second), count in true.items():
+            assert tier.estimated_support(first, second) >= count - 1
+
+
+class TestTierSnapshot:
+    def test_restore_rejects_parameter_mismatch(self):
+        tier = make_tier(promote_support=3)
+        state = tier.snapshot()
+        other = make_tier(promote_support=4)
+        with pytest.raises(ValueError):
+            other.restore(state)

@@ -5,8 +5,9 @@ from collections import Counter
 
 import pytest
 
+from repro.core.tracker import record_count_history
 from repro.windows.aggregates import TagFrequencyWindow
-from repro.windows.striped import StripedCounter
+from repro.windows.striped import StripedCounter, StripedCountHistory
 
 
 class TestStripedCounter:
@@ -103,3 +104,77 @@ class TestStripedTagFrequencyWindow:
         restored.restore_state(state)
         assert dict(restored.counts) == {"a": 1, "b": 2}
         assert restored.document_count == 2
+
+
+class TestStripedCountHistory:
+    ROWS = [
+        {"a": 3, "b": 1},
+        {"a": 2, "c": 4},
+        {"b": 5},
+        {},
+        {"a": 1, "b": 1, "c": 1, "d": 9},
+    ]
+
+    def test_parameters_validated(self):
+        with pytest.raises(ValueError):
+            StripedCountHistory(history_length=4, stripes=0)
+        with pytest.raises(ValueError):
+            StripedCountHistory(history_length=0, stripes=2)
+
+    def _plain(self, history_length=3):
+        plain = {}
+        for row in self.ROWS:
+            record_count_history(plain, row, history_length)
+        return plain
+
+    def test_record_row_matches_the_shared_rule(self):
+        striped = StripedCountHistory(history_length=3, stripes=4)
+        for row in self.ROWS:
+            striped.record_row(row)
+        plain = self._plain()
+        assert {tag: list(series) for tag, series in striped.items()} == \
+            {tag: list(series) for tag, series in plain.items()}
+        assert len(striped) == len(plain)
+        for tag in plain:
+            assert tag in striped
+            assert list(striped[tag]) == list(plain[tag])
+            assert list(striped.get(tag)) == list(plain[tag])
+        assert striped.get("missing") is None
+        assert "missing" not in striped
+        assert bool(striped)
+        assert sorted(striped) == sorted(plain)
+
+    def test_seed_adopts_a_snapshot(self):
+        striped = StripedCountHistory(history_length=3, stripes=4)
+        striped.record_row({"junk": 1})
+        striped.seed({"a": [1, 2], "b": [0, 0, 7]})
+        assert dict(striped.merged()) == {"a": (1, 2), "b": (0, 0, 7)}
+        # Seeded series are bounded: the next rows trim to history_length.
+        striped.record_row({"a": 3, "b": 3})
+        striped.record_row({"a": 4, "b": 4})
+        assert list(striped["a"]) == [2, 3, 4]
+        assert list(striped["b"]) == [7, 3, 4]
+
+    def test_concurrent_readers_see_whole_series(self):
+        striped = StripedCountHistory(history_length=8, stripes=4)
+        stop = threading.Event()
+        errors = []
+
+        def reader():
+            while not stop.is_set():
+                for tag, series in striped.items():
+                    # record_row appends one point to every live tag per
+                    # row; a torn read would surface as a length skew of
+                    # more than one row between tags of the same stripe.
+                    if len(series) > 8:
+                        errors.append((tag, series))
+
+        threads = [threading.Thread(target=reader) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for index in range(200):
+            striped.record_row({f"tag-{index % 10}": index})
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert not errors
