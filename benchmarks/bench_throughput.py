@@ -51,8 +51,15 @@ from repro.observability import (
     parse_prometheus_families,
     render_prometheus,
 )
+from repro.faults import FaultPlan
 from repro.persistence.resume import load_engine
-from repro.sharding import ProcessBackend, ShardedEnBlogue
+from repro.sharding import (
+    ProcessBackend,
+    RetryPolicy,
+    ShardedEnBlogue,
+    SupervisedBackend,
+)
+from repro.sharding.backends import ThreadBackend
 from repro.datasets.synthetic import SyntheticStreamGenerator
 from repro.datasets.twitter import TweetStreamGenerator
 from repro.datasets.vocabulary import TagVocabulary
@@ -1385,6 +1392,83 @@ def _measure_approximate_section(rounds: int) -> dict:
     return section
 
 
+def replay_supervised(docs, plan=None, observability=None):
+    """The batch replay through the self-healing supervised threads pool.
+
+    ``plan`` scripts worker deaths mid-stream (a fresh plan per run — the
+    occurrence counters are stateful); the near-zero backoff base keeps
+    the measured dip the *recovery* cost, not configured sleeping.
+    """
+    backend = SupervisedBackend(
+        ThreadBackend(),
+        policy=RetryPolicy(max_retries=3, backoff_base=0.001),
+    )
+    if plan is not None:
+        backend.bind_fault_plan(plan)
+    engine = ShardedEnBlogue(
+        throughput_config("batch"), num_shards=2, backend=backend,
+        observability=observability,
+    )
+    try:
+        engine.process_batch(docs)
+    finally:
+        engine.close()
+    return engine
+
+
+def _measure_fault_recovery_section(docs, rounds: int) -> dict:
+    """The ``fault_recovery`` section: the docs/s cost of losing a worker.
+
+    A scripted kill takes one of two shard workers down mid-stream; the
+    supervisor rebuilds it from base + operation-log replay.  Rankings
+    are asserted bit-identical to the undisturbed replay before anything
+    is timed — recovery is exact, the only price is wall clock.
+    """
+    reference = ranking_signature(replay_batch(docs))
+    faulted = replay_supervised(
+        docs, plan=FaultPlan().kill_worker(1, after_batches=2))
+    assert ranking_signature(faulted) == reference
+    assert faulted.supervision_info()["recoveries"] == 1
+
+    medians = interleaved_medians(
+        [
+            ("supervised", lambda: replay_supervised(docs)),
+            ("supervised-faulted", lambda: replay_supervised(
+                docs, plan=FaultPlan().kill_worker(1, after_batches=2))),
+        ],
+        rounds=rounds,
+    )
+
+    # One instrumented run reads the recovery latency off the histogram
+    # the supervisor feeds (the same family /metrics scrapes).
+    observability = Observability()
+    replay_supervised(
+        docs, plan=FaultPlan().kill_worker(1, after_batches=2),
+        observability=observability,
+    )
+    histogram = observability.registry.histogram(
+        "repro_sharding_recovery_seconds")
+    recoveries = max(1, int(histogram.count))
+
+    return {
+        "rankings_identical": True,
+        "recorded": time.strftime("%Y-%m-%d"),
+        "cpu_cores": _cpu_cores(),
+        "shards": 2,
+        "backend": "supervised[threads]",
+        "fault": "kill worker 1 after its 2nd ingest dispatch",
+        "supervised_docs_per_s": round(len(docs) / medians["supervised"]),
+        "faulted_docs_per_s": round(
+            len(docs) / medians["supervised-faulted"]),
+        "recovery_dip_pct": round(
+            (medians["supervised-faulted"] / medians["supervised"] - 1.0)
+            * 100, 1),
+        "recovery_ms_mean": round(
+            histogram.sum / recoveries * 1000, 2),
+        "recoveries_per_run": recoveries,
+    }
+
+
 def update_sections(sections, rounds: int = 3) -> dict:
     """Re-record only ``sections`` of an existing ``BENCH_throughput.json``.
 
@@ -1415,6 +1499,9 @@ def update_sections(sections, rounds: int = 3) -> dict:
                 docs, rounds)
         elif section == "approximate":
             baseline["approximate"] = _measure_approximate_section(rounds)
+        elif section == "fault_recovery":
+            baseline["fault_recovery"] = _measure_fault_recovery_section(
+                docs, rounds)
         else:
             raise SystemExit(f"unknown section {section!r}")
     BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
@@ -1493,6 +1580,8 @@ def record_baseline(rounds: int = 9) -> dict:
         "observability": _measure_observability_section(
             docs, max(3, rounds // 3)),
         "approximate": _measure_approximate_section(max(3, rounds // 3)),
+        "fault_recovery": _measure_fault_recovery_section(
+            docs, max(3, rounds // 3)),
     }
     BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
     return baseline
@@ -1505,7 +1594,7 @@ if __name__ == "__main__":
         "--section", action="append",
         choices=("sharding", "checkpointing", "checkpointing_delta",
                  "serving", "evaluation_vectorized", "observability",
-                 "approximate"),
+                 "approximate", "fault_recovery"),
         help="re-record only this section of the existing baseline "
              "(repeatable); default: record everything")
     arguments.add_argument("--rounds", type=int, default=None,

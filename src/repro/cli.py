@@ -47,8 +47,15 @@ from repro.evaluation.reporting import format_table
 from repro.observability import Observability, format_stage_table
 from repro.persistence.cadence import CheckpointCadence
 from repro.persistence.resume import load_engine
+from repro.faults import FaultPlan
 from repro.portal.serialization import rankings_to_json
-from repro.sharding import ShardedEnBlogue, available_backends
+from repro.sharding import (
+    RetryPolicy,
+    ShardedEnBlogue,
+    SupervisedBackend,
+    available_backends,
+    make_backend,
+)
 
 HOUR = 3600.0
 
@@ -109,13 +116,47 @@ def _apply_overrides(config: EnBlogueConfig, args: argparse.Namespace) -> EnBlog
     return config.with_overrides(**overrides) if overrides else config
 
 
+def _resolve_backend(args: argparse.Namespace):
+    """The --backend string, possibly wrapped for supervision and faults.
+
+    Plain runs keep the string (``make_backend`` resolves it downstream,
+    exactly as before).  ``--supervise`` builds the backend object and
+    wraps it in a :class:`SupervisedBackend` carrying the retry policy
+    and the checkpoint directory (so recovery can re-base from disk).  A
+    ``REPRO_FAULT_PLAN`` environment plan — the chaos harness — is bound
+    to whichever backend results.
+    """
+    plan = FaultPlan.from_env()
+    name = args.backend
+    supervise = getattr(args, "supervise", False) or name == "supervised"
+    if not supervise and plan is None:
+        return name
+    if name == "supervised":
+        name = "serial"
+    backend = make_backend(name)
+    if supervise:
+        backend = SupervisedBackend(
+            backend,
+            policy=RetryPolicy(
+                max_retries=getattr(args, "max_retries", 3),
+                backoff_base=getattr(args, "retry_backoff", 0.05),
+            ),
+            checkpoint_dir=(getattr(args, "checkpoint_dir", None)
+                            or getattr(args, "resume", None)),
+        )
+    if plan is not None:
+        backend.bind_fault_plan(plan)
+    return backend
+
+
 def _make_engine(config: EnBlogueConfig, args: argparse.Namespace,
                  observability: Optional[Observability] = None):
     """The single engine, or the sharded one when --shards/--backend ask for it."""
     shards = args.shards or 1
-    if shards <= 1 and args.backend == "serial":
+    backend = _resolve_backend(args)
+    if shards <= 1 and backend == "serial":
         return EnBlogue(config, observability=observability)
-    return ShardedEnBlogue(config, num_shards=shards, backend=args.backend,
+    return ShardedEnBlogue(config, num_shards=shards, backend=backend,
                            observability=observability)
 
 
@@ -287,7 +328,7 @@ def _cmd_replay_resume(args: argparse.Namespace) -> int:
     """
     observability = Observability() if args.metrics else None
     engine, manifest = load_engine(
-        args.resume, num_shards=args.shards, backend=args.backend,
+        args.resume, num_shards=args.shards, backend=_resolve_backend(args),
         observability=observability,
     )
     _restore_metrics(observability, manifest)
@@ -373,7 +414,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     f"configuration"
                 )
         engine, manifest = load_engine(
-            args.resume, num_shards=args.shards, backend=args.backend,
+            args.resume, num_shards=args.shards,
+            backend=_resolve_backend(args),
             observability=observability,
         )
         _restore_metrics(observability, manifest)
@@ -571,6 +613,20 @@ def build_parser() -> argparse.ArgumentParser:
                         help="resume from the checkpoint in DIR instead of "
                              "replaying from cold (engine config and dataset "
                              "parameters come from the checkpoint manifest)")
+    replay.add_argument("--supervise", action="store_true",
+                        help="wrap the shard backend in the self-healing "
+                             "supervisor: dead workers are respawned and "
+                             "their state rebuilt (checkpoint + journal "
+                             "replay when --checkpoint-dir is set, "
+                             "in-memory replay otherwise)")
+    replay.add_argument("--max-retries", type=int, default=3, metavar="N",
+                        help="with --supervise: failed shard operations are "
+                             "retried up to N times before the failure is "
+                             "escalated as permanent")
+    replay.add_argument("--retry-backoff", type=float, default=0.05,
+                        metavar="SECONDS",
+                        help="with --supervise: base of the exponential "
+                             "retry backoff (doubles per attempt)")
     replay.set_defaults(handler=_cmd_replay)
 
     serve = subparsers.add_parser(
@@ -630,6 +686,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--resume", default=None, metavar="DIR",
                        help="restore engine and configuration from the "
                             "checkpoint in DIR and continue serving")
+    serve.add_argument("--supervise", action="store_true",
+                       help="self-healing shard pool: dead workers are "
+                            "respawned and rebuilt mid-serve while ingest "
+                            "keeps being accepted and the last good "
+                            "ranking is served (marked stale)")
+    serve.add_argument("--max-retries", type=int, default=3, metavar="N",
+                       help="with --supervise: retry budget per shard "
+                            "operation before escalating to 503")
+    serve.add_argument("--retry-backoff", type=float, default=0.05,
+                       metavar="SECONDS",
+                       help="with --supervise: base of the exponential "
+                            "retry backoff (doubles per attempt)")
     serve.set_defaults(handler=_cmd_serve)
 
     compare = subparsers.add_parser("compare",

@@ -1,0 +1,22 @@
+"""Deterministic fault injection for the sharded execution backends.
+
+A :class:`FaultPlan` is a script of failures — kill worker *k* after its
+*N*-th batch, fail one dispatch with :class:`BrokenPipeError`, delay a
+gather past the supervision deadline — threaded into the shard backends
+behind a zero-overhead-when-absent hook (``backend.bind_fault_plan``).
+The plan is counted, not timed: every trigger keys off how many times a
+hook site has fired for a shard, so chaos tests replay identically with
+no sleeps and no real clocks.
+"""
+
+from repro.faults.plan import (
+    Fault,
+    FaultPlan,
+    tear_journal_tail,
+)
+
+__all__ = [
+    "Fault",
+    "FaultPlan",
+    "tear_journal_tail",
+]

@@ -94,6 +94,16 @@ STANDARD_FAMILIES = {
         ("counter", "Worker failures surfaced at a sync point, per shard."),
     "repro_sharding_dead_workers_total":
         ("counter", "Shard workers found dead (process/thread gone)."),
+    "repro_sharding_recoveries_total":
+        ("counter", "Shard pool recoveries completed by the supervisor."),
+    "repro_sharding_recovery_seconds":
+        ("histogram", "Wall time per supervised pool recovery."),
+    "repro_sharding_retry_attempts_total":
+        ("counter", "Supervised retry attempts, labeled by operation."),
+    "repro_sharding_backoff_seconds_total":
+        ("counter", "Seconds spent in supervised retry backoff."),
+    "repro_sharding_permanent_failures_total":
+        ("counter", "Supervised failures that exhausted the retry budget."),
     "repro_serving_documents_submitted_total":
         ("counter", "Documents accepted into the ingest queue."),
     "repro_serving_batches_submitted_total":
@@ -110,6 +120,8 @@ STANDARD_FAMILIES = {
         ("counter", "Ranking publishes that raised."),
     "repro_serving_source_errors_total":
         ("counter", "Producer iterators that raised mid-pump."),
+    "repro_serving_source_retries_total":
+        ("counter", "Producer pumps restarted after a transient error."),
     "repro_serving_sse_frames_total":
         ("counter", "Frames delivered to SSE subscriber buffers."),
     "repro_serving_sse_dropped_frames_total":

@@ -549,6 +549,11 @@ def read_checkpoint(directory) -> Tuple[Dict[str, Any], Dict[str, Any]]:
 
     base_generation = manifest.get("base_generation",
                                    manifest.get("generation", 0))
+    # The journal generation the returned state actually reflects: the
+    # base when no segments fold, else the last verified segment.  The
+    # supervision layer matches this against its drain markers to decide
+    # how much of its in-memory operation log the disk already covers.
+    manifest["restored_generation"] = int(base_generation)
     chain = _journal_chain(directory, int(base_generation))
     if chain:
         # Imported lazily: the delta module shares the count-history
@@ -586,6 +591,7 @@ def read_checkpoint(directory) -> Tuple[Dict[str, Any], Dict[str, Any]]:
             # keeps an N-segment restore O(window + journal), not O(N·window).
             state = apply_engine_delta(state, delta, derive=False)
             folded = True
+            manifest["restored_generation"] = int(generation)
         if folded:
             state = finalize_engine_state(state)
     return manifest, state

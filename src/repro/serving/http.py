@@ -46,6 +46,11 @@ from repro.observability import (
 )
 from repro.portal.serialization import ranking_to_dict
 from repro.serving.service import DetectionService, ServiceClosedError
+from repro.sharding.backends import ShardExecutionError
+
+#: Retry-After (seconds) advertised with a 503 on engine failure — long
+#: enough for a supervised recovery, short enough that probes re-check.
+RETRY_AFTER_SECONDS = 5
 
 #: Default number of traces ``GET /trace`` returns without a ``last=N``.
 DEFAULT_TRACE_LAST = 16
@@ -250,6 +255,22 @@ class RankingServer:
         except ServiceClosedError as exc:
             return await self._respond_json(writer, 503, {"error": str(exc)},
                                             keep_alive)
+        except ShardExecutionError as exc:
+            # The shard pool is gone (torn down, or the supervision
+            # budget is spent): a clean 503 with Retry-After, never a raw
+            # 500 or a dropped connection.
+            return await self._respond_json(
+                writer, 503,
+                {"error": f"shard backend unavailable: {exc}",
+                 "retry_after": RETRY_AFTER_SECONDS},
+                keep_alive,
+                extra_headers={"Retry-After": str(RETRY_AFTER_SECONDS)},
+            )
+        except Exception as exc:  # pragma: no cover - last-resort mapping
+            return await self._respond_json(
+                writer, 500, {"error": f"internal error: {exc!r}"},
+                keep_alive,
+            )
         return await self._respond_json(writer, 202, {
             "accepted": accepted,
             "queued_batches": self.service.queue_depth(),
@@ -259,8 +280,14 @@ class RankingServer:
                                keep_alive: bool = False) -> bool:
         ranking = await self.service.current_ranking()
         payload = None if ranking is None else ranking_to_dict(ranking)
-        return await self._respond_json(writer, 200, {"ranking": payload},
-                                        keep_alive)
+        degradation = self.service.degradation()
+        return await self._respond_json(writer, 200, {
+            "ranking": payload,
+            # Degradation markers: while a shard recovers this is the
+            # last-good ranking, flagged stale rather than withheld.
+            "stale": degradation["stale"],
+            "recovering_shards": degradation["recovering_shards"],
+        }, keep_alive)
 
     async def _handle_stream(self, writer: asyncio.StreamWriter) -> None:
         task = asyncio.current_task()
@@ -290,9 +317,18 @@ class RankingServer:
                     writer.write(b"event: end\ndata: {}\n\n")
                     await writer.drain()
                     break
-                frame = json.dumps(
-                    ranking_to_dict(message.payload), sort_keys=True
-                )
+                payload = ranking_to_dict(message.payload)
+                degradation = self.service.degradation()
+                if degradation["stale"]:
+                    # Markers only while degraded: an undisturbed (or
+                    # fully recovered) stream's frames stay byte-for-byte
+                    # identical to a batch replay.
+                    payload = dict(payload)
+                    payload["stale"] = True
+                    payload["recovering_shards"] = (
+                        degradation["recovering_shards"]
+                    )
+                frame = json.dumps(payload, sort_keys=True)
                 writer.write(
                     f"id: {message.sequence}\ndata: {frame}\n\n".encode("utf-8")
                 )
@@ -334,14 +370,18 @@ class RankingServer:
         )
 
     _REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
-                404: "Not Found", 503: "Service Unavailable"}
+                404: "Not Found", 500: "Internal Server Error",
+                503: "Service Unavailable"}
 
     async def _respond_json(self, writer: asyncio.StreamWriter,
                             status: int, payload: dict,
-                            keep_alive: bool = False) -> bool:
+                            keep_alive: bool = False,
+                            extra_headers: Optional[Dict[str, str]] = None
+                            ) -> bool:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
         return await self._respond_bytes(
-            writer, status, body, "application/json", keep_alive
+            writer, status, body, "application/json", keep_alive,
+            extra_headers,
         )
 
     async def _respond_text(self, writer: asyncio.StreamWriter,
@@ -353,15 +393,22 @@ class RankingServer:
 
     async def _respond_bytes(self, writer: asyncio.StreamWriter,
                              status: int, body: bytes, content_type: str,
-                             keep_alive: bool = False) -> bool:
+                             keep_alive: bool = False,
+                             extra_headers: Optional[Dict[str, str]] = None
+                             ) -> bool:
         # Error responses close even on HTTP/1.1: clients that hit them
         # read to EOF, and a stuck connection is worse than a re-dial.
         keep_alive = keep_alive and status < 400
         connection = "keep-alive" if keep_alive else "close"
+        extra = "".join(
+            f"{name}: {value}\r\n"
+            for name, value in (extra_headers or {}).items()
+        )
         head = (
             f"HTTP/1.1 {status} {self._REASONS.get(status, 'OK')}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra}"
             f"Connection: {connection}\r\n\r\n"
         ).encode("latin-1")
         writer.write(head + body)

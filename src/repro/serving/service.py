@@ -38,6 +38,7 @@ from typing import List, Optional, Sequence
 from repro.observability import Observability
 from repro.persistence.cadence import CheckpointCadence
 from repro.portal.push import PushDispatcher
+from repro.sharding.backends import ShardExecutionError
 from repro.portal.server import GLOBAL_CHANNEL
 from repro.serving.broadcast import (
     DEFAULT_BUFFER_LIMIT,
@@ -77,6 +78,7 @@ class ServingStats:
         "batch_errors": "repro_serving_batch_errors_total",
         "publish_errors": "repro_serving_publish_errors_total",
         "source_errors": "repro_serving_source_errors_total",
+        "source_retries": "repro_serving_source_retries_total",
     }
 
     #: Attribute name → gauge family backing it (absolute values).
@@ -184,6 +186,13 @@ class DetectionService:
         self._consumer: Optional[asyncio.Task] = None
         self._closed = False
         self._last_submitted: Optional[float] = None
+        # Graceful degradation state: the last ranking that reached the
+        # dispatcher (served while a shard recovers and the engine
+        # executor is busy replaying state), and the terminal engine
+        # failure once the supervision budget is spent (submit() raises
+        # it so the HTTP layer can answer 503 + Retry-After).
+        self._last_ranking = None
+        self._engine_error: Optional[ShardExecutionError] = None
         # Captured once, before any serving traffic: engine topology and
         # the active evaluation path are fixed for the engine's lifetime,
         # and status() must not call into shard backends concurrently
@@ -270,6 +279,11 @@ class DetectionService:
         """
         if self._closed:
             raise ServiceClosedError("service is closed")
+        if self._engine_error is not None:
+            # The engine is permanently down (supervision budget spent or
+            # an unsupervised pool torn down): accepting more batches
+            # would 202 documents nothing can ever process.
+            raise self._engine_error
         batch = list(documents)
         if not batch:
             return 0
@@ -314,8 +328,19 @@ class DetectionService:
         self._fanout.unsubscribe(subscription)
 
     async def current_ranking(self):
-        """The engine's latest ranking (runs on the engine executor)."""
-        return await self._run_on_engine(self.engine.current_ranking)
+        """The engine's latest ranking (runs on the engine executor).
+
+        While a shard recovers, the engine executor is busy rebuilding
+        state — instead of queueing behind it, the last ranking that was
+        published is served immediately (the ``stale: true`` case on
+        ``GET /rankings``).
+        """
+        if self.degradation()["stale"] and self._last_ranking is not None:
+            return self._last_ranking
+        ranking = await self._run_on_engine(self.engine.current_ranking)
+        if ranking is not None:
+            self._last_ranking = ranking
+        return ranking
 
     async def documents_processed(self) -> int:
         return await self._run_on_engine(lambda: self.engine.documents_processed)
@@ -333,13 +358,22 @@ class DetectionService:
             shards = list(self.engine.shard_health())
         except Exception:
             shards = []
-        healthy = all(record.get("alive", True) for record in shards)
+        degradation = self.degradation()
+        # A shard that is *recovering* is degraded service, not an
+        # outage: /status stays 200 (with the stale marker) and only a
+        # permanent failure — or an unsupervised dead worker, which has
+        # no recovery coming — flips healthy off.
+        healthy = all(
+            record.get("alive", True) or record.get("recovering", False)
+            for record in shards
+        ) and degradation["permanent_failure"] is None
         return {
             "closed": self._closed,
             "healthy": healthy,
             "queue_depth": self.queue_depth(),
             "queue_capacity": self.queue_capacity,
             "subscribers": self._fanout.subscriber_count(),
+            **degradation,
             **self._runtime_info,
             **self.stats.as_dict(),
             # "shards" (from runtime_info) is the count; this is the
@@ -347,10 +381,47 @@ class DetectionService:
             "shard_health": shards,
         }
 
+    def degradation(self) -> dict:
+        """The degradation markers served on /rankings, /status and SSE.
+
+        ``stale`` is True while any shard is recovering or after a
+        permanent failure — exactly when a served ranking may lag the
+        accepted stream.  Reads only supervisor-side state; never calls
+        into the backend.
+        """
+        info = None
+        supervision_info = getattr(self.engine, "supervision_info", None)
+        if supervision_info is not None:
+            try:
+                info = supervision_info()
+            except Exception:  # pragma: no cover - must never raise
+                info = None
+        if info is None:
+            return {
+                "stale": False,
+                "recovering_shards": [],
+                "permanent_failure": None,
+                "recoveries": 0,
+                "degraded": False,
+            }
+        recovering = list(info.get("recovering_shards") or ())
+        permanent = info.get("permanent_failure")
+        return {
+            "stale": bool(recovering) or permanent is not None,
+            "recovering_shards": recovering,
+            "permanent_failure": permanent,
+            "recoveries": int(info.get("recoveries", 0)),
+            "degraded": bool(info.get("degraded", False)),
+        }
+
     def note_source_error(self, error: BaseException) -> None:
         """Record a producer-iterator failure (see ``serving.source``)."""
         self.stats.add("source_errors")
         self.stats.last_error = repr(error)
+
+    def note_source_retry(self) -> None:
+        """Record a producer pump restart after a transient error."""
+        self.stats.add("source_retries")
 
     # -- internals -------------------------------------------------------------
 
@@ -377,12 +448,20 @@ class DetectionService:
         except Exception as exc:
             # process_batch validates the whole chunk before touching any
             # state, so a rejected batch leaves the engine unchanged and
-            # the stream serviceable; record and move on.
+            # the stream serviceable; record and move on.  A
+            # ShardExecutionError that reaches here means the pool is
+            # gone for good (the supervised backend only lets one through
+            # after its retry budget is spent) — latch it so submit()
+            # stops accepting batches nothing can process.
             self.stats.add("batch_errors")
             self.stats.last_error = repr(exc)
+            if isinstance(exc, ShardExecutionError):
+                self._engine_error = exc
             return
         self.stats.add("documents_processed", len(batch))
         self.stats.add("batches_processed")
+        if rankings:
+            self._last_ranking = rankings[-1]
         # Push first (the frame is the product), persist second — the
         # cadence write happens between batches either way.  A raising
         # subscriber callback (or an externally closed dispatcher) must

@@ -24,11 +24,14 @@ cleanly produced tail has been submitted.
 
 from __future__ import annotations
 
+import asyncio
 import itertools
 import logging
+import time
 from typing import Iterable, Optional
 
 from repro.serving.service import DetectionService
+from repro.sharding.supervision import RetryPolicy
 from repro.streams.sources import Source
 
 logger = logging.getLogger(__name__)
@@ -117,21 +120,77 @@ async def pump_documents(service: DetectionService, documents: Iterable,
     return submitted
 
 
+async def _backoff_sleep(retry_policy: RetryPolicy, delay: float) -> None:
+    # An injected sleep (tests, fake clocks) is honored synchronously;
+    # the default wall-clock sleep must not block the event loop.
+    if retry_policy.sleep is time.sleep:
+        await asyncio.sleep(delay)
+    elif delay > 0:
+        retry_policy.sleep(delay)
+
+
 async def pump_source(service: DetectionService, source: Source,
                       batch_size: int = DEFAULT_BATCH_SIZE,
-                      limit: Optional[int] = None) -> int:
+                      limit: Optional[int] = None,
+                      retry_policy: Optional[RetryPolicy] = None) -> int:
     """Feed a stream :class:`Source` into the service, chunked.
 
     Consumes ``source.stream()`` directly (the source's own time-order
     validation included) rather than ``source.run()``: the serving queue
     replaces the DAG's push edges, and the service's engine stands where
-    the DAG sink would.  ``limit`` caps the documents taken.  A source
-    whose generator raises ends the pump with
-    :class:`SourceProducerError`, never with a silent early return.
+    the DAG sink would.  ``limit`` caps the documents taken.
+
+    Without ``retry_policy``, a source whose generator raises ends the
+    pump with :class:`SourceProducerError`, never with a silent early
+    return.  With one, transient producer errors restart the pump: the
+    error is still counted (``repro_serving_source_errors_total``) and
+    logged, then after the policy's backoff ``source.stream()`` is
+    re-obtained and pumping continues — one flaky poll no longer kills a
+    long-running producer task.  This suits *live, resumable* sources
+    (polling feeds that pick up where they left off); a source that
+    replays from the start would be rejected by the service's time-order
+    validation on the second attempt.  Progress resets the attempt
+    count; only consecutive no-progress failures exhaust the budget and
+    raise :class:`SourceProducerError` with the cumulative count.
     """
-    items = source.stream()
-    if limit is not None:
-        # islice checks the count before advancing, so a live source is
-        # never asked for a document that would then be thrown away.
-        items = itertools.islice(items, int(limit))
-    return await pump_documents(service, items, batch_size=batch_size)
+    if retry_policy is None:
+        items = source.stream()
+        if limit is not None:
+            # islice checks the count before advancing, so a live source
+            # is never asked for a document that would be thrown away.
+            items = itertools.islice(items, int(limit))
+        return await pump_documents(service, items, batch_size=batch_size)
+
+    submitted = 0
+    attempts = 0
+    remaining = None if limit is None else int(limit)
+    while True:
+        items = source.stream()
+        if remaining is not None:
+            items = itertools.islice(items, remaining)
+        try:
+            count = await pump_documents(service, items,
+                                         batch_size=batch_size)
+        except SourceProducerError as exc:
+            submitted += exc.submitted
+            if remaining is not None:
+                remaining -= exc.submitted
+            if exc.submitted:
+                attempts = 0
+            attempts += 1
+            if attempts > retry_policy.max_retries:
+                raise SourceProducerError(
+                    f"ingest producer failed {attempts} consecutive "
+                    f"time(s) without progress; giving up after "
+                    f"{submitted} submitted document(s): {exc}",
+                    submitted=submitted,
+                ) from exc
+            service.note_source_retry()
+            logger.warning(
+                "retrying ingest producer (attempt %d/%d) after: %s",
+                attempts, retry_policy.max_retries, exc,
+            )
+            await _backoff_sleep(retry_policy,
+                                 retry_policy.backoff(attempts))
+            continue
+        return submitted + count

@@ -29,6 +29,7 @@ from repro.sharding.backends import (
 from repro.sharding.engine import ShardedEnBlogue
 from repro.sharding.partitioner import PairPartitioner
 from repro.sharding.reshard import reshard_worker_states
+from repro.sharding.supervision import RetryPolicy, SupervisedBackend
 from repro.sharding.worker import ShardWorker
 
 __all__ = [
@@ -42,5 +43,7 @@ __all__ = [
     "available_backends",
     "make_backend",
     "reshard_worker_states",
+    "RetryPolicy",
+    "SupervisedBackend",
     "ShardedEnBlogue",
 ]

@@ -50,7 +50,16 @@ DEFAULT_START_METHOD = "spawn"
 
 
 class ShardExecutionError(RuntimeError):
-    """A shard worker failed; carries the worker-side traceback text."""
+    """A shard worker failed; carries the worker-side traceback text.
+
+    ``shard_id`` names the shard whose worker failed when the backend
+    knows it (None for pool-wide failures such as a closed backend) —
+    the supervision layer uses it to report *which* shard is recovering.
+    """
+
+    def __init__(self, message: str, shard_id: Optional[int] = None):
+        super().__init__(message)
+        self.shard_id = shard_id
 
 
 #: Counter families a shard failure lands in, by failure kind.
@@ -79,9 +88,17 @@ class ShardBackend:
     _metric_dispatch: Optional[List] = None
     _metric_events: Optional[List] = None
     _clock = staticmethod(time.perf_counter)
+    #: Bound fault-injection plan (tests/chaos only).  The hook sites all
+    #: guard with ``if self._fault_plan is not None`` so the production
+    #: cost of the harness is one attribute test per dispatch/gather.
+    _fault_plan = None
 
     def start(self, workers: Sequence[ShardWorker]) -> None:
         raise NotImplementedError
+
+    def bind_fault_plan(self, plan) -> None:
+        """Attach a :class:`repro.faults.FaultPlan` (None detaches)."""
+        self._fault_plan = plan
 
     # -- health / metrics ------------------------------------------------------
 
@@ -495,35 +512,50 @@ class ProcessBackend(ShardBackend):
 
     def _send(self, shard_id: int, pipe, message) -> None:
         try:
+            verdict = None
+            if self._fault_plan is not None:
+                verdict = self._fault_plan.on_dispatch(shard_id, message[0])
             pipe.send(message)
         except (BrokenPipeError, EOFError, OSError) as exc:
             # The worker process died (OOM kill, crash): tear the rest of
             # the pool down instead of leaking it, and surface shard context.
             self._record_failure(shard_id, "dead")
-            self.close()
+            self._reap()
             raise ShardExecutionError(
                 f"shard {shard_id} process died before "
-                f"{message[0]!r} could be dispatched: {exc!r}"
+                f"{message[0]!r} could be dispatched: {exc!r}",
+                shard_id=shard_id,
             ) from exc
+        if verdict == "kill" and shard_id < len(self._processes):
+            # Scripted death *after* delivery: the worker may or may not
+            # apply the message before the SIGTERM lands, exactly like a
+            # real crash racing an in-flight batch — the supervisor must
+            # recover to the correct state either way.
+            self._processes[shard_id].terminate()
+            self._processes[shard_id].join(timeout=5.0)
 
     def _gather(self, operation: str) -> List:
         results = []
         for shard_id, pipe in enumerate(self._pipes):
             try:
+                if self._fault_plan is not None:
+                    self._fault_plan.on_gather(shard_id, operation)
                 status, value = pipe.recv()
             except (EOFError, OSError) as exc:
                 self._record_failure(shard_id, "dead")
-                self.close()
+                self._reap()
                 raise ShardExecutionError(
-                    f"shard {shard_id} process died during {operation}: {exc!r}"
+                    f"shard {shard_id} process died during {operation}: {exc!r}",
+                    shard_id=shard_id,
                 ) from exc
             if status != "ok":
                 # Sticky worker-side failures (an ingest that blew up
                 # earlier) surface here, at the sync point.
                 self._record_failure(shard_id, "failure")
-                self.close()
+                self._reap()
                 raise ShardExecutionError(
-                    f"shard {shard_id} failed during {operation}:\n{value}"
+                    f"shard {shard_id} failed during {operation}:\n{value}",
+                    shard_id=shard_id,
                 )
             results.append(value)
         return results
@@ -551,6 +583,34 @@ class ProcessBackend(ShardBackend):
             process.join(timeout=5.0)
             if process.is_alive():
                 process.terminate()
+                process.join(timeout=1.0)
+        self._pipes = []
+        self._processes = []
+
+    def _reap(self) -> None:
+        """Prompt teardown after a shard failure.
+
+        Unlike the graceful :meth:`close` (stop message + up-to-5s join per
+        worker), this terminates the surviving workers immediately: a
+        worker mid-ingest cannot read the stop message until it drains its
+        pipe, so the graceful path can stall for the full join timeout and
+        — if the join expires while the worker still holds buffered pipe
+        data — leave live processes behind until interpreter exit.  On the
+        failure path there is no state worth preserving: kill, join, done.
+        """
+        self._closed = True
+        for pipe in self._pipes:
+            try:
+                pipe.close()
+            except OSError:
+                pass
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+        for process in self._processes:
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - kill of last resort
+                process.kill()
                 process.join(timeout=1.0)
         self._pipes = []
         self._processes = []
@@ -706,11 +766,29 @@ class ThreadBackend(ShardBackend):
         for shard_id, (channel, events) in enumerate(
                 zip(self._channels, chunks)):
             if events:
+                verdict = None
+                if self._fault_plan is not None:
+                    try:
+                        verdict = self._fault_plan.on_dispatch(
+                            shard_id, "ingest")
+                    except Exception as exc:
+                        self._record_failure(shard_id, "dead")
+                        self.close()
+                        raise ShardExecutionError(
+                            f"shard {shard_id} thread dispatch failed: "
+                            f"{exc!r}",
+                            shard_id=shard_id,
+                        ) from exc
                 # Dispatch here is a deque append — the zero-copy half the
                 # backend exists for; the histogram proves it stays flat.
                 start = clock()
                 channel.post("ingest", events)
                 self._record_dispatch(shard_id, len(events), clock() - start)
+                if verdict == "kill":
+                    # Scripted death after delivery: a stop posted behind
+                    # the chunk makes the thread drain it and exit — the
+                    # deterministic analogue of terminating a process.
+                    channel.post("stop")
 
     def evaluate(self, timestamp, seeds, tag_counts, total_documents):
         self._ensure_open()
@@ -782,19 +860,36 @@ class ThreadBackend(ShardBackend):
         for shard_id, (reply, thread) in enumerate(
             zip(replies, self._threads)
         ):
-            while not reply.event.wait(timeout=1.0):
-                if not thread.is_alive():
+            if self._fault_plan is not None:
+                try:
+                    self._fault_plan.on_gather(shard_id, operation)
+                except Exception as exc:
                     self._record_failure(shard_id, "dead")
                     self.close()
                     raise ShardExecutionError(
-                        f"shard {shard_id} thread died during {operation}"
+                        f"shard {shard_id} gather failed during "
+                        f"{operation}: {exc!r}",
+                        shard_id=shard_id,
+                    ) from exc
+            # An already-dead thread is detected without waiting out the
+            # poll interval; the re-check of the event guards the race
+            # where the thread resolved the reply just before exiting.
+            while not reply.event.wait(
+                    timeout=1.0 if thread.is_alive() else 0.0):
+                if not thread.is_alive() and not reply.event.is_set():
+                    self._record_failure(shard_id, "dead")
+                    self.close()
+                    raise ShardExecutionError(
+                        f"shard {shard_id} thread died during {operation}",
+                        shard_id=shard_id,
                     )
             if reply.status != "ok":
                 self._record_failure(shard_id, "failure")
                 self.close()
                 raise ShardExecutionError(
                     f"shard {shard_id} failed during {operation}:\n"
-                    f"{reply.value}"
+                    f"{reply.value}",
+                    shard_id=shard_id,
                 )
             results.append(reply.value)
         return results
@@ -821,15 +916,24 @@ _BACKENDS = {
 
 def available_backends() -> List[str]:
     """Names accepted by :func:`make_backend`."""
-    return sorted(_BACKENDS)
+    return sorted(_BACKENDS) + ["supervised"]
 
 
 def make_backend(name: str, **kwargs) -> ShardBackend:
     """Instantiate an execution backend by name.
 
     ``serial`` (in-process reference), ``threads`` (one thread per shard,
-    zero-copy) or ``process`` (one process per shard, pickled protocol).
+    zero-copy), ``process`` (one process per shard, pickled protocol) or
+    ``supervised`` (the self-healing wrapper from
+    :mod:`repro.sharding.supervision`; pass ``inner=`` to pick what it
+    wraps, default serial).
     """
+    if name == "supervised":
+        # Imported lazily: supervision composes over the backends defined
+        # here, so a top-level import would be circular.
+        from repro.sharding.supervision import SupervisedBackend
+
+        return SupervisedBackend(**kwargs)
     try:
         backend_class = _BACKENDS[name]
     except KeyError:

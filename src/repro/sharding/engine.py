@@ -117,9 +117,13 @@ class ShardedEnBlogue(DetectionEngineBase):
         # dict shared across coordinator and shard threads (checkpoint and
         # status reads race ingestion), so its counts are MRV-striped;
         # merged() sums integers, keeping the broadcast counts bit-exact.
-        window_stripes = (
-            self.num_shards if self.backend.name == "threads" else 1
+        # A supervised wrapper over threads shares the same memory, so the
+        # check looks through it.
+        threaded = (
+            self.backend.name == "threads"
+            or getattr(self.backend, "inner_name", None) == "threads"
         )
+        window_stripes = self.num_shards if threaded else 1
         self._tag_window = TagFrequencyWindow(
             self.config.window_horizon, stripes=window_stripes
         )
@@ -130,7 +134,7 @@ class ShardedEnBlogue(DetectionEngineBase):
             StripedCountHistory(
                 self.config.history_length, stripes=window_stripes
             )
-            if self.backend.name == "threads"
+            if threaded
             else {}
         )
         # Admission runs once, globally, before pairs are partitioned:
@@ -225,14 +229,23 @@ class ShardedEnBlogue(DetectionEngineBase):
                 and config_vectorizes(self.config)
             )
             path = "vectorized" if vectorized else "scalar"
+        backend_label = self.backend.name
+        inner_name = getattr(self.backend, "inner_name", None)
+        if inner_name is not None:
+            backend_label = f"supervised[{inner_name}]"
         return {
             "engine": "sharded",
-            "backend": self.backend.name,
+            "backend": backend_label,
             "shards": self.num_shards,
             "evaluation_path": path,
             "tracking": "tiered" if self._tier is not None else "exact",
             "promote_support": self.config.promote_support,
         }
+
+    def supervision_info(self) -> Optional[dict]:
+        """Supervisor state when the backend is supervised, else None."""
+        info = getattr(self.backend, "supervision_info", None)
+        return info() if info is not None else None
 
     # -- persistence ----------------------------------------------------------
 

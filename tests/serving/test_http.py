@@ -389,6 +389,155 @@ class TestEndpoints:
         assert status == 200
         assert body["ranking"] is None
 
+    def test_rankings_carries_degradation_markers(self):
+        async def scenario():
+            service = DetectionService(EnBlogue(config()))
+            await service.start()
+            server = RankingServer(service, port=0)
+            await server.start()
+            status, body = await http_request(server.port, "GET", "/rankings")
+            await server.stop()
+            await service.stop()
+            return status, body
+
+        status, body = asyncio.run(scenario())
+        assert status == 200
+        assert body["stale"] is False
+        assert body["recovering_shards"] == []
+
+    def test_dead_shard_pool_maps_ingest_to_503_with_retry_after(self, docs):
+        # An *unsupervised* worker death tears the pool down for good:
+        # the first batch poisons the engine, the next POST /ingest gets
+        # a clean 503 + Retry-After instead of a 500 or a hung socket.
+        from repro.faults import FaultPlan
+        from repro.sharding import ShardedEnBlogue
+        from repro.sharding.backends import ThreadBackend
+
+        async def scenario():
+            backend = ThreadBackend()
+            backend.bind_fault_plan(
+                FaultPlan().kill_worker(0, after_batches=1))
+            engine = ShardedEnBlogue(config(), num_shards=2,
+                                     backend=backend)
+            service = DetectionService(engine)
+            await service.start()
+            server = RankingServer(service, port=0)
+            await server.start()
+            port = server.port
+            try:
+                status, _ = await http_request(
+                    port, "POST", "/ingest",
+                    [doc_payload(d) for d in docs[:256]],
+                )
+                assert status == 202  # accepted before the pool died
+                await service.drain()
+
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", port)
+                status, headers, body = await send_on_connection(
+                    reader, writer, "POST", "/ingest",
+                    [doc_payload(docs[256])],
+                )
+                writer.close()
+                await writer.wait_closed()
+
+                _, state = await http_request(port, "GET", "/status")
+                return status, headers, body, state
+            finally:
+                await server.stop()
+                await service.stop()
+                engine.close()
+
+        status, headers, body, state = asyncio.run(scenario())
+        assert status == 503
+        assert headers["retry-after"] == "5"
+        assert "shard backend unavailable" in body["error"]
+        assert body["retry_after"] == 5
+        # A dead worker with no supervision has no recovery coming:
+        # /status reports the node unfit for ingest.
+        assert state["healthy"] is False
+
+    def test_supervised_recovery_keeps_serving_identical_rankings(
+            self, docs):
+        from repro.faults import FaultPlan
+        from repro.sharding import (
+            RetryPolicy,
+            ShardedEnBlogue,
+            SupervisedBackend,
+        )
+        from repro.sharding.backends import ThreadBackend
+
+        sleeps = []
+
+        def fake_sleep(seconds):
+            sleeps.append(seconds)
+
+        async def scenario():
+            policy = RetryPolicy(max_retries=3, backoff_base=0.01,
+                                 sleep=fake_sleep)
+            backend = SupervisedBackend(ThreadBackend(), policy=policy)
+            backend.bind_fault_plan(
+                FaultPlan(sleep=fake_sleep).kill_worker(1, after_batches=1))
+            engine = ShardedEnBlogue(config(), num_shards=2,
+                                     backend=backend)
+            service = DetectionService(engine)
+            await service.start()
+            server = RankingServer(service, port=0)
+            await server.start()
+            port = server.port
+            try:
+                status, _ = await http_request(
+                    port, "POST", "/ingest",
+                    [doc_payload(d) for d in docs[:256]],
+                )
+                assert status == 202
+                await service.drain()
+                rankings_status, body = await http_request(
+                    port, "GET", "/rankings")
+                status_code, state = await http_request(
+                    port, "GET", "/status")
+                return rankings_status, body, status_code, state
+            finally:
+                await server.stop()
+                await service.stop()
+                engine.close()
+
+        rankings_status, body, status_code, state = asyncio.run(scenario())
+        assert rankings_status == 200 and status_code == 200
+        assert state["healthy"] is True
+        assert state["recoveries"] == 1
+        assert state["permanent_failure"] is None
+        assert state["stale"] is False  # recovery already completed
+        reference = EnBlogue(config())
+        reference.process_batch([IngestDocument(doc_payload(d))
+                                 for d in docs[:256]])
+        assert body["ranking"] == ranking_to_dict(
+            reference.ranking_history()[-1])
+        assert body["stale"] is False
+
+    def test_unexpected_submit_failure_maps_to_500(self):
+        async def scenario():
+            service = DetectionService(EnBlogue(config()))
+            await service.start()
+            server = RankingServer(service, port=0)
+            await server.start()
+
+            async def boom(documents):
+                raise RuntimeError("wires crossed")
+
+            service.submit = boom
+            status, body = await http_request(
+                server.port, "POST", "/ingest",
+                [{"timestamp": 1.0, "tags": ["a", "b"]}],
+            )
+            await server.stop()
+            await service.stop()
+            return status, body
+
+        status, body = asyncio.run(scenario())
+        assert status == 500
+        assert "internal error" in body["error"]
+
     def test_stream_ends_cleanly_on_service_stop(self, docs):
         async def scenario():
             service = DetectionService(EnBlogue(config()))

@@ -1,0 +1,181 @@
+"""Producer retry/backoff in the source pumps (``pump_source``).
+
+One flaky poll must not kill a long-running producer task: with a
+:class:`RetryPolicy` the pump counts the error, backs off on the
+policy's *injected* sleep (nothing here waits real time) and re-obtains
+the source's stream.  Only consecutive failures with zero progress
+exhaust the budget.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.config import EnBlogueConfig
+from repro.core.engine import EnBlogue
+from repro.datasets.twitter import TweetStreamGenerator
+from repro.serving import DetectionService
+from repro.serving.source import SourceProducerError, pump_source
+from repro.sharding import RetryPolicy
+
+HOUR = 3600.0
+
+
+def config(**overrides):
+    defaults = dict(
+        window_horizon=6 * HOUR,
+        evaluation_interval=HOUR,
+        num_seeds=10,
+        min_seed_count=1,
+        min_pair_support=1,
+        min_history=2,
+        predictor="moving_average",
+        predictor_window=3,
+    )
+    defaults.update(overrides)
+    return EnBlogueConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def docs():
+    corpus, _ = TweetStreamGenerator(
+        hours=12, tweets_per_hour=30, seed=11).generate()
+    return list(corpus)
+
+
+class FlakySource:
+    """A live, resumable source whose poll fails at scripted positions.
+
+    ``stream()`` picks up exactly where the previous attempt stopped —
+    the shape of a polling feed with a cursor — so a retried pump never
+    re-produces documents (which the service's time-order validation
+    would reject).
+    """
+
+    def __init__(self, documents, fail_at=()):
+        self._documents = list(documents)
+        self._position = 0
+        self._fail_at = sorted(fail_at, reverse=True)
+
+    def stream(self):
+        while self._position < len(self._documents):
+            if self._fail_at and self._position == self._fail_at[-1]:
+                self._fail_at.pop()
+                raise ConnectionResetError(
+                    f"poll failed at {self._position}")
+            document = self._documents[self._position]
+            self._position += 1
+            yield document
+
+
+def instant_policy(sleeps, **overrides):
+    defaults = dict(max_retries=3, backoff_base=0.05, sleep=sleeps.append)
+    defaults.update(overrides)
+    return RetryPolicy(**defaults)
+
+
+class TestPumpSourceRetry:
+    def test_transient_failure_is_retried_and_counted(self, docs):
+        sleeps = []
+
+        async def scenario():
+            engine = EnBlogue(config())
+            service = DetectionService(engine)
+            await service.start()
+            source = FlakySource(docs, fail_at=[100])
+            submitted = await pump_source(
+                service, source, batch_size=64,
+                retry_policy=instant_policy(sleeps))
+            await service.stop()
+            return engine, service, submitted
+
+        engine, service, submitted = asyncio.run(scenario())
+        assert submitted == len(docs)
+        assert engine.documents_processed == len(docs)
+        assert service.stats.source_errors == 1
+        assert service.stats.source_retries == 1
+        assert sleeps == [0.05]  # backoff ran on the injected sleep
+        reference = EnBlogue(config())
+        reference.process_batch(docs)
+        assert engine.ranking_history() == reference.ranking_history()
+
+    def test_progress_resets_the_attempt_budget(self, docs):
+        # Four spaced failures with progress in between beat a budget of
+        # two — only *consecutive* no-progress failures count.
+        sleeps = []
+
+        async def scenario():
+            engine = EnBlogue(config())
+            service = DetectionService(engine)
+            await service.start()
+            source = FlakySource(docs, fail_at=[50, 120, 200, 280])
+            submitted = await pump_source(
+                service, source, batch_size=64,
+                retry_policy=instant_policy(sleeps, max_retries=2))
+            await service.stop()
+            return service, submitted
+
+        service, submitted = asyncio.run(scenario())
+        assert submitted == len(docs)
+        assert service.stats.source_retries == 4
+
+    def test_no_progress_failures_exhaust_the_budget(self, docs):
+        sleeps = []
+
+        async def scenario():
+            engine = EnBlogue(config())
+            service = DetectionService(engine)
+            await service.start()
+            # The same position fails every attempt: zero progress.
+            source = FlakySource(docs, fail_at=[60, 60, 60, 60, 60, 60])
+            try:
+                with pytest.raises(SourceProducerError,
+                                   match="giving up") as excinfo:
+                    await pump_source(
+                        service, source, batch_size=64,
+                        retry_policy=instant_policy(sleeps, max_retries=2))
+                return service, excinfo.value
+            finally:
+                await service.stop()
+
+        service, error = asyncio.run(scenario())
+        # Everything cleanly produced before the wedge was submitted.
+        assert error.submitted == 60
+        assert service.stats.source_errors == 3  # initial + 2 retries
+        assert service.stats.source_retries == 2
+        assert sleeps == [0.05, 0.1]
+
+    def test_without_policy_first_failure_is_terminal(self, docs):
+        async def scenario():
+            engine = EnBlogue(config())
+            service = DetectionService(engine)
+            await service.start()
+            source = FlakySource(docs, fail_at=[100])
+            try:
+                with pytest.raises(SourceProducerError):
+                    await pump_source(service, source, batch_size=64)
+            finally:
+                await service.stop()
+            return service
+
+        service = asyncio.run(scenario())
+        assert service.stats.source_errors == 1
+        assert service.stats.source_retries == 0
+
+    def test_limit_is_honored_across_retries(self, docs):
+        sleeps = []
+
+        async def scenario():
+            engine = EnBlogue(config())
+            service = DetectionService(engine)
+            await service.start()
+            source = FlakySource(docs, fail_at=[90])
+            submitted = await pump_source(
+                service, source, batch_size=50, limit=150,
+                retry_policy=instant_policy(sleeps))
+            await service.stop()
+            return engine, submitted
+
+        engine, submitted = asyncio.run(scenario())
+        assert submitted == 150
+        assert engine.documents_processed == 150

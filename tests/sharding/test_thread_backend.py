@@ -175,3 +175,70 @@ class TestThreadBackendLifecycle:
         assert info["backend"] == "threads"
         assert info["shards"] == 2
         assert info["evaluation_path"] in ("vectorized", "scalar")
+
+
+class TestThreadBackendDeadWorker:
+    """A worker thread that dies mid-run must surface loudly, never hang.
+
+    The kills are scripted through the counted fault hooks: the worker
+    processes its last chunk, then stops — exactly the shape of an
+    uncaught exception in worker code or a runaway thread being reaped.
+    """
+
+    def _killed_backend(self, after_batches=1, shards=2):
+        from repro.faults import FaultPlan
+
+        backend = ThreadBackend()
+        backend.bind_fault_plan(
+            FaultPlan().kill_worker(0, after_batches=after_batches))
+        backend.start([ShardWorker(i, config()) for i in range(shards)])
+        return backend
+
+    def test_kill_mid_ingest_surfaces_at_next_sync_point(self):
+        backend = self._killed_backend()
+        try:
+            backend.ingest([[(10.0, (TagPair("a", "b"),))], []])
+            # Fire-and-forget: posting to the dead worker's mailbox does
+            # not raise, the next gather does — promptly, no timeout.
+            backend.ingest([[(20.0, (TagPair("a", "c"),))], []])
+            with pytest.raises(ShardExecutionError, match="shard 0"):
+                backend.evaluate(21.0, ["a"], {"a": 2, "b": 1, "c": 1}, 2)
+        finally:
+            backend.close()
+
+    def test_kill_mid_gather_tears_the_pool_down(self):
+        backend = self._killed_backend()
+        try:
+            backend.ingest([[(10.0, (TagPair("a", "b"),))],
+                            [(10.0, (TagPair("c", "d"),))]])
+            with pytest.raises(ShardExecutionError, match="shard 0"):
+                backend.stats()
+            assert backend._threads == []
+            with pytest.raises(ShardExecutionError, match="closed"):
+                backend.stats()
+        finally:
+            backend.close()
+
+    def test_kill_mid_collect_states_raises_not_hangs(self):
+        backend = self._killed_backend()
+        try:
+            backend.ingest([[(10.0, (TagPair("a", "b"),))], []])
+            with pytest.raises(ShardExecutionError, match="shard 0"):
+                backend.collect_states()
+        finally:
+            backend.close()
+
+    def test_dead_worker_detection_is_prompt(self):
+        # The gather loop polls thread liveness: once the thread is gone
+        # it stops waiting on the reply event instead of riding out the
+        # full timeout — the suite itself is the regression test (a hang
+        # here would blow the test timeout, not just fail).
+        backend = self._killed_backend(after_batches=2)
+        try:
+            backend.ingest([[(10.0, (TagPair("a", "b"),))], []])
+            backend.stats()  # worker still alive after batch one
+            backend.ingest([[(20.0, (TagPair("a", "c"),))], []])
+            with pytest.raises(ShardExecutionError, match="shard 0"):
+                backend.stats()
+        finally:
+            backend.close()
