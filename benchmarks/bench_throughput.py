@@ -131,6 +131,37 @@ def replay_batch_observed(docs):
     return engine
 
 
+def replay_batch_disabled(docs):
+    """The batch replay through an explicitly disabled bundle.
+
+    Every instrumentation call site still executes — counters, spans,
+    log emits, SLO ticks — but against the shared no-op singletons.
+    This is the path a deployment that opts out of observability pays.
+    """
+    engine = EnBlogue(throughput_config("batch"),
+                      observability=Observability(enabled=False))
+    engine.process_batch(docs)
+    return engine
+
+
+def replay_batch_profiled(docs):
+    """The observed replay with the sampling profiler running at 100Hz.
+
+    The heaviest configuration the serving stack supports: metrics,
+    tracing, structured logging and SLO accounting live, plus a
+    background thread walking every stack ten times per replay.
+    """
+    observability = Observability()
+    observability.profiler.start(interval=0.01)
+    try:
+        engine = EnBlogue(throughput_config("batch"),
+                          observability=observability)
+        engine.process_batch(docs)
+    finally:
+        observability.close()
+    return engine
+
+
 def replay_sharded(docs, num_shards, backend):
     """Replay through the scatter-gather engine (batch path, like ``batch``).
 
@@ -212,6 +243,26 @@ def interleaved_medians(runners, rounds):
             fn()
             samples[name].append(time.perf_counter() - start)
     return {name: statistics.median(times) for name, times in samples.items()}
+
+
+def interleaved_minima(runners, rounds):
+    """Best seconds per runner over interleaved rounds, after a warm-up.
+
+    For sub-100ms contestants the median still carries frequency-scaling
+    noise worth tens of percent — a contestant that sleeps (the sampling
+    profiler between ticks) lets the core downclock and taxes whoever
+    runs next.  Noise only ever *adds* time, so the per-contestant
+    minimum is the robust estimator for the tight overhead gates; the
+    discarded first round absorbs cold caches.
+    """
+    samples = {name: [] for name, _ in runners}
+    for round_index in range(rounds + 1):
+        for name, fn in runners:
+            start = time.perf_counter()
+            fn()
+            if round_index > 0:
+                samples[name].append(time.perf_counter() - start)
+    return {name: min(times) for name, times in samples.items()}
 
 
 # -- batched ingestion vs the seed path --------------------------------------
@@ -307,6 +358,76 @@ def observability_within_gate(on_seconds: float, off_seconds: float) -> bool:
     """The <=2% contract: enabled instrumentation stays within two percent
     of the uninstrumented replay (plus a fixed noise allowance)."""
     return on_seconds <= off_seconds * 1.02 + OBSERVABILITY_GATE_SLACK_S
+
+
+#: Absolute slack of the profiling gates, in seconds.  The bench replay
+#: finishes in under 100ms, so the 100Hz sampler lands fewer than ten
+#: samples per run — one sample walking every stack is a multi-percent
+#: swing at this scale.  The relative bounds carry the claim on the
+#: runs that matter (a production replay is minutes, not milliseconds).
+PROFILING_GATE_SLACK_S = 0.010
+
+
+def profiling_disabled_within_gate(disabled_seconds: float,
+                                   off_seconds: float) -> bool:
+    """The disabled contract: a bundle built with ``enabled=False`` may
+    cost at most half a percent over no bundle at all (plus the fixed
+    noise allowance) — opting out must be effectively free."""
+    return disabled_seconds <= off_seconds * 1.005 + PROFILING_GATE_SLACK_S
+
+
+def profiling_enabled_within_gate(profiled_seconds: float,
+                                  enabled_seconds: float) -> bool:
+    """The profiled contract: the 100Hz sampler plus structured logging
+    may cost at most five percent over plain enabled instrumentation
+    (plus the fixed noise allowance)."""
+    return profiled_seconds <= enabled_seconds * 1.05 \
+        + PROFILING_GATE_SLACK_S
+
+
+def test_profiling_and_logging_overhead_within_gate(heavy_tweets):
+    """The PR-10 gates: disabled <=0.5% over bare, profiled <=5% over enabled.
+
+    Results first — the profiled replay's rankings must equal the plain
+    replay's exactly; a sampling profiler reads stacks, it must never
+    perturb the math.  Then the two cost contracts, measured interleaved
+    so machine noise spreads over all four contestants.
+    """
+    plain = replay_batch(heavy_tweets)
+    profiled = replay_batch_profiled(heavy_tweets)
+    assert ranking_signature(profiled) == ranking_signature(plain)
+
+    medians = interleaved_minima(
+        [
+            ("off", lambda: replay_batch(heavy_tweets)),
+            ("disabled", lambda: replay_batch_disabled(heavy_tweets)),
+            ("enabled", lambda: replay_batch_observed(heavy_tweets)),
+            ("profiled-100hz", lambda: replay_batch_profiled(heavy_tweets)),
+        ],
+        rounds=5,
+    )
+    print()
+    print(format_table(
+        [
+            {"configuration": name,
+             "docs/s": round(len(heavy_tweets) / seconds),
+             "ms/replay": round(seconds * 1000, 1)}
+            for name, seconds in medians.items()
+        ],
+        title="PERF-6 — profiling + logging overhead",
+    ))
+    assert profiling_disabled_within_gate(
+        medians["disabled"], medians["off"]), (
+        f"disabled bundle costs "
+        f"{(medians['disabled'] / medians['off'] - 1.0):+.2%} "
+        "over no bundle, breaking the <=0.5% gate"
+    )
+    assert profiling_enabled_within_gate(
+        medians["profiled-100hz"], medians["enabled"]), (
+        f"profiler+logging cost "
+        f"{(medians['profiled-100hz'] / medians['enabled'] - 1.0):+.2%} "
+        "over plain instrumentation, breaking the <=5% gate"
+    )
 
 
 def test_observability_overhead_within_two_percent(heavy_tweets):
@@ -1170,6 +1291,65 @@ def _measure_observability_section(docs, rounds: int) -> dict:
     }
 
 
+def _measure_observability_profiling_section(docs, rounds: int) -> dict:
+    """The ``observability_profiling`` section: profiler + logging cost.
+
+    Four contestants replayed interleaved: no bundle, a disabled bundle
+    (no-op singletons at every call site), the enabled bundle, and the
+    enabled bundle with the 100Hz sampling profiler running.  Rankings
+    are asserted bit-identical under the heaviest configuration before
+    anything is timed; the recorded numbers are held to the same two
+    gates ``test_profiling_and_logging_overhead_within_gate`` enforces.
+    """
+    plain = replay_batch(docs)
+    profiled = replay_batch_profiled(docs)
+    assert ranking_signature(profiled) == ranking_signature(plain)
+
+    # One instrumented run counts what the subsystems actually did.
+    observability = Observability()
+    observability.profiler.start(interval=0.01)
+    try:
+        engine = EnBlogue(throughput_config("batch"),
+                          observability=observability)
+        engine.process_batch(docs)
+        samples = observability.profiler.samples_total
+        log_records = observability.log.sequence
+    finally:
+        observability.close()
+
+    medians = interleaved_minima(
+        [
+            ("off", lambda: replay_batch(docs)),
+            ("disabled", lambda: replay_batch_disabled(docs)),
+            ("enabled", lambda: replay_batch_observed(docs)),
+            ("profiled-100hz", lambda: replay_batch_profiled(docs)),
+        ],
+        rounds=rounds,
+    )
+    return {
+        "rankings_identical": True,
+        "recorded": time.strftime("%Y-%m-%d"),
+        "profiler_hz": 100,
+        "profiler_samples_per_replay": int(samples),
+        "log_records_per_replay": int(log_records),
+        "off_docs_per_s": round(len(docs) / medians["off"]),
+        "disabled_docs_per_s": round(len(docs) / medians["disabled"]),
+        "enabled_docs_per_s": round(len(docs) / medians["enabled"]),
+        "profiled_docs_per_s": round(
+            len(docs) / medians["profiled-100hz"]),
+        "disabled_overhead_pct": round(
+            (medians["disabled"] / medians["off"] - 1.0) * 100, 2),
+        "profiled_overhead_pct": round(
+            (medians["profiled-100hz"] / medians["enabled"] - 1.0) * 100, 2),
+        "gates": "disabled <= off * 1.005 + 10ms; "
+                 "profiled <= enabled * 1.05 + 10ms",
+        "within_disabled_gate": profiling_disabled_within_gate(
+            medians["disabled"], medians["off"]),
+        "within_profiled_gate": profiling_enabled_within_gate(
+            medians["profiled-100hz"], medians["enabled"]),
+    }
+
+
 # -- approximate tracking: the two-tier tracker at 100x cardinality ----------
 
 #: Tag universe of the approximate-tracking workload: 100x the 1,200-tag
@@ -1497,6 +1677,9 @@ def update_sections(sections, rounds: int = 3) -> dict:
         elif section == "observability":
             baseline["observability"] = _measure_observability_section(
                 docs, rounds)
+        elif section == "observability_profiling":
+            baseline["observability_profiling"] = \
+                _measure_observability_profiling_section(docs, rounds)
         elif section == "approximate":
             baseline["approximate"] = _measure_approximate_section(rounds)
         elif section == "fault_recovery":
@@ -1579,6 +1762,8 @@ def record_baseline(rounds: int = 9) -> dict:
             max(3, rounds // 3)),
         "observability": _measure_observability_section(
             docs, max(3, rounds // 3)),
+        "observability_profiling": _measure_observability_profiling_section(
+            docs, max(3, rounds // 3)),
         "approximate": _measure_approximate_section(max(3, rounds // 3)),
         "fault_recovery": _measure_fault_recovery_section(
             docs, max(3, rounds // 3)),
@@ -1594,7 +1779,7 @@ if __name__ == "__main__":
         "--section", action="append",
         choices=("sharding", "checkpointing", "checkpointing_delta",
                  "serving", "evaluation_vectorized", "observability",
-                 "approximate", "fault_recovery"),
+                 "observability_profiling", "approximate", "fault_recovery"),
         help="re-record only this section of the existing baseline "
              "(repeatable); default: record everything")
     arguments.add_argument("--rounds", type=int, default=None,

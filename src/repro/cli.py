@@ -401,9 +401,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "--checkpoint-mode delta requires --checkpoint-every: a delta "
             "journal only exists on a cadence"
         )
-    # Serving always runs instrumented: /metrics and /trace are part of
-    # the HTTP surface, and the ≤2% overhead is the price of admission.
-    observability = Observability()
+    # Serving always runs instrumented: /metrics, /trace, /logs, /slo
+    # are part of the HTTP surface, and the ≤2% overhead is the price of
+    # admission.  --log-file adds an NDJSON sink next to the in-memory
+    # log ring.
+    observability = Observability(log_path=args.log_file)
     if args.resume:
         for flag in ("top_k", "measure", "predictor", "seeds",
                      "tracking", "promote_support"):
@@ -438,6 +440,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         if isinstance(engine, ShardedEnBlogue):
             engine.close()
+        observability.close()
 
 
 async def _serve_async(engine, args: argparse.Namespace, extras: dict,
@@ -469,7 +472,7 @@ async def _serve_async(engine, args: argparse.Namespace, extras: dict,
         else f"{engine.num_shards}x{engine.backend.name}"
     print(f"serving enblogue[{shape}] on http://{server.host}:{server.port} "
           f"(POST /ingest, GET /rankings, GET /rankings/stream, GET /status, "
-          f"GET /metrics, GET /trace)",
+          f"GET /metrics, GET /trace, GET /profile, GET /logs, GET /slo)",
           flush=True)
 
     import signal
@@ -668,6 +671,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--buffer-limit", type=_positive_int, default=64,
                        help="per-subscriber SSE frame buffer; slow "
                             "consumers drop oldest frames beyond it")
+    serve.add_argument("--log-file", default=None, metavar="PATH",
+                       help="append every structured log record (the NDJSON "
+                            "events served on GET /logs) to this file")
     serve.add_argument("--checkpoint-every", type=_positive_int, default=None,
                        metavar="N",
                        help="checkpoint after every N published rankings "

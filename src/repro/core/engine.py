@@ -324,6 +324,14 @@ class DetectionEngineBase:
             self._metric_batches.inc()
             if produced:
                 root.set(rankings=len(produced))
+            # Inside the root span, so the record carries the batch's
+            # deterministic trace id — the /logs ↔ /trace join key.
+            self.observability.log.emit(
+                "batch",
+                documents=len(observations),
+                rankings=len(produced),
+                documents_processed=self._documents_processed,
+            )
         return produced
 
     def _ingest_pending(self, pending: List[tuple]) -> None:

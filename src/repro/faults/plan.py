@@ -137,6 +137,27 @@ class FaultPlan:
     ) -> None:
         self.faults: List[Fault] = list(faults or ())
         self.sleep = sleep
+        self._log = None
+
+    def bind_log(self, log) -> None:
+        """Attach an event log; fired drills then document themselves
+        (site, action, shard, operation, occurrence) so chaos runs can
+        assert the injection → recovery trail on ``GET /logs``."""
+        self._log = log
+
+    def _log_fired(self, fault: Fault, shard: int,
+                   operation: Optional[str]) -> None:
+        if self._log is None:
+            return
+        self._log.emit(
+            "fault_injected",
+            level="warning",
+            site=fault.site,
+            action=fault.action,
+            shard=shard,
+            operation=operation,
+            occurrence=fault.seen,
+        )
 
     # -- chainable constructors -------------------------------------------
 
@@ -215,6 +236,7 @@ class FaultPlan:
                 continue
             if not fault.fires():
                 continue
+            self._log_fired(fault, shard, operation)
             if fault.action == "raise":
                 raise fault.exception(
                     f"injected {fault.exception.__name__} on {operation!r} dispatch to shard {shard}"
@@ -229,6 +251,7 @@ class FaultPlan:
                 continue
             if not fault.fires():
                 continue
+            self._log_fired(fault, shard, operation)
             if fault.action == "delay":
                 self.sleep(fault.seconds)
             elif fault.action == "raise":

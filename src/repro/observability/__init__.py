@@ -1,4 +1,4 @@
-"""End-to-end observability: metrics registry, stage tracing, exporters.
+"""End-to-end observability: metrics, tracing, logging, profiling, SLOs.
 
 One :class:`Observability` object bundles what the pipeline layers need:
 
@@ -6,6 +6,13 @@ One :class:`Observability` object bundles what the pipeline layers need:
   (or the shared no-op when disabled),
 * ``tracer`` — a :class:`~repro.observability.tracing.StageTracer`
   feeding the same registry's stage histogram,
+* ``log`` — a :class:`~repro.observability.logging.EventLog` of
+  structured NDJSON records correlated with the tracer's trace ids,
+* ``profiler`` — a
+  :class:`~repro.observability.profiling.SamplingProfiler` for
+  wall-clock folded-stack sampling (``GET /profile``),
+* ``slo`` — an :class:`~repro.observability.slo.SloTracker` computing
+  multi-window burn rates over the registry (``GET /slo``),
 * ``clock`` — the injected time source every duration comes from.
 
 The library default is :data:`NOOP` — instrumented code paths cost one
@@ -37,6 +44,12 @@ from repro.observability.export import (
     render_prometheus,
     render_trace_ndjson,
 )
+from repro.observability.logging import (
+    DEFAULT_LOG_CAPACITY,
+    EventLog,
+    NULL_EVENT_LOG,
+    NullEventLog,
+)
 from repro.observability.metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -46,6 +59,19 @@ from repro.observability.metrics import (
     NULL_METRIC,
     NULL_REGISTRY,
     NullRegistry,
+)
+from repro.observability.profiling import (
+    NULL_PROFILER,
+    NullProfiler,
+    SamplingProfiler,
+    render_collapsed,
+)
+from repro.observability.slo import (
+    DEFAULT_OBJECTIVES,
+    NULL_SLO,
+    NullSloTracker,
+    SloObjective,
+    SloTracker,
 )
 from repro.observability.tracing import (
     NULL_TRACER,
@@ -104,6 +130,9 @@ STANDARD_FAMILIES = {
         ("counter", "Seconds spent in supervised retry backoff."),
     "repro_sharding_permanent_failures_total":
         ("counter", "Supervised failures that exhausted the retry budget."),
+    "repro_sharding_shard_stage_seconds":
+        ("histogram", "Worker-side stage wall time, labeled by shard "
+                      "and stage (ingest or evaluate)."),
     "repro_serving_documents_submitted_total":
         ("counter", "Documents accepted into the ingest queue."),
     "repro_serving_batches_submitted_total":
@@ -126,6 +155,8 @@ STANDARD_FAMILIES = {
         ("counter", "Frames delivered to SSE subscriber buffers."),
     "repro_serving_sse_dropped_frames_total":
         ("counter", "Frames dropped on full SSE subscriber buffers."),
+    "repro_serving_batch_seconds":
+        ("histogram", "Ingest-to-publish wall time per served batch."),
     "repro_serving_subscribers":
         ("gauge", "Open SSE subscriptions."),
     "repro_serving_queue_depth":
@@ -145,6 +176,17 @@ STANDARD_FAMILIES = {
     "repro_persistence_fsync_seconds":
         ("histogram", "Checkpoint write+fsync time (the durability "
                       "half), by mode."),
+    "repro_logging_records_total":
+        ("counter", "Structured log records emitted, labeled by level."),
+    "repro_profiling_samples_total":
+        ("counter", "Stack samples captured by the wall-clock profiler."),
+    "repro_slo_ticks_total":
+        ("counter", "SLO evaluation ticks taken at batch boundaries."),
+    "repro_slo_attainment":
+        ("gauge", "Fraction of good events, by objective and window."),
+    "repro_slo_burn_rate":
+        ("gauge", "Error-budget burn rate, by objective and window "
+                  "(1.0 = sustainable)."),
 }
 
 
@@ -154,7 +196,11 @@ class Observability:
     def __init__(self, clock: Optional[Callable[[], float]] = None,
                  enabled: bool = True,
                  trace_capacity: Optional[int] = None,
-                 stripes: Optional[int] = None):
+                 stripes: Optional[int] = None,
+                 log_capacity: Optional[int] = None,
+                 log_path: Optional[str] = None,
+                 slo_objectives=None,
+                 slo_clock: Optional[Callable[[], float]] = None):
         self.enabled = bool(enabled)
         self.clock = clock or time.perf_counter
         if self.enabled:
@@ -166,22 +212,64 @@ class Observability:
                 capacity=trace_capacity or 4096,
                 registry=self.registry,
             )
+            self.log = EventLog(
+                capacity=log_capacity or DEFAULT_LOG_CAPACITY,
+                tracer=self.tracer,
+                registry=self.registry,
+                path=log_path,
+            )
+            self.profiler = SamplingProfiler(registry=self.registry)
+            self.slo = SloTracker(
+                self.registry,
+                objectives=slo_objectives,
+                clock=slo_clock,
+            )
             for name, (kind, help_text) in STANDARD_FAMILIES.items():
                 getattr(self.registry, kind)(name, help=help_text)
         else:
             self.registry = NULL_REGISTRY
             self.tracer = NULL_TRACER
+            self.log = NULL_EVENT_LOG
+            self.profiler = NULL_PROFILER
+            self.slo = NULL_SLO
 
     # -- persistence -----------------------------------------------------------
 
     def snapshot(self) -> dict:
-        """Counters/histograms for the checkpoint manifest (see registry)."""
-        return self.registry.snapshot()
+        """Counters, log sequence and profiler totals for the manifest.
+
+        Version 2 wraps the registry snapshot so the event-log sequence
+        and the profiler's cumulative sample count resume monotonically
+        too; :meth:`restore` still accepts the bare version-1 registry
+        snapshots older checkpoints carry.
+        """
+        if not self.enabled:
+            return self.registry.snapshot()
+        return {
+            "version": 2,
+            "registry": self.registry.snapshot(),
+            "log_seq": self.log.sequence,
+            "profile_samples": self.profiler.samples_total,
+        }
 
     def restore(self, state: Optional[Mapping]) -> None:
-        """Seed the registry from a manifest's metrics snapshot."""
-        if state:
+        """Seed registry/log/profiler from a manifest's metrics snapshot."""
+        if not state:
+            return
+        if "registry" in state:
+            registry_state = state.get("registry")
+            if registry_state:
+                self.registry.restore(registry_state)
+            self.log.restore_sequence(state.get("log_seq", 0))
+            self.profiler.restore_samples(state.get("profile_samples", 0))
+        else:
+            # Version 1: the manifest carried the registry snapshot bare.
             self.registry.restore(state)
+
+    def close(self) -> None:
+        """Stop the profiler thread and flush/close the log file sink."""
+        self.profiler.stop()
+        self.log.close()
 
     # -- store hook ------------------------------------------------------------
 
@@ -228,6 +316,19 @@ __all__ = [
     "NULL_TRACER",
     "Span",
     "STAGE_METRIC",
+    "EventLog",
+    "NullEventLog",
+    "NULL_EVENT_LOG",
+    "DEFAULT_LOG_CAPACITY",
+    "SamplingProfiler",
+    "NullProfiler",
+    "NULL_PROFILER",
+    "render_collapsed",
+    "SloTracker",
+    "SloObjective",
+    "NullSloTracker",
+    "NULL_SLO",
+    "DEFAULT_OBJECTIVES",
     "render_prometheus",
     "render_trace_ndjson",
     "format_stage_table",

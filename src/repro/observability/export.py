@@ -33,15 +33,20 @@ def _escape_label_value(value: str) -> str:
 
 
 def _escape_help(text: str) -> str:
-    return text.replace("\\", r"\\").replace("\n", r"\n")
+    return text.replace("\\", r"\\").replace("\n", r"\n").replace('"', r'\"')
 
 
 def _format_value(value: float) -> str:
+    value = float(value)
+    if value != value:  # NaN never compares equal to itself
+        return "NaN"
     if value == float("inf"):
         return "+Inf"
-    if float(value).is_integer() and abs(value) < 1e15:
+    if value == float("-inf"):
+        return "-Inf"
+    if value.is_integer() and abs(value) < 1e15:
         return str(int(value))
-    return repr(float(value))
+    return repr(value)
 
 
 def _format_labels(key: Tuple[Tuple[str, str], ...],
@@ -165,6 +170,6 @@ def parse_prometheus_families(text: str) -> Mapping[str, str]:
         if base not in families:
             raise ValueError(f"sample {name!r} has no TYPE declaration")
         value = line.rsplit(" ", 1)[-1]
-        if value != "+Inf":
+        if value not in ("+Inf", "-Inf", "NaN"):
             float(value)  # raises ValueError when malformed
     return families

@@ -1,0 +1,200 @@
+"""Structured event logging: one bounded NDJSON ring for the whole stack.
+
+An :class:`EventLog` is the narrative companion to the metrics registry
+and the stage tracer: every interesting *event* — a processed batch, a
+cadence checkpoint tick, a supervised recovery, an injected fault, an
+SSE subscriber coming or going, an HTTP request line — lands as one
+structured record in a bounded in-memory ring (and, optionally, one
+NDJSON line in a file sink for ``serve --log-file``).
+
+Records are plain dicts with a fixed envelope::
+
+    {"seq": 41, "ts": 1723111845.2, "level": "info", "event": "batch",
+     "trace_id": "batch-000000000256", "span_id": 0, ...fields}
+
+``seq`` is a monotonic sequence number that survives checkpoint→resume
+(it rides :meth:`Observability.snapshot`), so a resumed server's log
+trail continues where the interrupted run stopped instead of starting
+over at zero.  ``trace_id``/``span_id`` are read from the bound
+:class:`~repro.observability.tracing.StageTracer`'s thread-local state
+at emit time, which is what correlates a log record with the span tree
+``GET /trace`` shows — e.g. a recovery record carries the trace id of
+the supervisor's ``recovery`` span.
+
+The disabled default is :data:`NULL_EVENT_LOG`: ``emit`` is a no-op
+costing one call and zero retained allocations, so library embedders
+pay nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from typing import Deque, List, Optional
+
+#: Bound of the record ring.  Records are small dicts; ~2k of them keep
+#: minutes of serving history inspectable without growing the process.
+DEFAULT_LOG_CAPACITY = 2048
+
+
+class EventLog:
+    """Bounded structured-record ring with an optional NDJSON file sink."""
+
+    enabled = True
+
+    def __init__(self, capacity: int = DEFAULT_LOG_CAPACITY,
+                 tracer=None, registry=None, now=None,
+                 path: Optional[str] = None):
+        self._records: Deque[dict] = deque(maxlen=int(capacity))
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._tracer = tracer
+        self._now = now or time.time
+        self._sink = None
+        self._metric_records = None
+        self._metric_children = {}
+        if registry is not None and registry.enabled:
+            self._metric_records = registry.counter(
+                "repro_logging_records_total",
+                help="Structured log records emitted, labeled by level.",
+            )
+        if path is not None:
+            self.open_file(path)
+
+    # -- sinks -----------------------------------------------------------------
+
+    def open_file(self, path: str) -> None:
+        """Append NDJSON records to ``path`` (line-buffered, best effort)."""
+        self.close()
+        self._sink = open(path, "a", buffering=1, encoding="utf-8")
+
+    def close(self) -> None:
+        sink, self._sink = self._sink, None
+        if sink is not None:
+            try:
+                sink.close()
+            except OSError:
+                pass
+
+    # -- recording -------------------------------------------------------------
+
+    def emit(self, event: str, level: str = "info", **fields) -> dict:
+        """Record one structured event; trace/span ids attach themselves.
+
+        ``fields`` must be JSON-safe (strings, numbers, bools, short
+        lists) — the record is rendered verbatim on ``GET /logs`` and in
+        the file sink.
+        """
+        record = {"seq": 0, "ts": self._now(), "level": level,
+                  "event": event}
+        state = getattr(self._tracer, "_state", None)
+        if state is not None and state.trace_id is not None:
+            record["trace_id"] = state.trace_id
+            if state.stack:
+                record["span_id"] = state.stack[-1].span_id
+        if fields:
+            record.update(fields)
+        with self._lock:
+            self._seq += 1
+            record["seq"] = self._seq
+            self._records.append(record)
+        if self._metric_records is not None:
+            child = self._metric_children.get(level)
+            if child is None:
+                child = self._metric_records.labels(level=level)
+                self._metric_children[level] = child
+            child.inc()
+        sink = self._sink
+        if sink is not None:
+            try:
+                sink.write(json.dumps(record, sort_keys=True) + "\n")
+            except (OSError, ValueError):
+                # A full disk or a closed sink must never take the
+                # serving path down; the ring still has the record.
+                pass
+        return record
+
+    def merge(self, record: dict, **extra_fields) -> dict:
+        """Adopt a record produced elsewhere (a shard worker's pending
+        log), restamping it with this log's sequence and the current
+        trace context, plus ``extra_fields`` (e.g. ``shard=``)."""
+        fields = {
+            key: value for key, value in record.items()
+            if key not in ("seq", "ts", "level", "event",
+                           "trace_id", "span_id")
+        }
+        fields.update(extra_fields)
+        return self.emit(
+            record.get("event", "event"),
+            level=record.get("level", "info"),
+            **fields,
+        )
+
+    # -- export ----------------------------------------------------------------
+
+    @property
+    def sequence(self) -> int:
+        """The last assigned record sequence number."""
+        with self._lock:
+            return self._seq
+
+    def restore_sequence(self, value: int) -> None:
+        """Continue numbering from a checkpointed sequence (max-merge)."""
+        with self._lock:
+            self._seq = max(self._seq, int(value))
+
+    def records(self, last: Optional[int] = None) -> List[dict]:
+        """The most recent records, oldest first; ``last`` caps them."""
+        with self._lock:
+            records = list(self._records)
+        if last is not None and last >= 0:
+            records = records[len(records) - min(last, len(records)):]
+        return [dict(record) for record in records]
+
+    def render_ndjson(self, last: Optional[int] = None) -> str:
+        """The ring as NDJSON, one record per line (``GET /logs``)."""
+        lines = [
+            json.dumps(record, sort_keys=True)
+            for record in self.records(last=last)
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+
+
+class NullEventLog:
+    """The zero-cost default: ``emit`` discards, readers are empty."""
+
+    enabled = False
+    sequence = 0
+
+    def emit(self, event: str, level: str = "info", **fields) -> None:
+        pass
+
+    def merge(self, record: dict, **extra_fields) -> None:
+        pass
+
+    def open_file(self, path: str) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def restore_sequence(self, value: int) -> None:
+        pass
+
+    def records(self, last: Optional[int] = None) -> list:
+        return []
+
+    def render_ndjson(self, last: Optional[int] = None) -> str:
+        return ""
+
+    def clear(self) -> None:
+        pass
+
+
+NULL_EVENT_LOG = NullEventLog()

@@ -1,0 +1,298 @@
+"""Declarative SLOs with multi-window burn rates over the live registry.
+
+An :class:`SloTracker` turns the raw counter/histogram families into
+answers to the operator's actual question — "are we inside our latency
+and availability objectives, and how fast are we burning error budget
+right now?":
+
+* every objective reduces to a cumulative ``(good, total)`` pair read
+  from the registry — an **availability** objective divides a good
+  counter by good+bad (e.g. batches processed vs batch errors), a
+  **latency** objective counts histogram observations at or under the
+  threshold bucket (Prometheus ``le`` semantics, so the answer is exact
+  at bucket bounds, conservative between them);
+* :meth:`tick` — called at batch boundaries by the serving consumer —
+  appends the reductions to a bounded ring of timestamped snapshots;
+* :meth:`report` replays that ring into per-window deltas: attainment
+  over the last 5 minutes / last hour / process lifetime, and the burn
+  rate ``(1 - attainment) / (1 - target)`` (1.0 = burning budget
+  exactly at the sustainable rate; 14.4 on a 99.9% objective is the
+  classic "page now" threshold).
+
+Objectives are plain declarative specs (see :data:`DEFAULT_OBJECTIVES`
+and :meth:`SloObjective.from_spec`), so a deployment can swap its own
+in without touching the reduction machinery.  Attainment and burn rate
+are re-exported as ``repro_slo_*`` gauges on every report, so scrape
+pipelines can alert on them without parsing ``GET /slo``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+#: Rolling windows reported per objective, besides the implicit
+#: process-lifetime ``total`` window: (label, seconds).
+DEFAULT_WINDOWS: Tuple[Tuple[str, float], ...] = (
+    ("5m", 300.0),
+    ("1h", 3600.0),
+)
+
+#: Bound of the tick ring: at one tick per served batch this spans
+#: hours of history, and old ticks only matter up to the widest window.
+DEFAULT_TICK_CAPACITY = 4096
+
+
+class SloObjective:
+    """One declarative objective: what counts as good, and the target."""
+
+    __slots__ = ("name", "kind", "target", "metric", "threshold_s",
+                 "good", "bad", "description")
+
+    def __init__(self, name: str, kind: str, target: float,
+                 metric: Optional[str] = None,
+                 threshold_s: Optional[float] = None,
+                 good: Optional[str] = None,
+                 bad: Optional[str] = None,
+                 description: str = ""):
+        if kind not in ("latency", "availability"):
+            raise ValueError(f"unknown objective kind {kind!r}")
+        if not 0.0 < float(target) < 1.0:
+            raise ValueError("target must be a ratio in (0, 1)")
+        if kind == "latency" and (metric is None or threshold_s is None):
+            raise ValueError("latency objectives need metric + threshold_s")
+        if kind == "availability" and (good is None or bad is None):
+            raise ValueError("availability objectives need good + bad")
+        self.name = name
+        self.kind = kind
+        self.target = float(target)
+        self.metric = metric
+        self.threshold_s = None if threshold_s is None else float(threshold_s)
+        self.good = good
+        self.bad = bad
+        self.description = description
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "SloObjective":
+        """Build from a plain dict (the README's configuration shape)."""
+        return cls(**{key: spec[key] for key in spec
+                      if key in cls.__slots__})
+
+    def to_spec(self) -> dict:
+        spec = {"name": self.name, "kind": self.kind, "target": self.target}
+        if self.kind == "latency":
+            spec["metric"] = self.metric
+            spec["threshold_s"] = self.threshold_s
+        else:
+            spec["good"] = self.good
+            spec["bad"] = self.bad
+        if self.description:
+            spec["description"] = self.description
+        return spec
+
+    # -- reduction -------------------------------------------------------------
+
+    def reduce(self, registry) -> Tuple[float, float]:
+        """The cumulative ``(good, total)`` this objective reads now."""
+        if self.kind == "availability":
+            good = _counter_total(registry, self.good)
+            bad = _counter_total(registry, self.bad)
+            return good, good + bad
+        good = total = 0.0
+        family = registry.get(self.metric)
+        for _key, child in ([] if family is None else family.samples()):
+            cumulative, _sum, count = child.merged()
+            index = bisect.bisect_left(child.buckets, self.threshold_s)
+            index = min(index, len(cumulative) - 1)
+            good += cumulative[index]
+            total += count
+        return good, total
+
+
+def _counter_total(registry, name: str) -> float:
+    family = registry.get(name)
+    if family is None:
+        return 0.0
+    return sum(child.value for _key, child in family.samples())
+
+
+#: The serving stack's out-of-the-box objectives; deployments pass
+#: their own list (or ``SloObjective.from_spec`` dicts) to override.
+DEFAULT_OBJECTIVES: Tuple[SloObjective, ...] = (
+    SloObjective(
+        name="batch_latency",
+        kind="latency",
+        metric="repro_serving_batch_seconds",
+        threshold_s=0.250,
+        target=0.99,
+        description="99% of served batches go ingest→publish in <250ms.",
+    ),
+    SloObjective(
+        name="ingest_availability",
+        kind="availability",
+        good="repro_serving_batches_processed_total",
+        bad="repro_serving_batch_errors_total",
+        target=0.999,
+        description="99.9% of accepted batches reach the engine cleanly.",
+    ),
+    SloObjective(
+        name="sse_delivery",
+        kind="availability",
+        good="repro_serving_sse_frames_total",
+        bad="repro_serving_sse_dropped_frames_total",
+        target=0.999,
+        description="99.9% of ranking frames reach subscriber buffers.",
+    ),
+)
+
+
+class SloTracker:
+    """Tick-driven multi-window burn-rate computation over the registry."""
+
+    enabled = True
+
+    def __init__(self, registry,
+                 objectives: Optional[Sequence] = None,
+                 clock=None,
+                 windows: Sequence[Tuple[str, float]] = DEFAULT_WINDOWS,
+                 capacity: int = DEFAULT_TICK_CAPACITY):
+        self._registry = registry
+        if objectives is None:
+            objectives = DEFAULT_OBJECTIVES
+        self.objectives: List[SloObjective] = [
+            objective if isinstance(objective, SloObjective)
+            else SloObjective.from_spec(objective)
+            for objective in objectives
+        ]
+        self.clock = clock or time.monotonic
+        self.windows = tuple((str(label), float(seconds))
+                             for label, seconds in windows)
+        self._ticks: Deque[Tuple[float, Tuple[Tuple[float, float], ...]]] = \
+            deque(maxlen=int(capacity))
+        self._lock = threading.Lock()
+        self._metric_ticks = None
+        self._gauge_attainment = None
+        self._gauge_burn = None
+        if registry is not None and registry.enabled:
+            self._metric_ticks = registry.counter(
+                "repro_slo_ticks_total",
+                help="SLO evaluation ticks taken at batch boundaries.",
+            )
+            self._gauge_attainment = registry.gauge(
+                "repro_slo_attainment",
+                help="Fraction of good events, by objective and window.",
+            )
+            self._gauge_burn = registry.gauge(
+                "repro_slo_burn_rate",
+                help="Error-budget burn rate, by objective and window "
+                     "(1.0 = sustainable).",
+            )
+
+    # -- recording -------------------------------------------------------------
+
+    def tick(self, now: Optional[float] = None) -> None:
+        """Snapshot every objective's cumulative (good, total) pair."""
+        if now is None:
+            now = self.clock()
+        reductions = tuple(
+            objective.reduce(self._registry) for objective in self.objectives
+        )
+        with self._lock:
+            self._ticks.append((float(now), reductions))
+        if self._metric_ticks is not None:
+            self._metric_ticks.inc()
+
+    # -- reporting -------------------------------------------------------------
+
+    def report(self, now: Optional[float] = None) -> List[dict]:
+        """Per-objective attainment + burn rate across every window."""
+        if now is None:
+            now = self.clock()
+        with self._lock:
+            ticks = list(self._ticks)
+        reports = []
+        for position, objective in enumerate(self.objectives):
+            current = (ticks[-1][1][position] if ticks
+                       else objective.reduce(self._registry))
+            windows = {}
+            for label, seconds in self.windows + (("total", None),):
+                base = (0.0, 0.0)
+                if seconds is not None:
+                    base = _baseline(ticks, position, now - seconds)
+                good = current[0] - base[0]
+                total = current[1] - base[1]
+                attainment = (good / total) if total > 0 else 1.0
+                burn = (1.0 - attainment) / (1.0 - objective.target)
+                windows[label] = {
+                    "good": good,
+                    "total": total,
+                    "attainment": attainment,
+                    "burn_rate": burn,
+                }
+                self._export(objective.name, label, attainment, burn)
+            reports.append({
+                **objective.to_spec(),
+                "windows": windows,
+                "met": windows["total"]["attainment"] >= objective.target,
+            })
+        return reports
+
+    def summary(self) -> dict:
+        """The compact per-objective digest ``GET /status`` inlines."""
+        digest = {}
+        for report in self.report():
+            worst = max(
+                window["burn_rate"] for window in report["windows"].values()
+            )
+            digest[report["name"]] = {
+                "target": report["target"],
+                "attainment": report["windows"]["total"]["attainment"],
+                "worst_burn_rate": worst,
+                "met": report["met"],
+            }
+        return digest
+
+    def _export(self, objective: str, window: str,
+                attainment: float, burn: float) -> None:
+        if self._gauge_attainment is None:
+            return
+        labels = {"objective": objective, "window": window}
+        self._gauge_attainment.labels(**labels).set(attainment)
+        self._gauge_burn.labels(**labels).set(burn)
+
+
+def _baseline(ticks, position: int, cutoff: float) -> Tuple[float, float]:
+    """The cumulative pair at the last tick at or before ``cutoff``.
+
+    No tick that old (the process is younger than the window) means the
+    window degenerates to "since start", i.e. a zero baseline.
+    """
+    base = (0.0, 0.0)
+    for timestamp, reductions in ticks:
+        if timestamp > cutoff:
+            break
+        base = reductions[position]
+    return base
+
+
+class NullSloTracker:
+    """The zero-cost default: ticks discard, reports are empty."""
+
+    enabled = False
+    objectives: tuple = ()
+    windows: tuple = ()
+
+    def tick(self, now: Optional[float] = None) -> None:
+        pass
+
+    def report(self, now: Optional[float] = None) -> list:
+        return []
+
+    def summary(self) -> dict:
+        return {}
+
+
+NULL_SLO = NullSloTracker()

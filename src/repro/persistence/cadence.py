@@ -171,6 +171,14 @@ class CheckpointCadence:
             started = clock()
             self._write_tick_inner()
             elapsed = clock() - started
+            # Emitted inside the span so the record carries the
+            # checkpoint trace id, pairing /logs with /trace.
+            observability.log.emit(
+                "checkpoint",
+                mode=mode,
+                seconds=round(elapsed, 6),
+                checkpoints_written=self.checkpoints_written,
+            )
         registry = observability.registry
         registry.histogram("repro_persistence_checkpoint_seconds") \
             .labels(mode=mode).observe(elapsed)

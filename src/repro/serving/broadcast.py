@@ -159,12 +159,25 @@ class AsyncFanout:
             subscriber_id, buffer_limit or self.buffer_limit
         )
         self._subscriptions[subscriber_id] = subscription
+        self._log_event("sse_subscribe", subscriber=subscriber_id)
         return subscription
 
     def unsubscribe(self, subscription: Subscription) -> None:
         """Close one subscription and stop delivering to it (idempotent)."""
-        self._subscriptions.pop(subscription.subscriber_id, None)
+        removed = self._subscriptions.pop(subscription.subscriber_id, None)
         subscription.close()
+        if removed is not None:
+            self._log_event(
+                "sse_unsubscribe",
+                subscriber=subscription.subscriber_id,
+                dropped=subscription.dropped,
+            )
+
+    def _log_event(self, event: str, **fields) -> None:
+        observability = self._observability
+        if observability is not None:
+            observability.log.emit(event, subscribers=self.subscriber_count(),
+                                   **fields)
 
     def close(self) -> None:
         """End every subscription's stream (idempotent).
@@ -175,9 +188,11 @@ class AsyncFanout:
         if self._closed:
             return
         self._closed = True
+        ended = len(self._subscriptions)
         for subscription in list(self._subscriptions.values()):
             subscription.close()
         self._subscriptions.clear()
+        self._log_event("sse_close", ended=ended)
 
     def _deliver(self, message: PushMessage) -> None:
         subscriptions = list(self._subscriptions.values())

@@ -21,6 +21,15 @@ new dependencies), exposing:
   text exposition format.
 * ``GET /trace?last=N`` — the most recent pipeline stage traces as
   NDJSON, one per-batch span tree per line.
+* ``GET /profile?seconds=N&format=collapsed|json`` — run the sampling
+  profiler for N seconds (capped) and return the folded-stack counts in
+  flamegraph "collapsed" format (or JSON).  If the profiler is already
+  running continuously, the window is carved out of the live counts
+  without stopping it.
+* ``GET /logs?last=N`` — the most recent structured log records as
+  NDJSON, one event per line, trace/span ids included.
+* ``GET /slo`` — the declarative service-level objectives with per-window
+  attainment and burn rates.
 
 Non-SSE connections are persistent: HTTP/1.1 requests keep the
 connection open (and pipelined pollers reuse it) unless the client sends
@@ -41,6 +50,7 @@ from urllib.parse import parse_qs
 from repro.observability import (
     NDJSON_CONTENT_TYPE,
     PROMETHEUS_CONTENT_TYPE,
+    render_collapsed,
     render_prometheus,
     render_trace_ndjson,
 )
@@ -54,6 +64,14 @@ RETRY_AFTER_SECONDS = 5
 
 #: Default number of traces ``GET /trace`` returns without a ``last=N``.
 DEFAULT_TRACE_LAST = 16
+
+#: Default number of log records ``GET /logs`` returns without ``last=N``.
+DEFAULT_LOGS_LAST = 64
+
+#: Default and maximum sampling window of ``GET /profile`` (seconds).
+#: The cap keeps a single request from parking a handler for minutes.
+DEFAULT_PROFILE_SECONDS = 1.0
+MAX_PROFILE_SECONDS = 30.0
 
 #: Cap on request bodies; an ingest batch should be chunks, not the
 #: whole archive in one request.
@@ -159,6 +177,11 @@ class RankingServer:
                 if request is None:
                     return
                 method, path, query, headers, body, version = request
+                # Access log: one structured record per request line (a
+                # no-op on the null log; /logs consumers filter by event).
+                self.service.observability.log.emit(
+                    "http_request", method=method, path=path
+                )
                 connection = headers.get("connection", "").lower()
                 # HTTP/1.1 defaults to persistent connections; HTTP/1.0
                 # only keeps alive on explicit request.
@@ -197,6 +220,20 @@ class RankingServer:
                     keep_alive = await self._handle_trace(
                         writer, query, keep_alive
                     )
+                elif method == "GET" and path == "/profile":
+                    keep_alive = await self._handle_profile(
+                        writer, query, keep_alive
+                    )
+                elif method == "GET" and path == "/logs":
+                    keep_alive = await self._handle_logs(
+                        writer, query, keep_alive
+                    )
+                elif method == "GET" and path == "/slo":
+                    observability = self.service.observability
+                    keep_alive = await self._respond_json(writer, 200, {
+                        "objectives": observability.slo.report(),
+                        "summary": observability.slo.summary(),
+                    }, keep_alive)
                 else:
                     keep_alive = await self._respond_json(
                         writer, 404,
@@ -365,6 +402,77 @@ class RankingServer:
             render_trace_ndjson(
                 self.service.observability.tracer, last=last
             ),
+            NDJSON_CONTENT_TYPE,
+            keep_alive,
+        )
+
+    async def _handle_profile(self, writer: asyncio.StreamWriter,
+                              query: str, keep_alive: bool = False) -> bool:
+        params = parse_qs(query)
+        raw = params.get("seconds", [None])[0]
+        seconds = DEFAULT_PROFILE_SECONDS
+        if raw is not None:
+            try:
+                seconds = float(raw)
+                if not 0 <= seconds <= MAX_PROFILE_SECONDS:
+                    raise ValueError
+            except ValueError:
+                return await self._respond_json(
+                    writer, 400,
+                    {"error": f"'seconds' must be a number in "
+                              f"[0, {MAX_PROFILE_SECONDS:g}], got {raw!r}"},
+                    keep_alive,
+                )
+        fmt = params.get("format", ["collapsed"])[0]
+        if fmt not in ("collapsed", "json"):
+            return await self._respond_json(
+                writer, 400,
+                {"error": f"'format' must be 'collapsed' or 'json', "
+                          f"got {fmt!r}"},
+                keep_alive,
+            )
+        profiler = self.service.observability.profiler
+        # Carve the requested window out of the live counts: snapshot,
+        # sample for `seconds`, diff.  A profiler someone else started
+        # (e.g. the continuous CLI mode) keeps running afterwards; one
+        # started here is stopped again so an idle server stays idle.
+        baseline = profiler.counts()
+        started_here = profiler.ensure_running()
+        if seconds:
+            await asyncio.sleep(seconds)
+        counts = profiler.counts_since(baseline)
+        if started_here:
+            profiler.stop()
+        if fmt == "json":
+            return await self._respond_json(writer, 200, {
+                "seconds": seconds,
+                "samples": sum(counts.values()),
+                "stacks": counts,
+            }, keep_alive)
+        return await self._respond_text(
+            writer, 200, render_collapsed(counts),
+            "text/plain; charset=utf-8", keep_alive,
+        )
+
+    async def _handle_logs(self, writer: asyncio.StreamWriter,
+                           query: str, keep_alive: bool = False) -> bool:
+        last = DEFAULT_LOGS_LAST
+        raw = parse_qs(query).get("last", [None])[0]
+        if raw is not None:
+            try:
+                last = int(raw)
+                if last < 0:
+                    raise ValueError
+            except ValueError:
+                return await self._respond_json(
+                    writer, 400,
+                    {"error": f"'last' must be a non-negative integer, "
+                              f"got {raw!r}"},
+                    keep_alive,
+                )
+        return await self._respond_text(
+            writer, 200,
+            self.service.observability.log.render_ndjson(last=last),
             NDJSON_CONTENT_TYPE,
             keep_alive,
         )

@@ -87,6 +87,8 @@ class ShardBackend:
     _health_records: Optional[List[dict]] = None
     _metric_dispatch: Optional[List] = None
     _metric_events: Optional[List] = None
+    _metric_shard_stage: Optional[List[dict]] = None
+    _shard_stage_family = None
     _clock = staticmethod(time.perf_counter)
     #: Bound fault-injection plan (tests/chaos only).  The hook sites all
     #: guard with ``if self._fault_plan is not None`` so the production
@@ -99,6 +101,15 @@ class ShardBackend:
     def bind_fault_plan(self, plan) -> None:
         """Attach a :class:`repro.faults.FaultPlan` (None detaches)."""
         self._fault_plan = plan
+        self._bind_fault_log()
+
+    def _bind_fault_log(self) -> None:
+        # Fired drills document themselves in the event log, so the
+        # chaos-smoke job can assert the injection → recovery trail.
+        plan, observability = self._fault_plan, self._observability
+        if plan is not None and observability is not None \
+                and hasattr(plan, "bind_log"):
+            plan.bind_log(observability.log)
 
     # -- health / metrics ------------------------------------------------------
 
@@ -108,6 +119,7 @@ class ShardBackend:
         if observability is not None:
             self._clock = observability.clock
         self._bind_metrics()
+        self._bind_fault_log()
 
     def health(self) -> List[dict]:
         """Per-shard health, without synchronising with the workers.
@@ -146,6 +158,8 @@ class ShardBackend:
                 or records is None:
             self._metric_dispatch = None
             self._metric_events = None
+            self._metric_shard_stage = None
+            self._shard_stage_family = None
             return
         registry = observability.registry
         dispatch = registry.histogram("repro_sharding_dispatch_seconds")
@@ -156,6 +170,18 @@ class ShardBackend:
         ]
         self._metric_events = [
             events.labels(shard=str(shard_id))
+            for shard_id in range(len(records))
+        ]
+        # Worker-side stage timings, shipped back by every backend's
+        # telemetry drain; children are pre-built for the known stages
+        # so the merge path is two dict hits per entry.
+        stage = registry.histogram("repro_sharding_shard_stage_seconds")
+        self._shard_stage_family = stage
+        self._metric_shard_stage = [
+            {
+                name: stage.labels(shard=str(shard_id), stage=name)
+                for name in ("ingest", "evaluate")
+            }
             for shard_id in range(len(records))
         ]
         # Queue depth is a live read at scrape time, not a maintained
@@ -187,6 +213,34 @@ class ShardBackend:
         if observability is not None and observability.enabled:
             observability.registry.counter(_FAILURE_METRICS[kind]) \
                 .labels(shard=str(shard_id)).inc()
+
+    def _merge_telemetry(self, shard_id: int,
+                         telemetry: Optional[Mapping]) -> None:
+        """Fold one shard's drained telemetry into coordinator families.
+
+        ``telemetry`` is what :meth:`ShardWorker.drain_telemetry`
+        returned — stage timings land in
+        ``repro_sharding_shard_stage_seconds{shard=,stage=}``, queued
+        log records are re-stamped into the coordinator's event log with
+        their shard id attached.
+        """
+        if not telemetry:
+            return
+        children = self._metric_shard_stage
+        if children is not None and 0 <= shard_id < len(children):
+            shard_children = children[shard_id]
+            for stage, seconds in telemetry.get("stages", ()):
+                child = shard_children.get(stage)
+                if child is None:
+                    child = self._shard_stage_family.labels(
+                        shard=str(shard_id), stage=stage
+                    )
+                    shard_children[stage] = child
+                child.observe(seconds)
+        observability = self._observability
+        if observability is not None and observability.enabled:
+            for record in telemetry.get("logs", ()):
+                observability.log.merge(record, shard=shard_id)
 
     def _shard_alive(self, shard_id: int) -> bool:
         return not getattr(self, "_closed", False)
@@ -280,13 +334,17 @@ class SerialBackend(ShardBackend):
                     self._record_failure(shard_id, "ingest")
                     raise
                 self._record_dispatch(shard_id, len(events), clock() - start)
+                self._merge_telemetry(shard_id, worker.drain_telemetry())
 
     def evaluate(self, timestamp, seeds, tag_counts, total_documents):
         self._ensure_open()
-        return [
-            worker.evaluate(timestamp, seeds, tag_counts, total_documents)
-            for worker in self.workers
-        ]
+        results = []
+        for shard_id, worker in enumerate(self.workers):
+            results.append(
+                worker.evaluate(timestamp, seeds, tag_counts, total_documents)
+            )
+            self._merge_telemetry(shard_id, worker.drain_telemetry())
+        return results
 
     def stats(self) -> List[dict]:
         self._ensure_open()
@@ -299,8 +357,9 @@ class SerialBackend(ShardBackend):
     def restore_states(self, states: Sequence[Mapping]) -> None:
         self._ensure_open()
         self._require_state_per_shard(states, len(self.workers))
-        for worker, state in zip(self.workers, states):
+        for shard_id, (worker, state) in enumerate(zip(self.workers, states)):
             worker.restore(state)
+            self._merge_telemetry(shard_id, worker.drain_telemetry())
 
     def begin_delta_tracking(self) -> None:
         self._ensure_open()
@@ -331,11 +390,20 @@ def _shard_loop(worker: ShardWorker, connection) -> None:
     """Request loop of one shard process.
 
     Ingest requests carry no reply; request/reply operations (``evaluate``,
-    ``stats``) answer ``("ok", value)`` or ``("error", traceback)``.  An
+    ``stats``) answer ``("ok", value, telemetry)`` or ``("error",
+    traceback)``.  The third element piggybacks the worker's drained
+    stage timings and queued log records on the reply the coordinator
+    was reading anyway — in-shard telemetry ships for free, with no
+    extra pipe round-trip (ingest telemetry rides the next sync point,
+    by the same FIFO argument the protocol already rests on).  An
     ingest failure is remembered and surfaces at the next reply, so the
     coordinator's fire-and-forget dispatch cannot silently lose an error.
     """
     failure: Optional[str] = None
+
+    def reply_ok(value) -> None:
+        connection.send(("ok", value, worker.drain_telemetry()))
+
     while True:
         try:
             operation, payload = connection.recv()
@@ -353,46 +421,46 @@ def _shard_loop(worker: ShardWorker, connection) -> None:
             connection.send(("error", failure))
         elif operation == "evaluate":
             try:
-                connection.send(("ok", worker.evaluate(*payload)))
+                reply_ok(worker.evaluate(*payload))
             except Exception:
                 failure = traceback.format_exc()
                 connection.send(("error", failure))
         elif operation == "stats":
             try:
-                connection.send(("ok", worker.stats()))
+                reply_ok(worker.stats())
             except Exception:
                 failure = traceback.format_exc()
                 connection.send(("error", failure))
         elif operation == "collect_state":
             try:
-                connection.send(("ok", worker.snapshot()))
+                reply_ok(worker.snapshot())
             except Exception:
                 failure = traceback.format_exc()
                 connection.send(("error", failure))
         elif operation == "begin_delta":
             try:
                 worker.begin_delta_tracking()
-                connection.send(("ok", None))
+                reply_ok(None)
             except Exception:
                 failure = traceback.format_exc()
                 connection.send(("error", failure))
         elif operation == "end_delta":
             try:
                 worker.end_delta_tracking()
-                connection.send(("ok", None))
+                reply_ok(None)
             except Exception:
                 failure = traceback.format_exc()
                 connection.send(("error", failure))
         elif operation == "collect_delta":
             try:
-                connection.send(("ok", worker.delta_since(payload)))
+                reply_ok(worker.delta_since(payload))
             except Exception:
                 failure = traceback.format_exc()
                 connection.send(("error", failure))
         elif operation == "restore_state":
             try:
                 worker.restore(payload)
-                connection.send(("ok", None))
+                reply_ok(None)
             except Exception:
                 failure = traceback.format_exc()
                 connection.send(("error", failure))
@@ -540,7 +608,8 @@ class ProcessBackend(ShardBackend):
             try:
                 if self._fault_plan is not None:
                     self._fault_plan.on_gather(shard_id, operation)
-                status, value = pipe.recv()
+                message = pipe.recv()
+                status, value = message[0], message[1]
             except (EOFError, OSError) as exc:
                 self._record_failure(shard_id, "dead")
                 self._reap()
@@ -557,6 +626,8 @@ class ProcessBackend(ShardBackend):
                     f"shard {shard_id} failed during {operation}:\n{value}",
                     shard_id=shard_id,
                 )
+            if len(message) > 2:
+                self._merge_telemetry(shard_id, message[2])
             results.append(value)
         return results
 
@@ -617,18 +688,20 @@ class ProcessBackend(ShardBackend):
 
 
 class _Reply:
-    """One request's reply slot: an event plus the (status, value) pair."""
+    """One request's reply slot: an event plus status, value, telemetry."""
 
-    __slots__ = ("event", "status", "value")
+    __slots__ = ("event", "status", "value", "telemetry")
 
     def __init__(self) -> None:
         self.event = threading.Event()
         self.status = "ok"
         self.value = None
+        self.telemetry = None
 
-    def resolve(self, status: str, value) -> None:
+    def resolve(self, status: str, value, telemetry=None) -> None:
         self.status = status
         self.value = value
+        self.telemetry = telemetry
         self.event.set()
 
 
@@ -714,7 +787,9 @@ def _shard_thread_loop(worker: ShardWorker, channel: _ThreadChannel,
             failure = traceback.format_exc()
             reply.resolve("error", failure)
             continue
-        reply.resolve("ok", result)
+        # Telemetry rides the reply slot by reference — the thread
+        # analogue of the process loop's third tuple element.
+        reply.resolve("ok", result, worker.drain_telemetry())
 
 
 class ThreadBackend(ShardBackend):
@@ -891,6 +966,7 @@ class ThreadBackend(ShardBackend):
                     f"{reply.value}",
                     shard_id=shard_id,
                 )
+            self._merge_telemetry(shard_id, reply.telemetry)
             results.append(reply.value)
         return results
 

@@ -382,8 +382,17 @@ class SupervisedBackend(ShardBackend):
             self._retries += 1
             if self._metric_retries is not None:
                 self._metric_retries.labels(operation=operation).inc()
+            self._emit_log(
+                "shard_retry",
+                level="warning",
+                operation=operation,
+                attempt=attempt,
+                shard=failed_shard,
+                error=str(failure),
+            )
             if attempt > policy.max_retries:
-                self._escalate(operation, attempt - 1, failure)
+                self._escalate(operation, attempt - 1, failure,
+                               shard=failed_shard)
             delay = policy.backoff(attempt)
             if delay > 0:
                 if self._metric_backoff is not None:
@@ -402,10 +411,11 @@ class SupervisedBackend(ShardBackend):
             except Exception as exc:
                 # Anything else (corrupt checkpoint, unpartitionable
                 # state) means no recovery source exists: escalate now.
-                self._escalate(operation, attempt, exc)
+                self._escalate(operation, attempt, exc, shard=failed_shard)
 
     def _escalate(self, operation: str, attempts: int,
-                  failure: Optional[BaseException]) -> None:
+                  failure: Optional[BaseException],
+                  shard: Optional[int] = None) -> None:
         self._permanent = (
             f"{operation} failed after {attempts} recovery attempt(s): "
             f"{failure}"
@@ -413,6 +423,14 @@ class SupervisedBackend(ShardBackend):
         self._recovering.clear()
         if self._metric_permanent is not None:
             self._metric_permanent.inc()
+        self._emit_log(
+            "permanent_failure",
+            level="error",
+            operation=operation,
+            attempts=attempts,
+            shard=shard,
+            error=str(failure),
+        )
         try:
             self._inner.close()
         except Exception:  # pragma: no cover
@@ -450,9 +468,28 @@ class SupervisedBackend(ShardBackend):
             if self._metric_recovery_seconds is not None:
                 self._metric_recovery_seconds.observe(
                     self.policy.clock() - started)
+            # Emitted while the recovery span is still open, so the
+            # record carries its trace id — the /logs ↔ /trace join the
+            # chaos smoke asserts.
+            self._emit_log(
+                "recovery",
+                level="warning",
+                shard=failed_shard,
+                recoveries=self._recoveries,
+                **(self._last_recovery or {"source": "degraded"}),
+            )
         finally:
             if span is not None:
                 span.__exit__(None, None, None)
+
+    def _emit_log(self, event: str, level: str = "info", **fields) -> None:
+        observability = self._observability
+        if observability is not None:
+            observability.log.emit(
+                event, level=level,
+                **{key: value for key, value in fields.items()
+                   if value is not None},
+            )
 
     def _recovery_source(self):
         """Pick ``(base, suffix, armed, origin)`` for an exact rebuild.

@@ -20,6 +20,7 @@ dataclasses), so they pickle cleanly into worker processes.
 
 from __future__ import annotations
 
+import time
 from typing import Iterable, List, Mapping, Optional, Tuple
 
 from repro.core.config import EnBlogueConfig
@@ -61,6 +62,49 @@ class ShardWorker:
         self._fused = make_fused_evaluator(
             self.tracker, self.detector, self.builder, enabled=vectorize
         )
+        # Worker-side telemetry: stage timings and structured log
+        # records accumulate here (bounded) and are drained by the
+        # backend — piggybacked on pipe replies for process workers —
+        # so the coordinator's /metrics and /logs cover the inside of
+        # every shard, not just dispatch totals.
+        self._stage_timings: List[Tuple[str, float]] = []
+        self._pending_logs: List[dict] = []
+        self._clock = time.perf_counter
+
+    # -- telemetry ------------------------------------------------------------
+
+    #: Bound on buffered telemetry between drains; drains happen at
+    #: every sync point, so hitting the cap means nobody is listening
+    #: (a NOOP coordinator) and old entries are dropped oldest-first.
+    TELEMETRY_CAPACITY = 512
+
+    def _record_stage(self, stage: str, seconds: float) -> None:
+        timings = self._stage_timings
+        timings.append((stage, seconds))
+        if len(timings) > self.TELEMETRY_CAPACITY:
+            del timings[: len(timings) - self.TELEMETRY_CAPACITY]
+
+    def log_event(self, event: str, level: str = "info", **fields) -> None:
+        """Queue one structured record for the coordinator's event log."""
+        logs = self._pending_logs
+        record = {"event": event, "level": level}
+        record.update(fields)
+        logs.append(record)
+        if len(logs) > self.TELEMETRY_CAPACITY:
+            del logs[: len(logs) - self.TELEMETRY_CAPACITY]
+
+    def drain_telemetry(self) -> Optional[dict]:
+        """Pending stage timings + log records, cleared; None when empty."""
+        if not self._stage_timings and not self._pending_logs:
+            return None
+        telemetry = {}
+        if self._stage_timings:
+            telemetry["stages"] = self._stage_timings
+            self._stage_timings = []
+        if self._pending_logs:
+            telemetry["logs"] = self._pending_logs
+            self._pending_logs = []
+        return telemetry
 
     @property
     def evaluation_path(self) -> str:
@@ -71,7 +115,10 @@ class ShardWorker:
 
     def ingest(self, events: Iterable[ShardEvent]) -> int:
         """Ingest a time-ordered chunk of this shard's pair events."""
-        return self.tracker.observe_pair_events(events)
+        started = self._clock()
+        count = self.tracker.observe_pair_events(events)
+        self._record_stage("ingest", self._clock() - started)
+        return count
 
     def advance_to(self, timestamp: float) -> None:
         """Move the shard's window forward without ingesting events."""
@@ -98,23 +145,30 @@ class ShardWorker:
         :func:`~repro.core.ranking.topic_sort_key`, ready for the
         coordinator's k-way merge.
         """
-        if self._fused is not None:
-            # Same boundary protocol as sample_candidates (advance + evict),
-            # then one batched pass over the shard's candidate slice.
-            self.tracker.advance_to(timestamp)
-            return self._fused.evaluate(
+        started = self._clock()
+        try:
+            if self._fused is not None:
+                # Same boundary protocol as sample_candidates (advance +
+                # evict), then one batched pass over the candidate slice.
+                self.tracker.advance_to(timestamp)
+                return self._fused.evaluate(
+                    timestamp, seeds, tag_counts, total_documents
+                )
+            observations = self.tracker.sample_candidates(
                 timestamp, seeds, tag_counts, total_documents
             )
-        observations = self.tracker.sample_candidates(
-            timestamp, seeds, tag_counts, total_documents
-        )
-        shift_scores: List[ShiftScore] = []
-        for observation in observations:
-            previous = self.tracker.history(observation.pair).previous_values()
-            shift_scores.append(self.detector.update(observation, previous))
-        return self.builder.top_topics(
-            timestamp, shift_scores, detector=self.detector
-        )
+            shift_scores: List[ShiftScore] = []
+            for observation in observations:
+                previous = \
+                    self.tracker.history(observation.pair).previous_values()
+                shift_scores.append(
+                    self.detector.update(observation, previous)
+                )
+            return self.builder.top_topics(
+                timestamp, shift_scores, detector=self.detector
+            )
+        finally:
+            self._record_stage("evaluate", self._clock() - started)
 
     # -- persistence ----------------------------------------------------------
 
@@ -152,6 +206,12 @@ class ShardWorker:
         self.tracker.restore(state["tracker"])
         self.detector.restore(state["detector"])
         self.builder.restore(state["builder"])
+        # Restores happen at resume and during supervised recovery; the
+        # queued record surfaces in the coordinator's /logs trail either
+        # way (during a recovery it lands inside the recovery trace).
+        self.log_event(
+            "shard_restore", live_pairs=self.live_pairs(),
+        )
 
     def begin_delta_tracking(self) -> None:
         """Arm delta recording in the shard's tracker/detector/builder."""

@@ -1,4 +1,4 @@
-"""GET /metrics and GET /trace, plus the 503 contract on dead shards."""
+"""GET /metrics, /trace, /profile, /logs and /slo over a live server."""
 
 import asyncio
 import json
@@ -179,6 +179,156 @@ class TestTraceEndpoint:
             return results
 
         assert asyncio.run(scenario()) == [400, 400]
+
+
+class TestProfileEndpoint:
+    def test_collapsed_profile_of_a_busy_server(self, docs):
+        async def scenario():
+            _engine, service, server = await serve_ingested(docs, count=64)
+            # Keep the engine busy while the profile window runs so the
+            # samples catch real work, not just the idle event loop.
+            ingest = asyncio.ensure_future(service.submit(docs[64:256]))
+            status, headers, body = await raw_request(
+                server.port, "GET", "/profile?seconds=0.3")
+            await ingest
+            await service.drain()
+            json_status, _h, json_body = await raw_request(
+                server.port, "GET", "/profile?seconds=0.1&format=json")
+            await teardown(service, server)
+            return status, headers, body.decode(), json_status, json_body
+
+        status, headers, body, json_status, json_body = asyncio.run(scenario())
+        assert status == 200
+        assert headers["content-type"].startswith("text/plain")
+        lines = body.strip().splitlines()
+        assert lines, "a busy 300ms window must capture samples"
+        for line in lines:
+            stack, count = line.rsplit(" ", 1)
+            assert int(count) >= 1
+            assert ";" in stack or "(" in stack
+        assert json_status == 200
+        payload = json.loads(json_body)
+        assert set(payload) == {"seconds", "samples", "stacks"}
+        assert payload["samples"] == sum(payload["stacks"].values())
+
+    def test_profile_stops_when_it_started_the_sampler(self, docs):
+        async def scenario():
+            _engine, service, server = await serve_ingested(docs, count=8)
+            profiler = service.observability.profiler
+            await raw_request(server.port, "GET", "/profile?seconds=0.05")
+            stopped_after = profiler.running
+            profiler.start()
+            await raw_request(server.port, "GET", "/profile?seconds=0.05")
+            kept_running = profiler.running
+            await teardown(service, server)
+            profiler.stop()
+            return stopped_after, kept_running
+
+        stopped_after, kept_running = asyncio.run(scenario())
+        assert stopped_after is False  # one-shot windows clean up
+        assert kept_running is True    # a continuous sampler is left alone
+
+    def test_profile_rejects_malformed_parameters(self, docs):
+        async def scenario():
+            _engine, service, server = await serve_ingested(docs, count=8)
+            codes = []
+            for query in ("seconds=abc", "seconds=-1", "seconds=9999",
+                          "format=xml"):
+                status, _h, _b = await raw_request(
+                    server.port, "GET", f"/profile?{query}")
+                codes.append(status)
+            await teardown(service, server)
+            return codes
+
+        assert asyncio.run(scenario()) == [400, 400, 400, 400]
+
+
+class TestLogsEndpoint:
+    def test_logs_are_ndjson_with_trace_correlated_batch_records(self, docs):
+        async def scenario():
+            _engine, service, server = await serve_ingested(docs)
+            status, headers, body = await raw_request(
+                server.port, "GET", "/logs?last=200")
+            trace_status, _h, trace_body = await raw_request(
+                server.port, "GET", "/trace?last=50")
+            await teardown(service, server)
+            return status, headers, body.decode(), trace_body.decode()
+
+        status, headers, text, trace_text = asyncio.run(scenario())
+        assert status == 200
+        assert headers["content-type"] == NDJSON_CONTENT_TYPE
+        records = [json.loads(line) for line in text.strip().splitlines()]
+        for record in records:
+            assert {"seq", "ts", "level", "event"} <= set(record)
+        sequences = [record["seq"] for record in records]
+        assert sequences == sorted(sequences)
+        batches = [r for r in records if r["event"] == "batch"]
+        assert batches and batches[0]["documents"] > 0
+        # The batch record carries the trace id of the span tree /trace
+        # shows for the same batch — the log↔trace correlation contract.
+        trace_ids = {json.loads(line)["trace_id"]
+                     for line in trace_text.strip().splitlines()}
+        assert batches[0]["trace_id"] in trace_ids
+        requests = [r for r in records if r["event"] == "http_request"]
+        assert any(r["path"] == "/logs" for r in requests)
+
+    def test_logs_last_caps_and_rejects_garbage(self, docs):
+        async def scenario():
+            _engine, service, server = await serve_ingested(docs, count=8)
+            _s, _h, capped = await raw_request(
+                server.port, "GET", "/logs?last=1")
+            bad_status, _h, _b = await raw_request(
+                server.port, "GET", "/logs?last=nope")
+            await teardown(service, server)
+            return capped.decode(), bad_status
+
+        capped, bad_status = asyncio.run(scenario())
+        assert len(capped.strip().splitlines()) == 1
+        assert bad_status == 400
+
+
+class TestSloEndpoint:
+    def test_slo_reports_objectives_and_status_inlines_the_digest(self, docs):
+        async def scenario():
+            _engine, service, server = await serve_ingested(docs)
+            status, _headers, body = await raw_request(
+                server.port, "GET", "/slo")
+            _s, _h, status_body = await raw_request(
+                server.port, "GET", "/status")
+            await teardown(service, server)
+            return status, json.loads(body), json.loads(status_body)
+
+        status, payload, service_status = asyncio.run(scenario())
+        assert status == 200
+        names = {o["name"] for o in payload["objectives"]}
+        assert names == {"batch_latency", "ingest_availability",
+                         "sse_delivery"}
+        for objective in payload["objectives"]:
+            assert set(objective["windows"]) == {"5m", "1h", "total"}
+            for window in objective["windows"].values():
+                assert {"good", "total", "attainment",
+                        "burn_rate"} <= set(window)
+        # An undisturbed replay keeps every objective green.
+        assert all(entry["met"]
+                   for entry in payload["summary"].values())
+        assert service_status["slo"] == payload["summary"]
+
+    def test_slo_metrics_appear_on_the_scrape(self, docs):
+        async def scenario():
+            _engine, service, server = await serve_ingested(docs)
+            await raw_request(server.port, "GET", "/slo")
+            _s, _h, body = await raw_request(server.port, "GET", "/metrics")
+            await teardown(service, server)
+            return body.decode()
+
+        text = asyncio.run(scenario())
+        families = parse_prometheus_families(text)
+        for name in ("repro_slo_ticks_total", "repro_slo_attainment",
+                     "repro_slo_burn_rate", "repro_logging_records_total",
+                     "repro_serving_batch_seconds",
+                     "repro_profiling_samples_total"):
+            assert name in families, name
+        assert 'repro_slo_attainment{objective="batch_latency"' in text
 
 
 class TestShardHealth:

@@ -1,0 +1,139 @@
+"""The structured NDJSON event log: ring, trace correlation, sinks."""
+
+import json
+
+from repro.observability import (
+    NULL_EVENT_LOG,
+    EventLog,
+    MetricsRegistry,
+    Observability,
+)
+from repro.observability.tracing import StageTracer
+
+
+class TestEmit:
+    def test_records_carry_monotonic_sequence_and_fields(self):
+        log = EventLog(now=lambda: 123.0)
+        first = log.emit("batch", documents=3)
+        second = log.emit("checkpoint", level="warning", mode="delta")
+        assert first["seq"] == 1 and second["seq"] == 2
+        assert first["ts"] == 123.0
+        assert first["event"] == "batch" and first["documents"] == 3
+        assert second["level"] == "warning" and second["mode"] == "delta"
+        assert log.sequence == 2
+
+    def test_ring_is_bounded_and_keeps_the_newest(self):
+        log = EventLog(capacity=4)
+        for i in range(10):
+            log.emit("tick", i=i)
+        records = log.records()
+        assert len(records) == 4
+        assert [r["i"] for r in records] == [6, 7, 8, 9]
+        # The sequence keeps counting even though old records fell out.
+        assert log.sequence == 10
+
+    def test_records_last_caps_from_the_tail(self):
+        log = EventLog()
+        for i in range(6):
+            log.emit("tick", i=i)
+        assert [r["i"] for r in log.records(last=2)] == [4, 5]
+        assert log.records(last=0) == []
+
+    def test_emit_inside_a_trace_carries_trace_and_span_ids(self):
+        tracer = StageTracer(clock=lambda: 0.0)
+        log = EventLog(tracer=tracer)
+        outside = log.emit("aux")
+        with tracer.trace(7):
+            with tracer.span("ingest"):
+                inside = log.emit("batch")
+        assert "trace_id" not in outside
+        assert inside["trace_id"] == "batch-000000000007"
+        assert "span_id" in inside
+
+    def test_emit_feeds_the_level_counter(self):
+        registry = MetricsRegistry()
+        log = EventLog(registry=registry)
+        log.emit("a")
+        log.emit("b")
+        log.emit("c", level="warning")
+        family = registry.get("repro_logging_records_total")
+        values = {dict(key)["level"]: child.value
+                  for key, child in family.samples()}
+        assert values == {"info": 2.0, "warning": 1.0}
+
+
+class TestMerge:
+    def test_merge_restamps_the_envelope_and_adds_fields(self):
+        source = EventLog()
+        foreign = source.emit("shard_restore", live_pairs=12)
+        target = EventLog()
+        target.emit("warmup")
+        merged = target.merge(foreign, shard=3)
+        assert merged["seq"] == 2  # target's numbering, not the source's
+        assert merged["event"] == "shard_restore"
+        assert merged["live_pairs"] == 12 and merged["shard"] == 3
+
+    def test_merge_inside_a_trace_adopts_the_local_trace_id(self):
+        tracer = StageTracer(clock=lambda: 0.0)
+        target = EventLog(tracer=tracer)
+        foreign = {"seq": 99, "ts": 1.0, "level": "info",
+                   "event": "shard_restore", "trace_id": "batch-000000000099"}
+        with tracer.span("recovery"):
+            merged = target.merge(foreign, shard=1)
+        assert merged["trace_id"].startswith("aux-recovery-")
+
+
+class TestRendering:
+    def test_render_ndjson_is_one_json_object_per_line(self):
+        log = EventLog()
+        log.emit("a", n=1)
+        log.emit("b", n=2)
+        lines = log.render_ndjson().strip().splitlines()
+        parsed = [json.loads(line) for line in lines]
+        assert [p["event"] for p in parsed] == ["a", "b"]
+        assert log.render_ndjson(last=1).strip().splitlines()[0] == lines[1]
+
+    def test_file_sink_appends_ndjson(self, tmp_path):
+        path = tmp_path / "events.ndjson"
+        log = EventLog(path=str(path))
+        log.emit("first", n=1)
+        log.emit("second", n=2)
+        log.close()
+        lines = path.read_text("utf-8").strip().splitlines()
+        assert [json.loads(line)["event"] for line in lines] \
+            == ["first", "second"]
+
+    def test_file_sink_failure_never_raises(self, tmp_path):
+        log = EventLog(path=str(tmp_path / "events.ndjson"))
+        log._sink.close()  # simulate the disk going away mid-run
+        log.emit("after-close")  # must not raise
+        assert log.records()[-1]["event"] == "after-close"
+        log.close()
+
+
+class TestContinuity:
+    def test_restore_sequence_continues_monotonically(self):
+        log = EventLog()
+        log.restore_sequence(41)
+        assert log.emit("resumed")["seq"] == 42
+        # Restoring backwards never rewinds the counter.
+        log.restore_sequence(3)
+        assert log.emit("later")["seq"] == 43
+
+    def test_bundle_snapshot_round_trips_the_sequence(self):
+        first = Observability()
+        first.log.emit("a")
+        first.log.emit("b")
+        resumed = Observability()
+        resumed.restore(first.snapshot())
+        assert resumed.log.emit("c")["seq"] == 3
+
+
+class TestNull:
+    def test_null_log_is_inert(self):
+        assert NULL_EVENT_LOG.emit("anything", n=1) is None
+        assert NULL_EVENT_LOG.merge({"event": "x"}) is None
+        assert NULL_EVENT_LOG.records() == []
+        assert NULL_EVENT_LOG.render_ndjson() == ""
+        NULL_EVENT_LOG.restore_sequence(5)
+        NULL_EVENT_LOG.close()

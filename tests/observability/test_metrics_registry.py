@@ -172,12 +172,16 @@ class TestNoop:
         counter = NOOP.registry.counter("repro_test_total")
         histogram = NOOP.registry.histogram("repro_test_seconds")
         tracer = NOOP.tracer
+        log, profiler, slo = NOOP.log, NOOP.profiler, NOOP.slo
         # Warm every code path once so lazy one-time allocations (method
         # wrappers, caches) do not count against the steady state.
         counter.inc()
         histogram.observe(0.1)
         with tracer.span("warm") as span:
             span.set(n=1)
+        log.emit("warm", n=1)
+        profiler.sample_once()
+        slo.tick()
         gc.collect()
         gc.disable()
         try:
@@ -187,6 +191,9 @@ class TestNoop:
                 histogram.observe(0.1)
                 with tracer.span("stage") as span:
                     span.set(n=1)
+                log.emit("stage", n=1)
+                profiler.sample_once()
+                slo.tick()
             delta = sys.getallocatedblocks() - before
         finally:
             gc.enable()
@@ -227,6 +234,37 @@ class TestPrometheusRendering:
     def test_parser_rejects_undeclared_samples(self):
         with pytest.raises(ValueError):
             parse_prometheus_families("repro_orphan_total 3\n")
+
+    def test_help_and_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "repro_test_total",
+            help='tricky "help"\nwith a \\ backslash',
+        ).labels(path='a\\b', note='say "hi"\nbye').inc()
+        text = render_prometheus(registry)
+        assert ('# HELP repro_test_total '
+                'tricky \\"help\\"\\nwith a \\\\ backslash') in text
+        assert 'path="a\\\\b"' in text
+        assert 'note="say \\"hi\\"\\nbye"' in text
+        # No raw newline may survive inside a line: every record still
+        # parses line-by-line.
+        families = parse_prometheus_families(text)
+        assert families["repro_test_total"] == "counter"
+
+    def test_special_float_values_render_per_spec(self):
+        registry = MetricsRegistry()
+        registry.gauge("repro_test_inf").set(float("inf"))
+        registry.gauge("repro_test_ninf").set(float("-inf"))
+        registry.gauge("repro_test_nan").set(float("nan"))
+        text = render_prometheus(registry)
+        assert "repro_test_inf +Inf" in text
+        assert "repro_test_ninf -Inf" in text
+        assert "repro_test_nan NaN" in text
+        # Histogram +Inf bucket bounds use the same rendering.
+        registry.histogram("repro_test_seconds").observe(1.0)
+        text = render_prometheus(registry)
+        assert 'repro_test_seconds_bucket{le="+Inf"} 1' in text
+        parse_prometheus_families(text)  # round-trips through the parser
 
 
 class TestRegistryContract:

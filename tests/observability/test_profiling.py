@@ -1,0 +1,146 @@
+"""The dependency-free sampling profiler and its collapsed rendering."""
+
+import threading
+import time
+
+from repro.observability import (
+    NULL_PROFILER,
+    MetricsRegistry,
+    Observability,
+    SamplingProfiler,
+    render_collapsed,
+)
+
+
+def busy_wait(barrier, stop):
+    barrier.wait()
+    while not stop.is_set():
+        sum(range(100))
+
+
+class TestSampling:
+    def test_sample_once_captures_other_threads_root_first(self):
+        profiler = SamplingProfiler()
+        barrier = threading.Barrier(2)
+        stop = threading.Event()
+        worker = threading.Thread(
+            target=busy_wait, args=(barrier, stop), daemon=True)
+        worker.start()
+        barrier.wait()
+        try:
+            captured = profiler.sample_once()
+        finally:
+            stop.set()
+            worker.join()
+        assert captured >= 1
+        stacks = list(profiler.counts())
+        assert any("busy_wait" in stack for stack in stacks)
+        target = next(stack for stack in stacks if "busy_wait" in stack)
+        frames = target.split(";")
+        # Root-first: the thread bootstrap leads and busy_wait sits below
+        # it — the "collapsed" orientation flamegraph.pl expects.
+        bootstrap = next(i for i, f in enumerate(frames) if "_bootstrap" in f)
+        busy = next(i for i, f in enumerate(frames) if "busy_wait" in f)
+        assert bootstrap < busy
+        assert all("(" in frame and ":" in frame for frame in frames)
+
+    def test_sampler_excludes_its_own_thread(self):
+        profiler = SamplingProfiler()
+        profiler.sample_once()
+        assert all("sample_once" not in stack for stack in profiler.counts())
+
+    def test_background_sampling_accumulates_and_stops(self):
+        profiler = SamplingProfiler(interval=0.001)
+        profiler.start()
+        assert profiler.running
+        deadline = time.monotonic() + 2.0
+        while profiler.samples_total == 0 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        profiler.stop()
+        assert not profiler.running
+        assert profiler.samples_total > 0
+        settled = profiler.samples_total
+        time.sleep(0.02)
+        assert profiler.samples_total == settled  # really stopped
+
+    def test_ensure_running_reports_whether_it_started(self):
+        profiler = SamplingProfiler(interval=0.001)
+        assert profiler.ensure_running() is True
+        assert profiler.ensure_running() is False  # already running
+        profiler.stop()
+
+    def test_counts_since_diffs_against_a_baseline(self):
+        profiler = SamplingProfiler()
+        barrier = threading.Barrier(2)
+        stop = threading.Event()
+        worker = threading.Thread(
+            target=busy_wait, args=(barrier, stop), daemon=True)
+        worker.start()
+        barrier.wait()
+        try:
+            profiler.sample_once()
+            baseline = profiler.counts()
+            captured = profiler.sample_once() + profiler.sample_once()
+            fresh = profiler.counts_since(baseline)
+        finally:
+            stop.set()
+            worker.join()
+        assert sum(fresh.values()) == captured
+        # Every differential count is positive and never exceeds the
+        # absolute count.
+        totals = profiler.counts()
+        for stack, count in fresh.items():
+            assert 0 < count <= totals[stack]
+
+    def test_samples_feed_the_registry_counter(self):
+        registry = MetricsRegistry()
+        profiler = SamplingProfiler(registry=registry)
+        barrier = threading.Barrier(2)
+        stop = threading.Event()
+        worker = threading.Thread(
+            target=busy_wait, args=(barrier, stop), daemon=True)
+        worker.start()
+        barrier.wait()
+        try:
+            captured = profiler.sample_once()
+        finally:
+            stop.set()
+            worker.join()
+        metric = registry.counter("repro_profiling_samples_total")
+        assert metric.value == captured == profiler.samples_total
+
+
+class TestRendering:
+    def test_render_collapsed_sorts_by_count_then_stack(self):
+        text = render_collapsed({"a;b": 2, "a;c": 5, "z": 2})
+        assert text.splitlines() == ["a;c 5", "a;b 2", "z 2"]
+
+    def test_render_collapsed_empty(self):
+        assert render_collapsed({}) == ""
+
+
+class TestContinuity:
+    def test_restore_samples_is_a_max_merge(self):
+        profiler = SamplingProfiler()
+        profiler.restore_samples(40)
+        assert profiler.samples_total == 40
+        profiler.restore_samples(7)
+        assert profiler.samples_total == 40
+
+    def test_bundle_snapshot_round_trips_sample_totals(self):
+        first = Observability()
+        first.profiler.sample_once()
+        before = first.profiler.samples_total
+        resumed = Observability()
+        resumed.restore(first.snapshot())
+        assert resumed.profiler.samples_total == before
+
+
+class TestNull:
+    def test_null_profiler_is_inert(self):
+        assert NULL_PROFILER.sample_once() == 0
+        assert NULL_PROFILER.counts() == {}
+        assert NULL_PROFILER.counts_since({}) == {}
+        assert NULL_PROFILER.ensure_running() is False
+        NULL_PROFILER.stop()
+        assert NULL_PROFILER.samples_total == 0

@@ -1,0 +1,204 @@
+"""Declarative SLOs: reductions, windowed burn rates, the /status digest."""
+
+import pytest
+
+from repro.observability import (
+    DEFAULT_OBJECTIVES,
+    NULL_SLO,
+    MetricsRegistry,
+    Observability,
+    SloObjective,
+    SloTracker,
+)
+
+
+class TestObjectiveSpec:
+    def test_validation_rejects_malformed_objectives(self):
+        with pytest.raises(ValueError):
+            SloObjective(name="x", kind="throughput", target=0.9)
+        with pytest.raises(ValueError):
+            SloObjective(name="x", kind="latency", target=1.5,
+                         metric="m", threshold_s=0.1)
+        with pytest.raises(ValueError):
+            SloObjective(name="x", kind="latency", target=0.9)  # no metric
+        with pytest.raises(ValueError):
+            SloObjective(name="x", kind="availability", target=0.9)  # no good
+
+    def test_spec_round_trip(self):
+        for objective in DEFAULT_OBJECTIVES:
+            rebuilt = SloObjective.from_spec(objective.to_spec())
+            assert rebuilt.to_spec() == objective.to_spec()
+
+    def test_from_spec_ignores_unknown_keys(self):
+        objective = SloObjective.from_spec({
+            "name": "x", "kind": "availability", "target": 0.9,
+            "good": "repro_good_total", "bad": "repro_bad_total",
+            "comment": "not a field",
+        })
+        assert objective.name == "x"
+
+
+class TestReduction:
+    def test_availability_reduces_good_over_good_plus_bad(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_good_total").inc(98)
+        registry.counter("repro_bad_total").inc(2)
+        objective = SloObjective(
+            name="avail", kind="availability", target=0.95,
+            good="repro_good_total", bad="repro_bad_total")
+        assert objective.reduce(registry) == (98.0, 100.0)
+
+    def test_availability_sums_labeled_children(self):
+        registry = MetricsRegistry()
+        family = registry.counter("repro_good_total")
+        family.labels(shard="0").inc(3)
+        family.labels(shard="1").inc(4)
+        registry.counter("repro_bad_total").inc(1)
+        objective = SloObjective(
+            name="avail", kind="availability", target=0.95,
+            good="repro_good_total", bad="repro_bad_total")
+        assert objective.reduce(registry) == (7.0, 8.0)
+
+    def test_latency_counts_observations_at_or_under_the_threshold(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("repro_lat_seconds")
+        for value in (0.01, 0.02, 0.1, 0.9):
+            histogram.observe(value)
+        objective = SloObjective(
+            name="lat", kind="latency", target=0.9,
+            metric="repro_lat_seconds", threshold_s=0.25)
+        good, total = objective.reduce(registry)
+        assert total == 4.0
+        assert good == 3.0  # the 0.9s observation is over the threshold
+
+    def test_missing_families_reduce_to_zero(self):
+        registry = MetricsRegistry()
+        lat = SloObjective(name="lat", kind="latency", target=0.9,
+                           metric="repro_absent_seconds", threshold_s=0.1)
+        avail = SloObjective(name="a", kind="availability", target=0.9,
+                             good="repro_absent_total",
+                             bad="repro_also_absent_total")
+        assert lat.reduce(registry) == (0.0, 0.0)
+        assert avail.reduce(registry) == (0.0, 0.0)
+
+
+class FakeClock:
+    def __init__(self, start=1000.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+
+def availability_tracker(registry, clock):
+    objective = SloObjective(
+        name="avail", kind="availability", target=0.99,
+        good="repro_good_total", bad="repro_bad_total")
+    return SloTracker(registry, objectives=[objective], clock=clock)
+
+
+class TestTracker:
+    def test_windows_report_deltas_not_lifetime_totals(self):
+        registry = MetricsRegistry()
+        clock = FakeClock()
+        tracker = availability_tracker(registry, clock)
+        good = registry.counter("repro_good_total")
+        bad = registry.counter("repro_bad_total")
+        # A bad start, ticked well outside the 5m window...
+        good.inc(50)
+        bad.inc(50)
+        tracker.tick()
+        clock.now += 3000.0
+        # ...then a clean recent stretch.
+        good.inc(100)
+        tracker.tick()
+        clock.now += 10.0
+        report = tracker.report()[0]
+        windows = report["windows"]
+        assert windows["5m"]["good"] == 100.0
+        assert windows["5m"]["total"] == 100.0
+        assert windows["5m"]["attainment"] == 1.0
+        # The 1h and lifetime windows still see the bad start.
+        assert windows["1h"]["total"] == 200.0
+        assert windows["total"]["attainment"] == pytest.approx(150 / 200)
+        assert report["met"] is False
+
+    def test_burn_rate_scales_the_miss_by_the_error_budget(self):
+        registry = MetricsRegistry()
+        clock = FakeClock()
+        tracker = availability_tracker(registry, clock)
+        registry.counter("repro_good_total").inc(990)
+        registry.counter("repro_bad_total").inc(10)
+        tracker.tick()
+        windows = tracker.report()[0]["windows"]
+        # 99% attainment against a 99% target burns budget at exactly
+        # the sustainable rate.
+        assert windows["total"]["attainment"] == pytest.approx(0.99)
+        assert windows["total"]["burn_rate"] == pytest.approx(1.0)
+
+    def test_no_events_means_perfect_attainment(self):
+        tracker = availability_tracker(MetricsRegistry(), FakeClock())
+        report = tracker.report()[0]
+        assert report["windows"]["total"]["attainment"] == 1.0
+        assert report["windows"]["total"]["burn_rate"] == 0.0
+        assert report["met"] is True
+
+    def test_report_exports_gauges_and_tick_counts(self):
+        registry = MetricsRegistry()
+        clock = FakeClock()
+        tracker = availability_tracker(registry, clock)
+        tracker.tick()
+        tracker.tick()
+        assert registry.counter("repro_slo_ticks_total").value == 2
+        tracker.report()
+        attainment = registry.gauge("repro_slo_attainment")
+        labels = {dict(key)["window"] for key, _ in attainment.samples()}
+        assert labels == {"5m", "1h", "total"}
+
+    def test_summary_digest_shape(self):
+        registry = MetricsRegistry()
+        tracker = availability_tracker(registry, FakeClock())
+        registry.counter("repro_good_total").inc(5)
+        tracker.tick()
+        digest = tracker.summary()
+        assert set(digest) == {"avail"}
+        assert set(digest["avail"]) \
+            == {"target", "attainment", "worst_burn_rate", "met"}
+
+    def test_default_objectives_work_against_the_bundle_registry(self):
+        observability = Observability()
+        observability.registry.counter(
+            "repro_serving_batches_processed_total").inc(10)
+        observability.registry.histogram(
+            "repro_serving_batch_seconds").observe(0.01)
+        observability.slo.tick()
+        digest = observability.slo.summary()
+        assert set(digest) \
+            == {"batch_latency", "ingest_availability", "sse_delivery"}
+        assert all(entry["met"] for entry in digest.values())
+
+    def test_objective_specs_accepted_as_plain_dicts(self):
+        tracker = SloTracker(MetricsRegistry(), objectives=[{
+            "name": "x", "kind": "availability", "target": 0.9,
+            "good": "repro_good_total", "bad": "repro_bad_total",
+        }])
+        assert tracker.objectives[0].name == "x"
+
+
+class TestContinuity:
+    def test_slo_counters_survive_a_snapshot_restore(self):
+        first = Observability()
+        first.slo.tick()
+        first.slo.tick()
+        resumed = Observability()
+        resumed.restore(first.snapshot())
+        assert resumed.registry.counter("repro_slo_ticks_total").value == 2
+        resumed.slo.tick()
+        assert resumed.registry.counter("repro_slo_ticks_total").value == 3
+
+
+class TestNull:
+    def test_null_tracker_is_inert(self):
+        NULL_SLO.tick()
+        assert NULL_SLO.report() == []
+        assert NULL_SLO.summary() == {}

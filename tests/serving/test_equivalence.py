@@ -103,6 +103,32 @@ class TestServedRankingsBitIdentical:
         frames = serve(EnBlogue(config()), docs)
         assert frames == reference.ranking_history()
 
+    def test_full_observability_never_perturbs_the_rankings(self, docs):
+        """Profiler at 100Hz + event log + SLO ticks: still bit-identical.
+
+        The whole observability stack reads timings and counters; none
+        of it may touch engine math.  This pins it: a serve with every
+        subsystem live produces the exact frames of a bare batch replay.
+        """
+        from repro.observability import Observability
+
+        reference = EnBlogue(config())
+        reference.process_batch(docs)
+
+        observability = Observability()
+        observability.profiler.start(interval=0.01)
+        engine = EnBlogue(config(), observability=observability)
+        try:
+            frames = serve(engine, docs)
+        finally:
+            observability.close()
+        assert frames == reference.ranking_history()
+        # And the subsystems really were live while the stream ran.
+        assert any(r["event"] == "batch"
+                   for r in observability.log.records())
+        assert observability.registry.counter(
+            "repro_slo_ticks_total").value > 0
+
 
 class TestCheckpointWhileServing:
     @pytest.mark.parametrize("num_shards,backend", [

@@ -407,3 +407,68 @@ class TestSupervisedWiring:
             records = backend.health()
             assert all(record["alive"] for record in records)
             assert all(record["recovering"] is False for record in records)
+
+
+class TestFaultLogTrail:
+    def test_injection_and_recovery_leave_trace_correlated_records(
+            self, tweet_docs):
+        clock = FakeClock()
+        observability = Observability()
+        plan = FaultPlan(sleep=clock.sleep).kill_worker(0, after_batches=1)
+        backend = SupervisedBackend(ThreadBackend(),
+                                    policy=instant_policy(clock))
+        backend.bind_fault_plan(plan)
+        with ShardedEnBlogue(config(), num_shards=2, backend=backend,
+                             chunk_size=128,
+                             observability=observability) as sharded:
+            sharded.process_batch(tweet_docs[:300])
+            sharded.evaluate_now()
+        records = observability.log.records()
+        events = {record["event"] for record in records}
+        # The drill documents itself...
+        fault = next(r for r in records if r["event"] == "fault_injected")
+        assert fault["level"] == "warning"
+        assert fault["site"] == "dispatch" and fault["action"] == "kill"
+        assert fault["shard"] == 0
+        # ...the retry and the recovery follow...
+        assert "shard_retry" in events
+        recovery = next(r for r in records if r["event"] == "recovery")
+        assert recovery["shard"] == 0
+        # ...and the recovery record shares the trace id of the trace
+        # holding the supervisor's `recovery` span, so /logs lines join
+        # /trace span trees.  (A failure surfacing mid-batch recovers
+        # inside that batch's trace; one surfacing outside any batch
+        # gets its own aux-recovery trace.)
+        def span_names(spans):
+            for span in spans:
+                yield span["name"]
+                yield from span_names(span.get("children", ()))
+
+        recovery_traces = {
+            trace["trace_id"]
+            for trace in observability.tracer.traces()
+            if "recovery" in set(span_names(trace["spans"]))
+        }
+        assert recovery["trace_id"] in recovery_traces
+
+    def test_permanent_failure_is_logged_as_an_error(self):
+        clock = FakeClock()
+        observability = Observability()
+        policy = instant_policy(clock, max_retries=1)
+        plan = FaultPlan(sleep=clock.sleep).fail_dispatch(
+            shard=0, exception=BrokenPipeError, times=99)
+        backend = SupervisedBackend(ThreadBackend(), policy=policy)
+        backend.bind_fault_plan(plan)
+        backend.bind_observability(observability)
+        backend.start([ShardWorker(0, config()), ShardWorker(1, config())])
+        try:
+            with pytest.raises(ShardExecutionError):
+                backend.ingest([[(10.0, (TagPair("a", "b"),))], []])
+        finally:
+            backend.close()
+        records = observability.log.records()
+        assert any(r["event"] == "fault_injected" for r in records)
+        failure = next(
+            r for r in records if r["event"] == "permanent_failure")
+        assert failure["level"] == "error"
+        assert failure["shard"] == 0
